@@ -1,0 +1,415 @@
+// Benchmarks regenerating every table and figure of the paper plus the
+// DESIGN.md ablations. Each BenchmarkFigureN/BenchmarkTableN runs the
+// corresponding experiment at a bench-friendly scale; run the full
+// paper scale with cmd/qabench -paper.
+package qamarket
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/alloc"
+	"github.com/qamarket/qamarket/internal/catalog"
+	"github.com/qamarket/qamarket/internal/cluster"
+	"github.com/qamarket/qamarket/internal/costmodel"
+	"github.com/qamarket/qamarket/internal/economics"
+	"github.com/qamarket/qamarket/internal/experiments"
+	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/sim"
+	"github.com/qamarket/qamarket/internal/vector"
+	"github.com/qamarket/qamarket/internal/workload"
+)
+
+// benchScale keeps a single bench iteration under ~100 ms.
+func benchScale() experiments.Scale {
+	s := experiments.Quick()
+	s.Nodes = 16
+	s.Relations = 80
+	s.Queries = 400
+	s.Classes = 16
+	s.MaxJoins = 5
+	s.DurationS = 20
+	return s
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1()
+		if r.QAMeanMs >= r.LBMeanMs {
+			b.Fatal("figure 1 inverted")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure2()
+		if !r.QAPareto {
+			b.Fatal("figure 2 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5a(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5a(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5b(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5b(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5c(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5c(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7 runs the real TCP federation. Each iteration stands
+// up five servers and replays a reduced workload, so iterations are
+// wall-clock bound (~seconds).
+func BenchmarkFigure7(b *testing.B) {
+	opt := experiments.DefaultFigure7()
+	opt.Queries = 40
+	opt.Interarrivals = []time.Duration{20 * time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table2(); len(rows) != 6 {
+			b.Fatal("table 2 wrong")
+		}
+	}
+}
+
+func BenchmarkTable3Setup(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+// ablationFixture builds a small overloaded two-class scenario shared
+// by the ablations; it returns the mean response time of QA-NT with
+// the given agent configuration, exactness flag and period.
+func ablationRun(b *testing.B, cfg market.Config, exact bool, periodMs int64) float64 {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	p := catalog.Table3()
+	p.Nodes = 12
+	p.Relations = 30
+	p.HashJoinNodes = 11
+	cat, err := catalog.Generate(p, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range cat.Nodes {
+		n.Holds[0] = true
+		delete(n.Holds, 1)
+	}
+	for _, n := range cat.Nodes[:6] {
+		n.Holds[1] = true
+	}
+	ts := []costmodel.Template{
+		{Class: 0, Relations: []int{0}, Selectivity: 1, Sort: true},
+		{Class: 1, Relations: []int{1}, Selectivity: 1, Sort: true},
+	}
+	model := costmodel.New(cat)
+	for i, target := range []float64{1000, 500} {
+		best, _ := model.EstimateBest(ts[i])
+		ts[i].CostScale = target / best
+	}
+	capacity := sim.EstimateCapacity(cat, ts, []float64{2, 1})
+	peak := 2.0 * capacity * 3.1416
+	s1 := workload.Sinusoid{Class: 0, Origin: -1, OriginCount: 12, Freq: 0.05,
+		PeakRate: peak * 2 / 3, Duration: 20000}
+	s2 := workload.Sinusoid{Class: 1, Origin: -1, OriginCount: 12, Freq: 0.05,
+		PeakRate: peak / 3, PhaseDeg: 900, Duration: 20000}
+	arrivals := append(s1.Generate(rng), s2.Generate(rng)...)
+	workload.Sort(arrivals)
+
+	mech := alloc.NewQANT(cfg)
+	mech.Exact = exact
+	fed, err := sim.New(sim.Config{Catalog: cat, Templates: ts, PeriodMs: periodMs}, mech)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col, err := fed.Run(arrivals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return col.Summarize().MeanRespMs
+}
+
+// BenchmarkAblationLambda sweeps the price-adjustment step λ (eq. 6):
+// larger steps converge faster but less accurately.
+func BenchmarkAblationLambda(b *testing.B) {
+	for _, lambda := range []float64{0.02, 0.1, 0.5} {
+		lambda := lambda
+		b.Run(formatFloat("lambda", lambda), func(b *testing.B) {
+			cfg := market.DefaultConfig(2)
+			cfg.Lambda = lambda
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				mean = ablationRun(b, cfg, false, 500)
+			}
+			b.ReportMetric(mean, "mean-resp-ms")
+		})
+	}
+}
+
+// BenchmarkAblationPeriod sweeps the period length T: larger T helps
+// static loads, hurts dynamic ones (Section 5.1).
+func BenchmarkAblationPeriod(b *testing.B) {
+	for _, period := range []int64{125, 500, 2000} {
+		period := period
+		b.Run(formatInt("periodMs", period), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				mean = ablationRun(b, market.DefaultConfig(2), false, period)
+			}
+			b.ReportMetric(mean, "mean-resp-ms")
+		})
+	}
+}
+
+// BenchmarkAblationSolver compares the greedy-density supply solver
+// against the exact DP knapsack.
+func BenchmarkAblationSolver(b *testing.B) {
+	for _, exact := range []bool{false, true} {
+		exact := exact
+		name := "greedy-density"
+		if exact {
+			name = "exact-dp"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				mean = ablationRun(b, market.DefaultConfig(2), exact, 500)
+			}
+			b.ReportMetric(mean, "mean-resp-ms")
+		})
+	}
+}
+
+// BenchmarkAblationThreshold compares always-active pricing against
+// the Section 5.1 threshold-activated deployment.
+func BenchmarkAblationThreshold(b *testing.B) {
+	for _, threshold := range []float64{0, 1.5, 3} {
+		threshold := threshold
+		b.Run(formatFloat("threshold", threshold), func(b *testing.B) {
+			cfg := market.DefaultConfig(2)
+			cfg.ActivationThreshold = threshold
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				mean = ablationRun(b, cfg, false, 500)
+			}
+			b.ReportMetric(mean, "mean-resp-ms")
+		})
+	}
+}
+
+// BenchmarkAblationInformation is the information-structure ablation:
+// it runs the real TCP federation's Greedy client with and without
+// servers disclosing their queue state (a real autonomous DBMS does
+// not). It quantifies how much of Greedy's strength comes from
+// information QA-NT never needs.
+func BenchmarkAblationInformation(b *testing.B) {
+	for _, share := range []bool{false, true} {
+		share := share
+		name := "queue-private"
+		if share {
+			name = "queue-shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				mean = informationRun(b, share)
+			}
+			b.ReportMetric(mean, "greedy-mean-total-ms")
+		})
+	}
+}
+
+func informationRun(b *testing.B, share bool) float64 {
+	b.Helper()
+	rng := rand.New(rand.NewSource(13))
+	p := cluster.Figure7Params()
+	p.Nodes = 3
+	p.Tables = 6
+	p.Views = 8
+	p.RowsPerTable = 80
+	p.MinCopies = 2
+	p.MaxCopies = 3
+	ds, err := cluster.GenerateDataset(p, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	templates, err := ds.GenerateTemplates(6, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]string, p.Nodes)
+	slow := []float64{1, 3, 9}
+	for i := 0; i < p.Nodes; i++ {
+		n, err := cluster.StartNode("127.0.0.1:0", cluster.NodeConfig{
+			DB: ds.DBs[i], Slowdown: slow[i], MsPerCostUnit: 0.02,
+			PeriodMs: 50, ShareQueueState: share,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		addrs[i] = n.Addr()
+	}
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Addrs: addrs, Mechanism: cluster.MechGreedy, PeriodMs: 50,
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total float64
+	completed := 0
+	for qi := 0; qi < 40; qi++ {
+		time.Sleep(5 * time.Millisecond)
+		out := client.Run(int64(qi), templates[qi%len(templates)].Instantiate(rng))
+		if out.Err != nil {
+			continue
+		}
+		completed++
+		total += out.TotalMs
+	}
+	if completed == 0 {
+		b.Fatal("no queries completed")
+	}
+	return total / float64(completed)
+}
+
+// BenchmarkAblationClasses sweeps the Zipf class-universe size: the
+// paper notes convergence improves with more classes.
+func BenchmarkAblationClasses(b *testing.B) {
+	for _, classes := range []int{5, 25, 100} {
+		classes := classes
+		b.Run(formatInt("classes", int64(classes)), func(b *testing.B) {
+			s := benchScale()
+			s.Classes = classes
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Figure6(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAgentPeriod measures the raw cost of one full market period
+// of a 100-class agent (solve eq. 4, trade, settle).
+func BenchmarkAgentPeriod(b *testing.B) {
+	const k = 100
+	cost := make([]float64, k)
+	rng := rand.New(rand.NewSource(5))
+	for i := range cost {
+		cost[i] = 100 + rng.Float64()*1900
+	}
+	agent, err := market.NewAgent(economics.TimeBudgetSupplySet{Cost: cost, Budget: 500}, market.DefaultConfig(k))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.BeginPeriod()
+		for c := 0; c < 16; c++ {
+			if agent.Offer(c % k) {
+				if err := agent.Accept(c % k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		agent.EndPeriod()
+	}
+}
+
+// BenchmarkSupplySolvers measures the two eq.-(4) solvers head-to-head.
+func BenchmarkSupplySolvers(b *testing.B) {
+	const k = 100
+	cost := make([]float64, k)
+	rng := rand.New(rand.NewSource(6))
+	for i := range cost {
+		cost[i] = 50 + rng.Float64()*950
+	}
+	prices := vector.NewPrices(k, 1)
+	for i := range prices {
+		prices[i] = 0.5 + rng.Float64()*2
+	}
+	b.Run("greedy-density", func(b *testing.B) {
+		set := economics.TimeBudgetSupplySet{Cost: cost, Budget: 500}
+		for i := 0; i < b.N; i++ {
+			set.BestResponse(prices)
+		}
+	})
+	b.Run("exact-dp", func(b *testing.B) {
+		set := market.ExactTimeBudgetSupplySet{Cost: cost, Budget: 500, Granularity: 1}
+		for i := 0; i < b.N; i++ {
+			set.BestResponse(prices)
+		}
+	})
+}
+
+func formatFloat(prefix string, v float64) string {
+	return prefix + "=" + strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatInt(prefix string, v int64) string {
+	return prefix + "=" + strconv.FormatInt(v, 10)
+}

@@ -1,0 +1,76 @@
+// Command qactl is the federation client: it sends a query (or a
+// generated workload) to a set of qanode servers using the chosen
+// allocation mechanism and reports the outcome.
+//
+// Examples:
+//
+//	qactl -nodes 127.0.0.1:7001,127.0.0.1:7002 -sql "SELECT COUNT(*) FROM t00"
+//	qactl -nodes ... -mechanism qa-nt -stats 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/cluster"
+)
+
+func main() {
+	var (
+		nodeList = flag.String("nodes", "", "comma-separated server addresses")
+		sql      = flag.String("sql", "", "query to evaluate")
+		mech     = flag.String("mechanism", "greedy", "greedy | qa-nt")
+		period   = flag.Int64("period", 500, "resubmission period in ms")
+		repeat   = flag.Int("repeat", 1, "times to run the query")
+		gap      = flag.Duration("gap", 0, "wait between repeats")
+		stats    = flag.Int("stats", -1, "print market stats of node index and exit")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*nodeList, ",")
+	if len(addrs) == 1 && addrs[0] == "" {
+		die(fmt.Errorf("no -nodes given"))
+	}
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Addrs:     addrs,
+		Mechanism: cluster.Mechanism(*mech),
+		PeriodMs:  *period,
+		Timeout:   30 * time.Second,
+	})
+	if err != nil {
+		die(err)
+	}
+	if *stats >= 0 {
+		st, err := client.Stats(*stats)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("node %d: executed=%d offers=%d rejects=%d\n", *stats, st.Executed, st.Offers, st.Rejects)
+		for sig, price := range st.Prices {
+			fmt.Printf("  price %.4f  class %s\n", price, sig)
+		}
+		return
+	}
+	if *sql == "" {
+		die(fmt.Errorf("no -sql given"))
+	}
+	for i := 0; i < *repeat; i++ {
+		out := client.Run(int64(i), *sql)
+		if out.Err != nil {
+			die(out.Err)
+		}
+		fmt.Printf("query %d -> node %d: %d rows, assign %.1f ms, exec %.1f ms, total %.1f ms (%d retries)\n",
+			out.QueryID, out.Node, out.Rows, out.AssignMs, out.ExecMs, out.TotalMs, out.Retries)
+		if *gap > 0 && i+1 < *repeat {
+			time.Sleep(*gap)
+		}
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "qactl:", err)
+	os.Exit(1)
+}

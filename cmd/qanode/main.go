@@ -1,0 +1,115 @@
+// Command qanode runs one federation server node: an embedded sqldb
+// instance loaded from a SQL script, wrapped with the QA-NT market
+// agent, listening for negotiate/execute requests over TCP.
+//
+// Example:
+//
+//	qanode -addr 127.0.0.1:7001 -init schema.sql -cpu-slowdown 2 -io-slowdown 6
+//
+// The init script is a sequence of semicolon-free statements separated
+// by blank lines or lines ending in ';'.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/cluster"
+	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7001", "listen address")
+		initFile  = flag.String("init", "", "SQL script creating tables/views and loading data")
+		slow      = flag.Float64("slowdown", 1, "uniform execution slowdown factor")
+		ioSlow    = flag.Float64("io-slowdown", 0, "I/O (scan) slowdown; 0 = use -slowdown")
+		cpuSlow   = flag.Float64("cpu-slowdown", 0, "CPU (join/sort) slowdown; 0 = use -slowdown")
+		msPerUnit = flag.Float64("ms-per-unit", 0.05, "milliseconds per planner cost unit")
+		period    = flag.Int64("period", 500, "market period T in ms")
+		lambda    = flag.Float64("lambda", 0.1, "price adjustment step λ")
+		threshold = flag.Float64("threshold", 0, "price activation threshold (0 = market always active)")
+		latency   = flag.Duration("link-latency", 0, "added reply latency (wireless node)")
+		noise     = flag.Float64("exec-noise", 0, "execution time variability fraction")
+		statePath = flag.String("state", "", "market-state checkpoint file (loaded on start, saved on shutdown)")
+	)
+	flag.Parse()
+
+	db := sqldb.Open()
+	if *initFile != "" {
+		if err := loadScript(db, *initFile); err != nil {
+			die(err)
+		}
+	}
+	mcfg := market.Config{Lambda: *lambda, InitialPrice: 1, ActivationThreshold: *threshold, Classes: 1}
+	node, err := cluster.StartNode(*addr, cluster.NodeConfig{
+		DB:            db,
+		Slowdown:      *slow,
+		IOSlowdown:    *ioSlow,
+		CPUSlowdown:   *cpuSlow,
+		MsPerCostUnit: *msPerUnit,
+		PeriodMs:      *period,
+		LinkLatency:   *latency,
+		ExecNoise:     *noise,
+		NoiseSeed:     time.Now().UnixNano(),
+		Market:        mcfg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		die(err)
+	}
+	if *statePath != "" {
+		if data, err := os.ReadFile(*statePath); err == nil {
+			if err := node.RestoreMarketState(data); err != nil {
+				die(fmt.Errorf("restoring %s: %w", *statePath, err))
+			}
+			fmt.Printf("qanode: restored market state from %s\n", *statePath)
+		} else if !os.IsNotExist(err) {
+			die(err)
+		}
+	}
+	fmt.Printf("qanode: serving on %s (%d tables, %d views)\n",
+		node.Addr(), len(db.Tables()), len(db.Views()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("qanode: shutting down")
+	if *statePath != "" {
+		data, err := node.MarketState()
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*statePath, data, 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("qanode: saved market state to %s\n", *statePath)
+	}
+	if err := node.Close(); err != nil {
+		die(err)
+	}
+}
+
+// loadScript executes a ';'-separated SQL script file.
+func loadScript(db *sqldb.DB, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if _, err := sqldb.ExecScript(db, string(raw)); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "qanode:", err)
+	os.Exit(1)
+}

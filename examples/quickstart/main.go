@@ -1,0 +1,51 @@
+// Quickstart: a minimal QA-NT market on a single node.
+//
+// It reproduces the paper's Section 3.3 narrative on the Figure 1
+// system: node N1 evaluates q1 in 400 ms and q2 in 100 ms per query
+// with a 500 ms period. With equal prices N1 supplies only q2 (the
+// denser class); when q1 demand keeps failing, q1's price rises until
+// N1 starts supplying q1 too.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/qamarket/qamarket/internal/economics"
+	"github.com/qamarket/qamarket/internal/market"
+)
+
+func main() {
+	// N1's supply set: any mix of q1 (400 ms) and q2 (100 ms) queries
+	// fitting a 500 ms period.
+	set := economics.TimeBudgetSupplySet{Cost: []float64{400, 100}, Budget: 500}
+	agent, err := market.NewAgent(set, market.DefaultConfig(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for period := 1; period <= 12; period++ {
+		agent.BeginPeriod()
+		supply := agent.PlannedSupply()
+		fmt.Printf("period %2d: prices %v supply %v", period, agent.Prices(), supply)
+		if supply[0] > 0 {
+			fmt.Println("  <- q1 entered the supply vector")
+			return
+		}
+		fmt.Println()
+
+		// Demand this period: four q1 requests (all fail: no q1 supply,
+		// so each failure raises q1's price) and buyers for all the q2
+		// supply (so q2's price holds).
+		for i := 0; i < 4; i++ {
+			agent.Offer(0)
+		}
+		for agent.Offer(1) {
+			if err := agent.Accept(1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		agent.EndPeriod()
+	}
+	fmt.Println("q1 never entered the supply vector (unexpected)")
+}

@@ -1,0 +1,3 @@
+module github.com/qamarket/qamarket
+
+go 1.22

@@ -1,0 +1,98 @@
+// Package alloc implements every query allocation mechanism compared in
+// the paper (Section 4, Table 2): the microeconomic QA-NT mechanism and
+// the Greedy, Random, Round-Robin, BNQRD and Two-Random-Probes
+// baselines, plus the static Markov-style reference of [4].
+//
+// Mechanisms are driven by the federation simulator (internal/sim)
+// through the View interface, which exposes exactly the information each
+// algorithm is entitled to; autonomy-violating mechanisms (Greedy,
+// BNQRD, Markov) read node internals directly, while QA-NT only ever
+// interacts through per-node offers.
+package alloc
+
+import "math"
+
+// Query is one query instance to allocate.
+type Query struct {
+	ID        int64
+	Class     int
+	Origin    int   // node where the request originated
+	Arrival   int64 // ms, first time the query entered the system
+	Resubmits int   // times the query was deferred to a later period
+}
+
+// View is the window a mechanism gets into the federation.
+type View interface {
+	// Now is the current virtual time in milliseconds.
+	Now() int64
+	// NumNodes is I, the federation size.
+	NumNodes() int
+	// NumClasses is K, the query-class universe size.
+	NumClasses() int
+	// Feasible reports whether node can evaluate class at all (it holds
+	// the data).
+	Feasible(node, class int) bool
+	// Cost is the estimated execution time of one class query on node,
+	// in ms (the simulator's EXPLAIN); +Inf when infeasible.
+	Cost(node, class int) float64
+	// Backlog is the node's currently queued plus running work in ms.
+	Backlog(node int) float64
+	// PeriodMs is the allocation period length T.
+	PeriodMs() int64
+}
+
+// Decision is a mechanism's verdict for one query.
+type Decision struct {
+	// Node is the executing node, meaningful when Retry is false.
+	Node int
+	// Retry defers the query to the next time period (QA-NT resubmits
+	// queries that no server offered to evaluate).
+	Retry bool
+}
+
+// Mechanism allocates queries to nodes.
+type Mechanism interface {
+	Name() string
+	Traits() Traits
+	// Assign decides where to run q. Mechanisms must be deterministic
+	// given their own RNG state and the view.
+	Assign(q Query, v View) Decision
+}
+
+// Periodic is implemented by mechanisms that react to the period clock
+// (QA-NT runs its market cycle on it).
+type Periodic interface {
+	OnPeriodStart(v View)
+	OnPeriodEnd(v View)
+}
+
+// Traits reproduces the qualitative comparison columns of Table 2.
+type Traits struct {
+	Distributed           bool
+	WorkloadType          string // "Dynamic" or "Static"
+	ConflictsWithQueryOpt bool   // physically pins queries, fighting distributed query optimizers
+	RespectsAutonomy      bool
+	Performance           string // the paper's verdict
+}
+
+// estimatedFinish is the completion-time estimate both Greedy and the
+// QA-NT client use to rank candidate servers: current backlog plus the
+// query's estimated execution cost.
+func estimatedFinish(v View, node, class int) float64 {
+	c := v.Cost(node, class)
+	if math.IsInf(c, 1) {
+		return c
+	}
+	return v.Backlog(node) + c
+}
+
+// feasibleNodes lists all nodes able to evaluate the class.
+func feasibleNodes(v View, class int) []int {
+	var out []int
+	for n := 0; n < v.NumNodes(); n++ {
+		if v.Feasible(n, class) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package alloc
+
+import "math"
+
+// BNQRD implements the load-balancing algorithm of Carey, Livny and Lu
+// [1,2] as described in Section 4: a centrally calculated unbalance
+// factor assigns each query so that resource usage is spread as evenly
+// as possible over the network. It is the "LB" mechanism of the
+// Figure 1 motivating example: each incoming query goes to the node
+// whose selection minimizes the resulting load imbalance (max − min
+// backlog across all nodes).
+//
+// BNQRD does not respect node autonomy — it requires every node's
+// current load — and does not produce Pareto-optimal allocations, since
+// it happily equalizes the load of fast and slow nodes alike.
+type BNQRD struct{}
+
+// NewBNQRD builds the allocator.
+func NewBNQRD() *BNQRD { return &BNQRD{} }
+
+// Name implements Mechanism.
+func (b *BNQRD) Name() string { return "bnqrd" }
+
+// Traits implements Mechanism (Table 2 row "BNQRD").
+func (b *BNQRD) Traits() Traits {
+	return Traits{
+		Distributed:           true,
+		WorkloadType:          "Dynamic",
+		ConflictsWithQueryOpt: true,
+		RespectsAutonomy:      false,
+		Performance:           "Poor",
+	}
+}
+
+// Assign implements Mechanism.
+func (b *BNQRD) Assign(q Query, v View) Decision {
+	bestNode := -1
+	bestImbalance := math.Inf(1)
+	for n := 0; n < v.NumNodes(); n++ {
+		if !v.Feasible(n, q.Class) {
+			continue
+		}
+		if imb := b.imbalanceAfter(v, n, q.Class); imb < bestImbalance {
+			bestImbalance, bestNode = imb, n
+		}
+	}
+	if bestNode < 0 {
+		return Decision{Retry: true}
+	}
+	return Decision{Node: bestNode}
+}
+
+// imbalanceAfter computes the max−min backlog spread if the query were
+// assigned to candidate.
+func (b *BNQRD) imbalanceAfter(v View, candidate, class int) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for n := 0; n < v.NumNodes(); n++ {
+		load := v.Backlog(n)
+		if n == candidate {
+			load += v.Cost(n, class)
+		}
+		if load < lo {
+			lo = load
+		}
+		if load > hi {
+			hi = load
+		}
+	}
+	return hi - lo
+}

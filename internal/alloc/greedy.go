@@ -1,0 +1,70 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Greedy immediately assigns each query to the node expected to finish
+// it earliest (backlog + estimated cost). Section 4 notes it is easy to
+// implement and performs surprisingly well, but violates server
+// administrative autonomy: the client unilaterally picks the server.
+// An optional randomization fraction perturbs the choice among nodes
+// whose estimates are within the fraction of the best, which the paper
+// mentions as a common practical tweak.
+type Greedy struct {
+	rng *rand.Rand
+	// RandomFrac in [0,1): candidates within (1+RandomFrac)·best are
+	// drawn uniformly. Zero keeps the pure deterministic greedy.
+	RandomFrac float64
+}
+
+// NewGreedy builds a Greedy allocator. rng may be nil when RandomFrac
+// is zero.
+func NewGreedy(rng *rand.Rand, randomFrac float64) *Greedy {
+	return &Greedy{rng: rng, RandomFrac: randomFrac}
+}
+
+// Name implements Mechanism.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Traits implements Mechanism (Table 2 row "Greedy").
+func (g *Greedy) Traits() Traits {
+	return Traits{
+		Distributed:           true,
+		WorkloadType:          "Dynamic",
+		ConflictsWithQueryOpt: true,
+		RespectsAutonomy:      false,
+		Performance:           "Very Good",
+	}
+}
+
+// Assign implements Mechanism.
+func (g *Greedy) Assign(q Query, v View) Decision {
+	best := math.Inf(1)
+	bestNode := -1
+	for n := 0; n < v.NumNodes(); n++ {
+		if !v.Feasible(n, q.Class) {
+			continue
+		}
+		if f := estimatedFinish(v, n, q.Class); f < best {
+			best, bestNode = f, n
+		}
+	}
+	if bestNode < 0 {
+		return Decision{Retry: true}
+	}
+	if g.RandomFrac > 0 && g.rng != nil {
+		var cands []int
+		limit := best * (1 + g.RandomFrac)
+		for n := 0; n < v.NumNodes(); n++ {
+			if v.Feasible(n, q.Class) && estimatedFinish(v, n, q.Class) <= limit {
+				cands = append(cands, n)
+			}
+		}
+		if len(cands) > 0 {
+			bestNode = cands[g.rng.Intn(len(cands))]
+		}
+	}
+	return Decision{Node: bestNode}
+}

@@ -1,0 +1,135 @@
+package alloc
+
+import "math"
+
+// Markov is the static reference mechanism of Drenick and Smith [4]
+// (Section 4): a centralized stochastic optimizer that, given *known and
+// constant* per-class arrival rates, precomputes a static routing of
+// classes to nodes and then follows it. The paper excluded it from the
+// simulator because it cannot handle dynamic workloads; we include it
+// for the static-workload ablation bench, where it is the "Excellent"
+// row of Table 2.
+//
+// The routing is computed by greedy water-filling: each class's arrival
+// rate is split in small quanta, each quantum routed to the feasible
+// node whose utilization after accepting it is lowest (utilization
+// counts cost·rate). For a static load this minimizes the maximum node
+// utilization, which maximizes sustainable throughput. At run time the
+// realized assignment tracks the target shares with largest-deficit
+// ("stride") selection, so the empirical split converges to the target.
+type Markov struct {
+	// Rates are the known per-class arrival rates in queries/second.
+	Rates []float64
+
+	share   [][]float64 // [class][node] target fraction
+	sent    [][]float64 // realized counts
+	classes int
+	ready   bool
+}
+
+// NewMarkov builds the mechanism from the externally provided (and
+// autonomy-violating) knowledge of the workload's class arrival rates.
+func NewMarkov(rates []float64) *Markov {
+	return &Markov{Rates: rates}
+}
+
+// Name implements Mechanism.
+func (m *Markov) Name() string { return "markov" }
+
+// Traits implements Mechanism (Table 2 row "Markov").
+func (m *Markov) Traits() Traits {
+	return Traits{
+		Distributed:           false,
+		WorkloadType:          "Static",
+		ConflictsWithQueryOpt: true,
+		RespectsAutonomy:      false,
+		Performance:           "Excellent",
+	}
+}
+
+// rateQuanta controls the granularity of the water-filling split.
+const rateQuanta = 100
+
+func (m *Markov) init(v View) {
+	k := v.NumClasses()
+	n := v.NumNodes()
+	m.classes = k
+	m.share = make([][]float64, k)
+	m.sent = make([][]float64, k)
+	util := make([]float64, n)
+	for c := 0; c < k; c++ {
+		m.share[c] = make([]float64, n)
+		m.sent[c] = make([]float64, n)
+		rate := 0.0
+		if c < len(m.Rates) {
+			rate = m.Rates[c]
+		}
+		if rate <= 0 {
+			continue
+		}
+		quantum := rate / rateQuanta
+		for q := 0; q < rateQuanta; q++ {
+			bestNode, best := -1, math.Inf(1)
+			for node := 0; node < n; node++ {
+				cost := v.Cost(node, c)
+				if math.IsInf(cost, 1) {
+					continue
+				}
+				if u := util[node] + quantum*cost; u < best {
+					best, bestNode = u, node
+				}
+			}
+			if bestNode < 0 {
+				break
+			}
+			util[bestNode] += quantum * v.Cost(bestNode, c)
+			m.share[c][bestNode] += 1.0 / rateQuanta
+		}
+	}
+	m.ready = true
+}
+
+// Assign implements Mechanism with largest-deficit tracking of the
+// precomputed shares.
+func (m *Markov) Assign(q Query, v View) Decision {
+	if !m.ready {
+		m.init(v)
+	}
+	if q.Class >= m.classes {
+		return Decision{Retry: true}
+	}
+	shares := m.share[q.Class]
+	sent := m.sent[q.Class]
+	total := 0.0
+	for _, s := range sent {
+		total += s
+	}
+	bestNode, bestDeficit := -1, math.Inf(-1)
+	for node := range shares {
+		if shares[node] <= 0 || !v.Feasible(node, q.Class) {
+			continue
+		}
+		deficit := shares[node]*(total+1) - sent[node]
+		if deficit > bestDeficit {
+			bestDeficit, bestNode = deficit, node
+		}
+	}
+	if bestNode < 0 {
+		// No share computed (zero known rate): fall back to the cheapest
+		// feasible node.
+		best := math.Inf(1)
+		for node := 0; node < v.NumNodes(); node++ {
+			if !v.Feasible(node, q.Class) {
+				continue
+			}
+			if c := v.Cost(node, q.Class); c < best {
+				best, bestNode = c, node
+			}
+		}
+		if bestNode < 0 {
+			return Decision{Retry: true}
+		}
+	}
+	m.sent[q.Class][bestNode]++
+	return Decision{Node: bestNode}
+}

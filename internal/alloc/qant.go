@@ -1,0 +1,217 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/qamarket/qamarket/internal/economics"
+	"github.com/qamarket/qamarket/internal/market"
+)
+
+// QANT adapts the market.Agent to the simulator's Mechanism interface,
+// realizing the full decentralized protocol of Section 3.3:
+//
+//   - every node runs a private QA-NT agent whose supply set is its time
+//     budget over the period T and its per-class execution costs;
+//   - when a query arrives, the client asks every capable server; a
+//     server offers iff its remaining supply admits the class (agents
+//     whose supply is exhausted refuse and raise their private price);
+//   - the client takes the best offer (earliest estimated completion,
+//     as a distributed query optimizer would) and declines the rest;
+//   - a query refused by all servers is resubmitted in the next period;
+//   - at period boundaries agents cut prices of unsold supply and
+//     re-solve eq. (4).
+//
+// QA-NT is the only mechanism here that respects node autonomy: servers
+// decide for themselves what to offer, and prices never leave the node.
+type QANT struct {
+	cfg    market.Config
+	agents []*market.Agent
+	// Exact selects the exact DP supply solver instead of the greedy
+	// density heuristic (DESIGN.md solver ablation).
+	Exact bool
+	// Adopters, when non-nil, marks which nodes run QA-NT agents.
+	// Non-adopting nodes behave like ordinary servers that accept any
+	// feasible query — Section 4 claims the mechanism still optimizes
+	// global throughput by modifying only the adopters' behaviour, and
+	// the partial-adoption experiment verifies it.
+	Adopters map[int]bool
+
+	// Rolling capacity accounting. A node's period budget is T plus the
+	// carry from previous periods: unused capacity is saved (up to
+	// carryCap) so queries costing more than one period can still be
+	// supplied, and oversized accepted work puts the node in debt so it
+	// does not oversell while its queue drains. Without this, a class
+	// whose execution cost exceeds T could never appear in any supply
+	// vector even on an idle federation.
+	costs    [][]float64
+	carry    []float64
+	carryCap []float64
+
+	// started guards lazy initialization from the first view.
+	started bool
+}
+
+// NewQANT builds the mechanism; agents are created lazily on the first
+// period callback, when the view reveals the federation's size, class
+// universe and per-node costs. cfg.Classes is overwritten from the view.
+func NewQANT(cfg market.Config) *QANT { return &QANT{cfg: cfg} }
+
+// Name implements Mechanism.
+func (m *QANT) Name() string { return "qa-nt" }
+
+// Traits implements Mechanism (Table 2 row "QA-NT").
+func (m *QANT) Traits() Traits {
+	return Traits{
+		Distributed:           true,
+		WorkloadType:          "Dynamic",
+		ConflictsWithQueryOpt: false,
+		RespectsAutonomy:      true,
+		Performance:           "Very Good",
+	}
+}
+
+// Agents exposes the per-node agents for observability (price traces in
+// the examples and experiments). It returns nil before the first period.
+func (m *QANT) Agents() []*market.Agent { return m.agents }
+
+// OnPeriodStart implements Periodic: refresh every node's budget from
+// the carry account and re-solve eq. (4).
+func (m *QANT) OnPeriodStart(v View) {
+	if !m.started {
+		m.init(v)
+	}
+	for n, a := range m.agents {
+		if a == nil {
+			continue
+		}
+		if err := a.SetSupplySet(m.supplySet(n, float64(v.PeriodMs())+m.carry[n])); err != nil {
+			panic(fmt.Sprintf("alloc: QA-NT supply set: %v", err))
+		}
+		a.BeginPeriod()
+	}
+}
+
+// OnPeriodEnd implements Periodic: settle the capacity account and cut
+// prices of unsold supply.
+func (m *QANT) OnPeriodEnd(v View) {
+	if !m.started {
+		return
+	}
+	period := float64(v.PeriodMs())
+	for n, a := range m.agents {
+		if a == nil {
+			continue
+		}
+		used := 0.0
+		for c, cnt := range a.Accepted() {
+			if cnt > 0 {
+				used += float64(cnt) * m.costs[n][c]
+			}
+		}
+		m.carry[n] += period - used
+		if m.carry[n] > m.carryCap[n] {
+			m.carry[n] = m.carryCap[n]
+		}
+		a.EndPeriod()
+	}
+}
+
+// supplySet builds the node's supply set for the given budget.
+func (m *QANT) supplySet(node int, budget float64) economics.SupplySet {
+	if budget < 0 {
+		budget = 0
+	}
+	if m.Exact {
+		return market.ExactTimeBudgetSupplySet{
+			Cost:        m.costs[node],
+			Budget:      budget,
+			Granularity: 10,
+		}
+	}
+	return economics.TimeBudgetSupplySet{Cost: m.costs[node], Budget: budget}
+}
+
+func (m *QANT) init(v View) {
+	k := v.NumClasses()
+	period := float64(v.PeriodMs())
+	m.cfg.Classes = k
+	m.agents = make([]*market.Agent, v.NumNodes())
+	m.costs = make([][]float64, v.NumNodes())
+	m.carry = make([]float64, v.NumNodes())
+	m.carryCap = make([]float64, v.NumNodes())
+	for n := range m.agents {
+		if m.Adopters != nil && !m.Adopters[n] {
+			continue // ordinary server: no agent, accepts anything feasible
+		}
+		cost := make([]float64, k)
+		maxCost := 0.0
+		for c := 0; c < k; c++ {
+			if ec := v.Cost(n, c); !math.IsInf(ec, 1) {
+				cost[c] = ec
+				if ec > maxCost {
+					maxCost = ec
+				}
+			}
+		}
+		m.costs[n] = cost
+		// Allow saving enough capacity to supply the node's most
+		// expensive class at least once, but never less than one period.
+		m.carryCap[n] = math.Max(period, maxCost)
+		agent, err := market.NewAgent(m.supplySet(n, period), m.cfg)
+		if err != nil {
+			panic(fmt.Sprintf("alloc: building QA-NT agent: %v", err))
+		}
+		m.agents[n] = agent
+	}
+	m.started = true
+}
+
+// Assign implements Mechanism: the client-side negotiation round.
+func (m *QANT) Assign(q Query, v View) Decision {
+	if !m.started {
+		m.init(v)
+		for _, a := range m.agents {
+			a.BeginPeriod()
+		}
+	}
+	bestNode := -1
+	best := math.Inf(1)
+	var offered []int
+	for n := 0; n < v.NumNodes(); n++ {
+		if !v.Feasible(n, q.Class) {
+			continue
+		}
+		// The server decides autonomously whether to offer; a refusal
+		// already moved its private price (the trading-failure signal).
+		// Non-adopting nodes (nil agent) behave like ordinary servers
+		// and always offer.
+		if m.agents[n] != nil && !m.agents[n].Offer(q.Class) {
+			continue
+		}
+		offered = append(offered, n)
+		if f := estimatedFinish(v, n, q.Class); f < best {
+			best, bestNode = f, n
+		}
+	}
+	if bestNode < 0 {
+		// No server offered: resubmit in the next time period (step 4 of
+		// the client protocol in Section 3.3).
+		return Decision{Retry: true}
+	}
+	for _, n := range offered {
+		if m.agents[n] == nil {
+			continue
+		}
+		if n == bestNode {
+			if err := m.agents[n].Accept(q.Class); err != nil {
+				// The agent offered above, so acceptance cannot fail
+				// unless the protocol is misused; surface loudly.
+				panic(fmt.Sprintf("alloc: QA-NT accept: %v", err))
+			}
+		} else {
+			m.agents[n].Decline(q.Class)
+		}
+	}
+	return Decision{Node: bestNode}
+}

@@ -1,0 +1,108 @@
+package alloc
+
+import "math/rand"
+
+// Random implements the commercial-cluster client-level strategy of
+// Section 4: each query goes to a uniformly random capable server. It
+// balances load in homogeneous systems but, as the experiments show,
+// performs poorly when nodes have different capacities.
+type Random struct{ rng *rand.Rand }
+
+// NewRandom builds a Random allocator over the given RNG.
+func NewRandom(rng *rand.Rand) *Random { return &Random{rng: rng} }
+
+// Name implements Mechanism.
+func (r *Random) Name() string { return "random" }
+
+// Traits implements Mechanism (Table 2 row "Random").
+func (r *Random) Traits() Traits {
+	return Traits{
+		Distributed:           true,
+		WorkloadType:          "Dynamic",
+		ConflictsWithQueryOpt: true,
+		RespectsAutonomy:      true,
+		Performance:           "Poor",
+	}
+}
+
+// Assign implements Mechanism.
+func (r *Random) Assign(q Query, v View) Decision {
+	nodes := feasibleNodes(v, q.Class)
+	if len(nodes) == 0 {
+		return Decision{Retry: true}
+	}
+	return Decision{Node: nodes[r.rng.Intn(len(nodes))]}
+}
+
+// RoundRobin cycles through capable servers per class, the other
+// client-level strategy of the commercial cluster solution in Section 4.
+type RoundRobin struct {
+	next map[int]int // per-class cursor
+}
+
+// NewRoundRobin builds a RoundRobin allocator.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{next: make(map[int]int)} }
+
+// Name implements Mechanism.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Traits implements Mechanism (Table 2 row "Round-robin").
+func (r *RoundRobin) Traits() Traits {
+	return Traits{
+		Distributed:           true,
+		WorkloadType:          "Dynamic",
+		ConflictsWithQueryOpt: true,
+		RespectsAutonomy:      true,
+		Performance:           "Poor",
+	}
+}
+
+// Assign implements Mechanism.
+func (r *RoundRobin) Assign(q Query, v View) Decision {
+	nodes := feasibleNodes(v, q.Class)
+	if len(nodes) == 0 {
+		return Decision{Retry: true}
+	}
+	i := r.next[q.Class] % len(nodes)
+	r.next[q.Class] = i + 1
+	return Decision{Node: nodes[i]}
+}
+
+// TwoRandomProbes implements Mitzenmacher's two-choices technique [10]
+// discussed in Section 4: probe two random capable servers and pick the
+// one with the smaller current load. Very few messages, better than
+// round-robin, but still far from optimal in heterogeneous federations.
+type TwoRandomProbes struct{ rng *rand.Rand }
+
+// NewTwoRandomProbes builds the allocator over the given RNG.
+func NewTwoRandomProbes(rng *rand.Rand) *TwoRandomProbes {
+	return &TwoRandomProbes{rng: rng}
+}
+
+// Name implements Mechanism.
+func (t *TwoRandomProbes) Name() string { return "two-random-probes" }
+
+// Traits implements Mechanism.
+func (t *TwoRandomProbes) Traits() Traits {
+	return Traits{
+		Distributed:           true,
+		WorkloadType:          "Dynamic",
+		ConflictsWithQueryOpt: true,
+		RespectsAutonomy:      true,
+		Performance:           "Poor",
+	}
+}
+
+// Assign implements Mechanism.
+func (t *TwoRandomProbes) Assign(q Query, v View) Decision {
+	nodes := feasibleNodes(v, q.Class)
+	if len(nodes) == 0 {
+		return Decision{Retry: true}
+	}
+	a := nodes[t.rng.Intn(len(nodes))]
+	b := nodes[t.rng.Intn(len(nodes))]
+	if v.Backlog(b) < v.Backlog(a) {
+		return Decision{Node: b}
+	}
+	return Decision{Node: a}
+}

@@ -1,0 +1,168 @@
+// Package catalog models the federation's data layer from Table 3 of
+// the paper: a synthetic set of relations with multi-way mirrors spread
+// randomly over heterogeneous RDBMS nodes, each node with its own CPU,
+// I/O and buffer characteristics and join capabilities.
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Relation describes one base relation of the common schema.
+type Relation struct {
+	ID     int
+	SizeMB float64 // 1–20 MB in the paper's dataset
+	Attrs  int     // attributes per relation (10 in the paper)
+}
+
+// Node describes one autonomous RDBMS of the federation: its hardware
+// envelope and the set of relations it locally mirrors.
+type Node struct {
+	ID       int
+	CPUGHz   float64 // 1–3.5 GHz, 2.3 avg
+	IOMBps   float64 // 5–80 MB/s, 42.5 avg
+	BufferMB float64 // sort/hash buffer per query, 2–10 MB, 6 avg
+	HashJoin bool    // 95 of 100 nodes support hash joins
+	// Holds marks the relations this node mirrors locally.
+	Holds map[int]bool
+}
+
+// HasRelations reports whether the node holds every relation in ids.
+func (n *Node) HasRelations(ids []int) bool {
+	for _, id := range ids {
+		if !n.Holds[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Catalog is the whole federation's data placement.
+type Catalog struct {
+	Relations []Relation
+	Nodes     []*Node
+}
+
+// Params are the dataset/network knobs of Table 3.
+type Params struct {
+	Nodes         int     // total size of network (100)
+	Relations     int     // # of different relations (1,000)
+	MinSizeMB     float64 // 1
+	MaxSizeMB     float64 // 20
+	Attrs         int     // 10
+	AvgMirrors    int     // 5
+	HashJoinNodes int     // 95
+	MinCPUGHz     float64 // 1
+	MaxCPUGHz     float64 // 3.5
+	MinIOMBps     float64 // 5
+	MaxIOMBps     float64 // 80
+	MinBufferMB   float64 // 2
+	MaxBufferMB   float64 // 10
+}
+
+// Table3 returns the exact parameterization of Table 3.
+func Table3() Params {
+	return Params{
+		Nodes:         100,
+		Relations:     1000,
+		MinSizeMB:     1,
+		MaxSizeMB:     20,
+		Attrs:         10,
+		AvgMirrors:    5,
+		HashJoinNodes: 95,
+		MinCPUGHz:     1,
+		MaxCPUGHz:     3.5,
+		MinIOMBps:     5,
+		MaxIOMBps:     80,
+		MinBufferMB:   2,
+		MaxBufferMB:   10,
+	}
+}
+
+// Validate sanity-checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Nodes <= 0:
+		return fmt.Errorf("catalog: Nodes must be positive, got %d", p.Nodes)
+	case p.Relations <= 0:
+		return fmt.Errorf("catalog: Relations must be positive, got %d", p.Relations)
+	case p.AvgMirrors <= 0 || p.AvgMirrors > p.Nodes:
+		return fmt.Errorf("catalog: AvgMirrors %d out of range (1..%d)", p.AvgMirrors, p.Nodes)
+	case p.HashJoinNodes < 0 || p.HashJoinNodes > p.Nodes:
+		return fmt.Errorf("catalog: HashJoinNodes %d out of range (0..%d)", p.HashJoinNodes, p.Nodes)
+	case p.MinSizeMB <= 0 || p.MaxSizeMB < p.MinSizeMB:
+		return fmt.Errorf("catalog: bad relation size range [%g,%g]", p.MinSizeMB, p.MaxSizeMB)
+	case p.MinCPUGHz <= 0 || p.MaxCPUGHz < p.MinCPUGHz:
+		return fmt.Errorf("catalog: bad CPU range [%g,%g]", p.MinCPUGHz, p.MaxCPUGHz)
+	case p.MinIOMBps <= 0 || p.MaxIOMBps < p.MinIOMBps:
+		return fmt.Errorf("catalog: bad IO range [%g,%g]", p.MinIOMBps, p.MaxIOMBps)
+	case p.MinBufferMB <= 0 || p.MaxBufferMB < p.MinBufferMB:
+		return fmt.Errorf("catalog: bad buffer range [%g,%g]", p.MinBufferMB, p.MaxBufferMB)
+	}
+	return nil
+}
+
+// Generate builds a random catalog according to p, drawing all
+// randomness from rng so that experiments are reproducible. Mirror
+// counts are drawn uniformly from [1, 2·AvgMirrors−1] (mean AvgMirrors)
+// and placed on distinct random nodes.
+func Generate(p Params, rng *rand.Rand) (*Catalog, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Catalog{
+		Relations: make([]Relation, p.Relations),
+		Nodes:     make([]*Node, p.Nodes),
+	}
+	for i := range c.Nodes {
+		c.Nodes[i] = &Node{
+			ID:       i,
+			CPUGHz:   uniform(rng, p.MinCPUGHz, p.MaxCPUGHz),
+			IOMBps:   uniform(rng, p.MinIOMBps, p.MaxIOMBps),
+			BufferMB: uniform(rng, p.MinBufferMB, p.MaxBufferMB),
+			Holds:    make(map[int]bool),
+		}
+	}
+	// Hash-join capability: a random subset of HashJoinNodes nodes.
+	for _, i := range rng.Perm(p.Nodes)[:p.HashJoinNodes] {
+		c.Nodes[i].HashJoin = true
+	}
+	for r := range c.Relations {
+		c.Relations[r] = Relation{
+			ID:     r,
+			SizeMB: uniform(rng, p.MinSizeMB, p.MaxSizeMB),
+			Attrs:  p.Attrs,
+		}
+		mirrors := 1
+		if p.AvgMirrors > 1 {
+			mirrors = 1 + rng.Intn(2*p.AvgMirrors-1) // mean = AvgMirrors
+		}
+		if mirrors > p.Nodes {
+			mirrors = p.Nodes
+		}
+		for _, n := range rng.Perm(p.Nodes)[:mirrors] {
+			c.Nodes[n].Holds[r] = true
+		}
+	}
+	return c, nil
+}
+
+// Holders returns the IDs of all nodes holding every relation in ids,
+// i.e. the nodes able to evaluate a query over those relations locally.
+func (c *Catalog) Holders(ids []int) []int {
+	var out []int
+	for _, n := range c.Nodes {
+		if n.HasRelations(ids) {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi == lo {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}

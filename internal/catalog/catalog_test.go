@@ -1,0 +1,172 @@
+package catalog
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTable3Valid(t *testing.T) {
+	if err := Table3().Validate(); err != nil {
+		t.Fatalf("Table3 parameters invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := Table3()
+	mutate := []func(*Params){
+		func(p *Params) { p.Nodes = 0 },
+		func(p *Params) { p.Relations = -1 },
+		func(p *Params) { p.AvgMirrors = 0 },
+		func(p *Params) { p.AvgMirrors = p.Nodes + 1 },
+		func(p *Params) { p.HashJoinNodes = p.Nodes + 1 },
+		func(p *Params) { p.MinSizeMB = 0 },
+		func(p *Params) { p.MaxSizeMB = p.MinSizeMB - 1 },
+		func(p *Params) { p.MinCPUGHz = -1 },
+		func(p *Params) { p.MinIOMBps = 0 },
+		func(p *Params) { p.MinBufferMB = 0 },
+	}
+	for i, m := range mutate {
+		p := base
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, err := Generate(Table3(), rng)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(c.Nodes) != 100 || len(c.Relations) != 1000 {
+		t.Fatalf("got %d nodes, %d relations", len(c.Nodes), len(c.Relations))
+	}
+	hash := 0
+	for _, n := range c.Nodes {
+		if n.HashJoin {
+			hash++
+		}
+		if n.CPUGHz < 1 || n.CPUGHz > 3.5 {
+			t.Errorf("node %d CPU %g outside [1,3.5]", n.ID, n.CPUGHz)
+		}
+		if n.IOMBps < 5 || n.IOMBps > 80 {
+			t.Errorf("node %d IO %g outside [5,80]", n.ID, n.IOMBps)
+		}
+		if n.BufferMB < 2 || n.BufferMB > 10 {
+			t.Errorf("node %d buffer %g outside [2,10]", n.ID, n.BufferMB)
+		}
+	}
+	if hash != 95 {
+		t.Errorf("%d hash-join nodes, want 95", hash)
+	}
+	// Mirror statistics: mean ~5 per relation, each node ~50 relations.
+	totalMirrors := 0
+	for _, n := range c.Nodes {
+		totalMirrors += len(n.Holds)
+	}
+	mean := float64(totalMirrors) / 1000
+	if mean < 4 || mean > 6 {
+		t.Errorf("mean mirrors per relation %.2f, want ~5", mean)
+	}
+	for _, r := range c.Relations {
+		if r.SizeMB < 1 || r.SizeMB > 20 {
+			t.Errorf("relation %d size %g outside [1,20]", r.ID, r.SizeMB)
+		}
+		if r.Attrs != 10 {
+			t.Errorf("relation %d attrs %d, want 10", r.ID, r.Attrs)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Table3(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Table3(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].CPUGHz != b.Nodes[i].CPUGHz || len(a.Nodes[i].Holds) != len(b.Nodes[i].Holds) {
+			t.Fatalf("node %d differs across identical seeds", i)
+		}
+	}
+	for i := range a.Relations {
+		if a.Relations[i].SizeMB != b.Relations[i].SizeMB {
+			t.Fatalf("relation %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestEveryRelationMirroredSomewhere(t *testing.T) {
+	c, err := Generate(Table3(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := make([]int, len(c.Relations))
+	for _, n := range c.Nodes {
+		for id := range n.Holds {
+			count[id]++
+		}
+	}
+	for id, k := range count {
+		if k == 0 {
+			t.Errorf("relation %d has no mirror", id)
+		}
+	}
+}
+
+func TestHolders(t *testing.T) {
+	c := &Catalog{
+		Relations: []Relation{{ID: 0}, {ID: 1}},
+		Nodes: []*Node{
+			{ID: 0, Holds: map[int]bool{0: true, 1: true}},
+			{ID: 1, Holds: map[int]bool{0: true}},
+			{ID: 2, Holds: map[int]bool{}},
+		},
+	}
+	got := c.Holders([]int{0, 1})
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("Holders([0,1]) = %v, want [0]", got)
+	}
+	got = c.Holders([]int{0})
+	if len(got) != 2 {
+		t.Errorf("Holders([0]) = %v, want two nodes", got)
+	}
+	if got := c.Holders([]int{1, 0}); len(got) != 1 {
+		t.Errorf("order must not matter: %v", got)
+	}
+}
+
+func TestHasRelations(t *testing.T) {
+	n := &Node{Holds: map[int]bool{1: true, 2: true}}
+	if !n.HasRelations([]int{1, 2}) || !n.HasRelations(nil) {
+		t.Error("HasRelations false negative")
+	}
+	if n.HasRelations([]int{1, 3}) {
+		t.Error("HasRelations false positive")
+	}
+}
+
+func TestGenerateSmallFederation(t *testing.T) {
+	p := Table3()
+	p.Nodes = 5
+	p.Relations = 20
+	p.AvgMirrors = 2
+	p.HashJoinNodes = 4
+	c, err := Generate(p, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("Generate small: %v", err)
+	}
+	if len(c.Nodes) != 5 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	for _, n := range c.Nodes {
+		if len(n.Holds) == 0 {
+			continue // possible but unlikely; not an error
+		}
+	}
+}

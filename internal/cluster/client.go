@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// ClientConfig parameterizes a federation client.
+type ClientConfig struct {
+	// Addrs lists the server nodes' TCP addresses.
+	Addrs []string
+	// Mechanism selects the allocation protocol (greedy or qa-nt).
+	Mechanism Mechanism
+	// PeriodMs is the wait before renegotiating a query every server
+	// refused (QA-NT resubmission).
+	PeriodMs int64
+	// MaxRetries caps resubmissions before the query fails.
+	MaxRetries int
+	// Timeout bounds each RPC. Execution RPCs get 20x this budget since
+	// they block for the query's whole run time.
+	Timeout time.Duration
+}
+
+func (c *ClientConfig) validate() error {
+	if len(c.Addrs) == 0 {
+		return errors.New("cluster: no server addresses")
+	}
+	if c.Mechanism == "" {
+		c.Mechanism = MechGreedy
+	}
+	if c.PeriodMs <= 0 {
+		c.PeriodMs = 500
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 40
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	return nil
+}
+
+// Client negotiates and dispatches queries against the federation.
+type Client struct {
+	cfg ClientConfig
+}
+
+// NewClient builds a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// Outcome reports one query's journey through the federation.
+type Outcome struct {
+	QueryID   int64
+	Node      int     // index into Addrs
+	AssignMs  float64 // negotiation time (the paper's "time to assign")
+	TotalMs   float64 // assignment + queueing + execution
+	ExecMs    float64 // server-side execution time
+	Rows      int     // result cardinality
+	Retries   int     // resubmission rounds
+	Err       error   // terminal failure, if any
+	Submitted time.Time
+}
+
+// Run evaluates one query: negotiate with every node (waiting for all
+// replies, as the paper's implementation did), send it to the best
+// offer, and return the outcome. It retries in the next period when no
+// node offers.
+func (c *Client) Run(queryID int64, sql string) Outcome {
+	start := time.Now()
+	out := Outcome{QueryID: queryID, Node: -1, Submitted: start}
+	for attempt := 0; ; attempt++ {
+		node, assignDur, err := c.negotiateAll(sql)
+		out.AssignMs += float64(assignDur) / float64(time.Millisecond)
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		if node < 0 {
+			// Nobody offered: resubmit next period (Section 3.3 client
+			// protocol).
+			if attempt >= c.cfg.MaxRetries {
+				out.Err = fmt.Errorf("cluster: query %d refused by all nodes after %d rounds", queryID, attempt)
+				out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+				return out
+			}
+			out.Retries++
+			time.Sleep(time.Duration(c.cfg.PeriodMs) * time.Millisecond)
+			continue
+		}
+		rep, err := c.executeOn(node, queryID, sql)
+		if err != nil {
+			out.Err = err
+			out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+			return out
+		}
+		if !rep.Accepted {
+			// Lost the race for the last supply unit: renegotiate.
+			out.Retries++
+			if attempt >= c.cfg.MaxRetries {
+				out.Err = fmt.Errorf("cluster: query %d starved after %d rounds", queryID, attempt)
+				out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+				return out
+			}
+			continue
+		}
+		out.Node = node
+		out.ExecMs = rep.ExecMs
+		out.Rows = rep.Rows
+		out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+		return out
+	}
+}
+
+// negotiateAll broadcasts the call-for-proposals and picks the node
+// with the earliest estimated completion among those offering. It
+// returns -1 when no node offers.
+func (c *Client) negotiateAll(sql string) (int, time.Duration, error) {
+	start := time.Now()
+	replies := make([]negotiateReply, len(c.cfg.Addrs))
+	errs := make([]error, len(c.cfg.Addrs))
+	var wg sync.WaitGroup
+	for i, addr := range c.cfg.Addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			var rep reply
+			errs[i] = c.rpc(addr, &request{Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism}, &rep, c.cfg.Timeout)
+			if errs[i] == nil && rep.Negotiate != nil {
+				replies[i] = *rep.Negotiate
+			}
+		}(i, addr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	best, bestNode := math.Inf(1), -1
+	reachable := false
+	for i := range replies {
+		if errs[i] != nil {
+			continue
+		}
+		reachable = true
+		r := replies[i]
+		if !r.Feasible || !r.Offer {
+			continue
+		}
+		if finish := r.QueueMs + r.EstimateMs; finish < best {
+			best, bestNode = finish, i
+		}
+	}
+	if !reachable {
+		return -1, elapsed, fmt.Errorf("cluster: no node reachable: %v", errs[0])
+	}
+	return bestNode, elapsed, nil
+}
+
+func (c *Client) executeOn(node int, queryID int64, sql string) (*executeReply, error) {
+	var rep reply
+	err := c.rpc(c.cfg.Addrs[node], &request{
+		Op: "execute", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism,
+	}, &rep, 20*c.cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Err != "" {
+		return nil, errors.New(rep.Err)
+	}
+	if rep.Execute == nil {
+		return nil, errors.New("cluster: malformed execute reply")
+	}
+	if rep.Execute.Err != "" {
+		return nil, errors.New(rep.Execute.Err)
+	}
+	return rep.Execute, nil
+}
+
+// rpc performs one request/reply exchange on a fresh connection.
+func (c *Client) rpc(addr string, req *request, rep *reply, timeout time.Duration) error {
+	conn, err := dial(addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	w := bufio.NewWriter(conn)
+	if err := writeMsg(w, req); err != nil {
+		return err
+	}
+	return readMsg(bufio.NewReader(conn), rep)
+}
+
+// Stats fetches one node's market counters.
+func (c *Client) Stats(node int) (*NodeStats, error) {
+	var rep reply
+	if err := c.rpc(c.cfg.Addrs[node], &request{Op: "stats"}, &rep, c.cfg.Timeout); err != nil {
+		return nil, err
+	}
+	if rep.Stats == nil {
+		return nil, errors.New("cluster: malformed stats reply")
+	}
+	return rep.Stats, nil
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// DatasetParams describe the Section 5.2 experiment's data layer: base
+// tables, select-project views over them, and 2–4 copies of each
+// relation spread over the federation's nodes.
+type DatasetParams struct {
+	Nodes        int // 5 in the paper
+	Tables       int // 20
+	Views        int // 80
+	RowsPerTable int // scaled down from the paper's 1 GB tablespace
+	MinCopies    int // 2
+	MaxCopies    int // 4
+}
+
+// Figure7Params returns the paper's Section 5.2 layout with a row count
+// scaled for fast test runs.
+func Figure7Params() DatasetParams {
+	return DatasetParams{
+		Nodes:        5,
+		Tables:       20,
+		Views:        80,
+		RowsPerTable: 300,
+		MinCopies:    2,
+		MaxCopies:    4,
+	}
+}
+
+// Dataset is the generated federation data layer.
+type Dataset struct {
+	// DBs holds one database per node with that node's copies loaded.
+	DBs []*sqldb.DB
+	// Relations lists every relation name (tables then views).
+	Relations []string
+	// Holders maps relation name to the node indices holding a copy.
+	Holders map[string][]int
+}
+
+// tableName and viewName give the synthetic schema's naming scheme.
+func tableName(i int) string { return fmt.Sprintf("t%02d", i) }
+func viewName(i int) string  { return fmt.Sprintf("v%02d", i) }
+
+// GenerateDataset builds the per-node databases. Every base table has
+// the star-schema shape (id, k, v, grp): k is the join key shared by
+// the whole schema, grp the grouping attribute, v the measure. Views
+// are select-project restrictions of a random table. Each relation is
+// copied onto MinCopies..MaxCopies random nodes; a view's copies are
+// placed only on nodes holding its base table.
+func GenerateDataset(p DatasetParams, rng *rand.Rand) (*Dataset, error) {
+	if p.Nodes <= 0 || p.Tables <= 0 || p.RowsPerTable <= 0 {
+		return nil, fmt.Errorf("cluster: bad dataset params %+v", p)
+	}
+	if p.MinCopies <= 0 || p.MaxCopies < p.MinCopies || p.MaxCopies > p.Nodes {
+		return nil, fmt.Errorf("cluster: bad copy range [%d,%d] for %d nodes", p.MinCopies, p.MaxCopies, p.Nodes)
+	}
+	ds := &Dataset{
+		DBs:     make([]*sqldb.DB, p.Nodes),
+		Holders: make(map[string][]int),
+	}
+	for i := range ds.DBs {
+		ds.DBs[i] = sqldb.Open()
+	}
+	for ti := 0; ti < p.Tables; ti++ {
+		name := tableName(ti)
+		copies := p.MinCopies + rng.Intn(p.MaxCopies-p.MinCopies+1)
+		nodes := rng.Perm(p.Nodes)[:copies]
+		ddl := fmt.Sprintf("CREATE TABLE %s (id INT, k INT, v FLOAT, grp INT)", name)
+		rows := buildRows(name, p.RowsPerTable, rng)
+		for _, node := range nodes {
+			if _, _, err := ds.DBs[node].Exec(ddl); err != nil {
+				return nil, err
+			}
+			if _, _, err := ds.DBs[node].Exec(rows); err != nil {
+				return nil, err
+			}
+		}
+		ds.Relations = append(ds.Relations, name)
+		ds.Holders[name] = nodes
+	}
+	for vi := 0; vi < p.Views; vi++ {
+		name := viewName(vi)
+		base := tableName(rng.Intn(p.Tables))
+		threshold := rng.Intn(50)
+		ddl := fmt.Sprintf("CREATE VIEW %s AS SELECT id, k, v, grp FROM %s WHERE v > %d", name, base, threshold)
+		baseNodes := ds.Holders[base]
+		copies := p.MinCopies + rng.Intn(p.MaxCopies-p.MinCopies+1)
+		if copies > len(baseNodes) {
+			copies = len(baseNodes)
+		}
+		order := rng.Perm(len(baseNodes))[:copies]
+		var nodes []int
+		for _, oi := range order {
+			node := baseNodes[oi]
+			if _, _, err := ds.DBs[node].Exec(ddl); err != nil {
+				return nil, err
+			}
+			nodes = append(nodes, node)
+		}
+		ds.Relations = append(ds.Relations, name)
+		ds.Holders[name] = nodes
+	}
+	return ds, nil
+}
+
+// buildRows emits one INSERT with RowsPerTable synthetic rows. Keys are
+// drawn from a small domain so star joins have fan-out; the measure v
+// is uniform in [0,100).
+func buildRows(table string, n int, rng *rand.Rand) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES ", table)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "(%d, %d, %.2f, %d)", i, rng.Intn(64), rng.Float64()*100, rng.Intn(8))
+	}
+	return b.String()
+}
+
+// QueryTemplate is one star-query family of the workload: a fixed join
+// shape over co-located relations with a varying selection constant.
+type QueryTemplate struct {
+	Relations []string
+	SQLFormat string // one %d placeholder for the selection constant
+}
+
+// Instantiate renders one query of the template.
+func (qt QueryTemplate) Instantiate(rng *rand.Rand) string {
+	return fmt.Sprintf(qt.SQLFormat, rng.Intn(60))
+}
+
+// GenerateTemplates synthesizes count star-query templates, each
+// joining joins+1 relations co-located on at least one node, projecting
+// the measure, grouping on grp — the "select-join-project-group
+// star-queries" of Section 5.2.
+func (ds *Dataset) GenerateTemplates(count, joins int, rng *rand.Rand) ([]QueryTemplate, error) {
+	if joins < 0 {
+		return nil, fmt.Errorf("cluster: negative join count")
+	}
+	byNode := make([][]string, len(ds.DBs))
+	for _, rel := range ds.Relations {
+		for _, n := range ds.Holders[rel] {
+			byNode[n] = append(byNode[n], rel)
+		}
+	}
+	var out []QueryTemplate
+	for len(out) < count {
+		node := rng.Intn(len(ds.DBs))
+		local := byNode[node]
+		if len(local) < joins+1 {
+			continue
+		}
+		idx := rng.Perm(len(local))[:joins+1]
+		rels := make([]string, 0, joins+1)
+		seen := map[string]bool{}
+		dup := false
+		for _, i := range idx {
+			if seen[local[i]] {
+				dup = true
+				break
+			}
+			seen[local[i]] = true
+			rels = append(rels, local[i])
+		}
+		if dup {
+			continue
+		}
+		var b strings.Builder
+		hub := rels[0]
+		fmt.Fprintf(&b, "SELECT %s.grp, COUNT(*) AS n, SUM(%s.v) AS total FROM %s", hub, hub, hub)
+		for _, r := range rels[1:] {
+			fmt.Fprintf(&b, " JOIN %s ON %s.k = %s.k", r, hub, r)
+		}
+		fmt.Fprintf(&b, " WHERE %s.v > %%d GROUP BY %s.grp ORDER BY %s.grp", hub, hub, hub)
+		out = append(out, QueryTemplate{Relations: rels, SQLFormat: b.String()})
+	}
+	return out, nil
+}

@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// Distributor evaluates queries that no single node can answer — the
+// setting the paper's Section 2.1 delegates to distributed query
+// optimizers like MARIPOSA and the Query/Process Trading framework
+// [13,14]. It decomposes a select-join query into one subquery per
+// referenced relation, allocates each subquery through the same
+// call-for-proposals negotiation as whole queries (so QA-NT's supply
+// vectors keep gating admission at the subquery granularity, exactly
+// the compatibility Section 4 claims), pulls the fragments, and joins
+// them in a local scratch database.
+//
+// Single-relation predicates from the WHERE clause are pushed into the
+// corresponding subquery so fragments shrink before travelling.
+type Distributor struct {
+	client *Client
+}
+
+// NewDistributor wraps a federation client.
+func NewDistributor(c *Client) *Distributor { return &Distributor{client: c} }
+
+// DistOutcome describes one distributed evaluation.
+type DistOutcome struct {
+	Result       *sqldb.Result
+	Subqueries   int
+	FragmentRows int
+	AssignMs     float64 // summed negotiation time across subqueries
+	TotalMs      float64
+	PerNode      map[int]int // fragments fetched per node
+}
+
+// Run evaluates the query, decomposing if needed. Queries a single
+// node can answer are delegated to the ordinary protocol (result rows
+// are still fetched, since the caller wants them).
+func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
+	start := time.Now()
+	stmt, err := sqldb.Parse(sql)
+	if err != nil {
+		return DistOutcome{}, err
+	}
+	sel, ok := stmt.(*sqldb.SelectStmt)
+	if !ok {
+		return DistOutcome{}, errors.New("cluster: distributor handles SELECT only")
+	}
+	out := DistOutcome{PerNode: make(map[int]int)}
+
+	// Fast path: some node can run the whole query.
+	node, _, err := d.client.negotiateAll(sql)
+	if err == nil && node >= 0 {
+		fr, ferr := d.fetchFrom(node, queryID, sql)
+		if ferr == nil && fr.Accepted {
+			rows, derr := decodeRows(fr.Rows)
+			if derr != nil {
+				return DistOutcome{}, derr
+			}
+			out.Result = &sqldb.Result{Columns: fr.Columns, Rows: rows}
+			out.Subqueries = 1
+			out.FragmentRows = len(rows)
+			out.PerNode[node]++
+			out.TotalMs = msSince(start)
+			return out, nil
+		}
+	}
+
+	// Decompose: one subquery per FROM entry, with its single-relation
+	// conjuncts pushed down.
+	scratch := sqldb.Open()
+	pushed, residual := splitConjuncts(sel)
+	for i, ref := range sel.From {
+		name := ref.Name()
+		sub := buildSubquery(ref, pushed[i])
+		frNode, fr, err := d.allocateFetch(queryID, sub)
+		if err != nil {
+			return DistOutcome{}, fmt.Errorf("cluster: subquery for %s: %w", name, err)
+		}
+		out.Subqueries++
+		out.PerNode[frNode]++
+		rows, err := decodeRows(fr.Rows)
+		if err != nil {
+			return DistOutcome{}, err
+		}
+		out.FragmentRows += len(rows)
+		if err := loadFragment(scratch, name, fr.Columns, rows); err != nil {
+			return DistOutcome{}, err
+		}
+	}
+	// Re-run the original query shape against the local fragments: the
+	// fragment tables are named after the FROM aliases, so only the
+	// table names (and the already-pushed WHERE) change.
+	local := rewriteLocal(sel, residual)
+	res, err := scratch.Select(local)
+	if err != nil {
+		return DistOutcome{}, fmt.Errorf("cluster: local join: %w", err)
+	}
+	out.Result = res
+	out.TotalMs = msSince(start)
+	return out, nil
+}
+
+// allocateFetch negotiates a subquery and fetches it from the best
+// offer, retrying through the market's periods like Client.Run.
+func (d *Distributor) allocateFetch(queryID int64, sql string) (int, *fetchReply, error) {
+	for attempt := 0; attempt <= d.client.cfg.MaxRetries; attempt++ {
+		node, _, err := d.client.negotiateAll(sql)
+		if err != nil {
+			return -1, nil, err
+		}
+		if node < 0 {
+			time.Sleep(time.Duration(d.client.cfg.PeriodMs) * time.Millisecond)
+			continue
+		}
+		fr, err := d.fetchFrom(node, queryID, sql)
+		if err != nil {
+			return -1, nil, err
+		}
+		if !fr.Accepted {
+			continue // lost the supply race; renegotiate
+		}
+		return node, fr, nil
+	}
+	return -1, nil, fmt.Errorf("cluster: subquery %q refused by all nodes", sql)
+}
+
+func (d *Distributor) fetchFrom(node int, queryID int64, sql string) (*fetchReply, error) {
+	var rep reply
+	err := d.client.rpc(d.client.cfg.Addrs[node], &request{
+		Op: "fetch", SQL: sql, QueryID: queryID, Mechanism: d.client.cfg.Mechanism,
+	}, &rep, 20*d.client.cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Err != "" {
+		return nil, errors.New(rep.Err)
+	}
+	if rep.Fetch == nil {
+		return nil, errors.New("cluster: malformed fetch reply")
+	}
+	if rep.Fetch.Err != "" {
+		return nil, errors.New(rep.Fetch.Err)
+	}
+	return rep.Fetch, nil
+}
+
+// splitConjuncts partitions the WHERE clause's AND-conjuncts into
+// per-FROM-entry pushdown lists (conjuncts referencing exactly one
+// binding) and the residual evaluated after the local join.
+func splitConjuncts(sel *sqldb.SelectStmt) (pushed [][]sqldb.Expr, residual []sqldb.Expr) {
+	pushed = make([][]sqldb.Expr, len(sel.From))
+	if sel.Where == nil {
+		return pushed, nil
+	}
+	names := make(map[string]int, len(sel.From))
+	for i, f := range sel.From {
+		names[f.Name()] = i
+	}
+	for _, c := range conjuncts(sel.Where) {
+		quals := map[string]bool{}
+		unqualified := false
+		collectQuals(c, quals, &unqualified)
+		if !unqualified && len(quals) == 1 {
+			for q := range quals {
+				if i, ok := names[q]; ok {
+					pushed[i] = append(pushed[i], c)
+					quals = nil
+					break
+				}
+			}
+			if quals == nil {
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	return pushed, residual
+}
+
+// conjuncts flattens a chain of ANDs.
+func conjuncts(e sqldb.Expr) []sqldb.Expr {
+	if b, ok := e.(*sqldb.BinaryExpr); ok && b.Op == "AND" {
+		return append(conjuncts(b.Left), conjuncts(b.Right)...)
+	}
+	return []sqldb.Expr{e}
+}
+
+// collectQuals gathers the table qualifiers referenced by an
+// expression; unqualified column references make pushdown unsafe.
+func collectQuals(e sqldb.Expr, quals map[string]bool, unqualified *bool) {
+	switch x := e.(type) {
+	case *sqldb.ColumnRef:
+		if x.Table == "" {
+			*unqualified = true
+		} else {
+			quals[x.Table] = true
+		}
+	case *sqldb.BinaryExpr:
+		collectQuals(x.Left, quals, unqualified)
+		collectQuals(x.Right, quals, unqualified)
+	case *sqldb.UnaryExpr:
+		collectQuals(x.X, quals, unqualified)
+	case *sqldb.AggExpr:
+		if x.Arg != nil {
+			collectQuals(x.Arg, quals, unqualified)
+		}
+	case *sqldb.InExpr:
+		collectQuals(x.X, quals, unqualified)
+		for _, item := range x.List {
+			collectQuals(item, quals, unqualified)
+		}
+	case *sqldb.BetweenExpr:
+		collectQuals(x.X, quals, unqualified)
+		collectQuals(x.Lo, quals, unqualified)
+		collectQuals(x.Hi, quals, unqualified)
+	case *sqldb.LikeExpr:
+		collectQuals(x.X, quals, unqualified)
+		collectQuals(x.Pattern, quals, unqualified)
+	case *sqldb.IsNullExpr:
+		collectQuals(x.X, quals, unqualified)
+	}
+}
+
+// buildSubquery renders "SELECT * FROM rel [WHERE pushed...]" with the
+// pushed conjuncts rewritten against the bare relation.
+func buildSubquery(ref sqldb.TableRef, pushed []sqldb.Expr) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT * FROM %s", ref.Table)
+	if ref.Alias != "" && ref.Alias != ref.Table {
+		fmt.Fprintf(&b, " AS %s", ref.Alias)
+	}
+	if len(pushed) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range pushed {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}
+
+// loadFragment materializes a fetched fragment as a local table named
+// after the FROM binding. Column types are inferred from the first
+// non-null value per column (all-null columns default to INT, which
+// can hold NULLs anyway).
+func loadFragment(db *sqldb.DB, name string, columns []string, rows []sqldb.Row) error {
+	types := make([]sqldb.Type, len(columns))
+	for j := range columns {
+		types[j] = sqldb.TInt
+		for _, row := range rows {
+			switch row[j].Kind {
+			case sqldb.KindNull:
+				continue
+			case sqldb.KindInt:
+				types[j] = sqldb.TInt
+			case sqldb.KindFloat:
+				types[j] = sqldb.TFloat
+			case sqldb.KindText:
+				types[j] = sqldb.TText
+			case sqldb.KindBool:
+				types[j] = sqldb.TBool
+			}
+			break
+		}
+	}
+	var ddl strings.Builder
+	fmt.Fprintf(&ddl, "CREATE TABLE %s (", name)
+	for j, c := range columns {
+		if j > 0 {
+			ddl.WriteString(", ")
+		}
+		fmt.Fprintf(&ddl, "%s %s", c, types[j])
+	}
+	ddl.WriteString(")")
+	if _, _, err := db.Exec(ddl.String()); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	var ins strings.Builder
+	fmt.Fprintf(&ins, "INSERT INTO %s VALUES ", name)
+	for i, row := range rows {
+		if i > 0 {
+			ins.WriteByte(',')
+		}
+		ins.WriteByte('(')
+		for j, v := range row {
+			if j > 0 {
+				ins.WriteByte(',')
+			}
+			ins.WriteString(v.String())
+		}
+		ins.WriteByte(')')
+	}
+	if _, _, err := db.Exec(ins.String()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// rewriteLocal adapts the original SELECT to the scratch database: the
+// FROM entries point at the fragment tables (named by binding), and
+// the WHERE keeps only the residual conjuncts.
+func rewriteLocal(sel *sqldb.SelectStmt, residual []sqldb.Expr) *sqldb.SelectStmt {
+	local := *sel
+	local.From = make([]sqldb.TableRef, len(sel.From))
+	for i, f := range sel.From {
+		local.From[i] = sqldb.TableRef{Table: f.Name()}
+	}
+	local.Where = nil
+	for _, c := range residual {
+		if local.Where == nil {
+			local.Where = c
+		} else {
+			local.Where = &sqldb.BinaryExpr{Op: "AND", Left: local.Where, Right: c}
+		}
+	}
+	return &local
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// TestNodeFailureMidWorkload kills one node partway through a workload
+// and verifies the client keeps completing queries on the survivors.
+func TestNodeFailureMidWorkload(t *testing.T) {
+	ds, nodes, addrs := startTestFederation(t, []float64{1, 1, 1})
+	client, err := NewClient(ClientConfig{
+		Addrs: addrs, Mechanism: MechGreedy, PeriodMs: 50, Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	templates, err := ds.GenerateTemplates(6, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed, failed := 0, 0
+	for qi := 0; qi < 30; qi++ {
+		if qi == 10 {
+			nodes[2].Close() // node 2 dies mid-run
+		}
+		out := client.Run(int64(qi), templates[qi%len(templates)].Instantiate(rng))
+		if out.Err != nil {
+			failed++
+			continue
+		}
+		completed++
+		if qi > 10 && out.Node == 2 {
+			t.Errorf("query %d assigned to the dead node", qi)
+		}
+	}
+	// Queries answerable by the survivors must keep completing. Some
+	// relations may have lived only on node 2; those fail legitimately.
+	if completed < 15 {
+		t.Errorf("only %d/30 completed after one node died", completed)
+	}
+	t.Logf("completed=%d failed=%d after mid-run node loss", completed, failed)
+}
+
+// TestAllNodesDown verifies a clean client error when nobody answers.
+func TestAllNodesDown(t *testing.T) {
+	client, err := NewClient(ClientConfig{
+		Addrs: []string{"127.0.0.1:1", "127.0.0.1:2"}, Mechanism: MechGreedy,
+		PeriodMs: 20, MaxRetries: 1, Timeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := client.Run(1, "SELECT 1 FROM t")
+	if out.Err == nil {
+		t.Fatal("dead federation produced a result")
+	}
+	if !strings.Contains(out.Err.Error(), "no node reachable") {
+		t.Errorf("unexpected error: %v", out.Err)
+	}
+}
+
+// TestMalformedRequests throws protocol garbage at a node and checks
+// it survives and keeps serving well-formed clients.
+func TestMalformedRequests(t *testing.T) {
+	db := sqldb.Open()
+	if _, _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	node, err := StartNode("127.0.0.1:0", NodeConfig{DB: db, MsPerCostUnit: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	garbage := []string{
+		"this is not json\n",
+		"{\"op\": 12}\n",
+		"{\"op\": \"nonsense\"}\n",
+		"{\"op\": \"execute\"}\n",                     // missing SQL
+		"{\"op\": \"negotiate\", \"sql\": \"???\"}\n", // unparseable SQL
+		strings.Repeat("x", 1<<16) + "\n",
+	}
+	for i, g := range garbage {
+		conn, err := net.DialTimeout("tcp", node.Addr(), time.Second)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		if _, err := conn.Write([]byte(g)); err == nil {
+			// Read whatever comes back (error reply or close) and move on.
+			conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+			bufio.NewReader(conn).ReadBytes('\n')
+		}
+		conn.Close()
+	}
+	// The node must still answer a healthy client.
+	client, err := NewClient(ClientConfig{Addrs: []string{node.Addr()}, Mechanism: MechGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := client.Run(1, "SELECT COUNT(*) FROM t")
+	if out.Err != nil {
+		t.Fatalf("node unhealthy after garbage: %v", out.Err)
+	}
+}
+
+// TestConcurrentClientsShareOneMarket runs several clients against the
+// same QA-NT federation at once; accounting must stay exact.
+func TestConcurrentClientsShareOneMarket(t *testing.T) {
+	ds, nodes, addrs := startTestFederation(t, []float64{1, 2})
+	rng := rand.New(rand.NewSource(55))
+	templates, err := ds.GenerateTemplates(4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 4
+	const perClient = 8
+	done := make(chan Outcome, clients*perClient)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			client, err := NewClient(ClientConfig{
+				Addrs: addrs, Mechanism: MechQANT, PeriodMs: 50,
+				MaxRetries: 100, Timeout: 5 * time.Second,
+			})
+			if err != nil {
+				panic(err)
+			}
+			crng := rand.New(rand.NewSource(int64(100 + c)))
+			for q := 0; q < perClient; q++ {
+				done <- client.Run(int64(c*perClient+q), templates[crng.Intn(len(templates))].Instantiate(crng))
+			}
+		}(c)
+	}
+	completed := 0
+	for i := 0; i < clients*perClient; i++ {
+		out := <-done
+		if out.Err != nil {
+			t.Errorf("query %d: %v", out.QueryID, out.Err)
+			continue
+		}
+		completed++
+	}
+	total := 0
+	for _, n := range nodes {
+		total += n.Executed()
+	}
+	if total != completed {
+		t.Errorf("nodes executed %d, clients completed %d", total, completed)
+	}
+}

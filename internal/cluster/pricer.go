@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/qamarket/qamarket/internal/economics"
+	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/vector"
+)
+
+// pricer is a node's dynamic QA-NT market agent for the real cluster.
+//
+// Unlike the simulator, a real node does not know the query-class
+// universe upfront: it discovers classes as plan signatures arrive
+// (Section 2.1 — each node keeps its own private classification). The
+// pricer grows its class table on demand, rebuilding the underlying
+// fixed-K market agent while preserving learned prices, and runs the
+// same rolling capacity-carry accounting as the simulator adapter so
+// classes costing more than one period remain suppliable.
+type pricer struct {
+	mu       sync.Mutex
+	cfg      market.Config
+	periodMs float64
+
+	classes map[string]int // signature -> class index
+	costs   []float64      // estimated ms per class
+	agent   *market.Agent
+	carry   float64
+}
+
+// newPricer builds an empty pricer; classes appear via observe.
+func newPricer(cfg market.Config, periodMs float64) *pricer {
+	return &pricer{
+		cfg:      cfg,
+		periodMs: periodMs,
+		classes:  make(map[string]int),
+	}
+}
+
+// observe registers (or refreshes) the class behind a plan signature
+// with its current cost estimate, returning its index. Rebuilding the
+// agent on a class-universe change keeps learned prices.
+func (p *pricer) observe(signature string, costMs float64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, ok := p.classes[signature]; ok {
+		if math.Abs(p.costs[idx]-costMs) > p.costs[idx]*0.25 {
+			// Cost estimate drifted (history refined it): refresh the
+			// supply set; prices stay.
+			p.costs[idx] = costMs
+			p.rebuildLocked(p.agent.Prices())
+		}
+		return idx
+	}
+	idx := len(p.costs)
+	p.costs = append(p.costs, costMs)
+	p.classes[signature] = idx
+	var prices vector.Prices
+	if p.agent != nil {
+		prices = append(p.agent.Prices(), p.initialPrice())
+	}
+	p.rebuildLocked(prices)
+	return idx
+}
+
+func (p *pricer) initialPrice() float64 {
+	if p.cfg.InitialPrice > 0 {
+		return p.cfg.InitialPrice
+	}
+	return 1
+}
+
+// rebuildLocked replaces the agent for the current class universe,
+// seeding it with the given prices (nil = all initial).
+func (p *pricer) rebuildLocked(prices vector.Prices) {
+	cfg := p.cfg
+	cfg.Classes = len(p.costs)
+	agent, err := market.NewAgent(p.supplySetLocked(), cfg)
+	if err != nil {
+		// Config was validated at construction; only a programming error
+		// can land here.
+		panic(fmt.Sprintf("cluster: rebuilding agent: %v", err))
+	}
+	if prices != nil {
+		if err := agent.SetPrices(prices); err != nil {
+			panic(fmt.Sprintf("cluster: carrying prices: %v", err))
+		}
+	}
+	agent.BeginPeriod()
+	p.agent = agent
+}
+
+func (p *pricer) supplySetLocked() economics.SupplySet {
+	budget := p.periodMs + p.carry
+	if budget < 0 {
+		budget = 0
+	}
+	return economics.TimeBudgetSupplySet{
+		Cost:   append([]float64(nil), p.costs...),
+		Budget: budget,
+	}
+}
+
+// offer runs the QA-NT server-side decision for one request of the
+// given signature/cost. It returns whether the node offers.
+func (p *pricer) offer(signature string, costMs float64) bool {
+	idx := p.observe(signature, costMs)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.agent.Offer(idx)
+}
+
+// accept burns one unit of supply; false when supply ran out since the
+// offer (another client took it).
+func (p *pricer) accept(signature string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, ok := p.classes[signature]
+	if !ok {
+		return false
+	}
+	return p.agent.Accept(idx) == nil
+}
+
+// tick advances one market period: settle the capacity account, cut
+// unsold prices, re-solve the supply problem.
+func (p *pricer) tick() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.agent == nil {
+		return
+	}
+	used := 0.0
+	for c, cnt := range p.agent.Accepted() {
+		if cnt > 0 {
+			used += float64(cnt) * p.costs[c]
+		}
+	}
+	p.carry += p.periodMs - used
+	maxCost := p.periodMs
+	for _, c := range p.costs {
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	if p.carry > maxCost {
+		p.carry = maxCost
+	}
+	p.agent.EndPeriod()
+	if err := p.agent.SetSupplySet(p.supplySetLocked()); err != nil {
+		panic(fmt.Sprintf("cluster: refreshing supply set: %v", err))
+	}
+	p.agent.BeginPeriod()
+}
+
+// prices snapshots the private price table keyed by signature.
+func (p *pricer) prices() map[string]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]float64, len(p.classes))
+	if p.agent == nil {
+		return out
+	}
+	pr := p.agent.Prices()
+	for sig, idx := range p.classes {
+		out[sig] = pr[idx]
+	}
+	return out
+}
+
+// stats snapshots the agent counters.
+func (p *pricer) stats() market.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.agent == nil {
+		return market.Stats{}
+	}
+	return p.agent.Stats()
+}
+
+// PricerState is the serializable market state of one node: the
+// private classification (plan signature -> class), the learned cost
+// estimates and prices, and the capacity carry. qanode checkpoints it
+// across restarts so a node does not relearn its market position.
+type PricerState struct {
+	Classes map[string]int `json:"classes"`
+	Costs   []float64      `json:"costs"`
+	Prices  []float64      `json:"prices"`
+	Carry   float64        `json:"carry"`
+}
+
+// snapshot captures the pricer's persistent state.
+func (p *pricer) snapshot() PricerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PricerState{
+		Classes: make(map[string]int, len(p.classes)),
+		Costs:   append([]float64(nil), p.costs...),
+		Carry:   p.carry,
+	}
+	for sig, idx := range p.classes {
+		st.Classes[sig] = idx
+	}
+	if p.agent != nil {
+		st.Prices = p.agent.Prices()
+	}
+	return st
+}
+
+// restore installs a previously captured state, rebuilding the agent
+// with the learned prices.
+func (p *pricer) restore(st PricerState) error {
+	if len(st.Costs) != len(st.Classes) || (st.Prices != nil && len(st.Prices) != len(st.Costs)) {
+		return fmt.Errorf("cluster: inconsistent pricer state (%d classes, %d costs, %d prices)",
+			len(st.Classes), len(st.Costs), len(st.Prices))
+	}
+	for sig, idx := range st.Classes {
+		if idx < 0 || idx >= len(st.Costs) {
+			return fmt.Errorf("cluster: pricer state class %q has index %d out of range", sig, idx)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.classes = make(map[string]int, len(st.Classes))
+	for sig, idx := range st.Classes {
+		p.classes[sig] = idx
+	}
+	p.costs = append([]float64(nil), st.Costs...)
+	p.carry = st.Carry
+	if len(p.costs) == 0 {
+		p.agent = nil
+		return nil
+	}
+	p.rebuildLocked(vector.Prices(st.Prices))
+	return nil
+}

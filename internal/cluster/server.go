@@ -1,0 +1,486 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// NodeConfig parameterizes one federation server.
+type NodeConfig struct {
+	// DB is the node's local database (tables, views, data).
+	DB *sqldb.DB
+	// Slowdown models node heterogeneity: the node's execution time is
+	// Slowdown times the baseline (the paper's slowest PC was ~14x the
+	// fastest on the same star queries). Must be >= 1.
+	Slowdown float64
+	// IOSlowdown and CPUSlowdown, when positive, replace Slowdown with
+	// independent factors for the plan's scan (I/O) and non-scan (CPU)
+	// cost components. Machines rarely scale uniformly — a node may have
+	// fast disks but a slow processor — and this is what gives query
+	// classes different *relative* costs across nodes, the comparative
+	// advantage the query market exploits.
+	IOSlowdown, CPUSlowdown float64
+	// MsPerCostUnit converts planner cost units into baseline execution
+	// milliseconds. It scales the whole experiment's time axis; tests
+	// use small values so runs take seconds, not minutes.
+	MsPerCostUnit float64
+	// PeriodMs is the market period T for the node's QA-NT agent.
+	PeriodMs int64
+	// LinkLatency is added to every reply, modeling the paper's one
+	// wireless node. Zero for wired nodes.
+	LinkLatency time.Duration
+	// ExecNoise makes execution times vary by ±ExecNoise (fraction)
+	// around the plan-derived target, modeling the buffer-cache effects
+	// that made the paper's EXPLAIN estimates "usually incorrect"
+	// (Section 5.2). Zero disables it.
+	ExecNoise float64
+	// ShareQueueState makes negotiate replies include the node's
+	// current backlog. A real autonomous DBMS does not expose its queue
+	// to clients — the paper's implementation estimated execution time
+	// only (EXPLAIN + history) — so this defaults to false; enable it
+	// for the information-structure ablation.
+	ShareQueueState bool
+	// ExplainFraction delays every negotiate reply by this fraction of
+	// the query's estimated execution time on this node, reproducing
+	// the paper's observation that "the slowest of the PCs took up to 3
+	// seconds to evaluate an EXPLAIN PLAN statement". Zero disables it.
+	ExplainFraction float64
+	// NoiseSeed seeds the node's private noise stream.
+	NoiseSeed int64
+	// Market configures the QA-NT agent (Classes is managed dynamically
+	// and may be left zero).
+	Market market.Config
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+func (c *NodeConfig) validate() error {
+	if c.DB == nil {
+		return errors.New("cluster: NodeConfig.DB is nil")
+	}
+	if c.Slowdown < 1 {
+		c.Slowdown = 1
+	}
+	if c.IOSlowdown <= 0 {
+		c.IOSlowdown = c.Slowdown
+	}
+	if c.CPUSlowdown <= 0 {
+		c.CPUSlowdown = c.Slowdown
+	}
+	if c.MsPerCostUnit <= 0 {
+		c.MsPerCostUnit = 1
+	}
+	if c.PeriodMs <= 0 {
+		c.PeriodMs = 500
+	}
+	if c.Market.Lambda == 0 {
+		c.Market = market.DefaultConfig(1)
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Node is one running federation server.
+type Node struct {
+	cfg    NodeConfig
+	ln     net.Listener
+	pricer *pricer
+
+	mu        sync.Mutex
+	backlogMs float64
+	executed  int
+	history   map[string]float64 // plan signature -> EMA of observed ms
+	noise     *rand.Rand         // guarded by mu; nil when ExecNoise is 0
+
+	execCh   chan *execJob
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type execJob struct {
+	sql      string
+	reply    chan executeReply
+	estMs    float64
+	withRows bool          // fetch: ship result rows back
+	result   *sqldb.Result // filled when withRows and no error
+}
+
+// historyAlpha is the EMA weight of the newest observation in the
+// past-execution estimator.
+const historyAlpha = 0.4
+
+// StartNode listens on addr (use "127.0.0.1:0" for an ephemeral port)
+// and serves until Close.
+func StartNode(addr string, cfg NodeConfig) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		cfg:     cfg,
+		ln:      ln,
+		pricer:  newPricer(cfg.Market, float64(cfg.PeriodMs)),
+		history: make(map[string]float64),
+		execCh:  make(chan *execJob, 1024),
+		stopCh:  make(chan struct{}),
+	}
+	if cfg.ExecNoise > 0 {
+		n.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
+	}
+	n.wg.Add(3)
+	go n.acceptLoop()
+	go n.execLoop()
+	go n.periodLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close stops the node. It is safe to call more than once.
+func (n *Node) Close() error {
+	var err error
+	n.stopOnce.Do(func() {
+		close(n.stopCh)
+		err = n.ln.Close()
+		n.wg.Wait()
+	})
+	return err
+}
+
+// Executed returns how many queries the node has run.
+func (n *Node) Executed() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.executed
+}
+
+// MarketState serializes the node's market position (private classes,
+// prices, capacity carry) plus its execution-history estimator, for
+// checkpointing across restarts.
+func (n *Node) MarketState() ([]byte, error) {
+	n.mu.Lock()
+	history := make(map[string]float64, len(n.history))
+	for k, v := range n.history {
+		history[k] = v
+	}
+	n.mu.Unlock()
+	return json.Marshal(struct {
+		Pricer  PricerState        `json:"pricer"`
+		History map[string]float64 `json:"history"`
+	}{n.pricer.snapshot(), history})
+}
+
+// RestoreMarketState installs a checkpoint produced by MarketState.
+func (n *Node) RestoreMarketState(data []byte) error {
+	var st struct {
+		Pricer  PricerState        `json:"pricer"`
+		History map[string]float64 `json:"history"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("cluster: parsing market state: %w", err)
+	}
+	if err := n.pricer.restore(st.Pricer); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.history = make(map[string]float64, len(st.History))
+	for k, v := range st.History {
+		n.history[k] = v
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stopCh:
+				return
+			default:
+				n.cfg.Logf("cluster: accept: %v", err)
+				return
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+func (n *Node) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		var req request
+		if err := readMsg(r, &req); err != nil {
+			return // client closed or protocol error; drop the conn
+		}
+		var rep reply
+		switch req.Op {
+		case "negotiate":
+			nr := n.negotiate(&req)
+			rep.Negotiate = &nr
+		case "execute":
+			er := n.execute(&req)
+			rep.Execute = &er
+		case "fetch":
+			fr := n.fetch(&req)
+			rep.Fetch = &fr
+		case "stats":
+			sr := n.nodeStats()
+			rep.Stats = &sr
+		default:
+			rep.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if n.cfg.LinkLatency > 0 {
+			time.Sleep(n.cfg.LinkLatency)
+		}
+		if err := writeMsg(w, &rep); err != nil {
+			return
+		}
+	}
+}
+
+// planTargetMs is the node's true baseline execution time for a plan:
+// scan cost scaled by the node's I/O speed plus the remaining cost
+// scaled by its CPU speed.
+func (n *Node) planTargetMs(plan *sqldb.Plan) float64 {
+	return (plan.IOCost()*n.cfg.IOSlowdown + plan.CPUCost()*n.cfg.CPUSlowdown) * n.cfg.MsPerCostUnit
+}
+
+// estimate plans the SQL and produces the node's execution-time
+// estimate: the paper's EXPLAIN-then-history scheme.
+func (n *Node) estimate(sql string) (sig string, estMs float64, fromHistory bool, err error) {
+	plan, err := n.cfg.DB.Explain(sql)
+	if err != nil {
+		return "", 0, false, err
+	}
+	sig = plan.Signature()
+	n.mu.Lock()
+	ema, ok := n.history[sig]
+	n.mu.Unlock()
+	if ok {
+		return sig, ema, true, nil
+	}
+	return sig, n.planTargetMs(plan), false, nil
+}
+
+func (n *Node) negotiate(req *request) negotiateReply {
+	sig, estMs, fromHistory, err := n.estimate(req.SQL)
+	if err != nil {
+		// Unknown relations (or malformed SQL) mean "cannot evaluate".
+		return negotiateReply{Feasible: false, Err: err.Error()}
+	}
+	if n.cfg.ExplainFraction > 0 && !fromHistory {
+		// Planning a query shape for the first time takes real time on
+		// a slow machine; clients waiting for every node's reply absorb
+		// the slowest planner's latency. Repeats hit the plan cache.
+		time.Sleep(time.Duration(estMs * n.cfg.ExplainFraction * float64(time.Millisecond)))
+	}
+	offer := true
+	if req.Mechanism == MechQANT {
+		offer = n.pricer.offer(sig, estMs)
+	}
+	queue := 0.0
+	if n.cfg.ShareQueueState {
+		n.mu.Lock()
+		queue = n.backlogMs
+		n.mu.Unlock()
+	}
+	return negotiateReply{
+		Feasible:   true,
+		Offer:      offer,
+		EstimateMs: estMs,
+		QueueMs:    queue,
+		Signature:  sig,
+		FromCache:  fromHistory,
+	}
+}
+
+func (n *Node) execute(req *request) executeReply {
+	sig, estMs, _, err := n.estimate(req.SQL)
+	if err != nil {
+		return executeReply{Err: err.Error()}
+	}
+	if req.Mechanism == MechQANT && !n.pricer.accept(sig) {
+		// Supply sold out since the offer (another client won the race).
+		return executeReply{Accepted: false}
+	}
+	job := &execJob{sql: req.SQL, reply: make(chan executeReply, 1), estMs: estMs}
+	n.mu.Lock()
+	n.backlogMs += estMs
+	n.mu.Unlock()
+	select {
+	case n.execCh <- job:
+	case <-n.stopCh:
+		return executeReply{Err: "node shutting down"}
+	}
+	select {
+	case rep := <-job.reply:
+		return rep
+	case <-n.stopCh:
+		return executeReply{Err: "node shutting down"}
+	}
+}
+
+// fetch is execute plus result shipping: the distributed subquery
+// layer pulls relation fragments through it.
+func (n *Node) fetch(req *request) fetchReply {
+	sig, estMs, _, err := n.estimate(req.SQL)
+	if err != nil {
+		return fetchReply{Err: err.Error()}
+	}
+	if req.Mechanism == MechQANT && !n.pricer.accept(sig) {
+		return fetchReply{Accepted: false}
+	}
+	job := &execJob{sql: req.SQL, reply: make(chan executeReply, 1), estMs: estMs, withRows: true}
+	n.mu.Lock()
+	n.backlogMs += estMs
+	n.mu.Unlock()
+	select {
+	case n.execCh <- job:
+	case <-n.stopCh:
+		return fetchReply{Err: "node shutting down"}
+	}
+	select {
+	case rep := <-job.reply:
+		if rep.Err != "" {
+			return fetchReply{Err: rep.Err}
+		}
+		fr := fetchReply{Accepted: true, ExecMs: rep.ExecMs}
+		if job.result != nil {
+			fr.Columns = job.result.Columns
+			fr.Rows = encodeRows(job.result)
+		}
+		return fr
+	case <-n.stopCh:
+		return fetchReply{Err: "node shutting down"}
+	}
+}
+
+// execLoop is the node's single query executor: one query at a time,
+// FIFO, like the sequential RDBMS worker the experiments assume.
+func (n *Node) execLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case job := <-n.execCh:
+			n.runJob(job)
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+func (n *Node) runJob(job *execJob) {
+	queued := time.Now()
+	plan, err := n.cfg.DB.Explain(job.sql)
+	if err != nil {
+		n.finishJob(job, executeReply{Err: err.Error()})
+		return
+	}
+	start := time.Now()
+	res, err := n.cfg.DB.Query(job.sql)
+	if err != nil {
+		n.finishJob(job, executeReply{Err: err.Error()})
+		return
+	}
+	// The real work of the embedded engine is tiny; stretch it to the
+	// node's simulated speed so heterogeneity (Slowdown) is observable,
+	// exactly like running the same star query on a slower PC.
+	targetMs := n.planTargetMs(plan)
+	if n.noise != nil {
+		n.mu.Lock()
+		targetMs *= 1 + n.cfg.ExecNoise*(2*n.noise.Float64()-1)
+		n.mu.Unlock()
+	}
+	target := time.Duration(targetMs * float64(time.Millisecond))
+	if elapsed := time.Since(start); elapsed < target {
+		time.Sleep(target - elapsed)
+	}
+	execMs := float64(time.Since(start)) / float64(time.Millisecond)
+	if job.withRows {
+		job.result = res
+	}
+	sig := plan.Signature()
+	n.mu.Lock()
+	if ema, ok := n.history[sig]; ok {
+		n.history[sig] = (1-historyAlpha)*ema + historyAlpha*execMs
+	} else {
+		n.history[sig] = execMs
+	}
+	n.backlogMs -= job.estMs
+	if n.backlogMs < 0 {
+		n.backlogMs = 0
+	}
+	n.executed++
+	n.mu.Unlock()
+	n.finishJob(job, executeReply{
+		Accepted: true,
+		Rows:     len(res.Rows),
+		ExecMs:   execMs,
+		WaitMs:   float64(start.Sub(queued)) / float64(time.Millisecond),
+	})
+}
+
+func (n *Node) finishJob(job *execJob, rep executeReply) {
+	if rep.Err != "" {
+		n.mu.Lock()
+		n.backlogMs -= job.estMs
+		if n.backlogMs < 0 {
+			n.backlogMs = 0
+		}
+		n.mu.Unlock()
+	}
+	job.reply <- rep
+}
+
+// periodLoop drives the QA-NT market clock.
+func (n *Node) periodLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(time.Duration(n.cfg.PeriodMs) * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			n.pricer.tick()
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+func (n *Node) nodeStats() NodeStats {
+	st := n.pricer.stats()
+	n.mu.Lock()
+	executed := n.executed
+	n.mu.Unlock()
+	return NodeStats{
+		Executed: executed,
+		Offers:   st.Offers,
+		Rejects:  st.Rejects,
+		Prices:   n.pricer.prices(),
+	}
+}

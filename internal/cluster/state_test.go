@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestMarketStateCheckpoint verifies a node's learned market position
+// (classes, prices, history) survives a save/restore cycle onto a
+// fresh node.
+func TestMarketStateCheckpoint(t *testing.T) {
+	ds, nodes, addrs := startTestFederation(t, []float64{1, 2})
+	client, err := NewClient(ClientConfig{
+		Addrs: addrs, Mechanism: MechQANT, PeriodMs: 50, MaxRetries: 50, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	templates, err := ds.GenerateTemplates(3, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 10; qi++ {
+		if out := client.Run(int64(qi), templates[qi%len(templates)].Instantiate(rng)); out.Err != nil {
+			t.Fatalf("query %d: %v", qi, out.Err)
+		}
+	}
+	st0, err := client.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st0.Prices) == 0 {
+		t.Skip("node 0 learned no classes in this layout")
+	}
+	data, err := nodes[0].MarketState()
+	if err != nil {
+		t.Fatalf("MarketState: %v", err)
+	}
+
+	// Fresh node over the same data, restored from the checkpoint.
+	restored, err := StartNode("127.0.0.1:0", NodeConfig{
+		DB: ds.DBs[0], MsPerCostUnit: 0.02, PeriodMs: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.RestoreMarketState(data); err != nil {
+		t.Fatalf("RestoreMarketState: %v", err)
+	}
+	client2, err := NewClient(ClientConfig{Addrs: []string{restored.Addr()}, Mechanism: MechQANT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := client2.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st1.Prices) != len(st0.Prices) {
+		t.Fatalf("restored %d classes, want %d", len(st1.Prices), len(st0.Prices))
+	}
+	for sig, p := range st0.Prices {
+		if got, ok := st1.Prices[sig]; !ok || got != p {
+			t.Errorf("class %s: restored price %g, want %g", sig, got, p)
+		}
+	}
+}
+
+func TestRestoreMarketStateRejectsGarbage(t *testing.T) {
+	_, nodes, _ := startTestFederation(t, []float64{1})
+	if err := nodes[0].RestoreMarketState([]byte("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if err := nodes[0].RestoreMarketState([]byte(`{"pricer":{"classes":{"a":0},"costs":[],"prices":[]}}`)); err == nil {
+		t.Error("inconsistent state accepted")
+	}
+	if err := nodes[0].RestoreMarketState([]byte(`{"pricer":{"classes":{"a":5},"costs":[10],"prices":[1]}}`)); err == nil {
+		t.Error("out-of-range class index accepted")
+	}
+	// Empty state resets cleanly.
+	if err := nodes[0].RestoreMarketState([]byte(`{"pricer":{"classes":{},"costs":[],"prices":[]}}`)); err != nil {
+		t.Errorf("empty state rejected: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// Wire encoding of sqldb values for fetch replies. JSON alone cannot
+// distinguish int64 from float64 or NULL from false, so every non-null
+// value travels as a single-key object tagging its kind:
+//
+//	nil            -> NULL
+//	{"i": 5}       -> INT
+//	{"f": 1.5}     -> FLOAT
+//	{"s": "x"}     -> TEXT
+//	{"b": true}    -> BOOL
+
+// toWire encodes one value.
+func toWire(v sqldb.Value) any {
+	switch v.Kind {
+	case sqldb.KindNull:
+		return nil
+	case sqldb.KindInt:
+		return map[string]any{"i": v.Int}
+	case sqldb.KindFloat:
+		return map[string]any{"f": v.Float}
+	case sqldb.KindText:
+		return map[string]any{"s": v.Str}
+	case sqldb.KindBool:
+		return map[string]any{"b": v.Bool}
+	default:
+		return nil
+	}
+}
+
+// fromWire decodes one value. JSON numbers arrive as float64; integers
+// round-trip exactly up to 2^53, far beyond the synthetic datasets.
+func fromWire(raw any) (sqldb.Value, error) {
+	if raw == nil {
+		return sqldb.Null, nil
+	}
+	m, ok := raw.(map[string]any)
+	if !ok || len(m) != 1 {
+		return sqldb.Null, fmt.Errorf("cluster: malformed wire value %v", raw)
+	}
+	for k, v := range m {
+		switch k {
+		case "i":
+			f, ok := v.(float64)
+			if !ok || f != math.Trunc(f) {
+				return sqldb.Null, fmt.Errorf("cluster: malformed wire int %v", v)
+			}
+			return sqldb.NewInt(int64(f)), nil
+		case "f":
+			f, ok := v.(float64)
+			if !ok {
+				return sqldb.Null, fmt.Errorf("cluster: malformed wire float %v", v)
+			}
+			return sqldb.NewFloat(f), nil
+		case "s":
+			s, ok := v.(string)
+			if !ok {
+				return sqldb.Null, fmt.Errorf("cluster: malformed wire string %v", v)
+			}
+			return sqldb.NewText(s), nil
+		case "b":
+			b, ok := v.(bool)
+			if !ok {
+				return sqldb.Null, fmt.Errorf("cluster: malformed wire bool %v", v)
+			}
+			return sqldb.NewBool(b), nil
+		}
+	}
+	return sqldb.Null, fmt.Errorf("cluster: unknown wire kind in %v", raw)
+}
+
+// encodeRows converts a result to wire rows.
+func encodeRows(res *sqldb.Result) [][]any {
+	out := make([][]any, len(res.Rows))
+	for i, row := range res.Rows {
+		wr := make([]any, len(row))
+		for j, v := range row {
+			wr[j] = toWire(v)
+		}
+		out[i] = wr
+	}
+	return out
+}
+
+// decodeRows converts wire rows back to values.
+func decodeRows(raw [][]any) ([]sqldb.Row, error) {
+	out := make([]sqldb.Row, len(raw))
+	for i, wr := range raw {
+		row := make(sqldb.Row, len(wr))
+		for j, rv := range wr {
+			v, err := fromWire(rv)
+			if err != nil {
+				return nil, fmt.Errorf("row %d col %d: %w", i, j, err)
+			}
+			row[j] = v
+		}
+		out[i] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/qamarket/qamarket/internal/catalog"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	p := catalog.Table3()
+	p.Nodes = 10
+	p.Relations = 50
+	p.HashJoinNodes = 9
+	c, err := catalog.Generate(p, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	return c
+}
+
+func TestEstimateInfeasibleWithoutData(t *testing.T) {
+	c := testCatalog(t)
+	m := New(c)
+	n := c.Nodes[0]
+	// Find a relation the node does not hold.
+	missing := -1
+	for id := range c.Relations {
+		if !n.Holds[id] {
+			missing = id
+			break
+		}
+	}
+	if missing < 0 {
+		t.Skip("node holds everything")
+	}
+	tmpl := Template{Relations: []int{missing}, Selectivity: 0.5}
+	if got := m.Estimate(n, tmpl); !math.IsInf(got, 1) {
+		t.Errorf("Estimate = %g, want +Inf for missing data", got)
+	}
+	if m.Feasible(n, tmpl) {
+		t.Error("Feasible true for missing data")
+	}
+}
+
+func TestEstimatePositiveAndFinite(t *testing.T) {
+	c := testCatalog(t)
+	m := New(c)
+	for _, n := range c.Nodes {
+		for id := range n.Holds {
+			tmpl := Template{Relations: []int{id}, Selectivity: 0.5, Sort: true}
+			got := m.Estimate(n, tmpl)
+			if got <= 0 || math.IsInf(got, 0) || math.IsNaN(got) {
+				t.Fatalf("node %d relation %d: estimate %g", n.ID, id, got)
+			}
+		}
+	}
+}
+
+func TestMoreJoinsCostMore(t *testing.T) {
+	c := testCatalog(t)
+	m := New(c)
+	// Pick a node with at least 3 relations.
+	for _, n := range c.Nodes {
+		if len(n.Holds) < 3 {
+			continue
+		}
+		var rels []int
+		for id := range n.Holds {
+			rels = append(rels, id)
+			if len(rels) == 3 {
+				break
+			}
+		}
+		one := m.Estimate(n, Template{Relations: rels[:1], Selectivity: 0.5})
+		two := m.Estimate(n, Template{Relations: rels[:2], Selectivity: 0.5})
+		three := m.Estimate(n, Template{Relations: rels, Selectivity: 0.5})
+		if !(one < two && two < three) {
+			t.Errorf("costs not increasing with joins: %g, %g, %g", one, two, three)
+		}
+		return
+	}
+	t.Skip("no node with 3 relations")
+}
+
+func TestFasterNodeIsCheaper(t *testing.T) {
+	c := &catalog.Catalog{
+		Relations: []catalog.Relation{{ID: 0, SizeMB: 10, Attrs: 10}, {ID: 1, SizeMB: 10, Attrs: 10}},
+		Nodes: []*catalog.Node{
+			{ID: 0, CPUGHz: 3.5, IOMBps: 80, BufferMB: 10, HashJoin: true, Holds: map[int]bool{0: true, 1: true}},
+			{ID: 1, CPUGHz: 1.0, IOMBps: 5, BufferMB: 2, HashJoin: true, Holds: map[int]bool{0: true, 1: true}},
+		},
+	}
+	m := New(c)
+	tmpl := Template{Relations: []int{0, 1}, Selectivity: 0.5, Sort: true}
+	fast := m.Estimate(c.Nodes[0], tmpl)
+	slow := m.Estimate(c.Nodes[1], tmpl)
+	if fast >= slow {
+		t.Errorf("fast node %g not cheaper than slow node %g", fast, slow)
+	}
+	best, at := m.EstimateBest(tmpl)
+	if at != 0 || best != fast {
+		t.Errorf("EstimateBest = (%g, %d), want (%g, 0)", best, at, fast)
+	}
+}
+
+func TestHashJoinHelps(t *testing.T) {
+	mk := func(hash bool) *catalog.Node {
+		return &catalog.Node{CPUGHz: 2, IOMBps: 40, BufferMB: 10, HashJoin: hash,
+			Holds: map[int]bool{0: true, 1: true}}
+	}
+	c := &catalog.Catalog{
+		Relations: []catalog.Relation{{ID: 0, SizeMB: 8, Attrs: 10}, {ID: 1, SizeMB: 8, Attrs: 10}},
+		Nodes:     []*catalog.Node{mk(true), mk(false)},
+	}
+	m := New(c)
+	tmpl := Template{Relations: []int{0, 1}, Selectivity: 0.5}
+	withHash := m.Estimate(c.Nodes[0], tmpl)
+	without := m.Estimate(c.Nodes[1], tmpl)
+	if withHash >= without {
+		t.Errorf("hash join (%g) should be cheaper than merge-scan only (%g)", withHash, without)
+	}
+}
+
+func TestCostScale(t *testing.T) {
+	c := testCatalog(t)
+	m := New(c)
+	var n *catalog.Node
+	var rel int
+	for _, cand := range c.Nodes {
+		for id := range cand.Holds {
+			n, rel = cand, id
+			break
+		}
+		if n != nil {
+			break
+		}
+	}
+	base := Template{Relations: []int{rel}, Selectivity: 0.5}
+	scaled := base
+	scaled.CostScale = 2.5
+	a := m.Estimate(n, base)
+	b := m.Estimate(n, scaled)
+	if math.Abs(b-2.5*a) > 1e-9 {
+		t.Errorf("CostScale: %g vs %g (want 2.5x)", b, a)
+	}
+}
+
+func TestEstimateBestInfeasibleTemplate(t *testing.T) {
+	c := testCatalog(t)
+	m := New(c)
+	tmpl := Template{Relations: []int{9999}, Selectivity: 0.5}
+	if err := tmpl.Validate(c); err == nil {
+		t.Error("Validate accepted unknown relation")
+	}
+	// All-holding check is per node; an unknown id means no node holds it.
+	for _, n := range c.Nodes {
+		if !math.IsInf(m.Estimate(n, Template{Relations: []int{len(c.Relations) - 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, Selectivity: 0.5}), 1) {
+			// Some node may genuinely hold all ten; only structure is
+			// under test here.
+			break
+		}
+	}
+}
+
+func TestTemplateValidate(t *testing.T) {
+	c := testCatalog(t)
+	cases := []struct {
+		t  Template
+		ok bool
+	}{
+		{Template{Relations: []int{0}, Selectivity: 0.5}, true},
+		{Template{Relations: nil, Selectivity: 0.5}, false},
+		{Template{Relations: []int{0}, Selectivity: 0}, false},
+		{Template{Relations: []int{0}, Selectivity: 1.5}, false},
+		{Template{Relations: []int{-1}, Selectivity: 0.5}, false},
+		{Template{Relations: []int{len(c.Relations)}, Selectivity: 0.5}, false},
+	}
+	for i, cse := range cases {
+		err := cse.t.Validate(c)
+		if (err == nil) != cse.ok {
+			t.Errorf("case %d: err=%v want ok=%t", i, err, cse.ok)
+		}
+	}
+}
+
+func TestJoins(t *testing.T) {
+	if (Template{}).Joins() != 0 {
+		t.Error("empty template joins != 0")
+	}
+	if (Template{Relations: []int{1}}).Joins() != 0 {
+		t.Error("single relation joins != 0")
+	}
+	if (Template{Relations: []int{1, 2, 3}}).Joins() != 2 {
+		t.Error("three relations joins != 2")
+	}
+}
+
+func TestSortAddsCost(t *testing.T) {
+	c := testCatalog(t)
+	m := New(c)
+	for _, n := range c.Nodes {
+		for id := range n.Holds {
+			plain := m.Estimate(n, Template{Relations: []int{id}, Selectivity: 0.5})
+			sorted := m.Estimate(n, Template{Relations: []int{id}, Selectivity: 0.5, Sort: true})
+			if sorted <= plain {
+				t.Fatalf("sort did not add cost: %g vs %g", sorted, plain)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package costmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/qamarket/qamarket/internal/catalog"
+)
+
+// mkNode builds a node holding the given relations with explicit
+// hardware parameters.
+func mkNode(cpu, io, buf float64, hash bool, rels ...int) *catalog.Node {
+	holds := map[int]bool{}
+	for _, r := range rels {
+		holds[r] = true
+	}
+	return &catalog.Node{CPUGHz: cpu, IOMBps: io, BufferMB: buf, HashJoin: hash, Holds: holds}
+}
+
+// TestQuickCostMonotoneInHardware: making any hardware dimension
+// strictly better never increases a query's estimated cost.
+func TestQuickCostMonotoneInHardware(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		rels := []catalog.Relation{
+			{ID: 0, SizeMB: 1 + rng.Float64()*19, Attrs: 10},
+			{ID: 1, SizeMB: 1 + rng.Float64()*19, Attrs: 10},
+			{ID: 2, SizeMB: 1 + rng.Float64()*19, Attrs: 10},
+		}
+		cpu := 1 + rng.Float64()*2
+		io := 5 + rng.Float64()*70
+		buf := 2 + rng.Float64()*8
+		hash := rng.Float64() < 0.5
+		base := mkNode(cpu, io, buf, hash, 0, 1, 2)
+		variants := []*catalog.Node{
+			mkNode(cpu*1.5, io, buf, hash, 0, 1, 2), // faster CPU
+			mkNode(cpu, io*1.5, buf, hash, 0, 1, 2), // faster disk
+			mkNode(cpu, io, buf*1.5, hash, 0, 1, 2), // bigger buffer
+			mkNode(cpu, io, buf, true, 0, 1, 2),     // hash join capable
+		}
+		c := &catalog.Catalog{Relations: rels, Nodes: append([]*catalog.Node{base}, variants...)}
+		m := New(c)
+		tmpl := Template{
+			Relations:   []int{0, 1, 2},
+			Selectivity: 0.2 + rng.Float64()*0.7,
+			Sort:        rng.Float64() < 0.5,
+		}
+		baseCost := m.Estimate(base, tmpl)
+		for vi, v := range variants {
+			if got := m.Estimate(v, tmpl); got > baseCost+1e-9 {
+				t.Fatalf("trial %d variant %d: better hardware costs more (%.2f > %.2f)",
+					trial, vi, got, baseCost)
+			}
+		}
+	}
+}
+
+// TestQuickCostMonotoneInData: growing a relation never makes the
+// query cheaper.
+func TestQuickCostMonotoneInData(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		size := 1 + rng.Float64()*10
+		small := &catalog.Catalog{
+			Relations: []catalog.Relation{{ID: 0, SizeMB: size, Attrs: 10}, {ID: 1, SizeMB: 5, Attrs: 10}},
+			Nodes:     []*catalog.Node{mkNode(2, 40, 6, true, 0, 1)},
+		}
+		big := &catalog.Catalog{
+			Relations: []catalog.Relation{{ID: 0, SizeMB: size * 2, Attrs: 10}, {ID: 1, SizeMB: 5, Attrs: 10}},
+			Nodes:     []*catalog.Node{mkNode(2, 40, 6, true, 0, 1)},
+		}
+		tmpl := Template{Relations: []int{0, 1}, Selectivity: 0.5, Sort: true}
+		a := New(small).Estimate(small.Nodes[0], tmpl)
+		b := New(big).Estimate(big.Nodes[0], tmpl)
+		if b < a {
+			t.Fatalf("trial %d: doubling a relation reduced cost %.2f -> %.2f", trial, a, b)
+		}
+	}
+}
+
+// TestEstimateBestIsMinimum: EstimateBest returns the true minimum over
+// nodes.
+func TestEstimateBestIsMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	p := catalog.Table3()
+	p.Nodes = 15
+	p.Relations = 60
+	p.HashJoinNodes = 14
+	c, err := catalog.Generate(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(c)
+	// Pick a relation with several mirrors.
+	for rel := range c.Relations {
+		holders := c.Holders([]int{rel})
+		if len(holders) < 3 {
+			continue
+		}
+		tmpl := Template{Relations: []int{rel}, Selectivity: 0.5, Sort: true}
+		best, at := m.EstimateBest(tmpl)
+		for _, n := range c.Nodes {
+			if got := m.Estimate(n, tmpl); got < best {
+				t.Fatalf("node %d beats EstimateBest: %.2f < %.2f (chosen %d)", n.ID, got, best, at)
+			}
+		}
+		return
+	}
+	t.Skip("no relation with 3+ mirrors")
+}

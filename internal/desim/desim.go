@@ -1,0 +1,185 @@
+// Package desim is a minimal discrete-event simulation engine: a virtual
+// millisecond clock and a time-ordered event heap. It is the substrate
+// on which internal/sim rebuilds the paper's C++ federation simulator.
+//
+// Events scheduled for the same instant fire in scheduling order (FIFO),
+// which keeps simulations deterministic regardless of map iteration or
+// goroutine scheduling — there are no goroutines here at all.
+package desim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time in milliseconds.
+type Time int64
+
+// Event is a callback scheduled to fire at a virtual instant.
+type Event func(now Time)
+
+type item struct {
+	at   Time
+	seq  uint64
+	run  Event
+	idx  int
+	dead bool
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Handle identifies a scheduled event so it can be cancelled. Handles
+// returned by Every track the loop's most recent tick.
+type Handle struct {
+	it   *item
+	roll *rollingHandle
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. For Every loops it stops the next
+// pending tick, ending the loop.
+func (h Handle) Cancel() {
+	if h.it != nil {
+		h.it.dead = true
+	}
+	if h.roll != nil {
+		h.roll.cur.Cancel()
+	}
+}
+
+// Engine owns the clock and the pending-event queue. The zero value is
+// ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including any
+// cancelled events not yet reaped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules run to fire at absolute time at. Scheduling in the past
+// panics: it is always a logic error in a discrete-event model.
+func (e *Engine) At(at Time, run Event) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("desim: scheduling at %d before now %d", at, e.now))
+	}
+	if run == nil {
+		panic("desim: nil event")
+	}
+	it := &item{at: at, seq: e.seq, run: run}
+	e.seq++
+	heap.Push(&e.events, it)
+	return Handle{it: it}
+}
+
+// After schedules run to fire delay milliseconds from now.
+func (e *Engine) After(delay Time, run Event) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("desim: negative delay %d", delay))
+	}
+	return e.At(e.now+delay, run)
+}
+
+// Step fires the earliest pending event and advances the clock to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		it := heap.Pop(&e.events).(*item)
+		if it.dead {
+			continue
+		}
+		e.now = it.at
+		e.fired++
+		it.run(e.now)
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue completely and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// Every schedules run to fire at now+interval and then every interval
+// milliseconds, for as long as run returns true. Returning false stops
+// the ticker; Cancel on the returned handle stops the *next* pending
+// fire (the common way to tear a ticker down from outside).
+func (e *Engine) Every(interval Time, run func(now Time) bool) Handle {
+	if interval <= 0 {
+		panic(fmt.Sprintf("desim: non-positive interval %d", interval))
+	}
+	h := &rollingHandle{}
+	var tick Event
+	tick = func(now Time) {
+		if !run(now) {
+			return
+		}
+		h.set(e.After(interval, tick))
+	}
+	h.set(e.After(interval, tick))
+	return Handle{it: nil, roll: h}
+}
+
+// rollingHandle tracks the most recently scheduled tick of an Every
+// loop so one Cancel stops the chain.
+type rollingHandle struct {
+	cur Handle
+}
+
+func (r *rollingHandle) set(h Handle) { r.cur = h }
+
+// RunUntil fires events until the clock would pass the deadline; events
+// scheduled exactly at the deadline still fire. Remaining events stay
+// queued and the clock is left at min(deadline, last fired event).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 {
+		// Peek: heap root is the earliest live event.
+		root := e.events[0]
+		if root.dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		if root.at > deadline {
+			return
+		}
+		e.Step()
+	}
+}

@@ -1,0 +1,188 @@
+package economics
+
+import (
+	"math"
+	"sort"
+
+	"github.com/qamarket/qamarket/internal/vector"
+)
+
+// Equitable allocation — the first future-work extension of the
+// paper's Section 6: instead of maximizing raw throughput, equalize
+// the *utility (satisfaction)* of all nodes, where a node's
+// satisfaction is the fraction of its demand that gets consumed.
+
+// Satisfaction returns a node's utility under the equitable criterion:
+// consumed / demanded queries (1 when it demanded nothing).
+func Satisfaction(consumption, demand vector.Quantity) float64 {
+	d := demand.Total()
+	if d == 0 {
+		return 1
+	}
+	return float64(consumption.Total()) / float64(d)
+}
+
+// EquitablePreference builds a preference relation under which a node
+// with the given demand prefers the consumption vector giving it the
+// higher satisfaction. With identical demands it coincides with
+// ThroughputPreference; with unequal demands it rescales.
+func EquitablePreference(demand vector.Quantity) Preference {
+	return func(a, b vector.Quantity) int {
+		sa := Satisfaction(a, demand)
+		sb := Satisfaction(b, demand)
+		switch {
+		case sa > sb+1e-12:
+			return 1
+		case sb > sa+1e-12:
+			return -1
+		default:
+			return 0
+		}
+	}
+}
+
+// EquitableSplit distributes an aggregate supply vector to nodes so as
+// to maximize the minimum satisfaction (a max-min fair allocation):
+// units are handed out one at a time, always to the least-satisfied
+// node that still has unmet demand for a class with remaining supply.
+// Ties break toward the lower node index, so the split is
+// deterministic. The returned vectors satisfy c_i <= d_i and
+// sum c_i <= agg component-wise.
+func EquitableSplit(agg vector.Quantity, demand []vector.Quantity) []vector.Quantity {
+	n := len(demand)
+	k := agg.Len()
+	cons := make([]vector.Quantity, n)
+	for i := range cons {
+		cons[i] = vector.New(k)
+	}
+	left := agg.Clone()
+	greedyEquitable(cons, demand, left)
+	repairEquitable(cons, demand)
+	return cons
+}
+
+// greedyEquitable is the water-filling first pass of EquitableSplit.
+func greedyEquitable(cons, demand []vector.Quantity, left vector.Quantity) {
+	n := len(demand)
+	k := left.Len()
+	for {
+		best := -1
+		bestSat := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !hasServableDemand(cons[i], demand[i], left) {
+				continue
+			}
+			if s := Satisfaction(cons[i], demand[i]); s < bestSat {
+				bestSat, best = s, i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		// Give the least-satisfied node one unit of the servable class
+		// with the most slack (remaining supply minus the other nodes'
+		// unmet demand for it), so contested classes are preserved for
+		// the nodes that have no alternative. Ties break toward the
+		// lower class index, keeping the split deterministic.
+		bestClass, bestSlack := -1, math.Inf(-1)
+		for c := 0; c < k; c++ {
+			if left[c] == 0 || cons[best][c] >= demand[best][c] {
+				continue
+			}
+			others := 0
+			for i := 0; i < n; i++ {
+				if i != best {
+					others += demand[i][c] - cons[i][c]
+				}
+			}
+			if slack := float64(left[c] - others); slack > bestSlack {
+				bestSlack, bestClass = slack, c
+			}
+		}
+		cons[best][bestClass]++
+		left[bestClass]--
+	}
+}
+
+// repairEquitable applies single-unit moves between nodes while they
+// lexicographically improve the sorted satisfaction profile (the
+// standard max-min betterment). Each applied move strictly improves a
+// value from a finite set, so the loop terminates.
+func repairEquitable(cons, demand []vector.Quantity) {
+	n := len(cons)
+	if n == 0 {
+		return
+	}
+	k := cons[0].Len()
+	for improved := true; improved; {
+		improved = false
+		base := sortedSats(cons, demand)
+		for from := 0; from < n && !improved; from++ {
+			for to := 0; to < n && !improved; to++ {
+				if from == to {
+					continue
+				}
+				for c := 0; c < k; c++ {
+					if cons[from][c] == 0 || cons[to][c] >= demand[to][c] {
+						continue
+					}
+					cons[from][c]--
+					cons[to][c]++
+					if lexGreater(sortedSats(cons, demand), base) {
+						improved = true
+						break
+					}
+					cons[from][c]++
+					cons[to][c]--
+				}
+			}
+		}
+	}
+}
+
+func sortedSats(cons, demand []vector.Quantity) []float64 {
+	out := make([]float64, len(cons))
+	for i := range cons {
+		out[i] = Satisfaction(cons[i], demand[i])
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func lexGreater(a, b []float64) bool {
+	for i := range a {
+		switch {
+		case a[i] > b[i]+1e-12:
+			return true
+		case a[i] < b[i]-1e-12:
+			return false
+		}
+	}
+	return false
+}
+
+// hasServableDemand reports whether the node still wants some class
+// with remaining aggregate supply.
+func hasServableDemand(cons, demand, left vector.Quantity) bool {
+	for c := range left {
+		if left[c] > 0 && cons[c] < demand[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// MinSatisfaction returns the smallest satisfaction across nodes — the
+// objective EquitableSplit maximizes.
+func MinSatisfaction(cons, demand []vector.Quantity) float64 {
+	minS := math.Inf(1)
+	for i := range cons {
+		if s := Satisfaction(cons[i], demand[i]); s < minS {
+			minS = s
+		}
+	}
+	if math.IsInf(minS, 1) {
+		return 1
+	}
+	return minS
+}

@@ -1,0 +1,51 @@
+package economics_test
+
+import (
+	"fmt"
+
+	"github.com/qamarket/qamarket/internal/economics"
+	"github.com/qamarket/qamarket/internal/vector"
+)
+
+// ExampleTatonnement finds equilibrium prices for the paper's Figure 1
+// two-node market under a steady demand of one q1 and five q2.
+func ExampleTatonnement() {
+	demand := []vector.Quantity{{1, 5}, {0, 0}}
+	sets := []economics.SupplySet{
+		economics.TimeBudgetSupplySet{Cost: []float64{400, 100}, Budget: 500}, // N1
+		economics.TimeBudgetSupplySet{Cost: []float64{450, 500}, Budget: 500}, // N2
+	}
+	res, err := economics.Tatonnement(demand, sets, vector.NewPrices(2, 1), economics.DefaultTatonnement())
+	if err != nil {
+		fmt.Println("no equilibrium:", err)
+		return
+	}
+	fmt.Println("aggregate supply:", vector.Sum(res.Supply))
+	fmt.Println("excess demand:", res.Excess)
+	// Output:
+	// aggregate supply: (1, 5)
+	// excess demand: (0, 0)
+}
+
+// ExampleEquitableSplit shows the Section 6 extension: max-min fair
+// division of a scarce aggregate supply.
+func ExampleEquitableSplit() {
+	demand := []vector.Quantity{{4}, {4}}
+	cons := economics.EquitableSplit(vector.Quantity{6}, demand)
+	fmt.Println("node 0:", cons[0], "node 1:", cons[1])
+	fmt.Printf("min satisfaction: %.2f\n", economics.MinSatisfaction(cons, demand))
+	// Output:
+	// node 0: (3) node 1: (3)
+	// min satisfaction: 0.75
+}
+
+// ExampleDominates verifies the paper's Section 2.2 claim that the QA
+// allocation Pareto-dominates the load balancer's.
+func ExampleDominates() {
+	prefs := []economics.Preference{economics.ThroughputPreference, economics.ThroughputPreference}
+	lb := economics.Allocation{Consumption: []vector.Quantity{{1, 1}, {1, 0}}}
+	qa := economics.Allocation{Consumption: []vector.Quantity{{0, 5}, {1, 0}}}
+	fmt.Println(economics.Dominates(qa, lb, prefs))
+	// Output:
+	// true
+}

@@ -1,0 +1,87 @@
+package economics
+
+import (
+	"math"
+
+	"github.com/qamarket/qamarket/internal/vector"
+)
+
+// Second Theorem of Welfare Economics (Section 3.3's closing remark):
+// any Pareto-optimal allocation can be realized as a market equilibrium
+// after suitable lump-sum redistribution. In the query market the
+// redistribution takes the form of *personalized prices*: a coordinator
+// wanting to steer the federation into a specific Pareto-optimal
+// allocation hands each node its own price vector under which the
+// node's target supply vector is already profit-maximal — so the
+// selfish QA-NT best response reproduces the target.
+//
+// Integer supply sets are non-convex, so not every Pareto-optimal
+// vertex is supportable by prices (the same rounding phenomenon behind
+// Section 5.1's small-load losses); SupportingPrices reports whether
+// support exists.
+
+// SupportingPrices searches for a strictly positive price vector under
+// which target is a best response of the supply set. The search walks
+// a geometric grid of relative prices (sufficient for the low-
+// dimensional markets of the experiments; resolution is the number of
+// grid points per axis). It returns ok=false when no grid point
+// supports the target — either because the target is not optimal for
+// any prices (non-convexity) or the resolution is too coarse.
+func SupportingPrices(set SupplySet, target vector.Quantity, resolution int) (vector.Prices, bool) {
+	k := target.Len()
+	if k == 0 {
+		return nil, false
+	}
+	if resolution < 2 {
+		resolution = 16
+	}
+	// Grid over log-spaced relative prices in [1/64, 64] with the first
+	// class pinned to 1 (only relative prices matter).
+	levels := make([]float64, resolution)
+	lo, hi := 1.0/64, 64.0
+	ratio := math.Pow(hi/lo, 1/float64(resolution-1))
+	v := lo
+	for i := range levels {
+		levels[i] = v
+		v *= ratio
+	}
+	prices := vector.NewPrices(k, 1)
+	var rec func(class int) (vector.Prices, bool)
+	rec = func(class int) (vector.Prices, bool) {
+		if class == k {
+			best := set.BestResponse(prices)
+			if best.Value(prices) == target.Value(prices) && set.Feasible(target) {
+				return prices.Clone(), true
+			}
+			return nil, false
+		}
+		if class == 0 {
+			prices[0] = 1 // normalization
+			return rec(1)
+		}
+		for _, level := range levels {
+			prices[class] = level
+			if p, ok := rec(class + 1); ok {
+				return p, true
+			}
+		}
+		return nil, false
+	}
+	return rec(0)
+}
+
+// VerifySTWE checks the theorem's conclusion for a whole allocation:
+// every node's target supply vector must be supportable by some
+// personalized price vector. It returns the per-node prices, or false
+// with the index of the first unsupportable node.
+func VerifySTWE(sets []SupplySet, targets []vector.Quantity, resolution int) ([]vector.Prices, int, bool) {
+	out := make([]vector.Prices, len(sets))
+	for i, set := range sets {
+		p, ok := SupportingPrices(set, targets[i], resolution)
+		if !ok {
+			return nil, i, false
+		}
+		out[i] = p
+	}
+	return out, -1, true
+}

@@ -1,0 +1,76 @@
+package economics
+
+import (
+	"testing"
+
+	"github.com/qamarket/qamarket/internal/vector"
+)
+
+func TestSupportingPricesFigure1(t *testing.T) {
+	n1 := TimeBudgetSupplySet{Cost: []float64{400, 100}, Budget: 500}
+	n2 := TimeBudgetSupplySet{Cost: []float64{450, 500}, Budget: 500}
+
+	// N1's QA target (0,5): supported by any prices with q2 denser.
+	p, ok := SupportingPrices(n1, vector.Quantity{0, 5}, 24)
+	if !ok {
+		t.Fatal("N1 target (0,5) not supportable")
+	}
+	if got := n1.BestResponse(p); got.Value(p) != (vector.Quantity{0, 5}).Value(p) {
+		t.Errorf("prices %v do not support (0,5): best response %v", p, got)
+	}
+	// N2's QA target (1,0): supported when q1's density wins.
+	if _, ok := SupportingPrices(n2, vector.Quantity{1, 0}, 24); !ok {
+		t.Fatal("N2 target (1,0) not supportable")
+	}
+	// N1's mixed vertex (1,1) is also a knapsack optimum for prices
+	// where q1's density dominates.
+	if _, ok := SupportingPrices(n1, vector.Quantity{1, 1}, 24); !ok {
+		t.Error("N1 target (1,1) not supportable")
+	}
+}
+
+func TestSupportingPricesRejectsDominatedVertex(t *testing.T) {
+	// Budget 500, costs (200, 100): the vector (1,3) is feasible and on
+	// the budget frontier, but it is never a knapsack optimum for any
+	// prices (it is dominated by the (2,1)/(0,5) mixture) — the
+	// non-convexity that limits STWE over integer supply sets.
+	set := TimeBudgetSupplySet{Cost: []float64{200, 100}, Budget: 500}
+	if _, ok := SupportingPrices(set, vector.Quantity{1, 3}, 32); ok {
+		t.Error("dominated vertex (1,3) reported supportable")
+	}
+	// Infeasible targets are never supportable.
+	if _, ok := SupportingPrices(set, vector.Quantity{3, 0}, 16); ok {
+		t.Error("infeasible target supportable")
+	}
+}
+
+func TestVerifySTWEWholeAllocation(t *testing.T) {
+	sets := []SupplySet{
+		TimeBudgetSupplySet{Cost: []float64{400, 100}, Budget: 500},
+		TimeBudgetSupplySet{Cost: []float64{450, 500}, Budget: 500},
+	}
+	// The Figure 2 QA allocation: N1 (0,5), N2 (1,0).
+	targets := []vector.Quantity{{0, 5}, {1, 0}}
+	prices, bad, ok := VerifySTWE(sets, targets, 24)
+	if !ok {
+		t.Fatalf("QA allocation unsupportable at node %d", bad)
+	}
+	for i, p := range prices {
+		best := sets[i].BestResponse(p)
+		if best.Value(p) != targets[i].Value(p) {
+			t.Errorf("node %d: prices %v give best response %v, target %v", i, p, best, targets[i])
+		}
+	}
+	// An allocation with a dominated vertex fails with its index.
+	badSets := []SupplySet{TimeBudgetSupplySet{Cost: []float64{200, 100}, Budget: 500}}
+	if _, idx, ok := VerifySTWE(badSets, []vector.Quantity{{1, 3}}, 24); ok || idx != 0 {
+		t.Errorf("dominated allocation verified (idx %d)", idx)
+	}
+}
+
+func TestSupportingPricesZeroClasses(t *testing.T) {
+	set := TimeBudgetSupplySet{Cost: nil, Budget: 500}
+	if _, ok := SupportingPrices(set, vector.Quantity{}, 8); ok {
+		t.Error("zero-dimensional target supportable")
+	}
+}

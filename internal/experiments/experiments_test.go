@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFigure1MatchesPaper(t *testing.T) {
+	r := Figure1()
+	if math.Abs(r.LBMeanMs-662.5) > 0.01 {
+		t.Errorf("LB mean = %.2f, paper reports 662.5", r.LBMeanMs)
+	}
+	if math.Abs(r.QAMeanMs-431.25) > 0.01 {
+		t.Errorf("QA mean = %.2f, paper reports 431.25", r.QAMeanMs)
+	}
+	if r.LBBusyN1Ms != 900 || r.QABusyN1Ms != 600 {
+		t.Errorf("N1 busy: LB %.0f (want 900), QA %.0f (want 600)", r.LBBusyN1Ms, r.QABusyN1Ms)
+	}
+	if r.LBBusyN2Ms != 950 || r.QABusyN2Ms != 900 {
+		t.Errorf("N2 busy: LB %.0f (want 950), QA %.0f (want 900)", r.LBBusyN2Ms, r.QABusyN2Ms)
+	}
+}
+
+func TestFigure2MatchesPaper(t *testing.T) {
+	r := Figure2()
+	if r.Demand.String() != "(2, 6)" {
+		t.Errorf("aggregate demand %v, want (2, 6)", r.Demand)
+	}
+	if r.LBSupply.Total() != 3 || r.QASupply.Total() != 6 {
+		t.Errorf("supply totals LB=%d QA=%d, want 3 and 6", r.LBSupply.Total(), r.QASupply.Total())
+	}
+	if r.LBPareto {
+		t.Error("LB allocation must not be Pareto optimal")
+	}
+	if !r.QAPareto {
+		t.Error("QA allocation must be Pareto optimal")
+	}
+	if !r.Dominates {
+		t.Error("QA must Pareto-dominate LB")
+	}
+	// Excess demand shrinks under QA.
+	if qa, lb := r.QAExcess.Total(), r.LBExcess.Total(); qa >= lb {
+		t.Errorf("QA excess %d not below LB excess %d", qa, lb)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	s := Quick()
+	r, err := Figure3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Q1PerHalfSecond) != s.DurationS*2 {
+		t.Fatalf("buckets = %d, want %d", len(r.Q1PerHalfSecond), s.DurationS*2)
+	}
+	peak1, peak2, total1, total2 := 0, 0, 0, 0
+	for i := range r.Q1PerHalfSecond {
+		if r.Q1PerHalfSecond[i] > peak1 {
+			peak1 = r.Q1PerHalfSecond[i]
+		}
+		if r.Q2PerHalfSecond[i] > peak2 {
+			peak2 = r.Q2PerHalfSecond[i]
+		}
+		total1 += r.Q1PerHalfSecond[i]
+		total2 += r.Q2PerHalfSecond[i]
+	}
+	// Q1's peak arrival rate is twice Q2's.
+	ratio := float64(total1) / float64(total2)
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Errorf("Q1/Q2 volume ratio %.2f, want ~2", ratio)
+	}
+	// The 900° phase shift separates the crests: during Q1's first
+	// crest, Q2 must be near zero.
+	crest := indexOfMax(r.Q1PerHalfSecond[:20])
+	if r.Q2PerHalfSecond[crest] > peak2/3 {
+		t.Errorf("phase shift missing: Q2=%d at Q1's crest (Q2 peak %d)", r.Q2PerHalfSecond[crest], peak2)
+	}
+}
+
+func indexOfMax(xs []int) int {
+	best, at := -1, 0
+	for i, v := range xs {
+		if v > best {
+			best, at = v, i
+		}
+	}
+	return at
+}
+
+func TestFigure4Ordering(t *testing.T) {
+	s := Quick()
+	r, err := Figure4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("figure 4 normalized: %v", r.Normalized)
+	if r.Normalized["qa-nt"] != 1 {
+		t.Fatalf("normalization broken: qa-nt = %g", r.Normalized["qa-nt"])
+	}
+	// The paper's ordering: QA-NT and Greedy clearly beat the load
+	// balancers; random and round-robin are worst.
+	for _, lb := range []string{"random", "round-robin"} {
+		if r.Normalized[lb] < 1.2 {
+			t.Errorf("%s normalized %.2f, expected clearly above QA-NT", lb, r.Normalized[lb])
+		}
+		if r.Normalized[lb] < r.Normalized["greedy"] {
+			t.Errorf("%s (%.2f) should be worse than greedy (%.2f)", lb, r.Normalized[lb], r.Normalized["greedy"])
+		}
+	}
+}
+
+func TestFigure5aCrossover(t *testing.T) {
+	s := Quick()
+	r, err := Figure5a(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("figure 5a: %v", r.Points)
+	if len(r.Points) != len(Figure5aLoads) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Below ~75% capacity Greedy is competitive (ratio can dip below
+	// 1); above it QA-NT must win (ratio > 1).
+	var low, high float64
+	var nLow, nHigh int
+	for _, p := range r.Points {
+		if p.X <= 0.5 {
+			low += p.Y
+			nLow++
+		}
+		if p.X >= 1.5 {
+			high += p.Y
+			nHigh++
+		}
+	}
+	low /= float64(nLow)
+	high /= float64(nHigh)
+	if high <= 1.0 {
+		t.Errorf("overload mean ratio %.3f: QA-NT should win above capacity", high)
+	}
+	if high <= low {
+		t.Errorf("QA-NT advantage should grow with load: low %.3f, high %.3f", low, high)
+	}
+	// The paper's small-load regime: Greedy within ~±15% of QA-NT.
+	if low < 0.7 || low > 1.3 {
+		t.Errorf("low-load ratio %.3f far from parity", low)
+	}
+}
+
+func TestFigure5bImprovementShrinksWithFrequency(t *testing.T) {
+	s := Quick()
+	r, err := Figure5b(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("figure 5b: %v", r.Points)
+	if len(r.Points) != len(Figure5bFreqs) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	first := r.Points[0].Y
+	last := r.Points[len(r.Points)-1].Y
+	// At 0.05 Hz QA-NT has time to track the load; at 2 Hz the period
+	// undersamples the wave and the advantage shrinks.
+	if first < 1.0 {
+		t.Errorf("QA-NT should win at 0.05 Hz: ratio %.3f", first)
+	}
+	if last > first {
+		t.Errorf("advantage should shrink with frequency: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestFigure5cTracking(t *testing.T) {
+	s := Quick()
+	r, err := Figure5c(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qant, greedy := r.TrackingError()
+	t.Logf("figure 5c tracking error: qa-nt %.2f, greedy %.2f", qant, greedy)
+	if qant > greedy {
+		t.Errorf("QA-NT tracking error %.2f worse than greedy %.2f", qant, greedy)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	s := Quick()
+	r, err := Figure6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("figure 6: %v", r.Points)
+	if len(r.Points) != len(Figure6Gaps) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Overloaded regime (small gaps): QA-NT wins.
+	mid := r.Points[2] // 1,000 ms gap
+	if mid.Y <= 1.0 {
+		t.Errorf("QA-NT should win under load: ratio %.3f at %g ms", mid.Y, mid.X)
+	}
+	// Unloaded regime (large gaps): no meaningful gain.
+	last := r.Points[len(r.Points)-1]
+	if last.Y > 1.25 || last.Y < 0.75 {
+		t.Errorf("unloaded ratio %.3f should be near parity", last.Y)
+	}
+}
+
+func TestTable2RowsMatchPaper(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if !byName["qa-nt"].Traits.RespectsAutonomy || byName["qa-nt"].Traits.ConflictsWithQueryOpt {
+		t.Error("QA-NT row wrong")
+	}
+	if byName["markov"].Traits.WorkloadType != "Static" || byName["markov"].Traits.Performance != "Excellent" {
+		t.Error("Markov row wrong")
+	}
+	if byName["greedy"].Traits.RespectsAutonomy {
+		t.Error("greedy must violate autonomy")
+	}
+	out := RenderTable2()
+	if len(out) == 0 {
+		t.Error("RenderTable2 empty")
+	}
+}
+
+func TestTable3StatsAtQuickScale(t *testing.T) {
+	s := Quick()
+	st, err := Table3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != s.Nodes || st.Relations != s.Relations || st.Classes != s.Classes {
+		t.Errorf("shape: %+v", st)
+	}
+	if st.MeanCPUGHz < 1.8 || st.MeanCPUGHz > 2.8 {
+		t.Errorf("mean CPU %.2f, want ~2.3", st.MeanCPUGHz)
+	}
+	if st.MeanRelationMB < 8 || st.MeanRelationMB > 13 {
+		t.Errorf("mean relation size %.1f, want ~10.5", st.MeanRelationMB)
+	}
+	if math.Abs(st.MeanBestExecMs-2000) > 100 {
+		t.Errorf("mean best exec %.0f ms, want ~2000", st.MeanBestExecMs)
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/cluster"
+)
+
+// testFigure7Options shrinks the experiment so the test finishes in a
+// few seconds of wall-clock time.
+func testFigure7Options() Figure7Options {
+	opt := DefaultFigure7()
+	opt.Queries = 80
+	opt.Interarrivals = []time.Duration{40 * time.Millisecond}
+	opt.LinkLatency = 2 * time.Millisecond
+	return opt
+}
+
+func TestFigure7RealCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-cluster experiment skipped in -short mode")
+	}
+	r, err := Figure7(testFigure7Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(r.Runs))
+	}
+	byMech := map[cluster.Mechanism]Figure7Run{}
+	for _, run := range r.Runs {
+		t.Logf("%-8s gap=%v assign=%.1fms total=%.1fms completed=%d failed=%d",
+			run.Mechanism, run.Interarrival, run.MeanAssignMs, run.MeanTotalMs,
+			run.Completed, run.Failed)
+		if run.Completed < 75 {
+			t.Errorf("%s completed only %d/80", run.Mechanism, run.Completed)
+		}
+		if run.MeanAssignMs <= 0 {
+			t.Errorf("%s has zero assignment time", run.Mechanism)
+		}
+		// The paper highlights that assignment takes a visible fraction
+		// of total time because clients wait for all EXPLAIN replies.
+		if run.MeanAssignMs >= run.MeanTotalMs {
+			t.Errorf("%s assignment %.1f >= total %.1f", run.Mechanism, run.MeanAssignMs, run.MeanTotalMs)
+		}
+		byMech[run.Mechanism] = run
+	}
+	// The headline: QA-NT's total time does not lose badly to Greedy.
+	g, q := byMech[cluster.MechGreedy], byMech[cluster.MechQANT]
+	if q.MeanTotalMs > g.MeanTotalMs*1.6 {
+		t.Errorf("QA-NT total %.1fms much worse than Greedy %.1fms", q.MeanTotalMs, g.MeanTotalMs)
+	}
+}
+
+func TestFigure7RejectsBadOptions(t *testing.T) {
+	opt := DefaultFigure7()
+	opt.Slowdowns = []float64{1}
+	if _, err := Figure7(opt); err == nil {
+		t.Error("mismatched slowdowns accepted")
+	}
+}

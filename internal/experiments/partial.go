@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"github.com/qamarket/qamarket/internal/alloc"
+	"github.com/qamarket/qamarket/internal/market"
+)
+
+// PartialAdoptionResult verifies the Section 4 claim that QA-NT keeps
+// optimizing global throughput even when only a subset of nodes adopts
+// it (the rest behave like ordinary always-accepting servers).
+type PartialAdoptionResult struct {
+	// MeanMs maps adoption fraction (0, 0.5, 1.0) to the mean query
+	// response time under an overloaded sinusoid.
+	MeanMs map[float64]float64
+}
+
+// PartialAdoption runs the overload workload with 0%, 50% and 100% of
+// nodes running QA-NT agents.
+func PartialAdoption(s Scale) (PartialAdoptionResult, error) {
+	f, err := newTwoClassFixture(s)
+	if err != nil {
+		return PartialAdoptionResult{}, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 950))
+	durationMs := int64(s.DurationS) * 1000
+	as := f.sinusoidArrivals(s, 0.05, 2.0, durationMs, rng)
+
+	res := PartialAdoptionResult{MeanMs: make(map[float64]float64)}
+	for _, frac := range []float64{0, 0.5, 1.0} {
+		mech := alloc.NewQANT(market.DefaultConfig(2))
+		// Stripe the adopters across the node range so adoption is not
+		// confounded with data placement (the fixture puts Q2's data on
+		// the first half of the nodes).
+		adopters := make(map[int]bool, s.Nodes)
+		want := int(frac * float64(s.Nodes))
+		for i := 0; i < want; i++ {
+			adopters[(i*2)%s.Nodes+(i*2)/s.Nodes] = true
+		}
+		mech.Adopters = adopters
+		sum, _, err := runOne(s, f.cat, f.templates, mech, as)
+		if err != nil {
+			return PartialAdoptionResult{}, err
+		}
+		res.MeanMs[frac] = sum.MeanRespMs
+	}
+	return res, nil
+}

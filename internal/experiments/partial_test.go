@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestPartialAdoption probes the Section 4 claim that QA-NT can run on
+// a subset of nodes. Full adoption must clearly beat no adoption under
+// overload. Partial adoption turns out to be non-monotone in our
+// reproduction — adopters protect themselves and push the overflow
+// onto the unprotected nodes, which hurts when clients already
+// allocate well — an honest divergence recorded in EXPERIMENTS.md
+// (the paper's claim presumes information-poor clients, for which
+// self-protection is the only load signal).
+func TestPartialAdoption(t *testing.T) {
+	r, err := PartialAdoption(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := r.MeanMs[0]
+	half := r.MeanMs[0.5]
+	full := r.MeanMs[1.0]
+	t.Logf("mean response: 0%%=%.0f ms, 50%%=%.0f ms, 100%%=%.0f ms", none, half, full)
+	if full >= none {
+		t.Errorf("full adoption (%.0f ms) not better than none (%.0f ms)", full, none)
+	}
+	if half <= 0 {
+		t.Error("half-adoption run produced no data")
+	}
+	// Zero adoption must behave exactly like the greedy client (every
+	// node always offers): completing the workload, not deadlocking.
+	if none <= 0 {
+		t.Error("zero-adoption run produced no data")
+	}
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/qamarket/qamarket/internal/metrics"
+	"github.com/qamarket/qamarket/internal/workload"
+)
+
+// Figure3Result is the example sinusoid workload plot: queries entering
+// the system per half second, one series per query class.
+type Figure3Result struct {
+	Q1PerHalfSecond []int
+	Q2PerHalfSecond []int
+}
+
+// Figure3 generates the paper's example workload (0.05 Hz sinusoids,
+// Q1 peak twice Q2's, 900° phase difference) and buckets arrivals per
+// half second.
+func Figure3(s Scale) (Figure3Result, error) {
+	f, err := newTwoClassFixture(s)
+	if err != nil {
+		return Figure3Result{}, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 100))
+	durationMs := int64(s.DurationS) * 1000
+	as := f.sinusoidArrivals(s, 0.05, 0.9, durationMs, rng)
+	var q1, q2 []workload.Arrival
+	for _, a := range as {
+		if a.Class == 0 {
+			q1 = append(q1, a)
+		} else {
+			q2 = append(q2, a)
+		}
+	}
+	return Figure3Result{
+		Q1PerHalfSecond: workload.HalfSecondCounts(q1, durationMs),
+		Q2PerHalfSecond: workload.HalfSecondCounts(q2, durationMs),
+	}, nil
+}
+
+// Figure4Result reports the normalized average query response time of
+// every mechanism under the 0.05 Hz sinusoid with peak load slightly
+// below system capacity (normalized by QA-NT's mean: 1.0 = QA-NT).
+type Figure4Result struct {
+	Normalized map[string]float64
+	MeanMs     map[string]float64
+}
+
+// Figure4 runs all six mechanisms over the same arrival stream.
+func Figure4(s Scale) (Figure4Result, error) {
+	f, err := newTwoClassFixture(s)
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 200))
+	durationMs := int64(s.DurationS) * 1000
+	// Peak slightly below capacity means average load around 1/π of
+	// peak; the paper describes "peek load slightly below total system
+	// capacity".
+	peakFrac := 0.95
+	as := f.sinusoidArrivals(s, 0.05, peakFrac/3.1416, durationMs, rng)
+	means := make(map[string]float64)
+	for name, mech := range mechanisms(s.Seed) {
+		sum, _, err := runOne(s, f.cat, f.templates, mech, as)
+		if err != nil {
+			return Figure4Result{}, fmt.Errorf("figure 4 (%s): %w", name, err)
+		}
+		means[name] = sum.MeanRespMs
+	}
+	norm, err := metrics.Normalize(means, "qa-nt")
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	return Figure4Result{Normalized: norm, MeanMs: means}, nil
+}
+
+// Figure5aResult is Greedy's normalized response time (vs QA-NT) as
+// average workload varies from 10% to 300% of system capacity.
+type Figure5aResult struct {
+	Points []Point // X = load fraction of capacity, Y = greedy/qa-nt
+}
+
+// Figure5aLoads are the sweep points (fraction of total capacity).
+var Figure5aLoads = []float64{0.10, 0.25, 0.50, 0.75, 1.00, 1.50, 2.00, 2.50, 3.00}
+
+// Figure5a sweeps the workload amplitude.
+func Figure5a(s Scale) (Figure5aResult, error) {
+	f, err := newTwoClassFixture(s)
+	if err != nil {
+		return Figure5aResult{}, err
+	}
+	durationMs := int64(s.DurationS) * 1000
+	var out Figure5aResult
+	for i, load := range Figure5aLoads {
+		rng := rand.New(rand.NewSource(s.Seed + 300 + int64(i)))
+		as := f.sinusoidArrivals(s, 0.05, load, durationMs, rng)
+		qant, _, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)["qa-nt"], as)
+		if err != nil {
+			return Figure5aResult{}, err
+		}
+		greedy, _, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)["greedy"], as)
+		if err != nil {
+			return Figure5aResult{}, err
+		}
+		out.Points = append(out.Points, Point{X: load, Y: greedy.MeanRespMs / qant.MeanRespMs})
+	}
+	return out, nil
+}
+
+// Figure5bResult is Greedy's normalized response time as the sinusoid
+// frequency varies from 0.05 Hz to 2 Hz at 80% average load.
+type Figure5bResult struct {
+	Points []Point // X = frequency Hz, Y = greedy/qa-nt
+}
+
+// Figure5bFreqs are the sweep points.
+var Figure5bFreqs = []float64{0.05, 0.1, 0.2, 0.5, 1.0, 2.0}
+
+// Figure5b sweeps the workload frequency.
+func Figure5b(s Scale) (Figure5bResult, error) {
+	f, err := newTwoClassFixture(s)
+	if err != nil {
+		return Figure5bResult{}, err
+	}
+	durationMs := int64(s.DurationS) * 1000
+	var out Figure5bResult
+	for i, freq := range Figure5bFreqs {
+		rng := rand.New(rand.NewSource(s.Seed + 400 + int64(i)))
+		as := f.sinusoidArrivals(s, freq, 0.8, durationMs, rng)
+		qant, _, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)["qa-nt"], as)
+		if err != nil {
+			return Figure5bResult{}, err
+		}
+		greedy, _, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)["greedy"], as)
+		if err != nil {
+			return Figure5bResult{}, err
+		}
+		out.Points = append(out.Points, Point{X: freq, Y: greedy.MeanRespMs / qant.MeanRespMs})
+	}
+	return out, nil
+}
+
+// Figure5cResult tracks, per half second, Q1 arrivals and the number
+// of Q1 queries each mechanism completed — the load-following plot.
+type Figure5cResult struct {
+	Arrivals  []int
+	QANTDone  []int
+	GreedyDon []int
+}
+
+// Figure5c runs a near-capacity sinusoid and compares how closely each
+// mechanism's Q1 completions follow the Q1 arrival curve.
+func Figure5c(s Scale) (Figure5cResult, error) {
+	f, err := newTwoClassFixture(s)
+	if err != nil {
+		return Figure5cResult{}, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 500))
+	durationMs := int64(s.DurationS) * 1000
+	as := f.sinusoidArrivals(s, 0.05, 0.95, durationMs, rng)
+	var q1 []workload.Arrival
+	for _, a := range as {
+		if a.Class == 0 {
+			q1 = append(q1, a)
+		}
+	}
+	horizon := durationMs + 15000 // allow queue drain past the last arrival
+	collect := func(name string) ([]int, error) {
+		_, col, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)[name], as)
+		if err != nil {
+			return nil, err
+		}
+		return col.ExecutedPerBucket(500, horizon, 0), nil
+	}
+	qant, err := collect("qa-nt")
+	if err != nil {
+		return Figure5cResult{}, err
+	}
+	greedy, err := collect("greedy")
+	if err != nil {
+		return Figure5cResult{}, err
+	}
+	return Figure5cResult{
+		Arrivals:  workload.HalfSecondCounts(q1, horizon),
+		QANTDone:  qant,
+		GreedyDon: greedy,
+	}, nil
+}
+
+// TrackingError quantifies Figure 5c: the mean absolute difference
+// between arrivals and completions per bucket (lower = mechanism
+// follows the load more closely).
+func (r Figure5cResult) TrackingError() (qant, greedy float64) {
+	n := len(r.Arrivals)
+	if len(r.QANTDone) < n {
+		n = len(r.QANTDone)
+	}
+	if len(r.GreedyDon) < n {
+		n = len(r.GreedyDon)
+	}
+	var sq, sg float64
+	for i := 0; i < n; i++ {
+		sq += absf(float64(r.Arrivals[i] - r.QANTDone[i]))
+		sg += absf(float64(r.Arrivals[i] - r.GreedyDon[i]))
+	}
+	return sq / float64(n), sg / float64(n)
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/qamarket/qamarket/internal/alloc"
+	"github.com/qamarket/qamarket/internal/catalog"
+	"github.com/qamarket/qamarket/internal/costmodel"
+	"github.com/qamarket/qamarket/internal/workload"
+)
+
+// Table2Row is one mechanism's qualitative profile (Table 2).
+type Table2Row struct {
+	Name   string
+	Traits alloc.Traits
+}
+
+// Table2 collects the Traits the mechanisms report about themselves,
+// in the paper's row order.
+func Table2() []Table2Row {
+	order := []string{"qa-nt", "greedy", "random", "round-robin", "bnqrd", "markov"}
+	mechs := mechanisms(1)
+	mechs["markov"] = alloc.NewMarkov(nil)
+	var out []Table2Row
+	for _, name := range order {
+		out = append(out, Table2Row{Name: name, Traits: mechs[name].Traits()})
+	}
+	return out
+}
+
+// RenderTable2 formats Table 2 like the paper.
+func RenderTable2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-12s %-10s %-9s %-9s %s\n",
+		"Mechanism", "Distributed", "Workload", "Conflict", "Autonomy", "Performance")
+	for _, row := range Table2() {
+		fmt.Fprintf(&b, "%-12s %-12s %-10s %-9s %-9s %s\n",
+			row.Name, yn(row.Traits.Distributed), row.Traits.WorkloadType,
+			yn(row.Traits.ConflictsWithQueryOpt), yn(row.Traits.RespectsAutonomy),
+			row.Traits.Performance)
+	}
+	return b.String()
+}
+
+func yn(v bool) string {
+	if v {
+		return "X"
+	}
+	return "-"
+}
+
+// Table3Stats verifies the generated environment against the Table 3
+// parameters: it reports the realized statistics of a generated
+// catalog and workload.
+type Table3Stats struct {
+	Nodes            int
+	Relations        int
+	HashJoinNodes    int
+	MeanCPUGHz       float64
+	MeanIOMBps       float64
+	MeanBufferMB     float64
+	MeanRelationMB   float64
+	MeanMirrors      float64
+	Classes          int
+	MeanJoins        float64
+	MeanBestExecMs   float64
+	RelationsPerNode float64
+}
+
+// Table3 generates a catalog + class universe at the given scale and
+// measures the realized parameter statistics.
+func Table3(s Scale) (Table3Stats, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	p := catalog.Table3()
+	p.Nodes = s.Nodes
+	p.Relations = s.Relations
+	p.HashJoinNodes = s.Nodes * 95 / 100
+	cat, err := catalog.Generate(p, rng)
+	if err != nil {
+		return Table3Stats{}, err
+	}
+	model := costmodel.New(cat)
+	tp := workload.Table3Templates()
+	tp.Classes = s.Classes
+	tp.MaxJoins = s.MaxJoins
+	ts, err := workload.GenerateTemplates(cat, model, tp, rng)
+	if err != nil {
+		return Table3Stats{}, err
+	}
+	var st Table3Stats
+	st.Nodes = len(cat.Nodes)
+	st.Relations = len(cat.Relations)
+	var cpu, io, buf, mirrors, perNode float64
+	for _, n := range cat.Nodes {
+		if n.HashJoin {
+			st.HashJoinNodes++
+		}
+		cpu += n.CPUGHz
+		io += n.IOMBps
+		buf += n.BufferMB
+		perNode += float64(len(n.Holds))
+		mirrors += float64(len(n.Holds))
+	}
+	st.MeanCPUGHz = cpu / float64(st.Nodes)
+	st.MeanIOMBps = io / float64(st.Nodes)
+	st.MeanBufferMB = buf / float64(st.Nodes)
+	st.MeanMirrors = mirrors / float64(st.Relations)
+	st.RelationsPerNode = perNode / float64(st.Nodes)
+	var size float64
+	for _, r := range cat.Relations {
+		size += r.SizeMB
+	}
+	st.MeanRelationMB = size / float64(st.Relations)
+	st.Classes = len(ts)
+	var joins, best float64
+	for _, t := range ts {
+		joins += float64(t.Joins())
+		b, _ := model.EstimateBest(t)
+		best += b
+	}
+	st.MeanJoins = joins / float64(st.Classes)
+	st.MeanBestExecMs = best / float64(st.Classes)
+	return st, nil
+}
+
+// SortedKeys returns map keys in sorted order (stable printing).
+func SortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

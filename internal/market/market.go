@@ -1,0 +1,304 @@
+// Package market implements the paper's primary contribution: the QA-NT
+// non-tâtonnement query-market agent of Section 3.3.
+//
+// Each server node runs one Agent. The agent keeps a *private* price
+// table over its own query classes (prices are never exchanged over the
+// network, preserving node autonomy), and in every time period τ:
+//
+//  1. BeginPeriod solves eq. (4) — max_{s∈S_i} p·s — to produce the
+//     node's supply vector for the period;
+//  2. for every incoming request, Offer answers whether the node offers
+//     to evaluate the query (s_ik > 0); on rejection the class price is
+//     raised by λ·p_k (excess demand signal); Accept burns one unit of
+//     supply when a client takes the offer;
+//  3. EndPeriod lowers the price of every class with unsold supply by
+//     s_ik·λ·p_k (excess supply signal).
+//
+// Trading failures are the only price-adjustment signal, exactly as in
+// the QA-NT listing; Proposition 3.1 (via the non-tâtonnement literature)
+// guarantees convergence of excess demand to zero.
+package market
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/qamarket/qamarket/internal/economics"
+	"github.com/qamarket/qamarket/internal/vector"
+)
+
+// Config parameterizes a QA-NT agent.
+type Config struct {
+	// Classes is K, the number of query classes this node distinguishes.
+	// Classification is private to the node (Section 2.1): different
+	// nodes may use different K without harming the mechanism.
+	Classes int
+	// Lambda is the price-adjustment step λ of eq. (6) and of the QA-NT
+	// listing. Larger values converge in fewer periods but estimate the
+	// equilibrium prices less accurately.
+	Lambda float64
+	// InitialPrice seeds every class price (defaults to 1).
+	InitialPrice float64
+	// PriceFloor and PriceCap clamp prices to keep the multiplicative
+	// recursion numerically safe over unbounded runs. Defaults: 1e-6 and
+	// 1e6.
+	PriceFloor, PriceCap float64
+	// ActivationThreshold implements the Section 5.1 deployment advice:
+	// the agent always tracks prices, but only restricts supply through
+	// them when some price exceeds the threshold (a decentralized signal
+	// that the system is overloaded). Zero means "always active".
+	ActivationThreshold float64
+	// MaxAdjustsPerPeriod bounds how many upward adjustments a single
+	// class may receive within one period, preventing price blow-up when
+	// thousands of requests for one class arrive in one τ. Zero means
+	// unbounded (the literal paper listing).
+	MaxAdjustsPerPeriod int
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Classes <= 0 {
+		return errors.New("market: Classes must be positive")
+	}
+	if c.Lambda <= 0 {
+		return errors.New("market: Lambda must be positive")
+	}
+	if c.Lambda >= 1 {
+		return errors.New("market: Lambda must be below 1 (price updates are multiplicative)")
+	}
+	if c.InitialPrice <= 0 {
+		c.InitialPrice = 1
+	}
+	if c.PriceFloor <= 0 {
+		c.PriceFloor = 1e-6
+	}
+	if c.PriceCap <= 0 {
+		c.PriceCap = 1e6
+	}
+	if c.PriceFloor >= c.PriceCap {
+		return fmt.Errorf("market: price floor %g >= cap %g", c.PriceFloor, c.PriceCap)
+	}
+	return nil
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments: λ=0.1, unit initial prices, always-active pricing.
+func DefaultConfig(classes int) Config {
+	return Config{Classes: classes, Lambda: 0.1, InitialPrice: 1}
+}
+
+// Agent is one node's QA-NT market participant. It is not safe for
+// concurrent use; wrap it in the caller's synchronization (the cluster
+// package serializes access per node).
+type Agent struct {
+	cfg      Config
+	set      economics.SupplySet
+	prices   vector.Prices
+	supply   vector.Quantity // remaining offers in the current period
+	planned  vector.Quantity // supply vector chosen at BeginPeriod
+	accepted vector.Quantity // work accepted in the current period
+	adjusts  []int           // upward adjustments per class this period
+
+	// Stats accumulate across the agent's lifetime.
+	stats Stats
+}
+
+// Stats counts the agent's market activity.
+type Stats struct {
+	Periods  int // completed periods
+	Offers   int // requests answered with an offer
+	Accepts  int // offers accepted by clients
+	Rejects  int // requests refused (no supply left)
+	Unsold   int // supply units left unsold at period ends
+	PriceUps int // upward price adjustments
+	PriceDns int // downward price adjustments
+}
+
+// NewAgent builds an agent over the node's supply set. The supply set
+// encodes the node's capabilities S_i (Section 2.2): which classes it
+// can evaluate and how many fit in one period.
+func NewAgent(set economics.SupplySet, cfg Config) (*Agent, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if set == nil {
+		return nil, errors.New("market: nil supply set")
+	}
+	a := &Agent{
+		cfg:      cfg,
+		set:      set,
+		prices:   vector.NewPrices(cfg.Classes, cfg.InitialPrice),
+		supply:   vector.New(cfg.Classes),
+		planned:  vector.New(cfg.Classes),
+		accepted: vector.New(cfg.Classes),
+		adjusts:  make([]int, cfg.Classes),
+	}
+	return a, nil
+}
+
+// BeginPeriod starts a new time period τ: it solves eq. (4) against the
+// current private prices and installs the resulting supply vector.
+func (a *Agent) BeginPeriod() {
+	a.planned = a.set.BestResponse(a.prices)
+	a.supply = a.planned.Clone()
+	a.accepted = vector.New(a.cfg.Classes)
+	for i := range a.adjusts {
+		a.adjusts[i] = 0
+	}
+}
+
+// Active reports whether market pricing currently restricts supply. With
+// a zero ActivationThreshold the agent is always active; otherwise it
+// activates once any class price exceeds the threshold (the node's local
+// overload signal, Section 5.1).
+func (a *Agent) Active() bool {
+	if a.cfg.ActivationThreshold <= 0 {
+		return true
+	}
+	for _, p := range a.prices {
+		if p > a.cfg.ActivationThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// Offer implements steps 4–10 of the QA-NT listing for one incoming
+// request of class k. It returns true when the node offers to evaluate
+// the query (s_ik > 0 while pricing is active, or residual capacity
+// exists while it is not). When it returns false the price of k has
+// already been raised by λ·p_k — the trading failure is the price
+// signal, and prices are tracked even below the activation threshold.
+func (a *Agent) Offer(k int) bool {
+	a.mustClass(k)
+	if a.Active() {
+		if a.supply[k] > 0 {
+			a.stats.Offers++
+			return true
+		}
+	} else if a.fitsCapacity(k) {
+		a.stats.Offers++
+		return true
+	}
+	a.stats.Rejects++
+	a.raise(k)
+	return false
+}
+
+// fitsCapacity reports whether one more class-k query fits the node's
+// supply set on top of the work already accepted this period.
+func (a *Agent) fitsCapacity(k int) bool {
+	probe := a.accepted.Clone()
+	probe[k]++
+	return a.set.Feasible(probe)
+}
+
+// Accept records that a client accepted this node's offer for one
+// class-k query (step 6: s_ik = s_ik − 1). It returns an error if no
+// offered supply remains, which indicates a protocol violation by the
+// caller (accepting more than was offered).
+func (a *Agent) Accept(k int) error {
+	a.mustClass(k)
+	if a.Active() {
+		if a.supply[k] <= 0 {
+			return fmt.Errorf("market: accept of class %d without remaining supply", k)
+		}
+	} else if !a.fitsCapacity(k) {
+		return fmt.Errorf("market: accept of class %d beyond node capacity", k)
+	}
+	if a.supply[k] > 0 {
+		a.supply[k]--
+	}
+	a.accepted[k]++
+	a.stats.Accepts++
+	return nil
+}
+
+// Decline records that a client declined this node's offer (it chose a
+// different seller). The supply unit stays available for other buyers;
+// no price movement happens — only trading *failures* move prices.
+func (a *Agent) Decline(k int) {
+	a.mustClass(k)
+}
+
+// EndPeriod implements steps 12–14: every class with unsold supply has
+// its price cut by s_ik·λ·p_k, then the period counters reset. Call
+// BeginPeriod to start the next period.
+func (a *Agent) EndPeriod() {
+	for k, left := range a.supply {
+		if left > 0 {
+			a.stats.Unsold += left
+			a.lower(k, left)
+		}
+	}
+	a.stats.Periods++
+}
+
+// Prices returns a copy of the node's private price vector. Exposed for
+// observability; QA-NT never sends prices to other nodes.
+func (a *Agent) Prices() vector.Prices { return a.prices.Clone() }
+
+// RemainingSupply returns a copy of the unsold portion of the current
+// period's supply vector.
+func (a *Agent) RemainingSupply() vector.Quantity { return a.supply.Clone() }
+
+// PlannedSupply returns a copy of the supply vector chosen by the last
+// BeginPeriod (the s_i* of eq. 4).
+func (a *Agent) PlannedSupply() vector.Quantity { return a.planned.Clone() }
+
+// Accepted returns a copy of the per-class counts of work accepted in
+// the current period.
+func (a *Agent) Accepted() vector.Quantity { return a.accepted.Clone() }
+
+// SetSupplySet swaps the agent's supply set; the next BeginPeriod uses
+// it. Callers use this to reflect capacity that changes between periods
+// (e.g. the rolling budget of the simulator adapter).
+func (a *Agent) SetSupplySet(set economics.SupplySet) error {
+	if set == nil {
+		return errors.New("market: nil supply set")
+	}
+	a.set = set
+	return nil
+}
+
+// Stats returns a snapshot of the agent's lifetime counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// SetPrices overrides the private price vector; intended for tests and
+// for warm-starting agents in ablation studies.
+func (a *Agent) SetPrices(p vector.Prices) error {
+	if p.Len() != a.cfg.Classes {
+		return fmt.Errorf("market: price vector has %d classes, agent has %d", p.Len(), a.cfg.Classes)
+	}
+	if !p.IsValid() {
+		return errors.New("market: invalid price vector")
+	}
+	a.prices = p.Clone()
+	return nil
+}
+
+func (a *Agent) raise(k int) {
+	if a.cfg.MaxAdjustsPerPeriod > 0 && a.adjusts[k] >= a.cfg.MaxAdjustsPerPeriod {
+		return
+	}
+	a.adjusts[k]++
+	a.prices[k] += a.cfg.Lambda * a.prices[k]
+	if a.prices[k] > a.cfg.PriceCap {
+		a.prices[k] = a.cfg.PriceCap
+	}
+	a.stats.PriceUps++
+}
+
+func (a *Agent) lower(k, unsold int) {
+	cut := float64(unsold) * a.cfg.Lambda * a.prices[k]
+	a.prices[k] -= cut
+	if a.prices[k] < a.cfg.PriceFloor {
+		a.prices[k] = a.cfg.PriceFloor
+	}
+	a.stats.PriceDns++
+}
+
+func (a *Agent) mustClass(k int) {
+	if k < 0 || k >= a.cfg.Classes {
+		panic(fmt.Sprintf("market: class %d out of range [0,%d)", k, a.cfg.Classes))
+	}
+}

@@ -1,0 +1,59 @@
+package market
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/qamarket/qamarket/internal/economics"
+	"github.com/qamarket/qamarket/internal/vector"
+)
+
+// Snapshot is the persistent state of an agent: everything a node
+// needs to resume its market position after a restart. Learned prices
+// are the valuable part — they encode the node's view of the demand it
+// has seen — so long-running qanode deployments checkpoint them.
+type Snapshot struct {
+	Prices []float64 `json:"prices"`
+	Stats  Stats     `json:"stats"`
+}
+
+// Snapshot captures the agent's persistent state. Per-period state
+// (remaining supply, adjustment counters) is deliberately excluded: a
+// restore always begins a fresh period.
+func (a *Agent) Snapshot() Snapshot {
+	return Snapshot{
+		Prices: append([]float64(nil), a.prices...),
+		Stats:  a.stats,
+	}
+}
+
+// Restore builds an agent from a snapshot, resuming with the learned
+// prices and lifetime counters. The supply set and config are provided
+// fresh (capacity may have changed across the restart); the snapshot's
+// class count must match cfg.Classes.
+func Restore(set economics.SupplySet, cfg Config, snap Snapshot) (*Agent, error) {
+	a, err := NewAgent(set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Prices) != a.cfg.Classes {
+		return nil, fmt.Errorf("market: snapshot has %d classes, config %d", len(snap.Prices), a.cfg.Classes)
+	}
+	if err := a.SetPrices(vector.Prices(snap.Prices)); err != nil {
+		return nil, fmt.Errorf("market: snapshot prices: %w", err)
+	}
+	a.stats = snap.Stats
+	return a, nil
+}
+
+// MarshalSnapshot serializes a snapshot to JSON.
+func MarshalSnapshot(s Snapshot) ([]byte, error) { return json.Marshal(s) }
+
+// UnmarshalSnapshot parses a snapshot produced by MarshalSnapshot.
+func UnmarshalSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("market: parsing snapshot: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,59 @@
+package market
+
+import (
+	"testing"
+
+	"github.com/qamarket/qamarket/internal/economics"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	set := economics.TimeBudgetSupplySet{Cost: []float64{400, 100}, Budget: 500}
+	a := newTestAgent(t, []float64{400, 100}, 500, DefaultConfig(2))
+	// Learn some prices.
+	for period := 0; period < 5; period++ {
+		a.BeginPeriod()
+		a.Offer(0) // always rejected: raises p0
+		a.EndPeriod()
+	}
+	snap := a.Snapshot()
+	data, err := MarshalSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := UnmarshalSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Restore(set, DefaultConfig(2), parsed)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	pa, pb := a.Prices(), b.Prices()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Errorf("price[%d] %g != %g after restore", i, pb[i], pa[i])
+		}
+	}
+	if b.Stats().Periods != a.Stats().Periods {
+		t.Errorf("stats not carried: %+v vs %+v", b.Stats(), a.Stats())
+	}
+	// The restored agent plans the same supply vector.
+	a.BeginPeriod()
+	b.BeginPeriod()
+	if !a.PlannedSupply().Equal(b.PlannedSupply()) {
+		t.Errorf("restored supply %v != original %v", b.PlannedSupply(), a.PlannedSupply())
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	set := economics.TimeBudgetSupplySet{Cost: []float64{100}, Budget: 500}
+	if _, err := Restore(set, DefaultConfig(1), Snapshot{Prices: []float64{1, 2}}); err == nil {
+		t.Error("class-count mismatch accepted")
+	}
+	if _, err := Restore(set, DefaultConfig(1), Snapshot{Prices: []float64{-1}}); err == nil {
+		t.Error("invalid prices accepted")
+	}
+	if _, err := UnmarshalSnapshot([]byte("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package market
+
+import (
+	"math"
+
+	"github.com/qamarket/qamarket/internal/vector"
+)
+
+// ExactTimeBudgetSupplySet solves eq. (4) exactly with dynamic
+// programming over a discretized time budget (an unbounded knapsack),
+// instead of the greedy density heuristic of
+// economics.TimeBudgetSupplySet. It exists for the DESIGN.md solver
+// ablation: Section 5.1 attributes QA-NT's small-load losses to integer
+// rounding in the supply computation, and the exact solver quantifies
+// how much of that loss the heuristic adds on top.
+type ExactTimeBudgetSupplySet struct {
+	// Cost holds per-class execution costs in milliseconds; entries <= 0
+	// mark classes the node cannot evaluate.
+	Cost []float64
+	// Budget is the period capacity in milliseconds.
+	Budget float64
+	// Granularity is the DP time step in milliseconds (default 1).
+	// Coarser steps trade exactness for speed.
+	Granularity float64
+}
+
+// Feasible reports whether s fits the budget (same test as the greedy
+// supply set; feasibility does not depend on the solver).
+func (t ExactTimeBudgetSupplySet) Feasible(s vector.Quantity) bool {
+	if len(s) != len(t.Cost) || !s.IsValid() {
+		return false
+	}
+	used := 0.0
+	for k, n := range s {
+		if n == 0 {
+			continue
+		}
+		if t.Cost[k] <= 0 {
+			return false
+		}
+		used += float64(n) * t.Cost[k]
+	}
+	return used <= t.Budget+1e-9
+}
+
+// BestResponse solves the unbounded knapsack max p·s subject to
+// cost·s <= Budget by DP over Budget/Granularity ticks. Costs are
+// rounded *up* to ticks so the returned vector is always feasible.
+func (t ExactTimeBudgetSupplySet) BestResponse(p vector.Prices) vector.Quantity {
+	k := len(t.Cost)
+	out := vector.New(k)
+	gran := t.Granularity
+	if gran <= 0 {
+		gran = 1
+	}
+	ticks := int(t.Budget / gran)
+	if ticks <= 0 {
+		return out
+	}
+	costTicks := make([]int, k)
+	usable := false
+	for c := range t.Cost {
+		if t.Cost[c] <= 0 {
+			costTicks[c] = -1
+			continue
+		}
+		costTicks[c] = int(math.Ceil(t.Cost[c] / gran))
+		if costTicks[c] == 0 {
+			costTicks[c] = 1
+		}
+		if costTicks[c] <= ticks {
+			usable = true
+		}
+	}
+	if !usable {
+		return out
+	}
+	// best[b] = max value achievable with b ticks; last[b] = class of the
+	// item added to reach best[b] at exactly budget b, or -1 when the
+	// optimum at b simply inherits the optimum at b-1.
+	best := make([]float64, ticks+1)
+	last := make([]int, ticks+1)
+	for b := 1; b <= ticks; b++ {
+		best[b] = best[b-1]
+		last[b] = -1
+		for c := 0; c < k; c++ {
+			ct := costTicks[c]
+			if ct <= 0 || ct > b {
+				continue
+			}
+			if v := best[b-ct] + p[c]; v > best[b]+1e-12 {
+				best[b] = v
+				last[b] = c
+			}
+		}
+	}
+	for b := ticks; b > 0; {
+		c := last[b]
+		if c == -1 {
+			b--
+			continue
+		}
+		out[c]++
+		b -= costTicks[c]
+	}
+	return out
+}

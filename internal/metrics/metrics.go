@@ -1,0 +1,145 @@
+// Package metrics collects the measurements reported in Section 5: per-
+// query response times, per-period executed-query counts, and the
+// response-time normalization the paper applies (dividing each
+// algorithm's average by QA-NT's).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample records one completed query.
+type Sample struct {
+	Class      int
+	Origin     int
+	Node       int   // executing node
+	ArrivalMs  int64 // when the query entered the system
+	StartMs    int64 // when execution began
+	FinishMs   int64 // when execution completed
+	AssignMs   int64 // time spent choosing the executing node
+	Resubmits  int   // times the query was pushed to a later period
+	ExecutedMs int64 // pure execution time at the node
+}
+
+// ResponseMs is the end-to-end response time the experiments report.
+func (s Sample) ResponseMs() int64 { return s.FinishMs - s.ArrivalMs }
+
+// Collector accumulates samples for one experiment run.
+type Collector struct {
+	samples []Sample
+	dropped int
+}
+
+// Add records a completed query.
+func (c *Collector) Add(s Sample) { c.samples = append(c.samples, s) }
+
+// Drop records a query that never completed within the experiment
+// horizon (still queued at the end).
+func (c *Collector) Drop() { c.dropped++ }
+
+// Samples returns the recorded samples (not a copy; callers must not
+// mutate).
+func (c *Collector) Samples() []Sample { return c.samples }
+
+// Completed returns how many queries finished.
+func (c *Collector) Completed() int { return len(c.samples) }
+
+// Dropped returns how many queries never finished.
+func (c *Collector) Dropped() int { return c.dropped }
+
+// Summary condenses a run into the figures' reporting quantities.
+type Summary struct {
+	Completed   int
+	Dropped     int
+	MeanRespMs  float64
+	MedianMs    float64
+	P95Ms       float64
+	MaxMs       int64
+	MeanAssign  float64
+	MeanResub   float64
+	TotalExecMs int64
+}
+
+// Summarize computes the summary statistics of the run.
+func (c *Collector) Summarize() Summary {
+	s := Summary{Completed: len(c.samples), Dropped: c.dropped}
+	if len(c.samples) == 0 {
+		return s
+	}
+	resp := make([]int64, len(c.samples))
+	var sum, asum int64
+	var rsum int
+	for i, smp := range c.samples {
+		r := smp.ResponseMs()
+		resp[i] = r
+		sum += r
+		asum += smp.AssignMs
+		rsum += smp.Resubmits
+		s.TotalExecMs += smp.ExecutedMs
+		if r > s.MaxMs {
+			s.MaxMs = r
+		}
+	}
+	sort.Slice(resp, func(i, j int) bool { return resp[i] < resp[j] })
+	n := float64(len(resp))
+	s.MeanRespMs = float64(sum) / n
+	s.MedianMs = percentile(resp, 0.5)
+	s.P95Ms = percentile(resp, 0.95)
+	s.MeanAssign = float64(asum) / n
+	s.MeanResub = float64(rsum) / n
+	return s
+}
+
+// ExecutedPerBucket counts queries whose execution *finished* inside
+// each half-second bucket — the "queries executed" series of Figure 5c.
+func (c *Collector) ExecutedPerBucket(bucketMs, horizonMs int64, class int) []int {
+	n := int((horizonMs + bucketMs - 1) / bucketMs)
+	out := make([]int, n)
+	for _, s := range c.samples {
+		if class >= 0 && s.Class != class {
+			continue
+		}
+		b := int(s.FinishMs / bucketMs)
+		if b >= 0 && b < n {
+			out[b]++
+		}
+	}
+	return out
+}
+
+// Normalize divides each algorithm's mean response time by the
+// reference algorithm's (the paper normalizes against QA-NT). Values
+// above 1 mean "slower than the reference".
+func Normalize(means map[string]float64, reference string) (map[string]float64, error) {
+	ref, ok := means[reference]
+	if !ok {
+		return nil, fmt.Errorf("metrics: reference %q missing", reference)
+	}
+	if ref <= 0 || math.IsNaN(ref) {
+		return nil, fmt.Errorf("metrics: reference mean %g not positive", ref)
+	}
+	out := make(map[string]float64, len(means))
+	for k, v := range means {
+		out[k] = v / ref
+	}
+	return out, nil
+}
+
+func percentile(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return float64(sorted[0])
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return float64(sorted[lo])
+	}
+	frac := pos - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
+}

@@ -1,0 +1,202 @@
+// Package qtrade is a compact version of the Query and Process Trading
+// framework ([13,14] in the paper; Mariposa [15] is the same shape):
+// buyers issue calls-for-proposals for (sub)queries, sellers answer
+// with bids carrying a price and a delivery estimate, and the buyer
+// awards the query to the bid its valuation ranks best, with multiple
+// rounds when nobody bids.
+//
+// Section 4 of the paper positions QA-NT as *compatible* with such
+// distributed query optimizers — it only restricts which CFPs a seller
+// bids on (admission control through the supply vector), never how
+// queries are valued or split. MarketSeller realizes exactly that
+// composition: it wraps a QA-NT agent in front of any base seller.
+package qtrade
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/qamarket/qamarket/internal/market"
+)
+
+// CFP is a call-for-proposals for one (sub)query.
+type CFP struct {
+	QueryID int64
+	Class   int
+	// Round counts re-issues of the same CFP (0 on first issue).
+	// Sellers may loosen their own constraints on later rounds.
+	Round int
+}
+
+// Bid is a seller's answer to a CFP.
+type Bid struct {
+	Seller     int     // seller identifier assigned at registration
+	Price      float64 // the seller's asking price (virtual currency)
+	DeliveryMs float64 // estimated completion time
+}
+
+// Seller answers CFPs. Implementations must be deterministic given
+// their own state.
+type Seller interface {
+	// Bid returns the seller's offer and true, or false to abstain.
+	Bid(cfp CFP) (Bid, bool)
+}
+
+// Valuation scores a bid for a CFP; the highest score wins. The
+// classic choices live below.
+type Valuation func(cfp CFP, bid Bid) float64
+
+// EarliestDelivery prefers the bid completing soonest (the paper's
+// client behaviour: take the best offer by estimated time).
+func EarliestDelivery(_ CFP, b Bid) float64 { return -b.DeliveryMs }
+
+// CheapestPrice prefers the lowest asking price (Mariposa's budget
+// shoppers).
+func CheapestPrice(_ CFP, b Bid) float64 { return -b.Price }
+
+// Weighted blends delivery and price with the given weights.
+func Weighted(deliveryWeight, priceWeight float64) Valuation {
+	return func(_ CFP, b Bid) float64 {
+		return -(deliveryWeight*b.DeliveryMs + priceWeight*b.Price)
+	}
+}
+
+// Auction runs CFP/bid/award rounds over a set of sellers.
+type Auction struct {
+	sellers   []Seller
+	valuation Valuation
+	maxRounds int
+
+	// Stats.
+	cfps   int
+	bids   int
+	awards int
+}
+
+// NewAuction builds an auction over the sellers. maxRounds bounds
+// re-issues of an unanswered CFP (the paper's clients resubmit in the
+// next time period; callers advance their market periods between
+// rounds via the onRound callback of Award).
+func NewAuction(sellers []Seller, valuation Valuation, maxRounds int) (*Auction, error) {
+	if len(sellers) == 0 {
+		return nil, errors.New("qtrade: no sellers")
+	}
+	if valuation == nil {
+		return nil, errors.New("qtrade: nil valuation")
+	}
+	if maxRounds <= 0 {
+		maxRounds = 1
+	}
+	return &Auction{sellers: sellers, valuation: valuation, maxRounds: maxRounds}, nil
+}
+
+// Award runs the auction for one CFP: collect bids from every seller,
+// pick the valuation's favourite, and return it. When no seller bids,
+// the CFP is re-issued up to maxRounds times; onRound (optional) runs
+// between rounds — the natural place to advance market periods.
+// It returns ok=false when every round ends bidless.
+func (a *Auction) Award(cfp CFP, onRound func(round int)) (Bid, bool) {
+	for round := 0; round < a.maxRounds; round++ {
+		cfp.Round = round
+		a.cfps++
+		var best Bid
+		bestScore := 0.0
+		found := false
+		for _, s := range a.sellers {
+			bid, ok := s.Bid(cfp)
+			if !ok {
+				continue
+			}
+			a.bids++
+			score := a.valuation(cfp, bid)
+			if !found || score > bestScore {
+				best, bestScore, found = bid, score, true
+			}
+		}
+		if found {
+			a.awards++
+			return best, true
+		}
+		if onRound != nil && round+1 < a.maxRounds {
+			onRound(round)
+		}
+	}
+	return Bid{}, false
+}
+
+// Stats reports the auction's lifetime counters: CFPs issued (counting
+// re-issues), bids received, and awards made.
+func (a *Auction) Stats() (cfps, bids, awards int) {
+	return a.cfps, a.bids, a.awards
+}
+
+// CostSeller is the baseline seller: it always bids, asking its
+// estimated cost and quoting backlog + cost as delivery — a greedy
+// server with no admission control.
+type CostSeller struct {
+	ID int
+	// CostMs maps query class to this seller's execution estimate; a
+	// missing class (or non-positive cost) means "cannot evaluate".
+	CostMs []float64
+	// BacklogMs is the seller's current queued work, updated by the
+	// caller as awards land.
+	BacklogMs float64
+}
+
+// Bid implements Seller.
+func (s *CostSeller) Bid(cfp CFP) (Bid, bool) {
+	if cfp.Class < 0 || cfp.Class >= len(s.CostMs) || s.CostMs[cfp.Class] <= 0 {
+		return Bid{}, false
+	}
+	c := s.CostMs[cfp.Class]
+	return Bid{Seller: s.ID, Price: c, DeliveryMs: s.BacklogMs + c}, true
+}
+
+// MarketSeller composes QA-NT admission control in front of a base
+// seller: it consults the market agent first and abstains whenever the
+// agent refuses (which also raises the refused class's private price —
+// the non-tâtonnement signal). Awards must be reported back through
+// Awarded so the supply vector burns down.
+type MarketSeller struct {
+	Base  Seller
+	Agent *market.Agent
+}
+
+// Bid implements Seller.
+func (s *MarketSeller) Bid(cfp CFP) (Bid, bool) {
+	if !s.Agent.Offer(cfp.Class) {
+		return Bid{}, false
+	}
+	bid, ok := s.Base.Bid(cfp)
+	if !ok {
+		// The base seller cannot serve what the agent offered — a
+		// configuration error worth surfacing in the bid stream.
+		s.Agent.Decline(cfp.Class)
+		return Bid{}, false
+	}
+	return bid, true
+}
+
+// Awarded burns one unit of the agent's supply after winning a CFP.
+func (s *MarketSeller) Awarded(cfp CFP) error {
+	if err := s.Agent.Accept(cfp.Class); err != nil {
+		return fmt.Errorf("qtrade: award bookkeeping: %w", err)
+	}
+	return nil
+}
+
+// Declined tells the agent its offer lost (no price movement; only
+// trading failures move prices).
+func (s *MarketSeller) Declined(cfp CFP) { s.Agent.Decline(cfp.Class) }
+
+// RankBids orders bids best-first under a valuation (a helper for
+// callers implementing their own award protocols, e.g. k-redundant
+// subquery placement).
+func RankBids(cfp CFP, bids []Bid, v Valuation) []Bid {
+	out := append([]Bid(nil), bids...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return v(cfp, out[i]) > v(cfp, out[j])
+	})
+	return out
+}

@@ -1,0 +1,204 @@
+package qtrade
+
+import (
+	"testing"
+
+	"github.com/qamarket/qamarket/internal/economics"
+	"github.com/qamarket/qamarket/internal/market"
+)
+
+func TestAuctionPicksBestBid(t *testing.T) {
+	sellers := []Seller{
+		&CostSeller{ID: 0, CostMs: []float64{400}},
+		&CostSeller{ID: 1, CostMs: []float64{450}, BacklogMs: 0},
+		&CostSeller{ID: 2, CostMs: []float64{100}, BacklogMs: 1000},
+	}
+	a, err := NewAuction(sellers, EarliestDelivery, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid, ok := a.Award(CFP{QueryID: 1, Class: 0}, nil)
+	if !ok {
+		t.Fatal("no award")
+	}
+	// Earliest delivery: seller 0 at 400 ms (seller 2 is cheap but
+	// backlogged to 1100 ms).
+	if bid.Seller != 0 {
+		t.Errorf("award to seller %d, want 0", bid.Seller)
+	}
+	// Cheapest price prefers seller 2.
+	b, _ := NewAuction(sellers, CheapestPrice, 1)
+	bid, _ = b.Award(CFP{QueryID: 2, Class: 0}, nil)
+	if bid.Seller != 2 {
+		t.Errorf("cheapest award to seller %d, want 2", bid.Seller)
+	}
+}
+
+func TestAuctionValidation(t *testing.T) {
+	if _, err := NewAuction(nil, EarliestDelivery, 1); err == nil {
+		t.Error("no sellers accepted")
+	}
+	if _, err := NewAuction([]Seller{&CostSeller{}}, nil, 1); err == nil {
+		t.Error("nil valuation accepted")
+	}
+}
+
+func TestAuctionAbstentionAndRounds(t *testing.T) {
+	// A seller with no capability for the class abstains; with every
+	// seller abstaining, the CFP is re-issued and onRound fires.
+	sellers := []Seller{&CostSeller{ID: 0, CostMs: []float64{0}}}
+	a, _ := NewAuction(sellers, EarliestDelivery, 3)
+	rounds := 0
+	_, ok := a.Award(CFP{Class: 0}, func(int) { rounds++ })
+	if ok {
+		t.Fatal("award from incapable sellers")
+	}
+	if rounds != 2 {
+		t.Errorf("onRound fired %d times, want 2 (between 3 rounds)", rounds)
+	}
+	cfps, bids, awards := a.Stats()
+	if cfps != 3 || bids != 0 || awards != 0 {
+		t.Errorf("stats = %d/%d/%d", cfps, bids, awards)
+	}
+	// Out-of-range classes abstain rather than panic.
+	if _, ok := (&CostSeller{CostMs: []float64{100}}).Bid(CFP{Class: 7}); ok {
+		t.Error("out-of-range class got a bid")
+	}
+}
+
+func TestWeightedValuation(t *testing.T) {
+	fast := Bid{DeliveryMs: 100, Price: 10}
+	cheap := Bid{DeliveryMs: 1000, Price: 1}
+	cfp := CFP{}
+	deliveryHeavy := Weighted(1, 0)
+	priceHeavy := Weighted(0, 1)
+	if deliveryHeavy(cfp, fast) <= deliveryHeavy(cfp, cheap) {
+		t.Error("delivery-heavy valuation mis-ranks")
+	}
+	if priceHeavy(cfp, cheap) <= priceHeavy(cfp, fast) {
+		t.Error("price-heavy valuation mis-ranks")
+	}
+}
+
+// marketSellerFixture builds the Figure 1 N1 node as a market seller.
+func marketSellerFixture(t *testing.T) *MarketSeller {
+	t.Helper()
+	agent, err := market.NewAgent(
+		economics.TimeBudgetSupplySet{Cost: []float64{400, 100}, Budget: 500},
+		market.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.BeginPeriod()
+	return &MarketSeller{
+		Base:  &CostSeller{ID: 0, CostMs: []float64{400, 100}},
+		Agent: agent,
+	}
+}
+
+func TestMarketSellerGatesBids(t *testing.T) {
+	s := marketSellerFixture(t)
+	// With equal prices the agent supplies only class 1 (five q2).
+	if _, ok := s.Bid(CFP{Class: 0}); ok {
+		t.Error("bid on a class outside the supply vector")
+	}
+	for i := 0; i < 5; i++ {
+		bid, ok := s.Bid(CFP{Class: 1})
+		if !ok {
+			t.Fatalf("bid %d refused with supply remaining", i)
+		}
+		if bid.Price != 100 {
+			t.Errorf("bid price %g", bid.Price)
+		}
+		if err := s.Awarded(CFP{Class: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Supply exhausted: abstain (and the refusal raised the price).
+	if _, ok := s.Bid(CFP{Class: 1}); ok {
+		t.Error("bid with exhausted supply")
+	}
+	if s.Agent.Stats().Rejects == 0 {
+		t.Error("refusals did not reach the agent")
+	}
+}
+
+// TestMarketAuctionConvergesLikeQANT runs the full composition: an
+// auction over two market sellers with the Figure 1 economics must
+// steer the allocation toward N1-serves-q2 / N2-serves-q1.
+func TestMarketAuctionConvergesLikeQANT(t *testing.T) {
+	mk := func(id int, costs []float64) *MarketSeller {
+		agent, err := market.NewAgent(
+			economics.TimeBudgetSupplySet{Cost: costs, Budget: 500},
+			market.DefaultConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent.BeginPeriod()
+		return &MarketSeller{Base: &CostSeller{ID: id, CostMs: costs}, Agent: agent}
+	}
+	n1 := mk(0, []float64{400, 100})
+	n2 := mk(1, []float64{450, 500})
+	auction, err := NewAuction([]Seller{n1, n2}, EarliestDelivery, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := func() {
+		for _, s := range []*MarketSeller{n1, n2} {
+			s.Agent.EndPeriod()
+			s.Agent.BeginPeriod()
+		}
+	}
+	served := map[int][2]int{} // seller -> [q1, q2] awards
+	var queryID int64
+	for p := 0; p < 30; p++ {
+		// Per-period demand: 1×q1 + 5×q2.
+		for _, class := range []int{0, 1, 1, 1, 1, 1} {
+			queryID++
+			bid, ok := auction.Award(CFP{QueryID: queryID, Class: class}, func(int) { period() })
+			if !ok {
+				continue
+			}
+			winner := bid.Seller
+			ms := n1
+			if winner == 1 {
+				ms = n2
+			}
+			if err := ms.Awarded(CFP{Class: class}); err != nil {
+				t.Fatal(err)
+			}
+			counts := served[winner]
+			counts[class]++
+			served[winner] = counts
+		}
+		period()
+	}
+	// N2 must end up carrying the q1 traffic and N1 the bulk of q2 —
+	// the paper's QA allocation.
+	if served[1][0] == 0 {
+		t.Error("N2 never served q1")
+	}
+	if served[0][1] < served[1][1] {
+		t.Errorf("N1 should dominate q2 service: %v", served)
+	}
+	cfps, bids, awards := auction.Stats()
+	if awards == 0 || bids < awards || cfps < awards {
+		t.Errorf("stats inconsistent: %d/%d/%d", cfps, bids, awards)
+	}
+}
+
+func TestRankBids(t *testing.T) {
+	bids := []Bid{
+		{Seller: 0, DeliveryMs: 300},
+		{Seller: 1, DeliveryMs: 100},
+		{Seller: 2, DeliveryMs: 200},
+	}
+	ranked := RankBids(CFP{}, bids, EarliestDelivery)
+	if ranked[0].Seller != 1 || ranked[1].Seller != 2 || ranked[2].Seller != 0 {
+		t.Errorf("ranked = %v", ranked)
+	}
+	// Original slice untouched.
+	if bids[0].Seller != 0 {
+		t.Error("RankBids mutated its input")
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"math"
+
+	"github.com/qamarket/qamarket/internal/catalog"
+	"github.com/qamarket/qamarket/internal/costmodel"
+)
+
+// EstimateCapacity computes the federation's total sustainable arrival
+// rate, in queries per second, for a query mix given as per-class
+// weights (weights need not be normalized). The sinusoid experiments of
+// Section 5.1 express workloads as percentages of "total system
+// capacity"; this is the scale they are percentages *of*.
+//
+// The estimate binary-searches the highest aggregate rate R such that
+// splitting each class's share of R across its capable nodes by greedy
+// water-filling keeps every node's utilization at or below 1. Greedy
+// water-filling on quantized rate increments is within one quantum of
+// the optimal fractional assignment, which is ample precision for
+// workload scaling.
+func EstimateCapacity(c *catalog.Catalog, templates []costmodel.Template, weights []float64) float64 {
+	model := costmodel.New(c)
+	n := len(c.Nodes)
+	k := len(templates)
+	cost := make([][]float64, n)
+	for i, node := range c.Nodes {
+		cost[i] = make([]float64, k)
+		for j, t := range templates {
+			cost[i][j] = model.Estimate(node, t)
+		}
+	}
+	wsum := 0.0
+	for _, w := range weights {
+		wsum += w
+	}
+	if wsum <= 0 {
+		return 0
+	}
+	feasible := func(rate float64) bool {
+		util := make([]float64, n)
+		const quanta = 200
+		for class := 0; class < k; class++ {
+			w := 0.0
+			if class < len(weights) {
+				w = weights[class]
+			}
+			classRate := rate * w / wsum
+			if classRate <= 0 {
+				continue
+			}
+			q := classRate / quanta
+			for step := 0; step < quanta; step++ {
+				best, bestNode := math.Inf(1), -1
+				for node := 0; node < n; node++ {
+					if math.IsInf(cost[node][class], 1) {
+						continue
+					}
+					if u := util[node] + q*cost[node][class]/1000; u < best {
+						best, bestNode = u, node
+					}
+				}
+				if bestNode < 0 || best > 1 {
+					return false
+				}
+				util[bestNode] = best
+			}
+		}
+		return true
+	}
+	lo, hi := 0.0, 1.0
+	for feasible(hi) {
+		hi *= 2
+		if hi > 1e7 {
+			break
+		}
+	}
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

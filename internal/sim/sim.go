@@ -1,0 +1,309 @@
+// Package sim rebuilds the paper's federation simulator (Section 5.1):
+// a discrete-event model of up to hundreds of autonomous RDBMSs, each
+// executing queries sequentially from a local queue, with a pluggable
+// allocation mechanism deciding which node runs each incoming query.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/qamarket/qamarket/internal/alloc"
+	"github.com/qamarket/qamarket/internal/catalog"
+	"github.com/qamarket/qamarket/internal/costmodel"
+	"github.com/qamarket/qamarket/internal/desim"
+	"github.com/qamarket/qamarket/internal/metrics"
+	"github.com/qamarket/qamarket/internal/workload"
+)
+
+// Config assembles one simulation run.
+type Config struct {
+	Catalog   *catalog.Catalog
+	Templates []costmodel.Template
+	// PeriodMs is the allocation period T (500 ms in the experiments).
+	PeriodMs int64
+	// NetworkLatencyMs is added between assignment and execution start,
+	// modeling the allocation round-trip. Default 0 (the paper's
+	// simulator measures execution, not messaging).
+	NetworkLatencyMs int64
+	// MaxResubmits drops a query after this many deferred periods
+	// (guards against queries no node will ever take). Default 10,000.
+	MaxResubmits int
+	// HardCapMs aborts the run if the virtual clock passes it, as a
+	// backstop against runaway retry loops. Default: last arrival +
+	// 10 minutes of virtual time.
+	HardCapMs int64
+	// CostOverride, when non-nil, supplies the per-node per-class
+	// execution costs directly ([node][class] milliseconds, +Inf for
+	// "cannot evaluate"), bypassing the cost model. Controlled
+	// experiments — like replaying the paper's Figure 1 numbers
+	// exactly — use it; dimensions must match Catalog.Nodes and
+	// Templates.
+	CostOverride [][]float64
+}
+
+func (c *Config) validate() error {
+	if c.Catalog == nil {
+		return errors.New("sim: nil catalog")
+	}
+	if len(c.Templates) == 0 {
+		return errors.New("sim: no query templates")
+	}
+	if c.PeriodMs <= 0 {
+		return errors.New("sim: PeriodMs must be positive")
+	}
+	if c.MaxResubmits == 0 {
+		c.MaxResubmits = 10000
+	}
+	return nil
+}
+
+// job is one query instance flowing through the simulator.
+type job struct {
+	q        alloc.Query
+	node     int
+	costMs   float64
+	startMs  int64
+	assignMs int64
+}
+
+// nodeState models one RDBMS: a FIFO queue drained sequentially.
+type nodeState struct {
+	queue     []*job
+	running   *job
+	pendingMs float64 // queued + running work (full costs)
+	runStart  int64
+}
+
+// Federation is one simulation instance. Build with New, drive with Run.
+type Federation struct {
+	cfg   Config
+	eng   desim.Engine
+	mech  alloc.Mechanism
+	nodes []*nodeState
+	cost  [][]float64 // [node][class] estimated+actual execution ms
+	col   metrics.Collector
+
+	retry       []alloc.Query
+	outstanding int
+	periodOn    bool
+}
+
+// New builds a federation around the mechanism. Costs for every
+// (node, class) pair are precomputed from the cost model, serving both
+// as the EXPLAIN estimates the mechanisms see and as the simulated
+// execution times (the simulator's estimator is exact; the real cluster
+// in internal/cluster is where estimates and reality diverge).
+func New(cfg Config, mech alloc.Mechanism) (*Federation, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if mech == nil {
+		return nil, errors.New("sim: nil mechanism")
+	}
+	n := len(cfg.Catalog.Nodes)
+	k := len(cfg.Templates)
+	var cost [][]float64
+	if cfg.CostOverride != nil {
+		if len(cfg.CostOverride) != n {
+			return nil, fmt.Errorf("sim: CostOverride has %d nodes, catalog has %d", len(cfg.CostOverride), n)
+		}
+		cost = make([][]float64, n)
+		for i, row := range cfg.CostOverride {
+			if len(row) != k {
+				return nil, fmt.Errorf("sim: CostOverride node %d has %d classes, want %d", i, len(row), k)
+			}
+			cost[i] = append([]float64(nil), row...)
+		}
+	} else {
+		model := costmodel.New(cfg.Catalog)
+		cost = make([][]float64, n)
+		for i, node := range cfg.Catalog.Nodes {
+			cost[i] = make([]float64, k)
+			for c, t := range cfg.Templates {
+				cost[i][c] = model.Estimate(node, t)
+			}
+		}
+	}
+	f := &Federation{cfg: cfg, mech: mech, cost: cost}
+	f.nodes = make([]*nodeState, n)
+	for i := range f.nodes {
+		f.nodes[i] = &nodeState{}
+	}
+	return f, nil
+}
+
+// view adapts the federation to alloc.View.
+type view struct{ f *Federation }
+
+func (v view) Now() int64      { return int64(v.f.eng.Now()) }
+func (v view) NumNodes() int   { return len(v.f.nodes) }
+func (v view) NumClasses() int { return len(v.f.cfg.Templates) }
+func (v view) PeriodMs() int64 { return v.f.cfg.PeriodMs }
+func (v view) Feasible(node, class int) bool {
+	return !math.IsInf(v.f.cost[node][class], 1)
+}
+func (v view) Cost(node, class int) float64 { return v.f.cost[node][class] }
+func (v view) Backlog(node int) float64 {
+	ns := v.f.nodes[node]
+	b := ns.pendingMs
+	if ns.running != nil {
+		if done := float64(int64(v.f.eng.Now()) - ns.runStart); done > 0 {
+			b -= math.Min(done, ns.running.costMs)
+		}
+	}
+	return b
+}
+
+// Run feeds the arrival stream through the mechanism and returns the
+// collected metrics once every query has completed, been dropped, or
+// the hard cap was hit. Arrivals must be sorted by time.
+func (f *Federation) Run(arrivals []workload.Arrival) (*metrics.Collector, error) {
+	if len(arrivals) == 0 {
+		return &f.col, nil
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i].At < arrivals[i-1].At {
+			return nil, fmt.Errorf("sim: arrivals not sorted at index %d", i)
+		}
+	}
+	if f.cfg.HardCapMs == 0 {
+		f.cfg.HardCapMs = arrivals[len(arrivals)-1].At + 10*60*1000
+	}
+	f.outstanding = len(arrivals)
+	for i, a := range arrivals {
+		a := a
+		id := int64(i)
+		f.eng.At(desim.Time(a.At), func(now desim.Time) {
+			f.dispatch(alloc.Query{
+				ID: id, Class: a.Class, Origin: a.Origin, Arrival: a.At,
+			})
+		})
+	}
+	f.startPeriodClock()
+	f.eng.Run()
+	// Anything still queued or retrying at the hard cap is dropped.
+	for f.outstanding > 0 {
+		f.col.Drop()
+		f.outstanding--
+	}
+	return &f.col, nil
+}
+
+// startPeriodClock drives the mechanism's period lifecycle. The clock
+// re-arms itself only while work remains, so the event queue drains and
+// Run terminates.
+func (f *Federation) startPeriodClock() {
+	if _, ok := f.mech.(alloc.Periodic); ok {
+		f.periodOn = true
+	}
+	if f.periodOn {
+		f.mech.(alloc.Periodic).OnPeriodStart(view{f})
+	}
+	var tick func(now desim.Time)
+	tick = func(now desim.Time) {
+		if f.periodOn {
+			p := f.mech.(alloc.Periodic)
+			p.OnPeriodEnd(view{f})
+			p.OnPeriodStart(view{f})
+		}
+		f.flushRetries()
+		if f.outstanding > 0 && int64(now) < f.cfg.HardCapMs {
+			f.eng.After(desim.Time(f.cfg.PeriodMs), tick)
+		}
+	}
+	f.eng.After(desim.Time(f.cfg.PeriodMs), tick)
+}
+
+// flushRetries re-dispatches the queries deferred to this period.
+func (f *Federation) flushRetries() {
+	pending := f.retry
+	f.retry = nil
+	for _, q := range pending {
+		f.dispatch(q)
+	}
+}
+
+// dispatch runs one allocation round for the query.
+func (f *Federation) dispatch(q alloc.Query) {
+	d := f.mech.Assign(q, view{f})
+	if d.Retry {
+		q.Resubmits++
+		if q.Resubmits > f.cfg.MaxResubmits {
+			f.col.Drop()
+			f.outstanding--
+			return
+		}
+		f.retry = append(f.retry, q)
+		return
+	}
+	if d.Node < 0 || d.Node >= len(f.nodes) {
+		panic(fmt.Sprintf("sim: mechanism %s chose invalid node %d", f.mech.Name(), d.Node))
+	}
+	cost := f.cost[d.Node][q.Class]
+	if math.IsInf(cost, 1) {
+		panic(fmt.Sprintf("sim: mechanism %s sent class %d to incapable node %d", f.mech.Name(), q.Class, d.Node))
+	}
+	now := int64(f.eng.Now())
+	j := &job{q: q, node: d.Node, costMs: cost, assignMs: f.cfg.NetworkLatencyMs}
+	start := func(desim.Time) { f.enqueue(j) }
+	if f.cfg.NetworkLatencyMs > 0 {
+		f.eng.After(desim.Time(f.cfg.NetworkLatencyMs), start)
+	} else {
+		start(desim.Time(now))
+	}
+}
+
+// enqueue places the job on its node and starts it if the node is idle.
+func (f *Federation) enqueue(j *job) {
+	ns := f.nodes[j.node]
+	ns.pendingMs += j.costMs
+	ns.queue = append(ns.queue, j)
+	if ns.running == nil {
+		f.startNext(j.node)
+	}
+}
+
+// startNext begins the node's next queued job.
+func (f *Federation) startNext(node int) {
+	ns := f.nodes[node]
+	if len(ns.queue) == 0 {
+		ns.running = nil
+		return
+	}
+	j := ns.queue[0]
+	ns.queue = ns.queue[1:]
+	ns.running = j
+	now := int64(f.eng.Now())
+	ns.runStart = now
+	j.startMs = now
+	dur := int64(math.Ceil(j.costMs))
+	if dur < 1 {
+		dur = 1
+	}
+	f.eng.After(desim.Time(dur), func(now desim.Time) { f.complete(node, j) })
+}
+
+// complete records the finished job and starts the node's next one.
+func (f *Federation) complete(node int, j *job) {
+	ns := f.nodes[node]
+	ns.pendingMs -= j.costMs
+	if ns.pendingMs < 0 {
+		ns.pendingMs = 0
+	}
+	now := int64(f.eng.Now())
+	f.col.Add(metrics.Sample{
+		Class:      j.q.Class,
+		Origin:     j.q.Origin,
+		Node:       node,
+		ArrivalMs:  j.q.Arrival,
+		StartMs:    j.startMs,
+		FinishMs:   now,
+		AssignMs:   j.assignMs,
+		Resubmits:  j.q.Resubmits,
+		ExecutedMs: now - j.startMs,
+	})
+	f.outstanding--
+	f.startNext(node)
+}

@@ -1,0 +1,101 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := Open()
+	if _, _, err := db.Exec("CREATE TABLE t (id INT, k INT, v FLOAT, s TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO t VALUES ")
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %d.5, 's%d')", i, i%64, i, i%10)
+	}
+	if _, _, err := db.Exec(sb.String()); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkParse(b *testing.B) {
+	const q = `SELECT a.k, COUNT(*) AS n, SUM(a.v) AS total FROM t AS a
+		JOIN t AS b ON a.k = b.k WHERE a.v > 10 AND b.s LIKE 's%'
+		GROUP BY a.k ORDER BY total DESC LIMIT 10`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanFilter(b *testing.B) {
+	db := benchDB(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT id FROM t WHERE v > 2500.0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := benchDB(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT COUNT(*) FROM t AS a JOIN t AS b ON a.k = b.k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	db := benchDB(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexLookupVsScan(b *testing.B) {
+	db := benchDB(b, 10000)
+	if _, _, err := db.Exec("CREATE INDEX t_k ON t (k)"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ixscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query("SELECT COUNT(*) FROM t WHERE k = 7"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// v has no index: same selectivity territory, full scan.
+			if _, err := db.Query("SELECT COUNT(*) FROM t WHERE id = 7"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkExplain(b *testing.B) {
+	db := benchDB(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Explain("SELECT k, SUM(v) FROM t WHERE v > 10 GROUP BY k ORDER BY k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is one embedded database instance: an in-memory row store with
+// tables and views. All methods are safe for concurrent use.
+type DB struct {
+	mu           sync.RWMutex
+	tables       map[string]*table
+	views        map[string]*SelectStmt
+	indexes      map[string]*index   // by index name
+	tableIndexes map[string][]*index // by table name
+}
+
+type table struct {
+	name string
+	cols []ColumnDef
+	idx  map[string]int // column name -> position
+	rows []Row
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{
+		tables:       make(map[string]*table),
+		views:        make(map[string]*SelectStmt),
+		indexes:      make(map[string]*index),
+		tableIndexes: make(map[string][]*index),
+	}
+}
+
+// Result is the output of a query.
+type Result struct {
+	Columns []string
+	Rows    []Row
+}
+
+// Exec parses and executes a statement. For SELECT it returns the
+// result; for DDL/DML the result is nil and n is the number of rows
+// affected (inserted).
+func (db *DB) Exec(sql string) (res *Result, n int, err error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		return nil, 0, db.createTable(s)
+	case *CreateViewStmt:
+		return nil, 0, db.createView(s)
+	case *CreateIndexStmt:
+		return nil, 0, db.createIndex(s)
+	case *InsertStmt:
+		n, err := db.insert(s)
+		return nil, n, err
+	case *UpdateStmt:
+		n, err := db.update(s)
+		return nil, n, err
+	case *DeleteStmt:
+		n, err := db.delete(s)
+		return nil, n, err
+	case *SelectStmt:
+		r, err := db.Select(s)
+		return r, 0, err
+	case *ExplainStmt:
+		plan, err := db.PlanSelect(s.Select)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &Result{
+			Columns: []string{"plan"},
+			Rows:    []Row{{NewText(plan.Tree())}},
+		}, 0, nil
+	default:
+		return nil, 0, fmt.Errorf("sqldb: unhandled statement %T", stmt)
+	}
+}
+
+// Query parses and runs a SELECT.
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT, got %T", stmt)
+	}
+	return db.Select(sel)
+}
+
+// Explain parses a SELECT (or EXPLAIN SELECT) and returns its plan
+// without executing it.
+func (db *DB) Explain(sql string) (*Plan, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return db.PlanSelect(s)
+	case *ExplainStmt:
+		return db.PlanSelect(s.Select)
+	default:
+		return nil, fmt.Errorf("sqldb: Explain requires a SELECT, got %T", stmt)
+	}
+}
+
+// Tables returns the names of all base tables, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Views returns the names of all views, sorted.
+func (db *DB) Views() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.views))
+	for n := range db.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasRelation reports whether name is a table or view here. The cluster
+// nodes use it to answer "can this node evaluate the query at all".
+func (db *DB) HasRelation(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, t := db.tables[name]
+	_, v := db.views[name]
+	return t || v
+}
+
+// RowCount returns the number of rows in a base table.
+func (db *DB) RowCount(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: no table %q", name)
+	}
+	return len(t.rows), nil
+}
+
+func (db *DB) createTable(s *CreateTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Name]; ok {
+		return fmt.Errorf("sqldb: table %q already exists", s.Name)
+	}
+	if _, ok := db.views[s.Name]; ok {
+		return fmt.Errorf("sqldb: %q already exists as a view", s.Name)
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("sqldb: table %q has no columns", s.Name)
+	}
+	idx := make(map[string]int, len(s.Columns))
+	for i, c := range s.Columns {
+		if _, dup := idx[c.Name]; dup {
+			return fmt.Errorf("sqldb: duplicate column %q in table %q", c.Name, s.Name)
+		}
+		idx[c.Name] = i
+	}
+	db.tables[s.Name] = &table{name: s.Name, cols: s.Columns, idx: idx}
+	return nil
+}
+
+func (db *DB) createView(s *CreateViewStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Name]; ok {
+		return fmt.Errorf("sqldb: %q already exists as a table", s.Name)
+	}
+	if _, ok := db.views[s.Name]; ok {
+		return fmt.Errorf("sqldb: view %q already exists", s.Name)
+	}
+	// Validate that the underlying relations exist now, not at use time.
+	for _, f := range s.Select.From {
+		if _, t := db.tables[f.Table]; !t {
+			if _, v := db.views[f.Table]; !v {
+				return fmt.Errorf("sqldb: view %q references unknown relation %q", s.Name, f.Table)
+			}
+		}
+	}
+	db.views[s.Name] = s.Select
+	return nil
+}
+
+func (db *DB) insert(s *InsertStmt) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: no table %q", s.Table)
+	}
+	added := make([]Row, 0, len(s.Rows))
+	for ri, exprs := range s.Rows {
+		if len(exprs) != len(t.cols) {
+			return 0, fmt.Errorf("sqldb: row %d has %d values, table %q has %d columns",
+				ri, len(exprs), s.Table, len(t.cols))
+		}
+		row := make(Row, len(exprs))
+		for ci, e := range exprs {
+			v, err := evalConst(e)
+			if err != nil {
+				return 0, fmt.Errorf("sqldb: row %d column %d: %w", ri, ci, err)
+			}
+			cv, err := coerce(v, t.cols[ci].Type)
+			if err != nil {
+				return 0, fmt.Errorf("sqldb: row %d column %q: %w", ri, t.cols[ci].Name, err)
+			}
+			row[ci] = cv
+		}
+		added = append(added, row)
+	}
+	firstNew := len(t.rows)
+	t.rows = append(t.rows, added...)
+	db.refreshIndexesAfterInsert(t, firstNew)
+	return len(added), nil
+}
+
+// update applies UPDATE t SET ... WHERE ... and reports the number of
+// rows changed. SET expressions may reference the row's current values.
+func (db *DB) update(s *UpdateStmt) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: no table %q", s.Table)
+	}
+	// Pre-resolve assignment targets.
+	targets := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		pos, ok := t.idx[a.Column]
+		if !ok {
+			return 0, fmt.Errorf("sqldb: no column %q in table %q", a.Column, s.Table)
+		}
+		targets[i] = pos
+	}
+	rel := t.relation()
+	changed := 0
+	for ri, row := range t.rows {
+		match, err := rowMatches(s.Where, &rel, row)
+		if err != nil {
+			return changed, err
+		}
+		if !match {
+			continue
+		}
+		next := row.Clone()
+		for i, a := range s.Set {
+			v, err := evalExpr(a.Value, &rel, row)
+			if err != nil {
+				return changed, err
+			}
+			cv, err := coerce(v, t.cols[targets[i]].Type)
+			if err != nil {
+				return changed, fmt.Errorf("sqldb: column %q: %w", a.Column, err)
+			}
+			next[targets[i]] = cv
+		}
+		t.rows[ri] = next
+		changed++
+	}
+	if changed > 0 {
+		db.rebuildIndexes(t)
+	}
+	return changed, nil
+}
+
+// delete applies DELETE FROM t WHERE ... and reports the number of
+// rows removed.
+func (db *DB) delete(s *DeleteStmt) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: no table %q", s.Table)
+	}
+	rel := t.relation()
+	kept := t.rows[:0:0]
+	removed := 0
+	for _, row := range t.rows {
+		match, err := rowMatches(s.Where, &rel, row)
+		if err != nil {
+			return 0, err
+		}
+		if match {
+			removed++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	t.rows = kept
+	if removed > 0 {
+		db.rebuildIndexes(t)
+	}
+	return removed, nil
+}
+
+// relation views the table as an intermediate relation for expression
+// evaluation.
+func (t *table) relation() relation {
+	cols := make([]binding, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = binding{qual: t.name, name: c.Name}
+	}
+	return relation{cols: cols, rows: t.rows}
+}
+
+// rowMatches evaluates a WHERE predicate (nil = always true).
+func rowMatches(where Expr, rel *relation, row Row) (bool, error) {
+	if where == nil {
+		return true, nil
+	}
+	v, err := evalExpr(where, rel, row)
+	if err != nil {
+		return false, err
+	}
+	return v.Kind == KindBool && v.Bool, nil
+}
+
+// evalConst evaluates an expression with no column references.
+func evalConst(e Expr) (Value, error) {
+	return evalExpr(e, nil, Row{})
+}
+
+// coerce converts v to the column type, allowing the usual widenings.
+func coerce(v Value, t Type) (Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	switch t {
+	case TInt:
+		if v.Kind == KindInt {
+			return v, nil
+		}
+	case TFloat:
+		switch v.Kind {
+		case KindFloat:
+			return v, nil
+		case KindInt:
+			return NewFloat(float64(v.Int)), nil
+		}
+	case TText:
+		if v.Kind == KindText {
+			return v, nil
+		}
+	case TBool:
+		if v.Kind == KindBool {
+			return v, nil
+		}
+	}
+	return Null, fmt.Errorf("cannot store %s into %s column", v, t)
+}

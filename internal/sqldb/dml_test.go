@@ -1,0 +1,259 @@
+package sqldb
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpdate(t *testing.T) {
+	db := seedDB(t)
+	_, n, err := db.Exec("UPDATE emp SET salary = salary * 2 WHERE dept_id = 1")
+	if err != nil {
+		t.Fatalf("UPDATE: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("updated %d rows, want 2", n)
+	}
+	res := queryRows(t, db, "SELECT salary FROM emp WHERE name = 'ann'")
+	if res.Rows[0][0].Float != 240 {
+		t.Errorf("ann's salary = %v, want 240", res.Rows[0][0])
+	}
+	// Untouched rows keep their values.
+	res = queryRows(t, db, "SELECT salary FROM emp WHERE name = 'eve'")
+	if res.Rows[0][0].Float != 60 {
+		t.Errorf("eve's salary changed: %v", res.Rows[0][0])
+	}
+}
+
+func TestUpdateAllRowsAndMultipleColumns(t *testing.T) {
+	db := seedDB(t)
+	_, n, err := db.Exec("UPDATE dept SET budget = 1.0, name = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("updated %d, want 3", n)
+	}
+	res := queryRows(t, db, "SELECT DISTINCT name, budget FROM dept")
+	if len(res.Rows) != 1 {
+		t.Errorf("rows after uniform update: %v", res.Rows)
+	}
+}
+
+func TestUpdateSelfReference(t *testing.T) {
+	// SET expressions see the row's *old* values.
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (a INT, b INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 10)")
+	if _, _, err := db.Exec("UPDATE t SET a = b, b = a"); err != nil {
+		t.Fatal(err)
+	}
+	res := queryRows(t, db, "SELECT a, b FROM t")
+	if res.Rows[0][0].Int != 10 || res.Rows[0][1].Int != 1 {
+		t.Errorf("swap produced %v, want (10, 1)", res.Rows[0])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := seedDB(t)
+	_, n, err := db.Exec("DELETE FROM emp WHERE senior = TRUE")
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("deleted %d rows, want 2", n)
+	}
+	res := queryRows(t, db, "SELECT COUNT(*) FROM emp")
+	if res.Rows[0][0].Int != 3 {
+		t.Errorf("remaining rows = %v, want 3", res.Rows[0][0])
+	}
+	// DELETE without WHERE empties the table.
+	if _, n, err = db.Exec("DELETE FROM emp"); err != nil || n != 3 {
+		t.Fatalf("full delete: n=%d err=%v", n, err)
+	}
+	res = queryRows(t, db, "SELECT COUNT(*) FROM emp")
+	if res.Rows[0][0].Int != 0 {
+		t.Errorf("table not empty: %v", res.Rows[0][0])
+	}
+}
+
+func TestInExpr(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, "SELECT name FROM emp WHERE dept_id IN (1, 3) ORDER BY name")
+	if len(res.Rows) != 3 {
+		t.Fatalf("IN rows = %d, want 3", len(res.Rows))
+	}
+	res = queryRows(t, db, "SELECT name FROM emp WHERE dept_id NOT IN (1, 3)")
+	if len(res.Rows) != 2 {
+		t.Fatalf("NOT IN rows = %d, want 2", len(res.Rows))
+	}
+	// Strings work too.
+	res = queryRows(t, db, "SELECT id FROM emp WHERE name IN ('ann', 'eve')")
+	if len(res.Rows) != 2 {
+		t.Errorf("string IN rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestBetween(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, "SELECT name FROM emp WHERE salary BETWEEN 70 AND 95 ORDER BY name")
+	if len(res.Rows) != 3 { // bob 95, cat 80, dan 70 (inclusive bounds)
+		t.Fatalf("BETWEEN rows = %v", res.Rows)
+	}
+	res = queryRows(t, db, "SELECT name FROM emp WHERE salary NOT BETWEEN 70 AND 95")
+	if len(res.Rows) != 2 { // ann 120, eve 60
+		t.Fatalf("NOT BETWEEN rows = %v", res.Rows)
+	}
+}
+
+func TestLike(t *testing.T) {
+	db := seedDB(t)
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"name LIKE 'a%'", 1},  // ann
+		{"name LIKE '%n'", 2},  // ann, dan
+		{"name LIKE '_a_'", 2}, // cat, dan
+		{"name LIKE '%a%'", 3}, // ann, cat, dan
+		{"name NOT LIKE '%a%'", 2},
+		{"name LIKE 'ann'", 1},
+		{"name LIKE '%'", 5},
+	}
+	for _, c := range cases {
+		res := queryRows(t, db, "SELECT name FROM emp WHERE "+c.where)
+		if len(res.Rows) != c.want {
+			t.Errorf("%s matched %d rows, want %d", c.where, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestLikeMatchUnit(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"a", "", false},
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_b", false},
+		{"abc", "____", false},
+		{"abc", "___", true},
+		{"aXbXc", "a%b%c", true},
+		{"mississippi", "%iss%pi", true}, // second % absorbs "issip"
+		{"mississippi", "%iss%ppi", true},
+		{"mississippi", "%iss%pix", false},
+		{"mississippi", "mi%si_pi", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %t, want %t", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (a INT, b INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, NULL), (2, 5)")
+	res := queryRows(t, db, "SELECT a FROM t WHERE b IS NULL")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 1 {
+		t.Errorf("IS NULL rows = %v", res.Rows)
+	}
+	res = queryRows(t, db, "SELECT a FROM t WHERE b IS NOT NULL")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 2 {
+		t.Errorf("IS NOT NULL rows = %v", res.Rows)
+	}
+}
+
+func TestOffset(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, "SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1")
+	if len(res.Rows) != 2 || res.Rows[0][0].Str != "bob" || res.Rows[1][0].Str != "cat" {
+		t.Fatalf("LIMIT/OFFSET rows = %v", res.Rows)
+	}
+	// Offset past the end yields nothing.
+	res = queryRows(t, db, "SELECT name FROM emp ORDER BY salary OFFSET 99")
+	if len(res.Rows) != 0 {
+		t.Errorf("oversized offset rows = %v", res.Rows)
+	}
+}
+
+func TestNullInPredicates(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (NULL), (1)")
+	// NULL IN (...) and NULL BETWEEN ... are NULL, filtered out.
+	res := queryRows(t, db, "SELECT a FROM t WHERE a IN (1, 2)")
+	if len(res.Rows) != 1 {
+		t.Errorf("IN over NULL rows = %v", res.Rows)
+	}
+	res = queryRows(t, db, "SELECT a FROM t WHERE a BETWEEN 0 AND 5")
+	if len(res.Rows) != 1 {
+		t.Errorf("BETWEEN over NULL rows = %v", res.Rows)
+	}
+}
+
+func TestDMLRoundTripStrings(t *testing.T) {
+	// The new expressions render back to parseable SQL.
+	for _, q := range []string{
+		"SELECT a FROM t WHERE a IN (1, 2, 3)",
+		"SELECT a FROM t WHERE a NOT IN (1)",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE a NOT BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE b LIKE 'x%'",
+		"SELECT a FROM t WHERE b IS NULL",
+		"SELECT a FROM t WHERE b IS NOT NULL",
+		"SELECT a FROM t LIMIT 5 OFFSET 2",
+	} {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		rendered := stmt.(*SelectStmt).String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", rendered, err)
+		}
+		if again.(*SelectStmt).String() != rendered {
+			t.Errorf("unstable round trip: %q vs %q", rendered, again.(*SelectStmt).String())
+		}
+	}
+}
+
+// Property: BETWEEN lo AND hi is equivalent to >= lo AND <= hi.
+func TestQuickBetweenEquivalence(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE q (a INT)")
+	mustExec(t, db, "INSERT INTO q VALUES (0),(1),(2),(3),(4),(5),(6),(7),(8),(9)")
+	f := func(loRaw, hiRaw uint8) bool {
+		lo := int(loRaw % 12)
+		hi := int(hiRaw % 12)
+		a, err := db.Query(fmt.Sprintf("SELECT a FROM q WHERE a BETWEEN %d AND %d", lo, hi))
+		if err != nil {
+			return false
+		}
+		b, err := db.Query(fmt.Sprintf("SELECT a FROM q WHERE a >= %d AND a <= %d", lo, hi))
+		if err != nil {
+			return false
+		}
+		if len(a.Rows) != len(b.Rows) {
+			return false
+		}
+		for i := range a.Rows {
+			if !Equal(a.Rows[i][0], b.Rows[i][0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,799 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// binding names one column of an intermediate relation: qual is the
+// table alias (or view name) it came from.
+type binding struct {
+	qual string
+	name string
+}
+
+// relation is a materialized intermediate result.
+type relation struct {
+	cols []binding
+	rows []Row
+}
+
+// resolve finds the position of a column reference, enforcing SQL's
+// ambiguity rules for unqualified names.
+func (r *relation) resolve(c *ColumnRef) (int, error) {
+	found := -1
+	for i, b := range r.cols {
+		if c.Column != b.name {
+			continue
+		}
+		if c.Table != "" && c.Table != b.qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sqldb: ambiguous column %q", c.String())
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sqldb: unknown column %q", c.String())
+	}
+	return found, nil
+}
+
+// maxViewDepth bounds view-over-view recursion.
+const maxViewDepth = 16
+
+// Select plans and executes a SELECT statement.
+func (db *DB) Select(s *SelectStmt) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.selectLocked(s, 0)
+}
+
+func (db *DB) selectLocked(s *SelectStmt, depth int) (*Result, error) {
+	if depth > maxViewDepth {
+		return nil, fmt.Errorf("sqldb: view nesting exceeds %d", maxViewDepth)
+	}
+	rel, err := db.scanRefIndexed(s, 0, depth)
+	if err != nil {
+		return nil, err
+	}
+	for i, join := range s.Joins {
+		right, err := db.scanRefIndexed(s, i+1, depth)
+		if err != nil {
+			return nil, err
+		}
+		rel, err = hashJoin(rel, right, join)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.Where != nil {
+		filtered := relation{cols: rel.cols}
+		for _, row := range rel.rows {
+			v, err := evalExpr(s.Where, &rel, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind == KindBool && v.Bool {
+				filtered.rows = append(filtered.rows, row)
+			}
+		}
+		rel = filtered
+	}
+
+	orderExprs, err := substituteAliases(s)
+	if err != nil {
+		return nil, err
+	}
+
+	var names []string
+	var out []outRow
+	if needsAggregation(s) {
+		names, out, err = executeGrouped(s, &rel, orderExprs)
+	} else {
+		names, out, err = executeProjection(s, &rel, orderExprs)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Distinct {
+		seen := make(map[string]bool, len(out))
+		kept := out[:0]
+		for _, r := range out {
+			k := rowKey(r.vis)
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, r)
+			}
+		}
+		out = kept
+	}
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			for k, o := range s.OrderBy {
+				c := Compare(out[i].keys[k], out[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if s.Offset > 0 {
+		if s.Offset >= len(out) {
+			out = nil
+		} else {
+			out = out[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && len(out) > s.Limit {
+		out = out[:s.Limit]
+	}
+	res := &Result{Columns: names, Rows: make([]Row, len(out))}
+	for i, r := range out {
+		res.Rows[i] = r.vis
+	}
+	return res, nil
+}
+
+// outRow carries the projected values plus hidden ORDER BY keys.
+type outRow struct {
+	vis  Row
+	keys Row
+}
+
+// scanRefIndexed materializes one FROM entry, serving the scan from a
+// hash index when the WHERE clause pins an indexed column to a
+// constant. The residual WHERE still re-checks the predicate, so index
+// use is purely an access-path optimization.
+func (db *DB) scanRefIndexed(s *SelectStmt, refIdx, depth int) (relation, error) {
+	ref := s.From[refIdx]
+	if t, ok := db.tables[ref.Table]; ok {
+		if col, val, ok := indexableEq(s, refIdx); ok {
+			if ix := db.lookupIndex(ref.Table, col); ix != nil {
+				rel := relation{cols: make([]binding, len(t.cols))}
+				for i, c := range t.cols {
+					rel.cols[i] = binding{qual: ref.Name(), name: c.Name}
+				}
+				for _, pos := range ix.m[val.groupKey()] {
+					rel.rows = append(rel.rows, t.rows[pos])
+				}
+				return rel, nil
+			}
+		}
+	}
+	return db.scanRef(ref, depth)
+}
+
+// scanRef materializes one FROM entry: a base table or a view.
+func (db *DB) scanRef(ref TableRef, depth int) (relation, error) {
+	qual := ref.Name()
+	if t, ok := db.tables[ref.Table]; ok {
+		rel := relation{cols: make([]binding, len(t.cols)), rows: t.rows}
+		for i, c := range t.cols {
+			rel.cols[i] = binding{qual: qual, name: c.Name}
+		}
+		return rel, nil
+	}
+	if v, ok := db.views[ref.Table]; ok {
+		res, err := db.selectLocked(v, depth+1)
+		if err != nil {
+			return relation{}, fmt.Errorf("sqldb: expanding view %q: %w", ref.Table, err)
+		}
+		rel := relation{cols: make([]binding, len(res.Columns)), rows: res.Rows}
+		for i, c := range res.Columns {
+			rel.cols[i] = binding{qual: qual, name: c}
+		}
+		return rel, nil
+	}
+	return relation{}, fmt.Errorf("sqldb: unknown relation %q", ref.Table)
+}
+
+// hashJoin performs an equi-join on the ON condition. Either side of
+// the condition may name either input; resolution decides.
+func hashJoin(left, right relation, on JoinOn) (relation, error) {
+	lcol, rcol, err := splitJoinCols(&left, &right, on)
+	if err != nil {
+		return relation{}, err
+	}
+	// Build on the smaller input.
+	buildLeft := len(left.rows) <= len(right.rows)
+	build, probe := &left, &right
+	bcol, pcol := lcol, rcol
+	if !buildLeft {
+		build, probe = &right, &left
+		bcol, pcol = rcol, lcol
+	}
+	ht := make(map[string][]Row, len(build.rows))
+	for _, row := range build.rows {
+		v := row[bcol]
+		if v.IsNull() {
+			continue // NULL never joins
+		}
+		k := v.groupKey()
+		ht[k] = append(ht[k], row)
+	}
+	out := relation{cols: append(append([]binding{}, left.cols...), right.cols...)}
+	for _, prow := range probe.rows {
+		v := prow[pcol]
+		if v.IsNull() {
+			continue
+		}
+		for _, brow := range ht[v.groupKey()] {
+			var joined Row
+			if buildLeft {
+				joined = append(append(make(Row, 0, len(brow)+len(prow)), brow...), prow...)
+			} else {
+				joined = append(append(make(Row, 0, len(prow)+len(brow)), prow...), brow...)
+			}
+			out.rows = append(out.rows, joined)
+		}
+	}
+	return out, nil
+}
+
+// splitJoinCols resolves the two sides of an ON condition to (left
+// column index, right column index).
+func splitJoinCols(left, right *relation, on JoinOn) (int, int, error) {
+	l := on.Left
+	r := on.Right
+	if li, err := left.resolve(&l); err == nil {
+		ri, err := right.resolve(&r)
+		if err != nil {
+			return 0, 0, fmt.Errorf("sqldb: join condition: %w", err)
+		}
+		return li, ri, nil
+	}
+	// Swapped order: ON right_table.x = left_table.y.
+	li, err := left.resolve(&r)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sqldb: join condition %s = %s matches neither side", on.Left.String(), on.Right.String())
+	}
+	ri, err := right.resolve(&l)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sqldb: join condition: %w", err)
+	}
+	return li, ri, nil
+}
+
+// substituteAliases rewrites ORDER BY expressions, replacing bare
+// column references that match a select alias with the aliased
+// expression (ORDER BY total for SELECT SUM(x) AS total).
+func substituteAliases(s *SelectStmt) ([]Expr, error) {
+	aliases := make(map[string]Expr)
+	for _, it := range s.Items {
+		if it.Alias != "" && !it.Star {
+			aliases[it.Alias] = it.Expr
+		}
+	}
+	out := make([]Expr, len(s.OrderBy))
+	for i, o := range s.OrderBy {
+		if c, ok := o.Expr.(*ColumnRef); ok && c.Table == "" {
+			if e, ok := aliases[c.Column]; ok {
+				out[i] = e
+				continue
+			}
+		}
+		out[i] = o.Expr
+	}
+	return out, nil
+}
+
+func needsAggregation(s *SelectStmt) bool {
+	if len(s.GroupBy) > 0 {
+		return true
+	}
+	for _, it := range s.Items {
+		if !it.Star && containsAgg(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAgg(e Expr) bool {
+	switch x := e.(type) {
+	case *AggExpr:
+		return true
+	case *BinaryExpr:
+		return containsAgg(x.Left) || containsAgg(x.Right)
+	case *UnaryExpr:
+		return containsAgg(x.X)
+	case *InExpr:
+		if containsAgg(x.X) {
+			return true
+		}
+		for _, item := range x.List {
+			if containsAgg(item) {
+				return true
+			}
+		}
+		return false
+	case *BetweenExpr:
+		return containsAgg(x.X) || containsAgg(x.Lo) || containsAgg(x.Hi)
+	case *LikeExpr:
+		return containsAgg(x.X) || containsAgg(x.Pattern)
+	case *IsNullExpr:
+		return containsAgg(x.X)
+	default:
+		return false
+	}
+}
+
+// executeProjection is the non-aggregating path.
+func executeProjection(s *SelectStmt, rel *relation, orderExprs []Expr) ([]string, []outRow, error) {
+	items, names, err := expandItems(s, rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]outRow, 0, len(rel.rows))
+	for _, row := range rel.rows {
+		vis := make(Row, len(items))
+		for i, it := range items {
+			v, err := evalExpr(it, rel, row)
+			if err != nil {
+				return nil, nil, err
+			}
+			vis[i] = v
+		}
+		keys := make(Row, len(orderExprs))
+		for i, e := range orderExprs {
+			v, err := evalExpr(e, rel, row)
+			if err != nil {
+				return nil, nil, err
+			}
+			keys[i] = v
+		}
+		out = append(out, outRow{vis: vis, keys: keys})
+	}
+	return names, out, nil
+}
+
+// expandItems flattens SELECT * into explicit column references.
+func expandItems(s *SelectStmt, rel *relation) ([]Expr, []string, error) {
+	var items []Expr
+	var names []string
+	for _, it := range s.Items {
+		if it.Star {
+			for _, b := range rel.cols {
+				items = append(items, &ColumnRef{Table: b.qual, Column: b.name})
+				names = append(names, b.name)
+			}
+			continue
+		}
+		items = append(items, it.Expr)
+		names = append(names, itemName(it))
+	}
+	return items, names, nil
+}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*ColumnRef); ok {
+		return c.Column
+	}
+	return strings.ToLower(it.Expr.String())
+}
+
+// executeGrouped is the aggregation path: hash-group on the GROUP BY
+// keys (one global group when absent) and evaluate each select item per
+// group.
+func executeGrouped(s *SelectStmt, rel *relation, orderExprs []Expr) ([]string, []outRow, error) {
+	names := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		if it.Star {
+			return nil, nil, fmt.Errorf("sqldb: SELECT * cannot be combined with aggregation")
+		}
+		names[i] = itemName(it)
+	}
+	type group struct {
+		rows []Row
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range rel.rows {
+		var kb strings.Builder
+		for _, g := range s.GroupBy {
+			v, err := evalExpr(g, rel, row)
+			if err != nil {
+				return nil, nil, err
+			}
+			kb.WriteString(v.groupKey())
+			kb.WriteByte('|')
+		}
+		k := kb.String()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		grp.rows = append(grp.rows, row)
+	}
+	// A global aggregate over an empty input still yields one row.
+	if len(groups) == 0 && len(s.GroupBy) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+	out := make([]outRow, 0, len(order))
+	for _, k := range order {
+		grp := groups[k]
+		vis := make(Row, len(s.Items))
+		for i, it := range s.Items {
+			v, err := evalAggregate(it.Expr, rel, grp.rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			vis[i] = v
+		}
+		keys := make(Row, len(orderExprs))
+		for i, e := range orderExprs {
+			v, err := evalAggregate(e, rel, grp.rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			keys[i] = v
+		}
+		out = append(out, outRow{vis: vis, keys: keys})
+	}
+	return names, out, nil
+}
+
+// evalAggregate evaluates an expression in grouped context: aggregate
+// nodes fold the group's rows, everything else evaluates against the
+// group's first row (which SQL requires to be functionally determined
+// by the grouping keys).
+func evalAggregate(e Expr, rel *relation, rows []Row) (Value, error) {
+	switch x := e.(type) {
+	case *AggExpr:
+		return foldAgg(x, rel, rows)
+	case *BinaryExpr:
+		l, err := evalAggregate(x.Left, rel, rows)
+		if err != nil {
+			return Null, err
+		}
+		r, err := evalAggregate(x.Right, rel, rows)
+		if err != nil {
+			return Null, err
+		}
+		return applyBinary(x.Op, l, r)
+	case *UnaryExpr:
+		v, err := evalAggregate(x.X, rel, rows)
+		if err != nil {
+			return Null, err
+		}
+		return applyUnary(x.Op, v)
+	default:
+		if len(rows) == 0 {
+			return Null, nil
+		}
+		return evalExpr(e, rel, rows[0])
+	}
+}
+
+func foldAgg(a *AggExpr, rel *relation, rows []Row) (Value, error) {
+	if a.Star {
+		return NewInt(int64(len(rows))), nil
+	}
+	var count int64
+	var sum float64
+	allInt := true
+	var minV, maxV Value
+	first := true
+	for _, row := range rows {
+		v, err := evalExpr(a.Arg, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		if f, ok := v.asFloat(); ok {
+			sum += f
+			if v.Kind != KindInt {
+				allInt = false
+			}
+		} else if a.Func == "SUM" || a.Func == "AVG" {
+			return Null, fmt.Errorf("sqldb: %s over non-numeric value %s", a.Func, v)
+		}
+		if first || Compare(v, minV) < 0 {
+			minV = v
+		}
+		if first || Compare(v, maxV) > 0 {
+			maxV = v
+		}
+		first = false
+	}
+	switch a.Func {
+	case "COUNT":
+		return NewInt(count), nil
+	case "SUM":
+		if count == 0 {
+			return Null, nil
+		}
+		if allInt {
+			return NewInt(int64(sum)), nil
+		}
+		return NewFloat(sum), nil
+	case "AVG":
+		if count == 0 {
+			return Null, nil
+		}
+		return NewFloat(sum / float64(count)), nil
+	case "MIN":
+		if count == 0 {
+			return Null, nil
+		}
+		return minV, nil
+	case "MAX":
+		if count == 0 {
+			return Null, nil
+		}
+		return maxV, nil
+	default:
+		return Null, fmt.Errorf("sqldb: unknown aggregate %q", a.Func)
+	}
+}
+
+// evalExpr evaluates a scalar expression against one row. A nil
+// relation evaluates constant expressions only.
+func evalExpr(e Expr, rel *relation, row Row) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColumnRef:
+		if rel == nil {
+			return Null, fmt.Errorf("column %q in constant context", x.String())
+		}
+		i, err := rel.resolve(x)
+		if err != nil {
+			return Null, err
+		}
+		return row[i], nil
+	case *BinaryExpr:
+		l, err := evalExpr(x.Left, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		// Short-circuit the logical operators.
+		switch x.Op {
+		case "AND":
+			if l.Kind == KindBool && !l.Bool {
+				return NewBool(false), nil
+			}
+		case "OR":
+			if l.Kind == KindBool && l.Bool {
+				return NewBool(true), nil
+			}
+		}
+		r, err := evalExpr(x.Right, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		return applyBinary(x.Op, l, r)
+	case *UnaryExpr:
+		v, err := evalExpr(x.X, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		return applyUnary(x.Op, v)
+	case *InExpr:
+		v, err := evalExpr(x.X, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		found := false
+		for _, item := range x.List {
+			iv, err := evalExpr(item, rel, row)
+			if err != nil {
+				return Null, err
+			}
+			if !iv.IsNull() && Equal(v, iv) {
+				found = true
+				break
+			}
+		}
+		return NewBool(found != x.Neg), nil
+	case *BetweenExpr:
+		v, err := evalExpr(x.X, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		lo, err := evalExpr(x.Lo, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		hi, err := evalExpr(x.Hi, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null, nil
+		}
+		in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+		return NewBool(in != x.Neg), nil
+	case *LikeExpr:
+		v, err := evalExpr(x.X, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		pat, err := evalExpr(x.Pattern, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() || pat.IsNull() {
+			return Null, nil
+		}
+		if v.Kind != KindText || pat.Kind != KindText {
+			return Null, fmt.Errorf("sqldb: LIKE requires text operands")
+		}
+		return NewBool(likeMatch(v.Str, pat.Str) != x.Neg), nil
+	case *IsNullExpr:
+		v, err := evalExpr(x.X, rel, row)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(v.IsNull() != x.Neg), nil
+	case *AggExpr:
+		return Null, fmt.Errorf("sqldb: aggregate %s outside GROUP BY context", x.String())
+	default:
+		return Null, fmt.Errorf("sqldb: unhandled expression %T", e)
+	}
+}
+
+// likeMatch implements SQL LIKE: % matches any run (including empty),
+// _ matches exactly one byte. Matching is byte-wise and case-sensitive.
+func likeMatch(s, pattern string) bool {
+	// Classic two-pointer wildcard matching with backtracking on %.
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		// The wildcard case must win over literal equality: a literal
+		// '%' in s would otherwise consume the pattern's '%' operator.
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+func applyBinary(op string, l, r Value) (Value, error) {
+	switch op {
+	case "AND", "OR":
+		lb, lok := asBool(l)
+		rb, rok := asBool(r)
+		if !lok || !rok {
+			return Null, nil // NULL logic collapses to NULL, filtered as false
+		}
+		if op == "AND" {
+			return NewBool(lb && rb), nil
+		}
+		return NewBool(lb || rb), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		c := Compare(l, r)
+		switch op {
+		case "=":
+			return NewBool(c == 0), nil
+		case "<>":
+			return NewBool(c != 0), nil
+		case "<":
+			return NewBool(c < 0), nil
+		case "<=":
+			return NewBool(c <= 0), nil
+		case ">":
+			return NewBool(c > 0), nil
+		default:
+			return NewBool(c >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		if l.Kind == KindInt && r.Kind == KindInt {
+			switch op {
+			case "+":
+				return NewInt(l.Int + r.Int), nil
+			case "-":
+				return NewInt(l.Int - r.Int), nil
+			case "*":
+				return NewInt(l.Int * r.Int), nil
+			default:
+				if r.Int == 0 {
+					return Null, fmt.Errorf("sqldb: division by zero")
+				}
+				return NewInt(l.Int / r.Int), nil
+			}
+		}
+		lf, lok := l.asFloat()
+		rf, rok := r.asFloat()
+		if !lok || !rok {
+			return Null, fmt.Errorf("sqldb: arithmetic on non-numeric values %s, %s", l, r)
+		}
+		switch op {
+		case "+":
+			return NewFloat(lf + rf), nil
+		case "-":
+			return NewFloat(lf - rf), nil
+		case "*":
+			return NewFloat(lf * rf), nil
+		default:
+			if rf == 0 {
+				return Null, fmt.Errorf("sqldb: division by zero")
+			}
+			return NewFloat(lf / rf), nil
+		}
+	default:
+		return Null, fmt.Errorf("sqldb: unknown operator %q", op)
+	}
+}
+
+func applyUnary(op string, v Value) (Value, error) {
+	switch op {
+	case "NOT":
+		b, ok := asBool(v)
+		if !ok {
+			return Null, nil
+		}
+		return NewBool(!b), nil
+	case "-":
+		switch v.Kind {
+		case KindInt:
+			return NewInt(-v.Int), nil
+		case KindFloat:
+			return NewFloat(-v.Float), nil
+		case KindNull:
+			return Null, nil
+		default:
+			return Null, fmt.Errorf("sqldb: negation of %s", v)
+		}
+	default:
+		return Null, fmt.Errorf("sqldb: unknown unary operator %q", op)
+	}
+}
+
+func asBool(v Value) (bool, bool) {
+	if v.Kind == KindBool {
+		return v.Bool, true
+	}
+	return false, false
+}
+
+func rowKey(r Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(v.groupKey())
+		b.WriteByte('|')
+	}
+	return b.String()
+}

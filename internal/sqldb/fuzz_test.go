@@ -1,0 +1,71 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse feeds arbitrary byte strings through the SQL parser: it
+// must never panic, and whatever it accepts must render back to SQL
+// that parses to the same rendering (round-trip stability).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM t",
+		"SELECT a, b AS c FROM t JOIN u ON t.a = u.b WHERE a > 1 AND b IN (1,2) ORDER BY a DESC LIMIT 3 OFFSET 1",
+		"CREATE TABLE t (a INT, b TEXT)",
+		"CREATE VIEW v AS SELECT a FROM t WHERE a BETWEEN 1 AND 2",
+		"CREATE INDEX i ON t (a)",
+		"INSERT INTO t VALUES (1, 'x''y'), (NULL, 'z')",
+		"UPDATE t SET a = a + 1 WHERE b LIKE '%x%'",
+		"DELETE FROM t WHERE a IS NOT NULL",
+		"EXPLAIN SELECT COUNT(*) FROM t GROUP BY a",
+		"SELECT -1 + 2 * (3 - 4) / 5 FROM t",
+		"SELECT 'unterminated",
+		"SELECT \x00 FROM t",
+		"))))((((",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if !utf8.ValidString(input) || len(input) > 4096 {
+			t.Skip()
+		}
+		stmt, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		sel, ok := stmt.(*SelectStmt)
+		if !ok {
+			return
+		}
+		rendered := sel.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", input, rendered, err)
+		}
+		if s2, ok := again.(*SelectStmt); !ok || s2.String() != rendered {
+			t.Fatalf("unstable rendering: %q -> %q", rendered, s2.String())
+		}
+	})
+}
+
+// FuzzLikeMatch checks the wildcard matcher never panics and honors
+// the trivial invariants on arbitrary inputs.
+func FuzzLikeMatch(f *testing.F) {
+	f.Add("mississippi", "%iss%")
+	f.Add("", "")
+	f.Add("abc", "a_c")
+	f.Fuzz(func(t *testing.T, s, p string) {
+		if len(s) > 256 || len(p) > 64 {
+			t.Skip()
+		}
+		got := likeMatch(s, p)
+		if p == "%" && !got {
+			t.Fatalf("%% must match %q", s)
+		}
+		if !strings.ContainsAny(p, "%_") && got != (s == p) {
+			t.Fatalf("wildcard-free pattern %q vs %q: got %t", p, s, got)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // reserved words, upper-cased
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers lower-cased
+	pos  int    // byte offset in the input, for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"GROUP": true, "BY": true, "ORDER": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "AND": true, "OR": true, "NOT": true, "AS": true,
+	"CREATE": true, "TABLE": true, "VIEW": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "EXPLAIN": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "INT": true, "FLOAT": true, "TEXT": true,
+	"BOOL": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "INNER": true, "DISTINCT": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "OFFSET": true, "IS": true, "INDEX": true,
+}
+
+// lex tokenizes a SQL string.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(c) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqldb: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, strings.ToLower(word), start})
+			}
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < n {
+				two := input[i : i+2]
+				switch two {
+				case "<=", ">=", "<>", "!=":
+					toks = append(toks, token{tokSymbol, two, start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '.', ';':
+				toks = append(toks, token{tokSymbol, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("sqldb: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

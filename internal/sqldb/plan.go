@@ -1,0 +1,246 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plan is the output of EXPLAIN: an operator tree with cardinality and
+// cost estimates. Costs are abstract per-row work units; callers (the
+// cluster's estimator) convert them to milliseconds per node, refined
+// with past-execution history exactly as Section 5.2 of the paper
+// describes.
+type Plan struct {
+	Root *PlanNode
+}
+
+// PlanNode is one operator of the plan tree.
+type PlanNode struct {
+	Op       string  // scan, view, hashjoin, filter, group, sort, distinct, project, limit
+	Label    string  // table/view name or condition summary
+	Rows     float64 // estimated output cardinality
+	Cost     float64 // cumulative cost including children
+	Children []*PlanNode
+}
+
+// Cost returns the plan's total estimated cost in work units.
+func (p *Plan) Cost() float64 { return p.Root.Cost }
+
+// IOCost returns the portion of the plan's cost attributable to base
+// data access (scan leaves). Together with CPUCost it lets callers
+// model machines whose disk and processor speeds differ independently.
+func (p *Plan) IOCost() float64 {
+	var io float64
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		if n.Op == "scan" {
+			io += n.Cost
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return io
+}
+
+// CPUCost returns the non-scan portion of the plan's cost (joins,
+// grouping, sorting, projection).
+func (p *Plan) CPUCost() float64 {
+	c := p.Cost() - p.IOCost()
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Rows returns the plan's estimated output cardinality.
+func (p *Plan) Rows() float64 { return p.Root.Rows }
+
+// Tree renders the plan as an indented EXPLAIN listing.
+func (p *Plan) Tree() string {
+	var b strings.Builder
+	var walk func(n *PlanNode, depth int)
+	walk = func(n *PlanNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if n.Label != "" {
+			fmt.Fprintf(&b, "%s(%s)", n.Op, n.Label)
+		} else {
+			b.WriteString(n.Op)
+		}
+		fmt.Fprintf(&b, "  rows=%.0f cost=%.1f\n", n.Rows, n.Cost)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Signature canonicalizes the plan's *shape* — operators and relation
+// names, no constants or cardinalities. Two queries of the same
+// template (differing only in selection constants, Section 2.1) share a
+// signature, which is what makes it the key of the past-execution
+// history estimator.
+func (p *Plan) Signature() string {
+	var b strings.Builder
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		b.WriteString(n.Op)
+		if n.Op == "scan" || n.Op == "view" {
+			b.WriteString(":" + n.Label)
+		}
+		if len(n.Children) > 0 {
+			b.WriteByte('(')
+			for i, c := range n.Children {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				walk(c)
+			}
+			b.WriteByte(')')
+		}
+	}
+	walk(p.Root)
+	return b.String()
+}
+
+// Planner selectivity and cardinality heuristics (textbook defaults).
+const (
+	filterSelectivity = 0.33
+	groupReduction    = 0.1
+)
+
+// PlanSelect builds the cost-annotated plan of a SELECT without
+// executing it.
+func (db *DB) PlanSelect(s *SelectStmt) (*Plan, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	root, err := db.planLocked(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root}, nil
+}
+
+func (db *DB) planLocked(s *SelectStmt, depth int) (*PlanNode, error) {
+	if depth > maxViewDepth {
+		return nil, fmt.Errorf("sqldb: view nesting exceeds %d", maxViewDepth)
+	}
+	node, err := db.planRefIndexed(s, 0, depth)
+	if err != nil {
+		return nil, err
+	}
+	for i, join := range s.Joins {
+		right, err := db.planRefIndexed(s, i+1, depth)
+		if err != nil {
+			return nil, err
+		}
+		// Hash join: build the smaller side, probe the larger. Estimated
+		// output follows the usual foreign-key heuristic of max input
+		// cardinality.
+		rows := math.Max(node.Rows, right.Rows)
+		node = &PlanNode{
+			Op:       "hashjoin",
+			Label:    join.Left.String() + "=" + join.Right.String(),
+			Rows:     rows,
+			Cost:     node.Cost + right.Cost + node.Rows + right.Rows,
+			Children: []*PlanNode{node, right},
+		}
+	}
+	if s.Where != nil {
+		node = &PlanNode{
+			Op:       "filter",
+			Rows:     math.Max(1, node.Rows*filterSelectivity),
+			Cost:     node.Cost + node.Rows,
+			Children: []*PlanNode{node},
+		}
+	}
+	if needsAggregation(s) {
+		rows := 1.0
+		if len(s.GroupBy) > 0 {
+			rows = math.Max(1, node.Rows*groupReduction)
+		}
+		node = &PlanNode{
+			Op:       "group",
+			Rows:     rows,
+			Cost:     node.Cost + node.Rows,
+			Children: []*PlanNode{node},
+		}
+	}
+	if s.Distinct {
+		node = &PlanNode{
+			Op:       "distinct",
+			Rows:     math.Max(1, node.Rows*0.9),
+			Cost:     node.Cost + node.Rows,
+			Children: []*PlanNode{node},
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		n := math.Max(2, node.Rows)
+		node = &PlanNode{
+			Op:       "sort",
+			Rows:     node.Rows,
+			Cost:     node.Cost + n*math.Log2(n),
+			Children: []*PlanNode{node},
+		}
+	}
+	rows := node.Rows
+	if s.Limit >= 0 {
+		rows = math.Min(rows, float64(s.Limit))
+		node = &PlanNode{
+			Op:       "limit",
+			Label:    fmt.Sprintf("%d", s.Limit),
+			Rows:     rows,
+			Cost:     node.Cost,
+			Children: []*PlanNode{node},
+		}
+	}
+	node = &PlanNode{
+		Op:       "project",
+		Rows:     rows,
+		Cost:     node.Cost + rows,
+		Children: []*PlanNode{node},
+	}
+	return node, nil
+}
+
+// planRefIndexed plans one FROM entry, choosing an index scan when an
+// equality conjunct pins an indexed column.
+func (db *DB) planRefIndexed(s *SelectStmt, refIdx, depth int) (*PlanNode, error) {
+	ref := s.From[refIdx]
+	if t, ok := db.tables[ref.Table]; ok {
+		if col, _, ok := indexableEq(s, refIdx); ok {
+			if ix := db.lookupIndex(ref.Table, col); ix != nil {
+				// Estimated selectivity: rows divided by distinct keys.
+				distinct := math.Max(1, float64(len(ix.m)))
+				rows := math.Max(1, float64(len(t.rows))/distinct)
+				return &PlanNode{Op: "ixscan", Label: ref.Table + "." + col, Rows: rows, Cost: rows}, nil
+			}
+		}
+	}
+	return db.planRef(ref, depth)
+}
+
+func (db *DB) planRef(ref TableRef, depth int) (*PlanNode, error) {
+	if t, ok := db.tables[ref.Table]; ok {
+		rows := float64(len(t.rows))
+		return &PlanNode{Op: "scan", Label: ref.Table, Rows: rows, Cost: math.Max(1, rows)}, nil
+	}
+	if v, ok := db.views[ref.Table]; ok {
+		inner, err := db.planLocked(v, depth+1)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: planning view %q: %w", ref.Table, err)
+		}
+		return &PlanNode{
+			Op:       "view",
+			Label:    ref.Table,
+			Rows:     inner.Rows,
+			Cost:     inner.Cost,
+			Children: []*PlanNode{inner},
+		}, nil
+	}
+	return nil, fmt.Errorf("sqldb: unknown relation %q", ref.Table)
+}

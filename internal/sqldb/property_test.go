@@ -1,0 +1,188 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// randomDB builds a two-table database with random small-domain data
+// so joins have hits, misses and duplicates.
+func randomDB(t *testing.T, rng *rand.Rand, rowsA, rowsB int) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, "CREATE TABLE a (k INT, v INT)")
+	mustExec(t, db, "CREATE TABLE b (k INT, w INT)")
+	insert := func(table string, n int) {
+		if n == 0 {
+			return
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "INSERT INTO %s VALUES ", table)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if rng.Float64() < 0.1 {
+				fmt.Fprintf(&b, "(NULL, %d)", rng.Intn(50))
+			} else {
+				fmt.Fprintf(&b, "(%d, %d)", rng.Intn(8), rng.Intn(50))
+			}
+		}
+		mustExec(t, db, b.String())
+	}
+	insert("a", rowsA)
+	insert("b", rowsB)
+	return db
+}
+
+// TestQuickHashJoinMatchesNestedLoop cross-checks the hash join
+// against a brute-force nested-loop computed from the base tables.
+func TestQuickHashJoinMatchesNestedLoop(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(t, rng, rng.Intn(40), rng.Intn(40))
+		got, err := db.Query("SELECT a.k, a.v, b.w FROM a JOIN b ON a.k = b.k")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Reference: nested loop over the raw rows.
+		aRows := queryRows(t, db, "SELECT k, v FROM a").Rows
+		bRows := queryRows(t, db, "SELECT k, w FROM b").Rows
+		var want []string
+		for _, ar := range aRows {
+			for _, br := range bRows {
+				if ar[0].IsNull() || br[0].IsNull() {
+					continue
+				}
+				if Equal(ar[0], br[0]) {
+					want = append(want, fmt.Sprintf("%v|%v|%v", ar[0], ar[1], br[1]))
+				}
+			}
+		}
+		var gotKeys []string
+		for _, r := range got.Rows {
+			gotKeys = append(gotKeys, fmt.Sprintf("%v|%v|%v", r[0], r[1], r[2]))
+		}
+		sort.Strings(want)
+		sort.Strings(gotKeys)
+		if len(want) != len(gotKeys) {
+			t.Fatalf("seed %d: join produced %d rows, reference %d", seed, len(gotKeys), len(want))
+		}
+		for i := range want {
+			if want[i] != gotKeys[i] {
+				t.Fatalf("seed %d: row %d differs: %s vs %s", seed, i, gotKeys[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQuickAggregationConsistency checks that per-group SUM/COUNT roll
+// up to the global aggregates.
+func TestQuickAggregationConsistency(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		db := randomDB(t, rng, 5+rng.Intn(60), 0)
+		groups := queryRows(t, db, "SELECT k, COUNT(*) AS n, SUM(v) AS s FROM a GROUP BY k")
+		var n, s int64
+		for _, g := range groups.Rows {
+			n += g[1].Int
+			if !g[2].IsNull() {
+				s += g[2].Int
+			}
+		}
+		global := queryRows(t, db, "SELECT COUNT(*), SUM(v) FROM a")
+		if global.Rows[0][0].Int != n {
+			t.Fatalf("seed %d: group counts %d != global %d", seed, n, global.Rows[0][0].Int)
+		}
+		if !global.Rows[0][1].IsNull() && global.Rows[0][1].Int != s {
+			t.Fatalf("seed %d: group sums %d != global %v", seed, s, global.Rows[0][1])
+		}
+	}
+}
+
+// TestQuickFilterPartition checks WHERE p and WHERE NOT p partition
+// the rows whose predicate is non-NULL.
+func TestQuickFilterPartition(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		db := randomDB(t, rng, 5+rng.Intn(60), 0)
+		threshold := rng.Intn(50)
+		all := queryRows(t, db, "SELECT COUNT(*) FROM a WHERE v IS NOT NULL").Rows[0][0].Int
+		pos := queryRows(t, db, fmt.Sprintf("SELECT COUNT(*) FROM a WHERE v > %d", threshold)).Rows[0][0].Int
+		neg := queryRows(t, db, fmt.Sprintf("SELECT COUNT(*) FROM a WHERE NOT v > %d", threshold)).Rows[0][0].Int
+		if pos+neg != all {
+			t.Fatalf("seed %d: %d + %d != %d", seed, pos, neg, all)
+		}
+	}
+}
+
+// TestQuickOrderBySorted verifies ORDER BY output is monotone.
+func TestQuickOrderBySorted(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		db := randomDB(t, rng, 5+rng.Intn(80), 0)
+		asc := queryRows(t, db, "SELECT v FROM a ORDER BY v")
+		for i := 1; i < len(asc.Rows); i++ {
+			if Compare(asc.Rows[i-1][0], asc.Rows[i][0]) > 0 {
+				t.Fatalf("seed %d: ASC violated at %d: %v > %v", seed, i, asc.Rows[i-1][0], asc.Rows[i][0])
+			}
+		}
+		desc := queryRows(t, db, "SELECT v FROM a ORDER BY v DESC")
+		for i := 1; i < len(desc.Rows); i++ {
+			if Compare(desc.Rows[i-1][0], desc.Rows[i][0]) < 0 {
+				t.Fatalf("seed %d: DESC violated at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestQuickDistinctIdempotent verifies SELECT DISTINCT returns unique
+// rows and is idempotent in cardinality.
+func TestQuickDistinctIdempotent(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(400 + seed))
+		db := randomDB(t, rng, 5+rng.Intn(80), 0)
+		res := queryRows(t, db, "SELECT DISTINCT k FROM a")
+		seen := map[string]bool{}
+		for _, r := range res.Rows {
+			key := r[0].String()
+			if seen[key] {
+				t.Fatalf("seed %d: duplicate %s in DISTINCT output", seed, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// TestQuickUpdateDeleteConservation checks UPDATE changes no row
+// counts and DELETE removes exactly the WHERE-matching rows.
+func TestQuickUpdateDeleteConservation(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(500 + seed))
+		db := randomDB(t, rng, 10+rng.Intn(60), 0)
+		before := queryRows(t, db, "SELECT COUNT(*) FROM a").Rows[0][0].Int
+		threshold := rng.Intn(50)
+		if _, _, err := db.Exec(fmt.Sprintf("UPDATE a SET v = v + 1 WHERE v < %d", threshold)); err != nil {
+			t.Fatal(err)
+		}
+		after := queryRows(t, db, "SELECT COUNT(*) FROM a").Rows[0][0].Int
+		if before != after {
+			t.Fatalf("seed %d: UPDATE changed row count %d -> %d", seed, before, after)
+		}
+		matching := queryRows(t, db, fmt.Sprintf("SELECT COUNT(*) FROM a WHERE v > %d", threshold)).Rows[0][0].Int
+		_, removed, err := db.Exec(fmt.Sprintf("DELETE FROM a WHERE v > %d", threshold))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(removed) != matching {
+			t.Fatalf("seed %d: DELETE removed %d, matching %d", seed, removed, matching)
+		}
+		left := queryRows(t, db, "SELECT COUNT(*) FROM a").Rows[0][0].Int
+		if left != after-matching {
+			t.Fatalf("seed %d: %d rows left, want %d", seed, left, after-matching)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExecScript executes a ';'-separated sequence of statements (the
+// format of qanode's -init files). Empty statements and line comments
+// are skipped. On error it reports the 1-based statement index. It
+// returns the total number of rows affected by DML statements.
+func ExecScript(db *DB, script string) (int, error) {
+	total := 0
+	idx := 0
+	for _, stmt := range strings.Split(script, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" || isOnlyComments(stmt) {
+			continue
+		}
+		idx++
+		_, n, err := db.Exec(stmt)
+		if err != nil {
+			return total, fmt.Errorf("sqldb: script statement %d: %w", idx, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// isOnlyComments reports whether every line is blank or a -- comment.
+func isOnlyComments(s string) bool {
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "--") {
+			return false
+		}
+	}
+	return true
+}

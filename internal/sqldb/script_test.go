@@ -1,0 +1,53 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExecScript(t *testing.T) {
+	db := Open()
+	n, err := ExecScript(db, `
+		CREATE TABLE t (a INT, b TEXT);
+
+		-- seed data
+		INSERT INTO t VALUES (1, 'x'), (2, 'y');
+		INSERT INTO t VALUES (3, 'z');
+	`)
+	if err != nil {
+		t.Fatalf("ExecScript: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("affected %d rows, want 3", n)
+	}
+	res := queryRows(t, db, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int != 3 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestExecScriptErrorIndexing(t *testing.T) {
+	db := Open()
+	_, err := ExecScript(db, `
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES ('wrong type');
+	`)
+	if err == nil {
+		t.Fatal("bad script accepted")
+	}
+	if !strings.Contains(err.Error(), "statement 2") {
+		t.Errorf("error lacks statement index: %v", err)
+	}
+	// The valid prefix has been applied (no transactionality; this is
+	// documented behaviour).
+	if !db.HasRelation("t") {
+		t.Error("first statement not applied")
+	}
+}
+
+func TestExecScriptEmptyAndComments(t *testing.T) {
+	db := Open()
+	if _, err := ExecScript(db, "\n  -- nothing here\n;;\n"); err != nil {
+		t.Fatalf("comment-only script: %v", err)
+	}
+}

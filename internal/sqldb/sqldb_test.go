@@ -1,0 +1,467 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustExec runs a statement that must succeed.
+func mustExec(t *testing.T, db *DB, sql string) {
+	t.Helper()
+	if _, _, err := db.Exec(sql); err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+}
+
+// seedDB builds a small star schema used across tests.
+func seedDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, "CREATE TABLE dept (id INT, name TEXT, budget FLOAT)")
+	mustExec(t, db, "CREATE TABLE emp (id INT, dept_id INT, name TEXT, salary FLOAT, senior BOOL)")
+	mustExec(t, db, `INSERT INTO dept VALUES
+		(1, 'eng', 100.5), (2, 'sales', 50.0), (3, 'hr', 25.0)`)
+	mustExec(t, db, `INSERT INTO emp VALUES
+		(10, 1, 'ann', 120.0, TRUE),
+		(11, 1, 'bob', 95.0, FALSE),
+		(12, 2, 'cat', 80.0, TRUE),
+		(13, 2, 'dan', 70.0, FALSE),
+		(14, 3, 'eve', 60.0, FALSE)`)
+	return db
+}
+
+func queryRows(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestCreateInsertSelectStar(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, "SELECT * FROM dept")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	if len(res.Columns) != 3 || res.Columns[0] != "id" || res.Columns[2] != "budget" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	n, err := db.RowCount("emp")
+	if err != nil || n != 5 {
+		t.Errorf("RowCount(emp) = %d, %v", n, err)
+	}
+}
+
+func TestWhereFilters(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, "SELECT name FROM emp WHERE salary > 80 AND senior = TRUE")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "ann" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = queryRows(t, db, "SELECT name FROM emp WHERE salary > 80 OR senior = TRUE")
+	if len(res.Rows) != 3 {
+		t.Fatalf("OR filter rows = %d, want 3", len(res.Rows))
+	}
+	res = queryRows(t, db, "SELECT name FROM emp WHERE NOT senior = TRUE AND dept_id <> 3")
+	if len(res.Rows) != 2 {
+		t.Fatalf("NOT filter rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestArithmeticInProjection(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, "SELECT salary * 2 + 1 AS double FROM emp WHERE id = 10")
+	if len(res.Rows) != 1 {
+		t.Fatal("want one row")
+	}
+	if got := res.Rows[0][0].Float; got != 241 {
+		t.Errorf("salary*2+1 = %g, want 241", got)
+	}
+	if res.Columns[0] != "double" {
+		t.Errorf("alias = %q", res.Columns[0])
+	}
+	// Integer division stays integral; division by zero errors.
+	res = queryRows(t, db, "SELECT 7 / 2 FROM dept LIMIT 1")
+	if res.Rows[0][0].Int != 3 {
+		t.Errorf("7/2 = %v, want 3", res.Rows[0][0])
+	}
+	if _, err := db.Query("SELECT 1 / 0 FROM dept"); err == nil {
+		t.Error("division by zero did not error")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, `SELECT emp.name, dept.name FROM emp
+		JOIN dept ON emp.dept_id = dept.id WHERE dept.name = 'eng' ORDER BY emp.name`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0][0].Str != "ann" || res.Rows[1][0].Str != "bob" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// The ON condition may be written in either order.
+	res2 := queryRows(t, db, `SELECT emp.name FROM emp
+		JOIN dept ON dept.id = emp.dept_id WHERE dept.name = 'eng'`)
+	if len(res2.Rows) != 2 {
+		t.Errorf("swapped ON order gave %d rows", len(res2.Rows))
+	}
+}
+
+func TestThreeWayJoinWithAliases(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (a INT, b INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 2), (2, 3), (3, 4)")
+	res := queryRows(t, db, `SELECT x.a, z.b FROM t AS x
+		JOIN t AS y ON x.b = y.a
+		JOIN t AS z ON y.b = z.a`)
+	// Chains: (1,2)->(2,3)->(3,4): exactly one row.
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	if res.Rows[0][0].Int != 1 || res.Rows[0][1].Int != 4 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, `SELECT dept_id, COUNT(*) AS n, SUM(salary) AS total,
+		AVG(salary) AS mean, MIN(salary) AS lo, MAX(salary) AS hi
+		FROM emp GROUP BY dept_id ORDER BY dept_id`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(res.Rows))
+	}
+	r := res.Rows[0] // dept 1: ann 120, bob 95
+	if r[1].Int != 2 || r[2].Float != 215 || r[3].Float != 107.5 || r[4].Float != 95 || r[5].Float != 120 {
+		t.Errorf("dept 1 aggregates = %v", r)
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, "SELECT COUNT(*), AVG(salary) FROM emp")
+	if len(res.Rows) != 1 {
+		t.Fatal("global aggregate must return one row")
+	}
+	if res.Rows[0][0].Int != 5 || res.Rows[0][1].Float != 85 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+	// Empty input: COUNT is 0, AVG NULL.
+	empty := queryRows(t, db, "SELECT COUNT(*), AVG(salary) FROM emp WHERE id = 999")
+	if empty.Rows[0][0].Int != 0 || !empty.Rows[0][1].IsNull() {
+		t.Errorf("empty aggregate = %v", empty.Rows[0])
+	}
+}
+
+func TestOrderByDescAndLimit(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, "SELECT name FROM emp ORDER BY salary DESC LIMIT 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0][0].Str != "ann" || res.Rows[1][0].Str != "bob" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// ORDER BY an aggregate alias.
+	res = queryRows(t, db, `SELECT dept_id, SUM(salary) AS total FROM emp
+		GROUP BY dept_id ORDER BY total DESC LIMIT 1`)
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("top dept = %v, want 1", res.Rows[0])
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, "SELECT DISTINCT senior FROM emp")
+	if len(res.Rows) != 2 {
+		t.Errorf("distinct rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestViews(t *testing.T) {
+	db := seedDB(t)
+	mustExec(t, db, "CREATE VIEW seniors AS SELECT id, name, salary FROM emp WHERE senior = TRUE")
+	res := queryRows(t, db, "SELECT name FROM seniors ORDER BY name")
+	if len(res.Rows) != 2 || res.Rows[0][0].Str != "ann" || res.Rows[1][0].Str != "cat" {
+		t.Fatalf("view rows = %v", res.Rows)
+	}
+	// Views can be joined like tables.
+	res = queryRows(t, db, `SELECT seniors.name FROM seniors
+		JOIN dept ON seniors.id = dept.id`)
+	_ = res // join on unrelated keys; just must not error
+	// Views of views.
+	mustExec(t, db, "CREATE VIEW rich_seniors AS SELECT name FROM seniors WHERE salary > 100")
+	res = queryRows(t, db, "SELECT * FROM rich_seniors")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "ann" {
+		t.Errorf("nested view rows = %v", res.Rows)
+	}
+	if !db.HasRelation("seniors") || db.HasRelation("nope") {
+		t.Error("HasRelation wrong")
+	}
+	if got := db.Views(); len(got) != 2 {
+		t.Errorf("Views() = %v", got)
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (a INT, b INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, NULL), (2, 5)")
+	// NULL comparisons are never true.
+	res := queryRows(t, db, "SELECT a FROM t WHERE b > 0")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 2 {
+		t.Errorf("NULL filter rows = %v", res.Rows)
+	}
+	// Aggregates skip NULLs; COUNT(col) counts non-null.
+	res = queryRows(t, db, "SELECT COUNT(b), SUM(b) FROM t")
+	if res.Rows[0][0].Int != 1 || res.Rows[0][1].Int != 5 {
+		t.Errorf("aggregates over NULL = %v", res.Rows[0])
+	}
+	// NULL join keys never match.
+	mustExec(t, db, "CREATE TABLE u (b INT)")
+	mustExec(t, db, "INSERT INTO u VALUES (5)")
+	res = queryRows(t, db, "SELECT t.a FROM t JOIN u ON t.b = u.b")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 2 {
+		t.Errorf("NULL join rows = %v", res.Rows)
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (a INT, s TEXT)")
+	if _, _, err := db.Exec("INSERT INTO t VALUES ('str', 'ok')"); err == nil {
+		t.Error("string into INT accepted")
+	}
+	if _, _, err := db.Exec("INSERT INTO t VALUES (1, 2)"); err == nil {
+		t.Error("int into TEXT accepted")
+	}
+	if _, _, err := db.Exec("INSERT INTO t VALUES (1)"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	// INT literals widen into FLOAT columns.
+	mustExec(t, db, "CREATE TABLE f (x FLOAT)")
+	mustExec(t, db, "INSERT INTO f VALUES (3)")
+	res := queryRows(t, db, "SELECT x FROM f")
+	if res.Rows[0][0].Kind != KindFloat || res.Rows[0][0].Float != 3 {
+		t.Errorf("widened value = %v", res.Rows[0][0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := seedDB(t)
+	bad := []string{
+		"SELECT * FROM missing",
+		"SELECT nope FROM emp",
+		"SELECT name FROM emp WHERE",
+		"SELECT name FROM emp JOIN dept ON emp.dept_id = missing.id",
+		"INSERT INTO missing VALUES (1)",
+		"CREATE TABLE dept (x INT)",                   // duplicate
+		"CREATE TABLE bad ()",                         // no columns
+		"CREATE TABLE dup (a INT, a INT)",             // duplicate column
+		"CREATE VIEW v AS SELECT * FROM missing",      // unknown base
+		"SELECT * FROM emp GROUP BY dept_id",          // star with grouping
+		"SELECT SUM(name) FROM emp",                   // SUM over text
+		"SELECT name FROM emp WHERE salary + 'x' > 1", // bad arithmetic
+		"SELECT COUNT(*) FROM emp WHERE COUNT(*) > 1", // aggregate in WHERE
+		"SELECT AVG(*) FROM emp",                      // only COUNT takes *
+		"DROP TABLE emp",                              // unsupported statement
+		"SELECT id FROM emp LIMIT -1",
+		"UPDATE emp SET nope = 1",                  // unknown column
+		"UPDATE missing SET a = 1",                 // unknown table
+		"DELETE FROM missing",                      // unknown table
+		"UPDATE emp SET salary = 'x'",              // type mismatch
+		"SELECT name FROM emp WHERE NOT IN (1)",    // dangling NOT
+		"SELECT name FROM emp WHERE salary LIKE 3", // LIKE over numbers
+	}
+	for _, sql := range bad {
+		if _, _, err := db.Exec(sql); err == nil {
+			t.Errorf("accepted bad SQL: %s", sql)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := seedDB(t)
+	// "name" exists in both emp and dept after the join.
+	if _, err := db.Query("SELECT name FROM emp JOIN dept ON emp.dept_id = dept.id"); err == nil {
+		t.Error("ambiguous column accepted")
+	}
+}
+
+func TestExplainTreeAndSignature(t *testing.T) {
+	db := seedDB(t)
+	plan, err := db.Explain(`SELECT dept_id, COUNT(*) FROM emp
+		JOIN dept ON emp.dept_id = dept.id
+		WHERE salary > 10 GROUP BY dept_id ORDER BY dept_id`)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	tree := plan.Tree()
+	for _, op := range []string{"scan(emp)", "scan(dept)", "hashjoin", "filter", "group", "sort", "project"} {
+		if !strings.Contains(tree, op) {
+			t.Errorf("plan tree missing %q:\n%s", op, tree)
+		}
+	}
+	if plan.Cost() <= 0 {
+		t.Errorf("cost = %g", plan.Cost())
+	}
+	// Signature ignores constants: two queries of the same template
+	// share it.
+	p1, err := db.Explain("SELECT name FROM emp WHERE salary > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := db.Explain("SELECT name FROM emp WHERE salary > 55")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Signature() != p2.Signature() {
+		t.Errorf("same-template signatures differ:\n%s\n%s", p1.Signature(), p2.Signature())
+	}
+	p3, err := db.Explain("SELECT name FROM emp JOIN dept ON emp.dept_id = dept.id WHERE salary > 55")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Signature() == p3.Signature() {
+		t.Error("different plans share a signature")
+	}
+}
+
+func TestExplainStatement(t *testing.T) {
+	db := seedDB(t)
+	res, _, err := db.Exec("EXPLAIN SELECT * FROM emp WHERE id = 10")
+	if err != nil {
+		t.Fatalf("EXPLAIN: %v", err)
+	}
+	if len(res.Rows) != 1 || !strings.Contains(res.Rows[0][0].Str, "scan(emp)") {
+		t.Errorf("EXPLAIN output: %v", res.Rows)
+	}
+}
+
+func TestExplainCostGrowsWithData(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	p0, err := db.Explain("SELECT a FROM t WHERE a > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO t VALUES (0)")
+	for i := 1; i < 500; i++ {
+		sb.WriteString(",(")
+		sb.WriteString(strings.Repeat("1", 1)) // value 1
+		sb.WriteString(")")
+	}
+	mustExec(t, db, sb.String())
+	p1, err := db.Explain("SELECT a FROM t WHERE a > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Cost() <= p0.Cost() {
+		t.Errorf("cost did not grow with data: %g vs %g", p1.Cost(), p0.Cost())
+	}
+}
+
+func TestConcurrentReadsAndWrites(t *testing.T) {
+	db := seedDB(t)
+	done := make(chan error, 20)
+	for i := 0; i < 10; i++ {
+		go func() {
+			_, err := db.Query("SELECT COUNT(*) FROM emp JOIN dept ON emp.dept_id = dept.id")
+			done <- err
+		}()
+		go func() {
+			_, _, err := db.Exec("INSERT INTO dept VALUES (99, 'tmp', 1.0)")
+			done <- err
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent op: %v", err)
+		}
+	}
+}
+
+func TestSelectFromViewUsesHasRelation(t *testing.T) {
+	db := seedDB(t)
+	if db.HasRelation("emp") != true {
+		t.Error("emp missing")
+	}
+	tables := db.Tables()
+	if len(tables) != 2 || tables[0] != "dept" {
+		t.Errorf("Tables() = %v", tables)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE s (v TEXT)")
+	mustExec(t, db, "INSERT INTO s VALUES ('it''s')")
+	res := queryRows(t, db, "SELECT v FROM s")
+	if res.Rows[0][0].Str != "it's" {
+		t.Errorf("escaped string = %q", res.Rows[0][0].Str)
+	}
+	if _, err := Parse("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestParserRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT a, b AS c FROM t WHERE a > 1 ORDER BY b DESC LIMIT 3",
+		"SELECT COUNT(*) FROM t GROUP BY a",
+		"SELECT DISTINCT a FROM t JOIN u ON t.a = u.b",
+		"SELECT a + 1 * 2 FROM t WHERE NOT a = 2 AND b < 3 OR c >= 4",
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		sel, ok := stmt.(*SelectStmt)
+		if !ok {
+			t.Fatalf("Parse(%q) = %T", q, stmt)
+		}
+		// Re-parsing the rendered form must succeed and be stable.
+		again, err := Parse(sel.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", q, sel.String(), err)
+		}
+		if again.(*SelectStmt).String() != sel.String() {
+			t.Errorf("round trip unstable:\n%s\n%s", sel.String(), again.(*SelectStmt).String())
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE one (x INT)")
+	mustExec(t, db, "INSERT INTO one VALUES (1)")
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 4 - 3", 3}, // left associative
+		{"-2 * 3", -6},
+		{"20 / 2 / 5", 2},
+	}
+	for _, c := range cases {
+		res := queryRows(t, db, "SELECT "+c.expr+" FROM one")
+		if got := res.Rows[0][0].Int; got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	db := seedDB(t)
+	res := queryRows(t, db, "SELECT id FROM dept -- trailing comment\nWHERE id = 1")
+	if len(res.Rows) != 1 {
+		t.Errorf("comment handling broke query: %v", res.Rows)
+	}
+}

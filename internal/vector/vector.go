@@ -1,0 +1,246 @@
+// Package vector implements the vector algebra of Section 2.2 of the
+// paper: demand, consumption and supply vectors over K query classes,
+// together with the price vectors of Section 3.1.
+//
+// Demand/consumption/supply vectors live in N^K and are represented by
+// Quantity. Price vectors live in R+^K and are represented by Prices.
+// Both types are plain slices so callers can range over them, but all
+// arithmetic helpers defensively check dimensions.
+package vector
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Quantity is a vector in N^K counting queries per query class, used for
+// the demand (d_i), consumption (c_i) and supply (s_i) vectors of the
+// paper. Entries must be non-negative.
+type Quantity []int
+
+// Prices is a virtual-value vector in R+^K assigning one price per query
+// class (the p vector of Section 3.1). Entries must be positive.
+type Prices []float64
+
+// New returns a zero Quantity with k classes.
+func New(k int) Quantity { return make(Quantity, k) }
+
+// NewPrices returns a Prices vector with k classes, all set to initial.
+func NewPrices(k int, initial float64) Prices {
+	p := make(Prices, k)
+	for i := range p {
+		p[i] = initial
+	}
+	return p
+}
+
+// Len returns the number of query classes K.
+func (q Quantity) Len() int { return len(q) }
+
+// Clone returns an independent copy of q.
+func (q Quantity) Clone() Quantity {
+	c := make(Quantity, len(q))
+	copy(c, q)
+	return c
+}
+
+// Add returns q + r. It panics if the dimensions differ, since mixing
+// vectors of different class universes is always a programming error.
+func (q Quantity) Add(r Quantity) Quantity {
+	mustMatch(len(q), len(r))
+	out := make(Quantity, len(q))
+	for i := range q {
+		out[i] = q[i] + r[i]
+	}
+	return out
+}
+
+// Sub returns q - r. Entries may go negative; use Dominates or IsValid to
+// test feasibility afterwards.
+func (q Quantity) Sub(r Quantity) Quantity {
+	mustMatch(len(q), len(r))
+	out := make(Quantity, len(q))
+	for i := range q {
+		out[i] = q[i] - r[i]
+	}
+	return out
+}
+
+// AddInPlace adds r into q.
+func (q Quantity) AddInPlace(r Quantity) {
+	mustMatch(len(q), len(r))
+	for i := range q {
+		q[i] += r[i]
+	}
+}
+
+// Total returns the total number of queries summed over all classes.
+// Under the preference relation of Section 2.2 a node prefers the vector
+// with the larger Total.
+func (q Quantity) Total() int {
+	t := 0
+	for _, v := range q {
+		t += v
+	}
+	return t
+}
+
+// IsZero reports whether every entry is zero.
+func (q Quantity) IsZero() bool {
+	for _, v := range q {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsValid reports whether q is a well-formed element of N^K, i.e. every
+// entry is non-negative.
+func (q Quantity) IsValid() bool {
+	for _, v := range q {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LEQ reports whether q <= r component-wise (the c_ik <= d_ik constraint
+// of Section 2.2).
+func (q Quantity) LEQ(r Quantity) bool {
+	mustMatch(len(q), len(r))
+	for i := range q {
+		if q[i] > r[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether q == r component-wise.
+func (q Quantity) Equal(r Quantity) bool {
+	if len(q) != len(r) {
+		return false
+	}
+	for i := range q {
+		if q[i] != r[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the component-wise minimum of q and r.
+func (q Quantity) Min(r Quantity) Quantity {
+	mustMatch(len(q), len(r))
+	out := make(Quantity, len(q))
+	for i := range q {
+		out[i] = min(q[i], r[i])
+	}
+	return out
+}
+
+// Value computes p·q, the virtual value of the vector at prices p
+// (Section 3.1).
+func (q Quantity) Value(p Prices) float64 {
+	mustMatch(len(q), len(p))
+	v := 0.0
+	for i := range q {
+		v += float64(q[i]) * p[i]
+	}
+	return v
+}
+
+// String renders q as "(a, b, c)" mirroring the paper's notation.
+func (q Quantity) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range q {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Sum aggregates per-node vectors into the system-wide vector of eq. (1).
+func Sum(vs []Quantity) Quantity {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := vs[0].Clone()
+	for _, v := range vs[1:] {
+		out.AddInPlace(v)
+	}
+	return out
+}
+
+// Clone returns an independent copy of p.
+func (p Prices) Clone() Prices {
+	c := make(Prices, len(p))
+	copy(c, p)
+	return c
+}
+
+// Len returns the number of query classes K.
+func (p Prices) Len() int { return len(p) }
+
+// IsValid reports whether every price is strictly positive and finite.
+// Prices in the query market are virtual but must stay in R+ for the
+// first-order conditions of eq. (4) to be well defined.
+func (p Prices) IsValid() bool {
+	for _, v := range p {
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale multiplies every price by f in place.
+func (p Prices) Scale(f float64) {
+	for i := range p {
+		p[i] *= f
+	}
+}
+
+// Normalize rescales p so that its maximum entry is 1. Equilibrium in the
+// query market is invariant to a common positive rescaling of all prices
+// (only relative prices drive the supply solver), so normalising keeps
+// the non-tâtonnement recursion numerically stable over long runs.
+func (p Prices) Normalize() {
+	maxP := 0.0
+	for _, v := range p {
+		if v > maxP {
+			maxP = v
+		}
+	}
+	if maxP <= 0 {
+		return
+	}
+	p.Scale(1 / maxP)
+}
+
+// String renders p with three decimals.
+func (p Prices) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range p {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.3f", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func mustMatch(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vector: dimension mismatch %d vs %d", a, b))
+	}
+}

@@ -1,0 +1,237 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	q := New(5)
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	if !q.IsZero() {
+		t.Fatalf("New vector not zero: %v", q)
+	}
+	if !q.IsValid() {
+		t.Fatalf("New vector not valid: %v", q)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := Quantity{1, 2, 3}
+	b := Quantity{4, 0, 1}
+	sum := a.Add(b)
+	if want := (Quantity{5, 2, 4}); !sum.Equal(want) {
+		t.Errorf("Add = %v, want %v", sum, want)
+	}
+	diff := b.Sub(a)
+	if want := (Quantity{3, -2, -2}); !diff.Equal(want) {
+		t.Errorf("Sub = %v, want %v", diff, want)
+	}
+	if diff.IsValid() {
+		t.Errorf("negative diff %v reported valid", diff)
+	}
+	// Operands must be untouched.
+	if !a.Equal(Quantity{1, 2, 3}) || !b.Equal(Quantity{4, 0, 1}) {
+		t.Errorf("operands mutated: a=%v b=%v", a, b)
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a := Quantity{1, 1}
+	a.AddInPlace(Quantity{2, 3})
+	if want := (Quantity{3, 4}); !a.Equal(want) {
+		t.Errorf("AddInPlace = %v, want %v", a, want)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched dims did not panic")
+		}
+	}()
+	Quantity{1}.Add(Quantity{1, 2})
+}
+
+func TestTotal(t *testing.T) {
+	if got := (Quantity{1, 6}).Total(); got != 7 {
+		t.Errorf("Total = %d, want 7", got)
+	}
+	if got := (Quantity{}).Total(); got != 0 {
+		t.Errorf("empty Total = %d, want 0", got)
+	}
+}
+
+func TestLEQ(t *testing.T) {
+	d := Quantity{1, 6}
+	c := Quantity{1, 1}
+	if !c.LEQ(d) {
+		t.Errorf("%v should be <= %v", c, d)
+	}
+	if d.LEQ(c) {
+		t.Errorf("%v should not be <= %v", d, c)
+	}
+	if !d.LEQ(d) {
+		t.Errorf("LEQ not reflexive on %v", d)
+	}
+}
+
+func TestMin(t *testing.T) {
+	got := (Quantity{3, 1, 2}).Min(Quantity{1, 4, 2})
+	if want := (Quantity{1, 1, 2}); !got.Equal(want) {
+		t.Errorf("Min = %v, want %v", got, want)
+	}
+}
+
+func TestValue(t *testing.T) {
+	q := Quantity{2, 3}
+	p := Prices{1.5, 2}
+	if got := q.Value(p); got != 9 {
+		t.Errorf("Value = %g, want 9", got)
+	}
+}
+
+func TestSumAggregates(t *testing.T) {
+	// Eq. (1) example from Section 2.2: the aggregate demand of the
+	// two-node system is (2, 6).
+	d1 := Quantity{1, 6}
+	d2 := Quantity{1, 0}
+	agg := Sum([]Quantity{d1, d2})
+	if want := (Quantity{2, 6}); !agg.Equal(want) {
+		t.Errorf("Sum = %v, want %v", agg, want)
+	}
+	if Sum(nil) != nil {
+		t.Error("Sum(nil) should be nil")
+	}
+	// Aggregation must not alias its inputs.
+	agg[0] = 99
+	if d1[0] == 99 {
+		t.Error("Sum aliased its input")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := Quantity{1, 2}
+	c := q.Clone()
+	c[0] = 7
+	if q[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+	p := Prices{1, 2}
+	cp := p.Clone()
+	cp[1] = 9
+	if p[1] != 2 {
+		t.Error("Prices.Clone aliases original")
+	}
+}
+
+func TestPricesValid(t *testing.T) {
+	cases := []struct {
+		p    Prices
+		want bool
+	}{
+		{Prices{1, 2}, true},
+		{Prices{0, 1}, false},
+		{Prices{-1}, false},
+		{Prices{math.Inf(1)}, false},
+		{Prices{math.NaN()}, false},
+		{NewPrices(3, 0.5), true},
+	}
+	for _, c := range cases {
+		if got := c.p.IsValid(); got != c.want {
+			t.Errorf("IsValid(%v) = %t, want %t", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Prices{2, 4, 1}
+	p.Normalize()
+	if want := (Prices{0.5, 1, 0.25}); !reflect.DeepEqual(p, want) {
+		t.Errorf("Normalize = %v, want %v", p, want)
+	}
+	zero := Prices{0, 0}
+	zero.Normalize() // must not divide by zero
+	if !reflect.DeepEqual(zero, Prices{0, 0}) {
+		t.Errorf("Normalize of zeros changed: %v", zero)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := (Quantity{1, 6}).String(); got != "(1, 6)" {
+		t.Errorf("Quantity.String = %q", got)
+	}
+	if got := (Prices{1, 0.5}).String(); got != "(1.000, 0.500)" {
+		t.Errorf("Prices.String = %q", got)
+	}
+}
+
+// Property: Add is commutative and associative, with New(k) the
+// identity.
+func TestQuickAddProperties(t *testing.T) {
+	gen := func(r *rand.Rand) Quantity {
+		q := New(4)
+		for i := range q {
+			q[i] = r.Intn(100)
+		}
+		return q
+	}
+	cfg := &quick.Config{Values: func(vs []reflect.Value, r *rand.Rand) {
+		for i := range vs {
+			vs[i] = reflect.ValueOf(gen(r))
+		}
+	}}
+	comm := func(a, b Quantity) bool { return a.Add(b).Equal(b.Add(a)) }
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	assoc := func(a, b, c Quantity) bool {
+		return a.Add(b).Add(c).Equal(a.Add(b.Add(c)))
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+	ident := func(a Quantity) bool { return a.Add(New(4)).Equal(a) }
+	if err := quick.Check(ident, cfg); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+}
+
+// Property: Value is linear: (a+b)·p = a·p + b·p.
+func TestQuickValueLinear(t *testing.T) {
+	f := func(rawA, rawB [4]uint8, rawP [4]uint8) bool {
+		a, b := New(4), New(4)
+		p := NewPrices(4, 1)
+		for i := 0; i < 4; i++ {
+			a[i] = int(rawA[i])
+			b[i] = int(rawB[i])
+			p[i] = float64(rawP[i])/51 + 0.1
+		}
+		lhs := a.Add(b).Value(p)
+		rhs := a.Value(p) + b.Value(p)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sub then Add round-trips.
+func TestQuickSubAddRoundTrip(t *testing.T) {
+	f := func(rawA, rawB [5]uint8) bool {
+		a, b := New(5), New(5)
+		for i := 0; i < 5; i++ {
+			a[i] = int(rawA[i])
+			b[i] = int(rawB[i])
+		}
+		return a.Sub(b).Add(b).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Trace I/O: arrival streams serialize to a three-column CSV
+// (at_ms, class, origin) so experiments can be recorded once and
+// replayed bit-for-bit against different mechanisms or builds.
+
+// WriteCSV writes the arrivals as CSV with a header row.
+func WriteCSV(w io.Writer, as []Arrival) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_ms", "class", "origin"}); err != nil {
+		return err
+	}
+	for _, a := range as {
+		rec := []string{
+			strconv.FormatInt(a.At, 10),
+			strconv.Itoa(a.Class),
+			strconv.Itoa(a.Origin),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Arrivals are returned in
+// file order; callers wanting chronological order should Sort them.
+func ReadCSV(r io.Reader) ([]Arrival, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if header[0] != "at_ms" || header[1] != "class" || header[2] != "origin" {
+		return nil, fmt.Errorf("workload: unexpected trace header %v", header)
+	}
+	var out []Arrival
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		at, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad at_ms %q", line, rec[0])
+		}
+		class, err := strconv.Atoi(rec[1])
+		if err != nil || class < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad class %q", line, rec[1])
+		}
+		origin, err := strconv.Atoi(rec[2])
+		if err != nil || origin < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad origin %q", line, rec[2])
+		}
+		out = append(out, Arrival{At: at, Class: class, Origin: origin})
+	}
+}
+
+// SaveTrace writes the arrivals to a CSV file.
+func SaveTrace(path string, as []Arrival) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, as); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a CSV trace file.
+func LoadTrace(path string) ([]Arrival, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := Zipf{Classes: 5, NumQueries: 200, A: 1, MeanGapMs: 100, MaxGapMs: 30000, OriginCount: 4}
+	orig, err := z.Generate(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip lost arrivals: %d vs %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestTraceFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	as := []Arrival{{At: 0, Class: 1, Origin: 2}, {At: 10, Class: 0, Origin: 0}}
+	if err := SaveTrace(path, as); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != as[0] || got[1] != as[1] {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"x,y\n1,2\n",
+		"at_ms,class,origin\nnope,0,0\n",
+		"at_ms,class,origin\n-5,0,0\n",
+		"at_ms,class,origin\n1,x,0\n",
+		"at_ms,class,origin\n1,0,-2\n",
+		"at_ms,class,origin\n1,0\n",
+	}
+	for i, s := range bad {
+		if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("garbage %d accepted", i)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty trace loaded %d arrivals", len(got))
+	}
+}

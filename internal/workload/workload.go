@@ -1,0 +1,324 @@
+// Package workload synthesizes the query workloads of Section 5.1:
+// sinusoid arrival processes for the dynamic-load experiments (Figures
+// 3–5) and Zipf-distributed inter-arrival workloads over a large class
+// universe for the heterogeneous experiments (Figure 6), plus the query
+// template generator behind Table 3.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/qamarket/qamarket/internal/catalog"
+	"github.com/qamarket/qamarket/internal/costmodel"
+)
+
+// Arrival is one query entering the distributed system.
+type Arrival struct {
+	At     int64 // virtual milliseconds since experiment start
+	Class  int   // query class (template index)
+	Origin int   // node where the request originates
+}
+
+// byTime sorts arrivals chronologically, ties broken by class then
+// origin for determinism.
+type byTime []Arrival
+
+func (a byTime) Len() int      { return len(a) }
+func (a byTime) Swap(i, j int) { a[i], a[j] = a[j], a[i] }
+func (a byTime) Less(i, j int) bool {
+	if a[i].At != a[j].At {
+		return a[i].At < a[j].At
+	}
+	if a[i].Class != a[j].Class {
+		return a[i].Class < a[j].Class
+	}
+	return a[i].Origin < a[j].Origin
+}
+
+// Sort orders arrivals chronologically in place.
+func Sort(as []Arrival) { sort.Sort(byTime(as)) }
+
+// Sinusoid describes one sinusoidal arrival process for a single query
+// class, as used in the first experiment set: the arrival rate is
+// Peak·max(0, sin(2π·Freq·t + Phase)).
+type Sinusoid struct {
+	Class    int
+	Origin   int     // -1 scatters origins uniformly over OriginCount nodes
+	Freq     float64 // Hz (0.05–2 in Figure 5b)
+	PeakRate float64 // queries per second at the crest
+	PhaseDeg float64 // phase offset in degrees (the paper uses 900°)
+	Duration int64   // ms
+	// OriginCount is the number of client nodes when Origin is -1.
+	OriginCount int
+}
+
+// Rate returns the instantaneous arrival rate (queries/second) at time
+// t milliseconds.
+func (s Sinusoid) Rate(t int64) float64 {
+	phase := s.PhaseDeg * math.Pi / 180
+	v := math.Sin(2*math.Pi*s.Freq*float64(t)/1000 + phase)
+	if v < 0 {
+		return 0
+	}
+	return s.PeakRate * v
+}
+
+// Generate produces the arrival stream via time-discretized sampling:
+// for every millisecond the arrival probability is Rate/1000, drawn from
+// rng. This is an exact thinning of the inhomogeneous Poisson process at
+// 1 ms resolution.
+func (s Sinusoid) Generate(rng *rand.Rand) []Arrival {
+	var out []Arrival
+	for t := int64(0); t < s.Duration; t++ {
+		p := s.Rate(t) / 1000
+		for p > 0 {
+			if rng.Float64() < p {
+				out = append(out, Arrival{At: t, Class: s.Class, Origin: s.origin(rng)})
+			}
+			p-- // rates above 1000/s yield multiple Bernoulli draws per ms
+		}
+	}
+	return out
+}
+
+// HalfSecondCounts buckets arrivals into half-second bins — exactly the
+// series plotted in Figure 3 ("number of queries entering the
+// distributed system per half second").
+func HalfSecondCounts(as []Arrival, durationMs int64) []int {
+	n := int((durationMs + 499) / 500)
+	counts := make([]int, n)
+	for _, a := range as {
+		b := int(a.At / 500)
+		if b >= 0 && b < n {
+			counts[b]++
+		}
+	}
+	return counts
+}
+
+func (s Sinusoid) origin(rng *rand.Rand) int {
+	if s.Origin >= 0 {
+		return s.Origin
+	}
+	if s.OriginCount <= 0 {
+		return 0
+	}
+	return rng.Intn(s.OriginCount)
+}
+
+// Zipf describes the second experiment set's workload: NumQueries
+// queries over Classes query classes where the inter-arrival time of
+// queries *within the same class* follows a Zipf distribution with
+// parameter a, mean MeanGapMs and cap MaxGapMs (30,000 ms in the paper).
+type Zipf struct {
+	Classes     int
+	NumQueries  int
+	A           float64 // Zipf exponent (1 in the paper)
+	MeanGapMs   float64 // average inter-arrival time t (varied 10–20,000)
+	MaxGapMs    float64 // 30,000 in the paper
+	OriginCount int     // arrivals originate uniformly over this many nodes
+}
+
+// Validate sanity-checks the spec.
+func (z Zipf) Validate() error {
+	switch {
+	case z.Classes <= 0:
+		return fmt.Errorf("workload: Classes must be positive, got %d", z.Classes)
+	case z.NumQueries <= 0:
+		return fmt.Errorf("workload: NumQueries must be positive, got %d", z.NumQueries)
+	case z.A <= 0:
+		return fmt.Errorf("workload: Zipf exponent must be positive, got %g", z.A)
+	case z.MeanGapMs <= 0:
+		return fmt.Errorf("workload: MeanGapMs must be positive, got %g", z.MeanGapMs)
+	case z.MaxGapMs < z.MeanGapMs:
+		return fmt.Errorf("workload: MaxGapMs %g below MeanGapMs %g", z.MaxGapMs, z.MeanGapMs)
+	case z.OriginCount <= 0:
+		return fmt.Errorf("workload: OriginCount must be positive, got %d", z.OriginCount)
+	}
+	return nil
+}
+
+// zipfRanks is the support size of the discrete Zipf sampler.
+const zipfRanks = 1000
+
+// Generate produces NumQueries arrivals. Queries are dealt to classes
+// round-robin (so every class receives ~NumQueries/Classes queries) and
+// each class's stream advances by Zipf-distributed gaps rescaled to the
+// requested mean and capped at MaxGapMs.
+func (z Zipf) Generate(rng *rand.Rand) ([]Arrival, error) {
+	if err := z.Validate(); err != nil {
+		return nil, err
+	}
+	sampler := newZipfSampler(z.A, zipfRanks)
+	// E[rank] under the truncated Zipf law; scale gaps so the mean gap
+	// matches MeanGapMs before capping.
+	scale := z.MeanGapMs / sampler.mean
+	perClass := (z.NumQueries + z.Classes - 1) / z.Classes
+	out := make([]Arrival, 0, z.NumQueries)
+	for c := 0; c < z.Classes; c++ {
+		t := float64(rng.Int63n(int64(z.MeanGapMs) + 1)) // desynchronize classes
+		for q := 0; q < perClass && len(out) < z.NumQueries; q++ {
+			gap := float64(sampler.sample(rng)) * scale
+			if gap > z.MaxGapMs {
+				gap = z.MaxGapMs
+			}
+			t += gap
+			out = append(out, Arrival{
+				At:     int64(t),
+				Class:  c,
+				Origin: rng.Intn(z.OriginCount),
+			})
+			if len(out) == z.NumQueries {
+				break
+			}
+		}
+		if len(out) == z.NumQueries {
+			break
+		}
+	}
+	Sort(out)
+	return out, nil
+}
+
+// zipfSampler draws ranks 1..n with P(r) ∝ r^-a by inverse-CDF lookup.
+// The standard library's rand.Zipf requires a > 1; the paper uses a = 1,
+// so we build the truncated distribution directly.
+type zipfSampler struct {
+	cdf  []float64
+	mean float64
+}
+
+func newZipfSampler(a float64, n int) *zipfSampler {
+	cdf := make([]float64, n)
+	sum := 0.0
+	mean := 0.0
+	for r := 1; r <= n; r++ {
+		w := math.Pow(float64(r), -a)
+		sum += w
+		mean += float64(r) * w
+		cdf[r-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipfSampler{cdf: cdf, mean: mean / sum}
+}
+
+func (z *zipfSampler) sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// TemplateParams drive the synthesis of the Table 3 class universe.
+type TemplateParams struct {
+	Classes     int     // 100 in the paper
+	MinJoins    int     // 0
+	MaxJoins    int     // 49
+	Sorted      bool    // templates end in a sort (select-join-project-sort)
+	TargetBest  float64 // calibrate avg best execution time to this, ms (2,000)
+	Selectivity float64 // intermediate shrink factor per join
+}
+
+// Table3Templates returns the template-generation parameters of Table 3.
+func Table3Templates() TemplateParams {
+	return TemplateParams{
+		Classes:     100,
+		MinJoins:    0,
+		MaxJoins:    49,
+		Sorted:      true,
+		TargetBest:  2000,
+		Selectivity: 0.4,
+	}
+}
+
+// GenerateTemplates synthesizes the class universe Q over the catalog:
+// each class joins a random chain of relations (join count uniform in
+// [MinJoins, MaxJoins]) whose mirrors guarantee at least one node can
+// evaluate it. When TargetBest > 0 the whole universe is rescaled so the
+// average best execution time matches it.
+func GenerateTemplates(c *catalog.Catalog, m *costmodel.Model, p TemplateParams, rng *rand.Rand) ([]costmodel.Template, error) {
+	if p.Classes <= 0 {
+		return nil, fmt.Errorf("workload: Classes must be positive, got %d", p.Classes)
+	}
+	if p.MinJoins < 0 || p.MaxJoins < p.MinJoins {
+		return nil, fmt.Errorf("workload: bad join range [%d,%d]", p.MinJoins, p.MaxJoins)
+	}
+	sel := p.Selectivity
+	if sel <= 0 || sel > 1 {
+		sel = 0.4
+	}
+	ts := make([]costmodel.Template, 0, p.Classes)
+	for k := 0; k < p.Classes; k++ {
+		t, err := generateTemplate(c, k, p, sel, rng)
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+	}
+	if p.TargetBest > 0 {
+		calibrate(m, ts, p.TargetBest)
+	}
+	return ts, nil
+}
+
+// generateTemplate picks a chain of relations all mirrored on at least
+// one common node, so the template is evaluable somewhere. It grows the
+// chain relation by relation from a seed node's local holdings.
+func generateTemplate(c *catalog.Catalog, class int, p TemplateParams, sel float64, rng *rand.Rand) (costmodel.Template, error) {
+	joins := p.MinJoins
+	if p.MaxJoins > p.MinJoins {
+		joins += rng.Intn(p.MaxJoins - p.MinJoins + 1)
+	}
+	need := joins + 1
+	// Retry seeds until some node holds enough relations.
+	for attempt := 0; attempt < 10*len(c.Nodes); attempt++ {
+		node := c.Nodes[rng.Intn(len(c.Nodes))]
+		if len(node.Holds) < need {
+			continue
+		}
+		local := make([]int, 0, len(node.Holds))
+		for id := range node.Holds {
+			local = append(local, id)
+		}
+		sort.Ints(local) // map order is random; keep generation deterministic
+		rng.Shuffle(len(local), func(i, j int) { local[i], local[j] = local[j], local[i] })
+		return costmodel.Template{
+			Class:       class,
+			Relations:   append([]int(nil), local[:need]...),
+			Selectivity: sel,
+			Sort:        p.Sorted,
+		}, nil
+	}
+	return costmodel.Template{}, fmt.Errorf("workload: no node holds %d relations for class %d", need, class)
+}
+
+// calibrate rescales every template's CostScale by one common factor so
+// that the mean best execution time across classes equals target.
+func calibrate(m *costmodel.Model, ts []costmodel.Template, target float64) {
+	sum, n := 0.0, 0
+	for i := range ts {
+		if best, _ := m.EstimateBest(ts[i]); best < math.Inf(1) {
+			sum += best
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return
+	}
+	factor := target / (sum / float64(n))
+	for i := range ts {
+		ts[i].CostScale = factor
+	}
+}

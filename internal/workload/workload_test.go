@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/qamarket/qamarket/internal/catalog"
+	"github.com/qamarket/qamarket/internal/costmodel"
+)
+
+func TestSinusoidRate(t *testing.T) {
+	s := Sinusoid{Freq: 0.05, PeakRate: 10, PhaseDeg: 0, Duration: 20000}
+	// Period is 20 s; the crest is at 5 s.
+	if got := s.Rate(5000); math.Abs(got-10) > 1e-9 {
+		t.Errorf("rate at crest = %g, want 10", got)
+	}
+	if got := s.Rate(0); got != 0 {
+		t.Errorf("rate at 0 = %g, want 0", got)
+	}
+	// Negative half-wave is clipped to zero.
+	if got := s.Rate(15000); got != 0 {
+		t.Errorf("rate in negative half = %g, want 0", got)
+	}
+}
+
+func TestSinusoidPhase(t *testing.T) {
+	// A 900° phase shift equals 180°: the two waves are in antiphase.
+	a := Sinusoid{Freq: 0.05, PeakRate: 10, PhaseDeg: 0}
+	b := Sinusoid{Freq: 0.05, PeakRate: 10, PhaseDeg: 900}
+	if a.Rate(5000) == 0 || b.Rate(5000) != 0 {
+		t.Error("900° shift should zero the second wave at the first's crest")
+	}
+	if b.Rate(15000) == 0 {
+		t.Error("antiphase wave should peak in the first's trough")
+	}
+}
+
+func TestSinusoidGenerateCount(t *testing.T) {
+	s := Sinusoid{Class: 3, Origin: 7, Freq: 0.05, PeakRate: 20, Duration: 20000}
+	as := s.Generate(rand.New(rand.NewSource(1)))
+	// Expected arrivals: integral of the clipped sinusoid =
+	// Peak/(π f) per cycle ≈ 20/(π·0.05) ≈ 127 over one 20 s cycle.
+	want := 20 / (math.Pi * 0.05)
+	if got := float64(len(as)); math.Abs(got-want) > want*0.25 {
+		t.Errorf("generated %v arrivals, want ~%.0f", got, want)
+	}
+	for _, a := range as {
+		if a.Class != 3 || a.Origin != 7 {
+			t.Fatalf("arrival metadata wrong: %+v", a)
+		}
+		if a.At < 0 || a.At >= 20000 {
+			t.Fatalf("arrival time %d outside duration", a.At)
+		}
+	}
+}
+
+func TestSinusoidScatteredOrigins(t *testing.T) {
+	s := Sinusoid{Origin: -1, OriginCount: 5, Freq: 0.2, PeakRate: 50, Duration: 10000}
+	as := s.Generate(rand.New(rand.NewSource(2)))
+	seen := map[int]bool{}
+	for _, a := range as {
+		if a.Origin < 0 || a.Origin >= 5 {
+			t.Fatalf("origin %d outside [0,5)", a.Origin)
+		}
+		seen[a.Origin] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("origins not scattered: %v", seen)
+	}
+}
+
+func TestHalfSecondCounts(t *testing.T) {
+	as := []Arrival{{At: 0}, {At: 499}, {At: 500}, {At: 1200}}
+	got := HalfSecondCounts(as, 1500)
+	want := []int{2, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortOrders(t *testing.T) {
+	as := []Arrival{{At: 5, Class: 1}, {At: 1, Class: 2}, {At: 5, Class: 0}}
+	Sort(as)
+	if as[0].At != 1 || as[1].Class != 0 || as[2].Class != 1 {
+		t.Errorf("Sort produced %+v", as)
+	}
+}
+
+func TestZipfValidate(t *testing.T) {
+	good := Zipf{Classes: 10, NumQueries: 100, A: 1, MeanGapMs: 100, MaxGapMs: 30000, OriginCount: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []Zipf{
+		{Classes: 0, NumQueries: 100, A: 1, MeanGapMs: 100, MaxGapMs: 30000, OriginCount: 5},
+		{Classes: 10, NumQueries: 0, A: 1, MeanGapMs: 100, MaxGapMs: 30000, OriginCount: 5},
+		{Classes: 10, NumQueries: 100, A: 0, MeanGapMs: 100, MaxGapMs: 30000, OriginCount: 5},
+		{Classes: 10, NumQueries: 100, A: 1, MeanGapMs: 0, MaxGapMs: 30000, OriginCount: 5},
+		{Classes: 10, NumQueries: 100, A: 1, MeanGapMs: 100, MaxGapMs: 50, OriginCount: 5},
+		{Classes: 10, NumQueries: 100, A: 1, MeanGapMs: 100, MaxGapMs: 30000, OriginCount: 0},
+	}
+	for i, z := range bad {
+		if err := z.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestZipfGenerate(t *testing.T) {
+	z := Zipf{Classes: 20, NumQueries: 2000, A: 1, MeanGapMs: 500, MaxGapMs: 30000, OriginCount: 10}
+	as, err := z.Generate(rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(as) != 2000 {
+		t.Fatalf("generated %d arrivals, want 2000", len(as))
+	}
+	perClass := map[int]int{}
+	var last int64 = -1
+	for _, a := range as {
+		if a.At < last {
+			t.Fatal("arrivals not sorted")
+		}
+		last = a.At
+		perClass[a.Class]++
+		if a.Origin < 0 || a.Origin >= 10 {
+			t.Fatalf("origin %d out of range", a.Origin)
+		}
+	}
+	if len(perClass) != 20 {
+		t.Errorf("classes used = %d, want 20", len(perClass))
+	}
+	for c, n := range perClass {
+		if n != 100 {
+			t.Errorf("class %d received %d queries, want 100", c, n)
+		}
+	}
+}
+
+func TestZipfMeanGap(t *testing.T) {
+	// With a large cap the empirical mean gap should track MeanGapMs.
+	z := Zipf{Classes: 1, NumQueries: 20000, A: 1, MeanGapMs: 200, MaxGapMs: 1e9, OriginCount: 1}
+	as, err := z.Generate(rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 1; i < len(as); i++ {
+		sum += float64(as[i].At - as[i-1].At)
+	}
+	mean := sum / float64(len(as)-1)
+	if math.Abs(mean-200) > 40 {
+		t.Errorf("empirical mean gap %.1f, want ~200", mean)
+	}
+}
+
+func TestZipfSamplerSkew(t *testing.T) {
+	s := newZipfSampler(1, 1000)
+	rng := rand.New(rand.NewSource(3))
+	counts := map[int]int{}
+	for i := 0; i < 100000; i++ {
+		counts[s.sample(rng)]++
+	}
+	// P(1) should be about twice P(2) under exponent 1.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("P(1)/P(2) = %.2f, want ~2", ratio)
+	}
+	if counts[1] < counts[10] {
+		t.Error("distribution not decreasing")
+	}
+}
+
+func workloadFixture(t *testing.T) (*catalog.Catalog, *costmodel.Model) {
+	t.Helper()
+	p := catalog.Table3()
+	p.Nodes = 20
+	p.Relations = 200
+	p.HashJoinNodes = 19
+	c, err := catalog.Generate(p, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	return c, costmodel.New(c)
+}
+
+func TestGenerateTemplates(t *testing.T) {
+	c, m := workloadFixture(t)
+	p := Table3Templates()
+	p.Classes = 30
+	p.MaxJoins = 8 // small federation holds ~50 relations per node
+	ts, err := GenerateTemplates(c, m, p, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatalf("GenerateTemplates: %v", err)
+	}
+	if len(ts) != 30 {
+		t.Fatalf("%d templates, want 30", len(ts))
+	}
+	var sum float64
+	for i, tmpl := range ts {
+		if tmpl.Class != i {
+			t.Errorf("template %d has class %d", i, tmpl.Class)
+		}
+		if err := tmpl.Validate(c); err != nil {
+			t.Errorf("template %d invalid: %v", i, err)
+		}
+		best, node := m.EstimateBest(tmpl)
+		if node < 0 {
+			t.Errorf("template %d evaluable nowhere", i)
+			continue
+		}
+		sum += best
+	}
+	// Calibration target: mean best execution time ~2000 ms.
+	mean := sum / float64(len(ts))
+	if math.Abs(mean-2000) > 50 {
+		t.Errorf("mean best execution %.0f ms, want ~2000", mean)
+	}
+}
+
+func TestGenerateTemplatesJoinRange(t *testing.T) {
+	c, m := workloadFixture(t)
+	p := TemplateParams{Classes: 40, MinJoins: 2, MaxJoins: 5, Selectivity: 0.4}
+	ts, err := GenerateTemplates(c, m, p, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tmpl := range ts {
+		if j := tmpl.Joins(); j < 2 || j > 5 {
+			t.Errorf("joins %d outside [2,5]", j)
+		}
+	}
+}
+
+func TestGenerateTemplatesRejectsBadParams(t *testing.T) {
+	c, m := workloadFixture(t)
+	if _, err := GenerateTemplates(c, m, TemplateParams{Classes: 0}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero classes accepted")
+	}
+	if _, err := GenerateTemplates(c, m, TemplateParams{Classes: 1, MinJoins: 5, MaxJoins: 2}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("inverted join range accepted")
+	}
+	// Impossible join count: more relations than any node holds.
+	if _, err := GenerateTemplates(c, m, TemplateParams{Classes: 1, MinJoins: 10000, MaxJoins: 10000}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("oversized join count accepted")
+	}
+}
+
+func TestGenerateTemplatesDeterministic(t *testing.T) {
+	c, m := workloadFixture(t)
+	p := TemplateParams{Classes: 10, MaxJoins: 4, Selectivity: 0.4}
+	a, err := GenerateTemplates(c, m, p, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTemplates(c, m, p, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i].Relations) != len(b[i].Relations) {
+			t.Fatalf("template %d differs across identical seeds", i)
+		}
+		for j := range a[i].Relations {
+			if a[i].Relations[j] != b[i].Relations[j] {
+				t.Fatalf("template %d relation %d differs", i, j)
+			}
+		}
+	}
+}
