@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The resilience/chaos tests are written to be race-clean; CI runs the
+# whole tree under the detector.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+ci: build vet test race

@@ -34,9 +34,11 @@ func main() {
 		period    = flag.Int64("period", 500, "market period T in ms")
 		lambda    = flag.Float64("lambda", 0.1, "price adjustment step λ")
 		threshold = flag.Float64("threshold", 0, "price activation threshold (0 = market always active)")
-		latency   = flag.Duration("link-latency", 0, "added reply latency (wireless node)")
-		noise     = flag.Float64("exec-noise", 0, "execution time variability fraction")
-		statePath = flag.String("state", "", "market-state checkpoint file (loaded on start, saved on shutdown)")
+		latency      = flag.Duration("link-latency", 0, "added reply latency (wireless node)")
+		noise        = flag.Float64("exec-noise", 0, "execution time variability fraction")
+		snapshotPath = flag.String("snapshot", "", "market-state checkpoint file (restored on boot, rewritten atomically every -snapshot-interval and after the shutdown drain)")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "how often to checkpoint market state (requires -snapshot)")
+		drainBudget  = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain budget on shutdown: in-flight queries get this long to finish")
 	)
 	flag.Parse()
 
@@ -57,6 +59,7 @@ func main() {
 		LinkLatency:   *latency,
 		ExecNoise:     *noise,
 		NoiseSeed:     time.Now().UnixNano(),
+		DrainTimeout:  *drainBudget,
 		Market:        mcfg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -65,13 +68,17 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	if *statePath != "" {
-		if data, err := os.ReadFile(*statePath); err == nil {
-			if err := node.RestoreMarketState(data); err != nil {
-				die(fmt.Errorf("restoring %s: %w", *statePath, err))
-			}
-			fmt.Printf("qanode: restored market state from %s\n", *statePath)
-		} else if !os.IsNotExist(err) {
+	var ckpt *cluster.Checkpointer
+	if *snapshotPath != "" {
+		restored, err := cluster.RestoreNodeFromCheckpoint(node, *snapshotPath)
+		if err != nil {
+			die(err)
+		}
+		if restored {
+			fmt.Printf("qanode: restored market state from %s\n", *snapshotPath)
+		}
+		ckpt, err = cluster.StartCheckpointer(node, *snapshotPath, *snapInterval)
+		if err != nil {
 			die(err)
 		}
 	}
@@ -81,19 +88,17 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("qanode: shutting down")
-	if *statePath != "" {
-		data, err := node.MarketState()
-		if err != nil {
-			die(err)
-		}
-		if err := os.WriteFile(*statePath, data, 0o644); err != nil {
-			die(err)
-		}
-		fmt.Printf("qanode: saved market state to %s\n", *statePath)
-	}
+	fmt.Printf("qanode: draining (budget %v)\n", *drainBudget)
 	if err := node.Close(); err != nil {
 		die(err)
+	}
+	if ckpt != nil {
+		// Final checkpoint after the drain so the saved price table
+		// includes everything executed up to the very end.
+		if err := ckpt.Stop(); err != nil {
+			die(err)
+		}
+		fmt.Printf("qanode: saved market state to %s\n", *snapshotPath)
 	}
 }
 

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/faultnet"
+	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/metrics"
+)
+
+// TestChaosPartitionCrashRestart is the failure-domain acceptance test:
+// a 3-node QA-NT federation where one node suffers a one-way partition
+// that heals, and another crashes mid-workload and restarts from its
+// checkpoint. Throughout, the client must keep completing queries
+// (every relation has 2 copies, so any single outage leaves everything
+// feasible), the breaker must bound how many timeouts the dead node
+// charges, and the restarted node must resume its checkpointed price
+// table.
+func TestChaosPartitionCrashRestart(t *testing.T) {
+	ds, nodes, addrs := startTestFederation(t, []float64{1, 1, 1})
+
+	// Node 1 sits behind a partitionable link; node 2 behind a link that
+	// will blackhole while the node is down (crashed-but-routable).
+	p1, err := faultnet.Start("127.0.0.1:0", addrs[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	p2, err := faultnet.Start("127.0.0.1:0", addrs[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+
+	ckptPath := filepath.Join(t.TempDir(), "node2.json")
+	ckpt, err := StartCheckpointer(nodes[2], ckptPath, 25*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		timeout   = 200 * time.Millisecond
+		threshold = 2
+		cooldown  = 300 * time.Millisecond
+	)
+	client, err := NewClient(ClientConfig{
+		Addrs: []string{addrs[0], p1.Addr(), p2.Addr()}, Mechanism: MechQANT,
+		PeriodMs: 20, MaxBackoffMs: 160, MaxRetries: 300,
+		BreakerThreshold: threshold, BreakerCooldown: cooldown,
+		Timeout: timeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	templates, err := ds.GenerateTemplates(4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		crashStart    time.Time
+		dialsAtCrash  int
+		dialsInWindow int
+		windowElapsed time.Duration
+		fileState     []byte
+	)
+	const total = 34
+	completedAfterRecovery := 0
+	for qi := 0; qi < total; qi++ {
+		switch qi {
+		case 8:
+			// One-way partition: requests to node 1 vanish in flight.
+			p1.Partition(faultnet.ClientToServer)
+		case 16:
+			p1.Heal()
+		case 20:
+			// Crash node 2 hard. The checkpointer's final write freezes
+			// the market state the restart must resume.
+			if err := ckpt.Stop(); err != nil {
+				t.Fatal(err)
+			}
+			if fileState, err = os.ReadFile(ckptPath); err != nil {
+				t.Fatal(err)
+			}
+			nodes[2].CloseNow()
+			p2.SetBlackhole(true)
+			crashStart = time.Now()
+			dialsAtCrash = p2.Accepted()
+		case 27:
+			// Restart node 2 over the same data, resuming the checkpoint.
+			// The long market period parks its price clock so the
+			// resume assertion is not racing a period tick.
+			windowElapsed = time.Since(crashStart)
+			dialsInWindow = p2.Accepted() - dialsAtCrash
+			restarted, err := StartNode("127.0.0.1:0", NodeConfig{
+				DB: ds.DBs[2], MsPerCostUnit: 0.02, PeriodMs: 60_000,
+				Market: market.DefaultConfig(1),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer restarted.Close()
+			ok, err := RestoreNodeFromCheckpoint(restarted, ckptPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("checkpoint file vanished")
+			}
+			gotState, err := restarted.MarketState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotState, fileState) {
+				t.Errorf("restarted node did not resume the checkpointed price table:\n got %s\nfile %s", gotState, fileState)
+			}
+			p2.SetTarget(restarted.Addr())
+			p2.SetBlackhole(false)
+		}
+		out := client.Run(int64(qi), templates[qi%len(templates)].Instantiate(rng))
+		if out.Err != nil {
+			// Every relation has two copies and at most one node is ever
+			// down, so nothing is infeasible: any failure is a bug.
+			t.Errorf("query %d failed: %v", qi, out.Err)
+			continue
+		}
+		if qi >= 27 {
+			completedAfterRecovery++
+		}
+	}
+
+	// Breaker economy: during the crash window the dead node may charge
+	// at most `threshold` timeouts to open the circuit plus one half-open
+	// probe per cooldown interval — not one timeout per query/round.
+	maxDials := threshold + int(windowElapsed/cooldown) + 1
+	if dialsInWindow > maxDials {
+		t.Errorf("dead node dialed %d times in a %v window, want <= %d (threshold %d + probes)",
+			dialsInWindow, windowElapsed, maxDials, threshold)
+	}
+	if dialsInWindow < 1 {
+		t.Error("crash window saw no dials at all; fault injection not exercised")
+	}
+
+	health := client.Health()
+	// Both faulted nodes must have tripped their breakers, and at least
+	// one circuit must have re-closed after recovery (node 1 heals while
+	// queries are still flowing).
+	if got := health[metrics.BreakerOpenTotal]; got < 2 {
+		t.Errorf("breaker_open_total = %g, want >= 2 (partition + crash)", got)
+	}
+	if got := health[metrics.BreakerCloseTotal]; got < 1 {
+		t.Errorf("breaker_close_total = %g, want >= 1 (recovery re-closes the circuit)", got)
+	}
+	if completedAfterRecovery != total-27 {
+		t.Errorf("only %d/%d queries completed after full recovery", completedAfterRecovery, total-27)
+	}
+	t.Logf("window=%v dials=%d (cap %d) health=%v", windowElapsed, dialsInWindow, maxDials, health)
+}

@@ -5,8 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
+	"strings"
 	"sync"
 	"time"
+
+	"github.com/qamarket/qamarket/internal/metrics"
 )
 
 // ClientConfig parameterizes a federation client.
@@ -15,14 +19,30 @@ type ClientConfig struct {
 	Addrs []string
 	// Mechanism selects the allocation protocol (greedy or qa-nt).
 	Mechanism Mechanism
-	// PeriodMs is the wait before renegotiating a query every server
-	// refused (QA-NT resubmission).
+	// PeriodMs is the base wait before renegotiating a query every
+	// server refused (QA-NT resubmission). Consecutive refusals back
+	// off exponentially from this base up to MaxBackoffMs.
 	PeriodMs int64
+	// MaxBackoffMs caps the exponential retry backoff. Defaults to
+	// 8*PeriodMs.
+	MaxBackoffMs int64
 	// MaxRetries caps resubmissions before the query fails.
 	MaxRetries int
-	// Timeout bounds each RPC. Execution RPCs get 20x this budget since
-	// they block for the query's whole run time.
+	// Timeout bounds each RPC except execution.
 	Timeout time.Duration
+	// ExecTimeoutFactor multiplies Timeout for execution RPCs, which
+	// block for the query's whole run time. Default 20; must not be
+	// negative.
+	ExecTimeoutFactor int
+	// BreakerThreshold is how many consecutive failures open a node's
+	// circuit breaker (default 3). While open, the node is skipped
+	// entirely until BreakerCooldown elapses and a single probe is
+	// admitted, so a dead node costs one timeout per breaker window
+	// instead of one per query.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before probing
+	// the node again (default 2s).
+	BreakerCooldown time.Duration
 }
 
 func (c *ClientConfig) validate() error {
@@ -35,18 +55,46 @@ func (c *ClientConfig) validate() error {
 	if c.PeriodMs <= 0 {
 		c.PeriodMs = 500
 	}
+	if c.MaxBackoffMs <= 0 {
+		c.MaxBackoffMs = 8 * c.PeriodMs
+	}
+	if c.MaxBackoffMs < c.PeriodMs {
+		return fmt.Errorf("cluster: MaxBackoffMs %d below PeriodMs %d", c.MaxBackoffMs, c.PeriodMs)
+	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 40
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 5 * time.Second
 	}
+	if c.ExecTimeoutFactor < 0 {
+		return fmt.Errorf("cluster: ExecTimeoutFactor %d is negative", c.ExecTimeoutFactor)
+	}
+	if c.ExecTimeoutFactor == 0 {
+		c.ExecTimeoutFactor = 20
+	}
+	if c.BreakerThreshold < 0 {
+		return fmt.Errorf("cluster: BreakerThreshold %d is negative", c.BreakerThreshold)
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
 	return nil
+}
+
+// execTimeout is the budget for an execution RPC.
+func (c *ClientConfig) execTimeout() time.Duration {
+	return time.Duration(c.ExecTimeoutFactor) * c.Timeout
 }
 
 // Client negotiates and dispatches queries against the federation.
 type Client struct {
-	cfg ClientConfig
+	cfg      ClientConfig
+	breakers []*breaker
+	health   *metrics.Health
 }
 
 // NewClient builds a client.
@@ -54,8 +102,29 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Client{cfg: cfg}, nil
+	c := &Client{cfg: cfg, health: metrics.NewHealth()}
+	c.breakers = make([]*breaker, len(cfg.Addrs))
+	for i := range c.breakers {
+		c.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, c.noteTransition)
+	}
+	return c, nil
 }
+
+// noteTransition feeds breaker state changes into the health counters.
+func (c *Client) noteTransition(_, to breakerState) {
+	switch to {
+	case breakerOpen:
+		c.health.Inc(metrics.BreakerOpenTotal)
+	case breakerHalfOpen:
+		c.health.Inc(metrics.BreakerHalfOpenTotal)
+	case breakerClosed:
+		c.health.Inc(metrics.BreakerCloseTotal)
+	}
+}
+
+// Health snapshots the client's failure-domain counters: breaker
+// transitions, retry rounds, accumulated backoff.
+func (c *Client) Health() map[string]float64 { return c.health.Snapshot() }
 
 // Outcome reports one query's journey through the federation.
 type Outcome struct {
@@ -70,72 +139,146 @@ type Outcome struct {
 	Submitted time.Time
 }
 
-// Run evaluates one query: negotiate with every node (waiting for all
-// replies, as the paper's implementation did), send it to the best
-// offer, and return the outcome. It retries in the next period when no
-// node offers.
+// errBreakerOpen marks a node skipped because its circuit is open: the
+// client never touched the network for it this round.
+var errBreakerOpen = errors.New("breaker open")
+
+// errDraining marks a node that answered with a typed draining reply.
+var errDraining = errors.New("draining")
+
+// Run evaluates one query: negotiate with every reachable node (waiting
+// for all replies, as the paper's implementation did), send it to the
+// best offer, and return the outcome. Refusals and transient transport
+// failures are retried with capped exponential backoff up to
+// MaxRetries; per-node circuit breakers keep dead nodes from charging
+// a timeout on every round.
 func (c *Client) Run(queryID int64, sql string) Outcome {
 	start := time.Now()
 	out := Outcome{QueryID: queryID, Node: -1, Submitted: start}
+	finish := func(err error) Outcome {
+		out.Err = err
+		out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+		return out
+	}
+	noteRetry := func() {
+		out.Retries++
+		c.health.Inc(metrics.RetriesTotal)
+	}
+	// unreachableRounds counts consecutive rounds where no node answered
+	// at all; it drives the exponential backoff and resets the moment
+	// the federation responds. Market refusals keep the paper's
+	// resubmit-next-period cadence (a jittered single period) so the
+	// QA-NT price dynamics are untouched by the resilience layer.
+	unreachableRounds := 0
 	for attempt := 0; ; attempt++ {
 		node, assignDur, err := c.negotiateAll(sql)
 		out.AssignMs += float64(assignDur) / float64(time.Millisecond)
 		if err != nil {
-			out.Err = err
-			return out
+			// Whole federation unreachable this round: transient until
+			// proven otherwise (a partition heals, a breaker re-probes).
+			if attempt >= c.cfg.MaxRetries {
+				return finish(fmt.Errorf("cluster: query %d after %d rounds: %w", queryID, attempt+1, err))
+			}
+			noteRetry()
+			c.sleepBackoff(unreachableRounds)
+			unreachableRounds++
+			continue
 		}
+		unreachableRounds = 0
 		if node < 0 {
 			// Nobody offered: resubmit next period (Section 3.3 client
 			// protocol).
 			if attempt >= c.cfg.MaxRetries {
-				out.Err = fmt.Errorf("cluster: query %d refused by all nodes after %d rounds", queryID, attempt)
-				out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
-				return out
+				return finish(fmt.Errorf("cluster: query %d refused by all nodes after %d rounds", queryID, attempt))
 			}
-			out.Retries++
-			time.Sleep(time.Duration(c.cfg.PeriodMs) * time.Millisecond)
+			noteRetry()
+			c.sleepBackoff(0)
 			continue
 		}
-		rep, err := c.executeOn(node, queryID, sql)
+		rep, retryable, err := c.executeOn(node, queryID, sql)
 		if err != nil {
-			out.Err = err
-			out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
-			return out
+			if !retryable {
+				return finish(err)
+			}
+			// The node died or drained mid-execute; the query never ran,
+			// so renegotiate it elsewhere.
+			if attempt >= c.cfg.MaxRetries {
+				return finish(fmt.Errorf("cluster: query %d after %d rounds: %w", queryID, attempt+1, err))
+			}
+			noteRetry()
+			continue
 		}
 		if !rep.Accepted {
 			// Lost the race for the last supply unit: renegotiate.
-			out.Retries++
 			if attempt >= c.cfg.MaxRetries {
-				out.Err = fmt.Errorf("cluster: query %d starved after %d rounds", queryID, attempt)
-				out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
-				return out
+				return finish(fmt.Errorf("cluster: query %d starved after %d rounds", queryID, attempt))
 			}
+			noteRetry()
 			continue
 		}
 		out.Node = node
 		out.ExecMs = rep.ExecMs
 		out.Rows = rep.Rows
-		out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
-		return out
+		return finish(nil)
 	}
+}
+
+// sleepBackoff waits the capped exponential backoff for the given retry
+// round: PeriodMs doubled per round, capped at MaxBackoffMs, jittered
+// into [1/2, 1] of the target so synchronized clients desynchronize.
+func (c *Client) sleepBackoff(round int) {
+	d := c.backoffDelay(round)
+	c.health.Add(metrics.BackoffMsTotal, int64(d/time.Millisecond))
+	time.Sleep(d)
+}
+
+func (c *Client) backoffDelay(round int) time.Duration {
+	base := float64(c.cfg.PeriodMs)
+	ceil := float64(c.cfg.MaxBackoffMs)
+	target := base * math.Pow(2, float64(round))
+	if target > ceil || math.IsInf(target, 1) {
+		target = ceil
+	}
+	jitter := 0.5 + 0.5*rand.Float64()
+	return time.Duration(target * jitter * float64(time.Millisecond))
 }
 
 // negotiateAll broadcasts the call-for-proposals and picks the node
 // with the earliest estimated completion among those offering. It
-// returns -1 when no node offers.
+// returns -1 when no node offers, and an aggregate error naming every
+// node's failure when none is reachable.
 func (c *Client) negotiateAll(sql string) (int, time.Duration, error) {
 	start := time.Now()
 	replies := make([]negotiateReply, len(c.cfg.Addrs))
 	errs := make([]error, len(c.cfg.Addrs))
 	var wg sync.WaitGroup
 	for i, addr := range c.cfg.Addrs {
+		if !c.breakers[i].allow() {
+			errs[i] = errBreakerOpen
+			continue
+		}
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
 			var rep reply
-			errs[i] = c.rpc(addr, &request{Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism}, &rep, c.cfg.Timeout)
-			if errs[i] == nil && rep.Negotiate != nil {
-				replies[i] = *rep.Negotiate
+			err := c.rpc(addr, &request{Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism}, &rep, c.cfg.Timeout)
+			switch {
+			case err != nil:
+				c.breakers[i].failure()
+				errs[i] = err
+			case rep.Code == CodeDraining:
+				// The node told us it is going away: open its circuit now
+				// instead of discovering the death one timeout at a time.
+				c.breakers[i].trip()
+				errs[i] = errDraining
+			case rep.Err != "":
+				c.breakers[i].success()
+				errs[i] = errors.New(rep.Err)
+			default:
+				c.breakers[i].success()
+				if rep.Negotiate != nil {
+					replies[i] = *rep.Negotiate
+				}
 			}
 		}(i, addr)
 	}
@@ -157,29 +300,55 @@ func (c *Client) negotiateAll(sql string) (int, time.Duration, error) {
 		}
 	}
 	if !reachable {
-		return -1, elapsed, fmt.Errorf("cluster: no node reachable: %v", errs[0])
+		return -1, elapsed, aggregateNodeErrors(c.cfg.Addrs, errs)
 	}
 	return bestNode, elapsed, nil
 }
 
-func (c *Client) executeOn(node int, queryID int64, sql string) (*executeReply, error) {
+// aggregateNodeErrors folds per-node failures into one error naming
+// every node, so "no node reachable" is diagnosable instead of hiding
+// everything behind the first node's error.
+func aggregateNodeErrors(addrs []string, errs []error) error {
+	parts := make([]string, 0, len(errs))
+	for i, err := range errs {
+		if err != nil {
+			parts = append(parts, fmt.Sprintf("node %d (%s): %v", i, addrs[i], err))
+		}
+	}
+	return fmt.Errorf("no node reachable: %s", strings.Join(parts, "; "))
+}
+
+// executeOn dispatches the query to the chosen node. retryable reports
+// whether a failure left the query unexecuted (transport loss, node
+// draining or stopping), in which case the caller may renegotiate it.
+func (c *Client) executeOn(node int, queryID int64, sql string) (*executeReply, bool, error) {
 	var rep reply
 	err := c.rpc(c.cfg.Addrs[node], &request{
 		Op: "execute", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism,
-	}, &rep, 20*c.cfg.Timeout)
+	}, &rep, c.cfg.execTimeout())
 	if err != nil {
-		return nil, err
+		c.breakers[node].failure()
+		return nil, true, fmt.Errorf("cluster: execute on node %d: %w", node, err)
+	}
+	if rep.Code == CodeDraining {
+		c.breakers[node].trip()
+		return nil, true, fmt.Errorf("cluster: node %d: %w", node, errDraining)
 	}
 	if rep.Err != "" {
-		return nil, errors.New(rep.Err)
+		return nil, false, errors.New(rep.Err)
 	}
 	if rep.Execute == nil {
-		return nil, errors.New("cluster: malformed execute reply")
+		return nil, false, errors.New("cluster: malformed execute reply")
+	}
+	if rep.Execute.Err == msgNodeStopping {
+		c.breakers[node].trip()
+		return nil, true, fmt.Errorf("cluster: node %d: %s", node, msgNodeStopping)
 	}
 	if rep.Execute.Err != "" {
-		return nil, errors.New(rep.Execute.Err)
+		return nil, false, errors.New(rep.Execute.Err)
 	}
-	return rep.Execute, nil
+	c.breakers[node].success()
+	return rep.Execute, false, nil
 }
 
 // rpc performs one request/reply exchange on a fresh connection.

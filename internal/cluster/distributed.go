@@ -134,7 +134,7 @@ func (d *Distributor) fetchFrom(node int, queryID int64, sql string) (*fetchRepl
 	var rep reply
 	err := d.client.rpc(d.client.cfg.Addrs[node], &request{
 		Op: "fetch", SQL: sql, QueryID: queryID, Mechanism: d.client.cfg.Mechanism,
-	}, &rep, 20*d.client.cfg.Timeout)
+	}, &rep, d.client.cfg.execTimeout())
 	if err != nil {
 		return nil, err
 	}

@@ -90,6 +90,9 @@ func TestMalformedRequests(t *testing.T) {
 		"{\"op\": \"execute\"}\n",                     // missing SQL
 		"{\"op\": \"negotiate\", \"sql\": \"???\"}\n", // unparseable SQL
 		strings.Repeat("x", 1<<16) + "\n",
+		// Over the request-line cap: a hostile client streaming an
+		// endless line must be cut off at maxLineBytes, not buffered.
+		"{\"op\": \"negotiate\", \"sql\": \"" + strings.Repeat("y", maxLineBytes+1024) + "\"}\n",
 	}
 	for i, g := range garbage {
 		conn, err := net.DialTimeout("tcp", node.Addr(), time.Second)
@@ -111,6 +114,24 @@ func TestMalformedRequests(t *testing.T) {
 	out := client.Run(1, "SELECT COUNT(*) FROM t")
 	if out.Err != nil {
 		t.Fatalf("node unhealthy after garbage: %v", out.Err)
+	}
+}
+
+// TestReadMsgLineCap exercises the request-line bound directly: lines
+// up to maxLineBytes parse, anything longer is rejected without being
+// accumulated.
+func TestReadMsgLineCap(t *testing.T) {
+	okLine := `{"sql": "` + strings.Repeat("a", 4096) + `"}` + "\n"
+	var req request
+	if err := readMsg(bufio.NewReaderSize(strings.NewReader(okLine), 64), &req); err != nil {
+		t.Fatalf("multi-fragment line under the cap rejected: %v", err)
+	}
+	if len(req.SQL) != 4096 {
+		t.Fatalf("payload truncated to %d bytes", len(req.SQL))
+	}
+	longLine := strings.Repeat("b", maxLineBytes+1) + "\n"
+	if err := readMsg(bufio.NewReaderSize(strings.NewReader(longLine), 64), &req); err != errLineTooLong {
+		t.Fatalf("over-limit line: got %v, want errLineTooLong", err)
 	}
 }
 

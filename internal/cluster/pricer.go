@@ -189,6 +189,9 @@ type PricerState struct {
 	Costs   []float64      `json:"costs"`
 	Prices  []float64      `json:"prices"`
 	Carry   float64        `json:"carry"`
+	// Stats carries the agent's lifetime counters across restarts so a
+	// recovered node's observability does not reset to zero.
+	Stats market.Stats `json:"stats"`
 }
 
 // snapshot captures the pricer's persistent state.
@@ -205,6 +208,7 @@ func (p *pricer) snapshot() PricerState {
 	}
 	if p.agent != nil {
 		st.Prices = p.agent.Prices()
+		st.Stats = p.agent.Stats()
 	}
 	return st
 }
@@ -233,6 +237,24 @@ func (p *pricer) restore(st PricerState) error {
 		p.agent = nil
 		return nil
 	}
-	p.rebuildLocked(vector.Prices(st.Prices))
+	if st.Prices == nil {
+		// Legacy checkpoint without prices: rebuild at initial prices.
+		p.rebuildLocked(nil)
+		return nil
+	}
+	// market.Restore resumes both the learned prices and the lifetime
+	// counters; the supply set is rebuilt fresh (capacity may have
+	// changed across the restart).
+	cfg := p.cfg
+	cfg.Classes = len(p.costs)
+	agent, err := market.Restore(p.supplySetLocked(), cfg, market.Snapshot{
+		Prices: append([]float64(nil), st.Prices...),
+		Stats:  st.Stats,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: restoring market agent: %w", err)
+	}
+	agent.BeginPeriod()
+	p.agent = agent
 	return nil
 }

@@ -73,7 +73,26 @@ type NodeStats struct {
 	Offers   int                `json:"offers"`
 	Rejects  int                `json:"rejects"`
 	Prices   map[string]float64 `json:"prices"`
+	// Health carries the node's failure-domain counters and gauges
+	// (drains, drain rejects, checkpoints, checkpoint age — see the
+	// metrics package constants).
+	Health map[string]float64 `json:"health,omitempty"`
 }
+
+// Typed reply codes. Codes classify envelope-level errors so clients
+// can react mechanically (the breaker trips on a draining node) instead
+// of parsing error strings.
+const (
+	// CodeDraining marks a node that is gracefully shutting down: it
+	// finishes in-flight work but refuses new requests. Clients must
+	// open the node's circuit immediately rather than burning timeouts.
+	CodeDraining = "draining"
+)
+
+// msgNodeStopping is reported inside an execute/fetch reply when a hard
+// shutdown interrupts a queued query. The query was not run; clients
+// may safely resubmit it elsewhere.
+const msgNodeStopping = "node shutting down"
 
 // reply is the union envelope sent back by the server.
 type reply struct {
@@ -82,6 +101,7 @@ type reply struct {
 	Fetch     *fetchReply     `json:"fetch,omitempty"`
 	Stats     *NodeStats      `json:"stats,omitempty"`
 	Err       string          `json:"error,omitempty"`
+	Code      string          `json:"code,omitempty"`
 }
 
 // writeMsg sends one newline-delimited JSON message.
@@ -96,11 +116,32 @@ func writeMsg(w *bufio.Writer, v any) error {
 	return w.Flush()
 }
 
-// readMsg receives one newline-delimited JSON message.
+// maxLineBytes bounds one newline-delimited message. Without a cap a
+// misbehaving client could stream an endless line and grow server
+// memory without ever triggering a parse error.
+const maxLineBytes = 1 << 20
+
+// errLineTooLong reports a message exceeding maxLineBytes. The
+// connection is unrecoverable afterwards (the stream position is mid-
+// line), so servers drop it.
+var errLineTooLong = fmt.Errorf("cluster: message exceeds %d-byte line limit", maxLineBytes)
+
+// readMsg receives one newline-delimited JSON message, refusing lines
+// over maxLineBytes.
 func readMsg(r *bufio.Reader, v any) error {
-	line, err := r.ReadBytes('\n')
-	if err != nil {
-		return err
+	var line []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		if err != nil && err != bufio.ErrBufferFull {
+			return err
+		}
+		if len(line)+len(frag) > maxLineBytes {
+			return errLineTooLong
+		}
+		line = append(line, frag...)
+		if err == nil {
+			break
+		}
 	}
 	return json.Unmarshal(line, v)
 }

@@ -8,9 +8,11 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/metrics"
 	"github.com/qamarket/qamarket/internal/sqldb"
 )
 
@@ -56,6 +58,11 @@ type NodeConfig struct {
 	ExplainFraction float64
 	// NoiseSeed seeds the node's private noise stream.
 	NoiseSeed int64
+	// DrainTimeout bounds the graceful drain on Close: the node keeps
+	// answering connections but refuses new work with a typed
+	// "draining" reply, and gives in-flight queries this long to finish
+	// before hard-stopping. Default 5s.
+	DrainTimeout time.Duration
 	// Market configures the QA-NT agent (Classes is managed dynamically
 	// and may be left zero).
 	Market market.Config
@@ -85,6 +92,9 @@ func (c *NodeConfig) validate() error {
 	if c.Market.Lambda == 0 {
 		c.Market = market.DefaultConfig(1)
 	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -96,12 +106,20 @@ type Node struct {
 	cfg    NodeConfig
 	ln     net.Listener
 	pricer *pricer
+	health *metrics.Health
 
 	mu        sync.Mutex
 	backlogMs float64
 	executed  int
 	history   map[string]float64 // plan signature -> EMA of observed ms
 	noise     *rand.Rand         // guarded by mu; nil when ExecNoise is 0
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // live client connections, severed on hard stop
+
+	draining       atomic.Bool  // drain started: refuse new work, finish in-flight
+	inflight       atomic.Int64 // queries accepted but not yet answered
+	lastCheckpoint atomic.Int64 // unix ms of the last market-state checkpoint; 0 = never
 
 	execCh   chan *execJob
 	stopCh   chan struct{}
@@ -135,7 +153,9 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 		cfg:     cfg,
 		ln:      ln,
 		pricer:  newPricer(cfg.Market, float64(cfg.PeriodMs)),
+		health:  metrics.NewHealth(),
 		history: make(map[string]float64),
+		conns:   make(map[net.Conn]struct{}),
 		execCh:  make(chan *execJob, 1024),
 		stopCh:  make(chan struct{}),
 	}
@@ -152,15 +172,71 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// Close stops the node. It is safe to call more than once.
-func (n *Node) Close() error {
+// Close stops the node gracefully: new work is refused with a typed
+// draining reply (clients keep connecting, so their breakers learn the
+// node is going away instead of guessing from dial failures), in-flight
+// queries get up to DrainTimeout to finish, then the node hard-stops.
+// It is safe to call more than once.
+func (n *Node) Close() error { return n.shutdown(n.cfg.DrainTimeout) }
+
+// CloseNow stops the node without draining: in-flight queries get a
+// "node shutting down" reply. Tests use it to simulate a crash.
+func (n *Node) CloseNow() error { return n.shutdown(0) }
+
+// Draining reports whether the node is refusing new work.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+func (n *Node) shutdown(drainFor time.Duration) error {
 	var err error
 	n.stopOnce.Do(func() {
-		close(n.stopCh)
+		n.draining.Store(true)
+		n.health.Inc(metrics.DrainsTotal)
+		// The listener stays open through the drain so clients receive
+		// the typed refusal rather than dial errors; only work stops.
+		if drainFor > 0 && !n.waitIdle(drainFor) {
+			n.health.Inc(metrics.DrainTimeoutsTotal)
+			n.cfg.Logf("cluster: drain deadline hit with %d queries in flight", n.inflight.Load())
+		}
 		err = n.ln.Close()
+		close(n.stopCh)
+		n.closeConns()
 		n.wg.Wait()
 	})
 	return err
+}
+
+// waitIdle polls until no query is in flight or the budget runs out.
+func (n *Node) waitIdle(budget time.Duration) bool {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if n.inflight.Load() == 0 {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return n.inflight.Load() == 0
+}
+
+func (n *Node) trackConn(c net.Conn) {
+	n.connMu.Lock()
+	n.conns[c] = struct{}{}
+	n.connMu.Unlock()
+}
+
+func (n *Node) untrackConn(c net.Conn) {
+	n.connMu.Lock()
+	delete(n.conns, c)
+	n.connMu.Unlock()
+}
+
+// closeConns severs every live client connection so serveConn readers
+// unblock during hard stop even against clients that never hang up.
+func (n *Node) closeConns() {
+	n.connMu.Lock()
+	for c := range n.conns {
+		c.Close()
+	}
+	n.connMu.Unlock()
 }
 
 // Executed returns how many queries the node has run.
@@ -212,6 +288,9 @@ func (n *Node) acceptLoop() {
 	for {
 		conn, err := n.ln.Accept()
 		if err != nil {
+			if n.draining.Load() {
+				return // drain closed the listener
+			}
 			select {
 			case <-n.stopCh:
 				return
@@ -229,35 +308,51 @@ func (n *Node) acceptLoop() {
 }
 
 func (n *Node) serveConn(conn net.Conn) {
+	n.trackConn(conn)
+	defer n.untrackConn(conn)
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
 		var req request
 		if err := readMsg(r, &req); err != nil {
-			return // client closed or protocol error; drop the conn
+			return // client closed, oversized line, or protocol error; drop the conn
 		}
+		// Count the whole request as in flight until its reply is on the
+		// wire, so a drain never severs a connection mid-reply.
+		n.inflight.Add(1)
 		var rep reply
-		switch req.Op {
-		case "negotiate":
-			nr := n.negotiate(&req)
-			rep.Negotiate = &nr
-		case "execute":
-			er := n.execute(&req)
-			rep.Execute = &er
-		case "fetch":
-			fr := n.fetch(&req)
-			rep.Fetch = &fr
-		case "stats":
-			sr := n.nodeStats()
-			rep.Stats = &sr
+		switch {
+		case n.draining.Load() && req.Op != "stats":
+			// Stats stay readable during drain for observability; every
+			// other op gets the typed refusal the client breaker trips on.
+			rep.Err = "node draining"
+			rep.Code = CodeDraining
+			n.health.Inc(metrics.DrainRejectsTotal)
 		default:
-			rep.Err = fmt.Sprintf("unknown op %q", req.Op)
+			switch req.Op {
+			case "negotiate":
+				nr := n.negotiate(&req)
+				rep.Negotiate = &nr
+			case "execute":
+				er := n.execute(&req)
+				rep.Execute = &er
+			case "fetch":
+				fr := n.fetch(&req)
+				rep.Fetch = &fr
+			case "stats":
+				sr := n.nodeStats()
+				rep.Stats = &sr
+			default:
+				rep.Err = fmt.Sprintf("unknown op %q", req.Op)
+			}
 		}
 		if n.cfg.LinkLatency > 0 {
 			time.Sleep(n.cfg.LinkLatency)
 		}
-		if err := writeMsg(w, &rep); err != nil {
+		err := writeMsg(w, &rep)
+		n.inflight.Add(-1)
+		if err != nil {
 			return
 		}
 	}
@@ -335,13 +430,13 @@ func (n *Node) execute(req *request) executeReply {
 	select {
 	case n.execCh <- job:
 	case <-n.stopCh:
-		return executeReply{Err: "node shutting down"}
+		return executeReply{Err: msgNodeStopping}
 	}
 	select {
 	case rep := <-job.reply:
 		return rep
 	case <-n.stopCh:
-		return executeReply{Err: "node shutting down"}
+		return executeReply{Err: msgNodeStopping}
 	}
 }
 
@@ -362,7 +457,7 @@ func (n *Node) fetch(req *request) fetchReply {
 	select {
 	case n.execCh <- job:
 	case <-n.stopCh:
-		return fetchReply{Err: "node shutting down"}
+		return fetchReply{Err: msgNodeStopping}
 	}
 	select {
 	case rep := <-job.reply:
@@ -376,7 +471,7 @@ func (n *Node) fetch(req *request) fetchReply {
 		}
 		return fr
 	case <-n.stopCh:
-		return fetchReply{Err: "node shutting down"}
+		return fetchReply{Err: msgNodeStopping}
 	}
 }
 
@@ -472,15 +567,27 @@ func (n *Node) periodLoop() {
 	}
 }
 
+// noteCheckpoint records a successful market-state checkpoint for the
+// checkpoint-age gauge. The Checkpointer calls it after each write.
+func (n *Node) noteCheckpoint() {
+	n.lastCheckpoint.Store(time.Now().UnixMilli())
+	n.health.Inc(metrics.CheckpointsTotal)
+}
+
 func (n *Node) nodeStats() NodeStats {
 	st := n.pricer.stats()
 	n.mu.Lock()
 	executed := n.executed
 	n.mu.Unlock()
+	health := n.health.Snapshot()
+	if ts := n.lastCheckpoint.Load(); ts > 0 {
+		health[metrics.CheckpointAgeMs] = float64(time.Now().UnixMilli() - ts)
+	}
 	return NodeStats{
 		Executed: executed,
 		Offers:   st.Offers,
 		Rejects:  st.Rejects,
 		Prices:   n.pricer.prices(),
+		Health:   health,
 	}
 }

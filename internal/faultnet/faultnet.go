@@ -1,0 +1,300 @@
+// Package faultnet is a deterministic fault-injection TCP proxy for
+// testing the federation's failure domains without sleeps or real
+// crashes. A Proxy sits between a cluster client and one server node
+// and injects faults at two levels:
+//
+//   - A per-connection Plan, chosen by a Schedule from the connection's
+//     arrival index (and nothing else), so a seeded test replays the
+//     exact same fault sequence every run: refuse the dial, black-hole
+//     all traffic, add latency, or truncate the reply after N bytes.
+//   - Dynamic proxy-wide switches flipped mid-test: one-way partitions
+//     (drop every byte traveling one direction while the connection
+//     stays open, like an asymmetric link failure) and black-holing of
+//     new connections (accept, then never forward — the client pays a
+//     full timeout, like a crashed-but-routable host).
+//
+// The proxy target is retargetable (SetTarget), so a test can "restart"
+// a backend on a new ephemeral port while clients keep dialing the same
+// frontend address.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Direction names a traffic direction through the proxy.
+type Direction int
+
+// Traffic directions for partitions and truncation.
+const (
+	// ClientToServer is traffic from the dialing client toward the
+	// proxied backend.
+	ClientToServer Direction = iota
+	// ServerToClient is reply traffic from the backend to the client.
+	ServerToClient
+)
+
+func (d Direction) String() string {
+	if d == ClientToServer {
+		return "client->server"
+	}
+	return "server->client"
+}
+
+// Plan is the fault schedule for one proxied connection.
+type Plan struct {
+	// Refuse closes the accepted connection immediately without dialing
+	// the backend: the client sees a connection reset.
+	Refuse bool
+	// Blackhole accepts the connection and reads (discarding) client
+	// bytes but never dials the backend nor replies: the client blocks
+	// until its own deadline fires.
+	Blackhole bool
+	// Latency is added before each chunk is forwarded, per direction.
+	Latency time.Duration
+	// TruncateReplyAfter, when positive, forwards only that many
+	// server->client bytes and then closes both sides, modeling a
+	// mid-reply connection loss.
+	TruncateReplyAfter int
+}
+
+// Schedule picks the Plan for the i-th accepted connection (0-based).
+// It must be a pure function of the index so runs are reproducible; any
+// seeding is baked into the closure by the caller.
+type Schedule func(conn int) Plan
+
+// PassThrough is the no-fault schedule.
+func PassThrough(int) Plan { return Plan{} }
+
+// RefuseFirst refuses the first n connections and passes the rest.
+func RefuseFirst(n int) Schedule {
+	return func(conn int) Plan { return Plan{Refuse: conn < n} }
+}
+
+// Proxy is one running fault-injection proxy.
+type Proxy struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	target   string
+	schedule Schedule
+	conns    map[net.Conn]struct{}
+	accepted int
+
+	dropC2S  atomic.Bool // one-way partition: drop client->server bytes
+	dropS2C  atomic.Bool // one-way partition: drop server->client bytes
+	blackole atomic.Bool // black-hole every new connection
+
+	dialTimeout time.Duration
+	stopCh      chan struct{}
+	stopOnce    sync.Once
+	wg          sync.WaitGroup
+}
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// proxies every accepted connection to target under the given schedule
+// (nil = PassThrough).
+func Start(addr, target string, schedule Schedule) (*Proxy, error) {
+	if target == "" {
+		return nil, errors.New("faultnet: empty target address")
+	}
+	if schedule == nil {
+		schedule = PassThrough
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen %s: %w", addr, err)
+	}
+	p := &Proxy{
+		ln:          ln,
+		target:      target,
+		schedule:    schedule,
+		conns:       make(map[net.Conn]struct{}),
+		dialTimeout: 2 * time.Second,
+		stopCh:      make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's frontend address, the one clients dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Accepted returns how many connections the proxy has accepted so far.
+func (p *Proxy) Accepted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted
+}
+
+// SetTarget retargets future connections, e.g. onto a restarted backend
+// listening on a new ephemeral port. In-flight connections keep their
+// old backend.
+func (p *Proxy) SetTarget(target string) {
+	p.mu.Lock()
+	p.target = target
+	p.mu.Unlock()
+}
+
+// Partition starts dropping all bytes traveling in the given direction
+// while connections stay open — an asymmetric link failure.
+func (p *Proxy) Partition(d Direction) {
+	if d == ClientToServer {
+		p.dropC2S.Store(true)
+	} else {
+		p.dropS2C.Store(true)
+	}
+}
+
+// Heal removes all partitions.
+func (p *Proxy) Heal() {
+	p.dropC2S.Store(false)
+	p.dropS2C.Store(false)
+}
+
+// SetBlackhole toggles black-holing of new connections: accepted but
+// never forwarded nor answered, like a crashed host that still routes.
+func (p *Proxy) SetBlackhole(on bool) { p.blackole.Store(on) }
+
+// Close stops the proxy and severs every proxied connection.
+func (p *Proxy) Close() error {
+	var err error
+	p.stopOnce.Do(func() {
+		close(p.stopCh)
+		err = p.ln.Close()
+		p.mu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+		p.wg.Wait()
+	})
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		idx := p.accepted
+		p.accepted++
+		target := p.target
+		plan := p.schedule(idx)
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serve(conn, target, plan)
+		}()
+	}
+}
+
+func (p *Proxy) serve(client net.Conn, target string, plan Plan) {
+	if plan.Refuse {
+		client.Close()
+		return
+	}
+	if plan.Blackhole || p.blackole.Load() {
+		p.track(client)
+		defer p.untrack(client)
+		defer client.Close()
+		// Swallow client bytes until it gives up or the proxy closes.
+		io.Copy(io.Discard, client)
+		return
+	}
+	server, err := net.DialTimeout("tcp", target, p.dialTimeout)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.track(client)
+	p.track(server)
+	defer p.untrack(client)
+	defer p.untrack(server)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.pump(server, client, ClientToServer, plan, 0)
+	}()
+	go func() {
+		defer wg.Done()
+		p.pump(client, server, ServerToClient, plan, plan.TruncateReplyAfter)
+	}()
+	wg.Wait()
+	client.Close()
+	server.Close()
+}
+
+// pump forwards src -> dst in direction d, honoring latency, dynamic
+// partitions, and an optional byte budget (0 = unlimited) after which
+// both sides are severed.
+func (p *Proxy) pump(dst, src net.Conn, d Direction, plan Plan, budget int) {
+	buf := make([]byte, 32<<10)
+	sent := 0
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if p.partitioned(d) {
+				// Swallow the bytes: the connection stays up, the data
+				// never arrives.
+			} else {
+				chunk := buf[:n]
+				if plan.Latency > 0 {
+					select {
+					case <-time.After(plan.Latency):
+					case <-p.stopCh:
+						return
+					}
+				}
+				if budget > 0 && sent+len(chunk) >= budget {
+					dst.Write(chunk[:budget-sent])
+					dst.Close()
+					src.Close()
+					return
+				}
+				if _, werr := dst.Write(chunk); werr != nil {
+					return
+				}
+				sent += len(chunk)
+			}
+		}
+		if err != nil {
+			// Propagate EOF/teardown to the other side's reader.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+func (p *Proxy) partitioned(d Direction) bool {
+	if d == ClientToServer {
+		return p.dropC2S.Load()
+	}
+	return p.dropS2C.Load()
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}

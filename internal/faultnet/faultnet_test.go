@@ -1,0 +1,204 @@
+package faultnet
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startEcho runs a line-echo TCP server and returns its address plus a
+// closer.
+func startEcho(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write([]byte(line)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+func roundTrip(t *testing.T, addr, msg string, timeout time.Duration) (string, error) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte(msg + "\n")); err != nil {
+		return "", err
+	}
+	return bufio.NewReader(conn).ReadString('\n')
+}
+
+func TestPassThrough(t *testing.T) {
+	addr, stop := startEcho(t)
+	defer stop()
+	p, err := Start("127.0.0.1:0", addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	got, err := roundTrip(t, p.Addr(), "hello", time.Second)
+	if err != nil || got != "hello\n" {
+		t.Fatalf("roundTrip: %q, %v", got, err)
+	}
+	if p.Accepted() != 1 {
+		t.Errorf("accepted %d connections, want 1", p.Accepted())
+	}
+}
+
+func TestRefuseFirstIsDeterministic(t *testing.T) {
+	addr, stop := startEcho(t)
+	defer stop()
+	p, err := Start("127.0.0.1:0", addr, RefuseFirst(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	failures := 0
+	for i := 0; i < 5; i++ {
+		if _, err := roundTrip(t, p.Addr(), "x", time.Second); err != nil {
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Errorf("schedule refused %d connections, want exactly 3", failures)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	addr, stop := startEcho(t)
+	defer stop()
+	p, err := Start("127.0.0.1:0", addr, func(int) Plan {
+		return Plan{Latency: 50 * time.Millisecond}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	if _, err := roundTrip(t, p.Addr(), "slow", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 50ms each way.
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("latency not injected: round trip took %v", elapsed)
+	}
+}
+
+func TestOneWayPartitionAndHeal(t *testing.T) {
+	addr, stop := startEcho(t)
+	defer stop()
+	p, err := Start("127.0.0.1:0", addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Partition(ClientToServer)
+	if _, err := roundTrip(t, p.Addr(), "lost", 200*time.Millisecond); err == nil {
+		t.Error("request crossed a client->server partition")
+	}
+	p.Heal()
+	got, err := roundTrip(t, p.Addr(), "back", time.Second)
+	if err != nil || got != "back\n" {
+		t.Fatalf("after heal: %q, %v", got, err)
+	}
+}
+
+func TestBlackholeTimesOutClient(t *testing.T) {
+	addr, stop := startEcho(t)
+	defer stop()
+	p, err := Start("127.0.0.1:0", addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetBlackhole(true)
+	start := time.Now()
+	if _, err := roundTrip(t, p.Addr(), "void", 150*time.Millisecond); err == nil {
+		t.Fatal("blackholed connection produced a reply")
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("client failed fast (%v); blackhole must force a timeout", elapsed)
+	}
+	p.SetBlackhole(false)
+	if _, err := roundTrip(t, p.Addr(), "alive", time.Second); err != nil {
+		t.Fatalf("after blackhole lifted: %v", err)
+	}
+}
+
+func TestTruncateReply(t *testing.T) {
+	addr, stop := startEcho(t)
+	defer stop()
+	p, err := Start("127.0.0.1:0", addr, func(int) Plan {
+		return Plan{TruncateReplyAfter: 4}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	got, err := roundTrip(t, p.Addr(), strings.Repeat("z", 64), time.Second)
+	if err == nil {
+		t.Fatalf("truncated reply parsed as a full line: %q", got)
+	}
+	if len(got) > 4 {
+		t.Errorf("received %d bytes through a 4-byte truncation", len(got))
+	}
+}
+
+func TestSetTargetRetargetsNewConnections(t *testing.T) {
+	addrA, stopA := startEcho(t)
+	defer stopA()
+	p, err := Start("127.0.0.1:0", addrA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := roundTrip(t, p.Addr(), "a", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	stopA() // backend "crashes"
+	addrB, stopB := startEcho(t)
+	defer stopB()
+	p.SetTarget(addrB) // backend "restarts" on a new port
+	got, err := roundTrip(t, p.Addr(), "b", time.Second)
+	if err != nil || got != "b\n" {
+		t.Fatalf("after retarget: %q, %v", got, err)
+	}
+}
+
+func TestStartRejectsEmptyTarget(t *testing.T) {
+	if _, err := Start("127.0.0.1:0", "", nil); err == nil {
+		t.Error("empty target accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import "sync"
+
+// Canonical health metric names shared by the cluster client and
+// server. Counters end in _total; everything else is a gauge.
+const (
+	// BreakerOpenTotal counts closed/half-open -> open transitions.
+	BreakerOpenTotal = "breaker_open_total"
+	// BreakerHalfOpenTotal counts open -> half-open (probe) transitions.
+	BreakerHalfOpenTotal = "breaker_half_open_total"
+	// BreakerCloseTotal counts half-open -> closed (recovery) transitions.
+	BreakerCloseTotal = "breaker_close_total"
+	// RetriesTotal counts client resubmission rounds (refusals,
+	// unreachable federations, and lost execute races).
+	RetriesTotal = "retries_total"
+	// BackoffMsTotal accumulates milliseconds the client spent in
+	// retry backoff sleeps.
+	BackoffMsTotal = "backoff_ms_total"
+	// DrainsTotal counts graceful drains started on a node.
+	DrainsTotal = "drains_total"
+	// DrainTimeoutsTotal counts drains that hit their deadline with
+	// work still in flight.
+	DrainTimeoutsTotal = "drain_timeouts_total"
+	// DrainRejectsTotal counts requests refused with a draining reply.
+	DrainRejectsTotal = "drain_rejects_total"
+	// CheckpointsTotal counts market-state checkpoints written.
+	CheckpointsTotal = "checkpoints_total"
+	// CheckpointAgeMs is the time since the node last checkpointed.
+	CheckpointAgeMs = "checkpoint_age_ms"
+)
+
+// Health is a concurrency-safe named counter/gauge set for
+// failure-domain observability: breaker transitions, retries, drains,
+// checkpoint freshness. Zero value is not usable; call NewHealth.
+type Health struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// NewHealth builds an empty health registry.
+func NewHealth() *Health {
+	return &Health{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// Inc adds one to the named counter and returns the new value.
+func (h *Health) Inc(name string) int64 { return h.Add(name, 1) }
+
+// Add adds delta to the named counter and returns the new value.
+func (h *Health) Add(name string, delta int64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counters[name] += delta
+	return h.counters[name]
+}
+
+// Counter reads the named counter (0 when never incremented).
+func (h *Health) Counter(name string) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counters[name]
+}
+
+// SetGauge records an instantaneous value.
+func (h *Health) SetGauge(name string, v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.gauges[name] = v
+}
+
+// Snapshot merges counters and gauges into one map, safe for the
+// caller to mutate. Gauges shadow counters on a name collision.
+func (h *Health) Snapshot() map[string]float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]float64, len(h.counters)+len(h.gauges))
+	for k, v := range h.counters {
+		out[k] = float64(v)
+	}
+	for k, v := range h.gauges {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHealthCountersAndGauges(t *testing.T) {
+	h := NewHealth()
+	if got := h.Counter(RetriesTotal); got != 0 {
+		t.Errorf("fresh counter = %d", got)
+	}
+	h.Inc(RetriesTotal)
+	h.Add(RetriesTotal, 2)
+	if got := h.Counter(RetriesTotal); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	h.SetGauge(CheckpointAgeMs, 1234.5)
+	snap := h.Snapshot()
+	if snap[RetriesTotal] != 3 || snap[CheckpointAgeMs] != 1234.5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy: mutating it must not touch the registry.
+	snap[RetriesTotal] = 99
+	if got := h.Counter(RetriesTotal); got != 3 {
+		t.Errorf("snapshot mutation leaked: counter = %d", got)
+	}
+}
+
+func TestHealthConcurrentAccess(t *testing.T) {
+	h := NewHealth()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				h.Inc(BreakerOpenTotal)
+				h.SetGauge(CheckpointAgeMs, float64(j))
+				h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Counter(BreakerOpenTotal); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+}
