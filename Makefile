@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench ci
+.PHONY: all build test vet race bench benchsmoke ci
 
 all: build test
 
@@ -18,7 +18,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# bench regenerates BENCH_qamarket.json — the committed benchmark
+# trajectory (figure wall-clocks, hot-path ns/op + allocs/op, and the
+# sequential-vs-parallel qabench timing).
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) run ./cmd/benchjson
 
-ci: build vet test race
+# benchsmoke just proves every benchmark still compiles and runs.
+benchsmoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+ci: build vet test race benchsmoke

@@ -14,6 +14,7 @@ import (
 	"github.com/qamarket/qamarket/internal/catalog"
 	"github.com/qamarket/qamarket/internal/cluster"
 	"github.com/qamarket/qamarket/internal/costmodel"
+	"github.com/qamarket/qamarket/internal/desim"
 	"github.com/qamarket/qamarket/internal/economics"
 	"github.com/qamarket/qamarket/internal/experiments"
 	"github.com/qamarket/qamarket/internal/market"
@@ -400,6 +401,139 @@ func BenchmarkSupplySolvers(b *testing.B) {
 	})
 	b.Run("exact-dp", func(b *testing.B) {
 		set := market.ExactTimeBudgetSupplySet{Cost: cost, Budget: 500, Granularity: 1}
+		for i := 0; i < b.N; i++ {
+			set.BestResponse(prices)
+		}
+	})
+}
+
+// --- Hot-path micro-benchmarks (the BENCH_qamarket.json trajectory) ---
+
+// BenchmarkDesimEngine schedules and fires 100k one-shot events plus a
+// rolling tick per iteration. The Engine persists across iterations so
+// the steady-state allocs/op reflects the event-item free list, not
+// first-use growth.
+func BenchmarkDesimEngine(b *testing.B) {
+	const events = 100_000
+	var e desim.Engine
+	fired := 0
+	cb := func(desim.Time) { fired++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := e.Now()
+		for j := 0; j < events; j++ {
+			// Mostly-ascending with periodic out-of-order inserts, like
+			// arrival streams interleaved with completion events.
+			at := desim.Time(j)
+			if j%16 == 0 {
+				at = desim.Time(j / 2)
+			}
+			e.At(start+at, cb)
+		}
+		ticks := 0
+		e.Every(10, func(desim.Time) bool {
+			ticks++
+			return ticks < events/10
+		})
+		e.Run()
+	}
+	if fired < events {
+		b.Fatalf("fired %d < %d", fired, events)
+	}
+}
+
+// BenchmarkSimDispatch drives a full allocation round trip — arrival,
+// Assign over the feasibility index, queueing, completion — for one
+// overloaded two-class stream per iteration, one sub-bench per
+// mechanism. The fixture (catalog, templates, arrivals) stays outside
+// the timer; mechanism and Federation are rebuilt each iteration.
+func BenchmarkSimDispatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	p := catalog.Table3()
+	p.Nodes = 16
+	p.Relations = 40
+	p.HashJoinNodes = 15
+	cat, err := catalog.Generate(p, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range cat.Nodes {
+		n.Holds[0] = true
+		delete(n.Holds, 1)
+	}
+	for _, n := range cat.Nodes[:8] {
+		n.Holds[1] = true
+	}
+	ts := []costmodel.Template{
+		{Class: 0, Relations: []int{0}, Selectivity: 1, Sort: true},
+		{Class: 1, Relations: []int{1}, Selectivity: 1, Sort: true},
+	}
+	model := costmodel.New(cat)
+	for i, target := range []float64{1000, 500} {
+		best, _ := model.EstimateBest(ts[i])
+		ts[i].CostScale = target / best
+	}
+	capacity := sim.EstimateCapacity(cat, ts, []float64{2, 1})
+	peak := 1.5 * capacity * 3.1416
+	s1 := workload.Sinusoid{Class: 0, Origin: -1, OriginCount: 16, Freq: 0.05,
+		PeakRate: peak * 2 / 3, Duration: 20000}
+	s2 := workload.Sinusoid{Class: 1, Origin: -1, OriginCount: 16, Freq: 0.05,
+		PeakRate: peak / 3, PhaseDeg: 900, Duration: 20000}
+	arrivals := append(s1.Generate(rng), s2.Generate(rng)...)
+	workload.Sort(arrivals)
+
+	mechs := []struct {
+		name string
+		make func() alloc.Mechanism
+	}{
+		{"bnqrd", func() alloc.Mechanism { return alloc.NewBNQRD() }},
+		{"greedy", func() alloc.Mechanism { return alloc.NewGreedy(nil, 0) }},
+		{"qa-nt", func() alloc.Mechanism { return alloc.NewQANT(market.DefaultConfig(2)) }},
+		{"random", func() alloc.Mechanism { return alloc.NewRandom(rand.New(rand.NewSource(11))) }},
+	}
+	for _, m := range mechs {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fed, err := sim.New(sim.Config{Catalog: cat, Templates: ts, PeriodMs: 500}, m.make())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fed.Run(arrivals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactSolver measures one eq.-(4) DP supply solve (100
+// classes, 2,000 ms budget at 1 ms granularity) with and without the
+// reusable DPScratch the simulator threads through repeated periods.
+func BenchmarkExactSolver(b *testing.B) {
+	const k = 100
+	cost := make([]float64, k)
+	rng := rand.New(rand.NewSource(8))
+	for i := range cost {
+		cost[i] = 50 + rng.Float64()*950
+	}
+	prices := vector.NewPrices(k, 1)
+	for i := range prices {
+		prices[i] = 0.5 + rng.Float64()*2
+	}
+	b.Run("alloc-per-call", func(b *testing.B) {
+		set := market.ExactTimeBudgetSupplySet{Cost: cost, Budget: 2000, Granularity: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set.BestResponse(prices)
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		set := market.ExactTimeBudgetSupplySet{Cost: cost, Budget: 2000, Granularity: 1,
+			Scratch: &market.DPScratch{}}
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			set.BestResponse(prices)
 		}

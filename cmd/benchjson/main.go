@@ -1,0 +1,177 @@
+// Command benchjson produces BENCH_qamarket.json, the repo's tracked
+// benchmark trajectory: every figure/table regeneration bench, the
+// hot-path micro-benchmarks (with allocs/op), and a timed qabench sweep
+// run sequentially vs on the parallel worker pool. Run it via
+// `make bench` from the repo root and commit the refreshed JSON so the
+// numbers travel with the code they measure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchEntry struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+type qabenchTiming struct {
+	// Experiments is the -only selection the timing sweeps.
+	Experiments  string  `json:"experiments"`
+	SequentialMs float64 `json:"sequential_ms"` // -parallel 1
+	ParallelMs   float64 `json:"parallel_ms"`   // -parallel 0 (GOMAXPROCS)
+	Speedup      float64 `json:"speedup"`       // sequential / parallel
+}
+
+type report struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Benchmarks  []benchEntry  `json:"benchmarks"`
+	Qabench     qabenchTiming `json:"qabench"`
+}
+
+// benchLine matches `go test -bench` output rows, with or without the
+// -benchmem columns.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_qamarket.json", "output path for the benchmark report")
+	quick := flag.Bool("quick", false, "run every bench at -benchtime=1x (CI smoke; noisier numbers)")
+	flag.Parse()
+
+	var entries []benchEntry
+	// The figure/table regenerations take seconds per iteration; a single
+	// iteration each is the trajectory's wall-clock row. BenchmarkFigure7
+	// stands up the real TCP cluster and still fits.
+	figs, err := runBench(`^(BenchmarkFigure|BenchmarkTable|BenchmarkAblation)`, "1x")
+	if err != nil {
+		fatal(err)
+	}
+	entries = append(entries, figs...)
+	// The micro-benchmarks are cheap, so give them enough iterations for
+	// stable ns/op and steady-state allocs/op (pools warm after the first
+	// iteration).
+	microTime := "200ms"
+	if *quick {
+		microTime = "1x"
+	}
+	micro, err := runBench(
+		`^(BenchmarkDesimEngine|BenchmarkSimDispatch|BenchmarkExactSolver|BenchmarkAgentPeriod|BenchmarkSupplySolvers)$`,
+		microTime)
+	if err != nil {
+		fatal(err)
+	}
+	entries = append(entries, micro...)
+
+	timing, err := timeQabench()
+	if err != nil {
+		fatal(err)
+	}
+
+	r := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Benchmarks:  entries,
+		Qabench:     timing,
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx on GOMAXPROCS=%d)\n",
+		*out, len(entries), r.Qabench.Speedup, r.GOMAXPROCS)
+}
+
+// runBench executes `go test -bench` for the pattern and parses the
+// result rows.
+func runBench(pattern, benchtime string) ([]benchEntry, error) {
+	cmd := exec.Command("go", "test", "-run=NONE", "-bench="+pattern,
+		"-benchtime="+benchtime, "-benchmem", ".")
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench=%s: %w", pattern, err)
+	}
+	var entries []benchEntry
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		e := benchEntry{Name: strings.TrimSuffix(m[1], "-"+strconv.Itoa(runtime.GOMAXPROCS(0)))}
+		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			bpo, _ := strconv.ParseFloat(m[4], 64)
+			apo, _ := strconv.ParseFloat(m[5], 64)
+			e.BytesPerOp, e.AllocsPerOp = &bpo, &apo
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no benchmark rows matched %s", pattern)
+	}
+	return entries, nil
+}
+
+// timeQabench builds cmd/qabench once and times the sweep-heavy figures
+// sequentially vs on the default pool width.
+func timeQabench() (qabenchTiming, error) {
+	dir, err := os.MkdirTemp(".", "benchjson-")
+	if err != nil {
+		return qabenchTiming{}, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "qabench")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/qabench").CombinedOutput(); err != nil {
+		return qabenchTiming{}, fmt.Errorf("building qabench: %v\n%s", err, out)
+	}
+	const only = "fig4,fig5a,fig5b,fig6"
+	run := func(parallel int) (float64, error) {
+		start := time.Now()
+		cmd := exec.Command(bin, "-skip-real", "-only", only,
+			"-parallel", strconv.Itoa(parallel))
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return 0, fmt.Errorf("qabench -parallel %d: %v\n%s", parallel, err, out)
+		}
+		return float64(time.Since(start)) / float64(time.Millisecond), nil
+	}
+	seq, err := run(1)
+	if err != nil {
+		return qabenchTiming{}, err
+	}
+	par, err := run(0)
+	if err != nil {
+		return qabenchTiming{}, err
+	}
+	return qabenchTiming{
+		Experiments:  only,
+		SequentialMs: seq,
+		ParallelMs:   par,
+		Speedup:      seq / par,
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

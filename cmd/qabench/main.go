@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/qamarket/qamarket/internal/experiments"
@@ -19,10 +21,42 @@ import (
 func main() {
 	paper := flag.Bool("paper", false, "run the full Table 3 scale (100 nodes, 10,000 queries)")
 	seed := flag.Int64("seed", 1, "master RNG seed")
-	only := flag.String("only", "", "run a single experiment: fig1,fig2,fig3,fig4,fig5a,fig5b,fig5c,fig6,fig7,table2,table3,static,partial")
+	only := flag.String("only", "", "comma-separated experiments to run: fig1,fig2,fig3,fig4,fig5a,fig5b,fig5c,fig6,fig7,table2,table3,static,partial")
 	skipReal := flag.Bool("skip-real", false, "skip the real TCP cluster experiment (figure 7)")
 	svgDir := flag.String("svg", "", "also render each figure as an SVG into this directory")
+	parallel := flag.Int("parallel", 0, "worker-pool width for sweep points (0 = GOMAXPROCS, 1 = sequential; output is identical at any width)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "qabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qabench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "qabench: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	saveSVG := func(name string, c *plot.Chart, bars bool) {
 		if *svgDir == "" {
@@ -45,9 +79,18 @@ func main() {
 		scale = experiments.Paper()
 	}
 	scale.Seed = *seed
+	scale.Parallel = *parallel
 
 	want := func(name string) bool {
-		return *only == "" || strings.EqualFold(*only, name)
+		if *only == "" {
+			return true
+		}
+		for _, sel := range strings.Split(*only, ",") {
+			if strings.EqualFold(strings.TrimSpace(sel), name) {
+				return true
+			}
+		}
+		return false
 	}
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "qabench: %s: %v\n", name, err)

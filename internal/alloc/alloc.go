@@ -32,6 +32,11 @@ type View interface {
 	// Feasible reports whether node can evaluate class at all (it holds
 	// the data).
 	Feasible(node, class int) bool
+	// FeasibleNodes returns the nodes able to evaluate class, in
+	// ascending order — the per-class feasibility index. Mechanisms
+	// iterate it on the hot path instead of scanning every node.
+	// Callers must not mutate the returned slice.
+	FeasibleNodes(class int) []int
 	// Cost is the estimated execution time of one class query on node,
 	// in ms (the simulator's EXPLAIN); +Inf when infeasible.
 	Cost(node, class int) float64
@@ -86,8 +91,10 @@ func estimatedFinish(v View, node, class int) float64 {
 	return v.Backlog(node) + c
 }
 
-// feasibleNodes lists all nodes able to evaluate the class.
-func feasibleNodes(v View, class int) []int {
+// ScanFeasibleNodes builds the ascending feasible-node list for class by
+// scanning every node. View implementations without a precomputed index
+// can delegate their FeasibleNodes to it.
+func ScanFeasibleNodes(v View, class int) []int {
 	var out []int
 	for n := 0; n < v.NumNodes(); n++ {
 		if v.Feasible(n, class) {

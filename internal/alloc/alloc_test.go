@@ -23,6 +23,9 @@ func (v *fakeView) Feasible(n, c int) bool { return !math.IsInf(v.cost[n][c], 1)
 func (v *fakeView) Cost(n, c int) float64  { return v.cost[n][c] }
 func (v *fakeView) Backlog(n int) float64  { return v.backlog[n] }
 func (v *fakeView) PeriodMs() int64        { return v.period }
+func (v *fakeView) FeasibleNodes(c int) []int {
+	return ScanFeasibleNodes(v, c)
+}
 
 var inf = math.Inf(1)
 
@@ -258,6 +261,29 @@ func TestQANTDebtThrottlesOversell(t *testing.T) {
 	}
 	if accepted == 0 {
 		t.Error("no queries accepted at all")
+	}
+}
+
+func TestQANTPartialAdoptionFirstDispatchBeforePeriod(t *testing.T) {
+	// Regression: with Adopters set, non-adopting nodes have no agent.
+	// The lazy-init path taken when the first query arrives before any
+	// period callback used to call BeginPeriod on the nil agents and
+	// panic.
+	v := figure1View()
+	m := NewQANT(market.DefaultConfig(2))
+	m.Adopters = map[int]bool{0: true} // node 1 is an ordinary server
+	d := m.Assign(Query{Class: 0}, v)
+	if d.Retry {
+		t.Fatal("first query refused on an idle partially-adopted market")
+	}
+	if d.Node != 0 && d.Node != 1 {
+		t.Fatalf("invalid node %d", d.Node)
+	}
+	// The non-adopting node keeps accepting whatever is feasible.
+	for i := 0; i < 5; i++ {
+		if d := m.Assign(Query{Class: 0}, v); !d.Retry && d.Node == 1 {
+			return
+		}
 	}
 }
 

@@ -36,10 +36,7 @@ func (b *BNQRD) Traits() Traits {
 func (b *BNQRD) Assign(q Query, v View) Decision {
 	bestNode := -1
 	bestImbalance := math.Inf(1)
-	for n := 0; n < v.NumNodes(); n++ {
-		if !v.Feasible(n, q.Class) {
-			continue
-		}
+	for _, n := range v.FeasibleNodes(q.Class) {
 		if imb := b.imbalanceAfter(v, n, q.Class); imb < bestImbalance {
 			bestImbalance, bestNode = imb, n
 		}

@@ -43,10 +43,8 @@ func (g *Greedy) Traits() Traits {
 func (g *Greedy) Assign(q Query, v View) Decision {
 	best := math.Inf(1)
 	bestNode := -1
-	for n := 0; n < v.NumNodes(); n++ {
-		if !v.Feasible(n, q.Class) {
-			continue
-		}
+	nodes := v.FeasibleNodes(q.Class)
+	for _, n := range nodes {
 		if f := estimatedFinish(v, n, q.Class); f < best {
 			best, bestNode = f, n
 		}
@@ -57,8 +55,8 @@ func (g *Greedy) Assign(q Query, v View) Decision {
 	if g.RandomFrac > 0 && g.rng != nil {
 		var cands []int
 		limit := best * (1 + g.RandomFrac)
-		for n := 0; n < v.NumNodes(); n++ {
-			if v.Feasible(n, q.Class) && estimatedFinish(v, n, q.Class) <= limit {
+		for _, n := range nodes {
+			if estimatedFinish(v, n, q.Class) <= limit {
 				cands = append(cands, n)
 			}
 		}

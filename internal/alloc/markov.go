@@ -70,12 +70,8 @@ func (m *Markov) init(v View) {
 		quantum := rate / rateQuanta
 		for q := 0; q < rateQuanta; q++ {
 			bestNode, best := -1, math.Inf(1)
-			for node := 0; node < n; node++ {
-				cost := v.Cost(node, c)
-				if math.IsInf(cost, 1) {
-					continue
-				}
-				if u := util[node] + quantum*cost; u < best {
+			for _, node := range v.FeasibleNodes(c) {
+				if u := util[node] + quantum*v.Cost(node, c); u < best {
 					best, bestNode = u, node
 				}
 			}
@@ -118,10 +114,7 @@ func (m *Markov) Assign(q Query, v View) Decision {
 		// No share computed (zero known rate): fall back to the cheapest
 		// feasible node.
 		best := math.Inf(1)
-		for node := 0; node < v.NumNodes(); node++ {
-			if !v.Feasible(node, q.Class) {
-				continue
-			}
+		for _, node := range v.FeasibleNodes(q.Class) {
 			if c := v.Cost(node, q.Class); c < best {
 				best, bestNode = c, node
 			}

@@ -48,6 +48,14 @@ type QANT struct {
 	carry    []float64
 	carryCap []float64
 
+	// scratch holds the exact solver's reusable DP buffers; agents run
+	// strictly sequentially within one mechanism, so one set suffices.
+	scratch *market.DPScratch
+
+	// offered is Assign's reusable buffer of nodes that offered in the
+	// current negotiation round.
+	offered []int
+
 	// started guards lazy initialization from the first view.
 	started bool
 }
@@ -123,10 +131,14 @@ func (m *QANT) supplySet(node int, budget float64) economics.SupplySet {
 		budget = 0
 	}
 	if m.Exact {
+		if m.scratch == nil {
+			m.scratch = &market.DPScratch{}
+		}
 		return market.ExactTimeBudgetSupplySet{
 			Cost:        m.costs[node],
 			Budget:      budget,
 			Granularity: 10,
+			Scratch:     m.scratch,
 		}
 	}
 	return economics.TimeBudgetSupplySet{Cost: m.costs[node], Budget: budget}
@@ -172,16 +184,17 @@ func (m *QANT) Assign(q Query, v View) Decision {
 	if !m.started {
 		m.init(v)
 		for _, a := range m.agents {
-			a.BeginPeriod()
+			// Non-adopting nodes have no agent; only adopters run the
+			// market cycle.
+			if a != nil {
+				a.BeginPeriod()
+			}
 		}
 	}
 	bestNode := -1
 	best := math.Inf(1)
-	var offered []int
-	for n := 0; n < v.NumNodes(); n++ {
-		if !v.Feasible(n, q.Class) {
-			continue
-		}
+	offered := m.offered[:0]
+	for _, n := range v.FeasibleNodes(q.Class) {
 		// The server decides autonomously whether to offer; a refusal
 		// already moved its private price (the trading-failure signal).
 		// Non-adopting nodes (nil agent) behave like ordinary servers
@@ -194,6 +207,7 @@ func (m *QANT) Assign(q Query, v View) Decision {
 			best, bestNode = f, n
 		}
 	}
+	m.offered = offered
 	if bestNode < 0 {
 		// No server offered: resubmit in the next time period (step 4 of
 		// the client protocol in Section 3.3).

@@ -27,7 +27,7 @@ func (r *Random) Traits() Traits {
 
 // Assign implements Mechanism.
 func (r *Random) Assign(q Query, v View) Decision {
-	nodes := feasibleNodes(v, q.Class)
+	nodes := v.FeasibleNodes(q.Class)
 	if len(nodes) == 0 {
 		return Decision{Retry: true}
 	}
@@ -59,7 +59,7 @@ func (r *RoundRobin) Traits() Traits {
 
 // Assign implements Mechanism.
 func (r *RoundRobin) Assign(q Query, v View) Decision {
-	nodes := feasibleNodes(v, q.Class)
+	nodes := v.FeasibleNodes(q.Class)
 	if len(nodes) == 0 {
 		return Decision{Retry: true}
 	}
@@ -95,7 +95,7 @@ func (t *TwoRandomProbes) Traits() Traits {
 
 // Assign implements Mechanism.
 func (t *TwoRandomProbes) Assign(q Query, v View) Decision {
-	nodes := feasibleNodes(v, q.Class)
+	nodes := v.FeasibleNodes(q.Class)
 	if len(nodes) == 0 {
 		return Decision{Retry: true}
 	}

@@ -5,12 +5,18 @@
 // Events scheduled for the same instant fire in scheduling order (FIFO),
 // which keeps simulations deterministic regardless of map iteration or
 // goroutine scheduling — there are no goroutines here at all.
+//
+// The engine is built for the hot path of paper-scale runs (millions of
+// events per experiment): the heap is hand-rolled over a []*item slice
+// rather than container/heap (no interface dispatch per sift level), and
+// fired or cancelled items are recycled through a free list, so a
+// steady-state simulation — e.g. a rolling period tick that re-arms
+// itself from its own callback — schedules events without allocating.
+// A generation counter on each item keeps stale Handles from cancelling
+// a recycled slot.
 package desim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is virtual simulation time in milliseconds.
 type Time int64
@@ -22,42 +28,15 @@ type item struct {
 	at   Time
 	seq  uint64
 	run  Event
-	idx  int
+	gen  uint32
 	dead bool
-}
-
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.idx = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
 }
 
 // Handle identifies a scheduled event so it can be cancelled. Handles
 // returned by Every track the loop's most recent tick.
 type Handle struct {
 	it   *item
+	gen  uint32
 	roll *rollingHandle
 }
 
@@ -65,7 +44,7 @@ type Handle struct {
 // already-cancelled event is a no-op. For Every loops it stops the next
 // pending tick, ending the loop.
 func (h Handle) Cancel() {
-	if h.it != nil {
+	if h.it != nil && h.it.gen == h.gen {
 		h.it.dead = true
 	}
 	if h.roll != nil {
@@ -78,8 +57,9 @@ func (h Handle) Cancel() {
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []*item // min-heap ordered by (at, seq)
 	fired  uint64
+	free   []*item // recycled items awaiting reuse
 }
 
 // Now returns the current virtual time.
@@ -101,10 +81,21 @@ func (e *Engine) At(at Time, run Event) Handle {
 	if run == nil {
 		panic("desim: nil event")
 	}
-	it := &item{at: at, seq: e.seq, run: run}
+	var it *item
+	if n := len(e.free); n > 0 {
+		it = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		it.at = at
+		it.run = run
+		it.dead = false
+	} else {
+		it = &item{at: at, run: run}
+	}
+	it.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, it)
-	return Handle{it: it}
+	e.push(it)
+	return Handle{it: it, gen: it.gen}
 }
 
 // After schedules run to fire delay milliseconds from now.
@@ -115,17 +106,31 @@ func (e *Engine) After(delay Time, run Event) Handle {
 	return e.At(e.now+delay, run)
 }
 
+// recycle returns a popped item to the free list. The generation bump
+// invalidates every Handle still pointing at it.
+func (e *Engine) recycle(it *item) {
+	it.run = nil
+	it.gen++
+	e.free = append(e.free, it)
+}
+
 // Step fires the earliest pending event and advances the clock to its
 // timestamp. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		it := heap.Pop(&e.events).(*item)
+		it := e.pop()
 		if it.dead {
+			e.recycle(it)
 			continue
 		}
 		e.now = it.at
 		e.fired++
-		it.run(e.now)
+		run := it.run
+		// Recycle before running: the common rolling-tick pattern (an
+		// event re-arming itself from its own callback) reuses this very
+		// item, so steady-state ticking allocates nothing.
+		e.recycle(it)
+		run(e.now)
 		return true
 	}
 	return false
@@ -155,7 +160,7 @@ func (e *Engine) Every(interval Time, run func(now Time) bool) Handle {
 		h.set(e.After(interval, tick))
 	}
 	h.set(e.After(interval, tick))
-	return Handle{it: nil, roll: h}
+	return Handle{roll: h}
 }
 
 // rollingHandle tracks the most recently scheduled tick of an Every
@@ -171,10 +176,9 @@ func (r *rollingHandle) set(h Handle) { r.cur = h }
 // queued and the clock is left at min(deadline, last fired event).
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.events) > 0 {
-		// Peek: heap root is the earliest live event.
 		root := e.events[0]
 		if root.dead {
-			heap.Pop(&e.events)
+			e.recycle(e.pop())
 			continue
 		}
 		if root.at > deadline {
@@ -182,4 +186,65 @@ func (e *Engine) RunUntil(deadline Time) {
 		}
 		e.Step()
 	}
+}
+
+// less orders items by (at, seq): time first, FIFO within an instant.
+func less(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends the item and sifts it up. For an item later than
+// everything pending — the rolling-tick case — the first parent
+// comparison fails and the push is O(1).
+func (e *Engine) push(it *item) {
+	e.events = append(e.events, it)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(it, e.events[parent]) {
+			break
+		}
+		e.events[i] = e.events[parent]
+		i = parent
+	}
+	e.events[i] = it
+}
+
+// pop removes and returns the heap root.
+func (e *Engine) pop() *item {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places it, starting from the root, into heap position.
+func (e *Engine) siftDown(it *item) {
+	h := e.events
+	n := len(h)
+	i := 0
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if right := kid + 1; right < n && less(h[right], h[kid]) {
+			kid = right
+		}
+		if !less(h[kid], it) {
+			break
+		}
+		h[i] = h[kid]
+		i = kid
+	}
+	h[i] = it
 }

@@ -203,6 +203,44 @@ func TestEveryBadIntervalPanics(t *testing.T) {
 	e.Every(0, func(Time) bool { return false })
 }
 
+// TestStaleHandleCannotCancelRecycledSlot pins down the free-list
+// semantics: once an event fires, its item may be reused by a later
+// schedule, and Cancel on the old handle must not touch the new event.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	var e Engine
+	h1 := e.At(10, func(Time) {})
+	e.Run() // fires and recycles the item
+	fired := false
+	e.At(20, func(Time) { fired = true }) // reuses the recycled item
+	h1.Cancel()                           // stale: must be a no-op
+	e.Run()
+	if !fired {
+		t.Error("stale Cancel killed a recycled event")
+	}
+}
+
+// TestRollingTickDoesNotGrowFreeList verifies that a self-rearming tick
+// cycles through a single pooled item.
+func TestRollingTickDoesNotGrowFreeList(t *testing.T) {
+	var e Engine
+	count := 0
+	var tick func(Time)
+	tick = func(Time) {
+		count++
+		if count < 1000 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run()
+	if count != 1000 {
+		t.Fatalf("ticked %d times, want 1000", count)
+	}
+	if len(e.free) != 1 {
+		t.Errorf("free list holds %d items, want 1 (single recycled slot)", len(e.free))
+	}
+}
+
 // TestRandomizedOrdering stresses the heap with random schedules and
 // verifies global time ordering.
 func TestRandomizedOrdering(t *testing.T) {

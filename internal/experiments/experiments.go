@@ -33,6 +33,11 @@ type Scale struct {
 	DurationS int   // sinusoid experiment length in seconds
 	Seed      int64 // master RNG seed
 	PeriodMs  int64 // allocation period T (paper: 500)
+	// Parallel is the worker-pool width used to fan a figure's
+	// independent sweep points across goroutines: 0 means GOMAXPROCS,
+	// 1 strictly sequential. Any width produces byte-identical series
+	// because every sweep point's RNG seed is derived from Seed alone.
+	Parallel int
 }
 
 // Quick is the reduced scale used by tests and benches (seconds per
@@ -87,7 +92,7 @@ func newTwoClassFixture(s Scale) (*twoClassFixture, error) {
 	for i, target := range []float64{1000, 500} {
 		sum, n := 0.0, 0
 		for _, node := range cat.Nodes {
-			if c := model.Estimate(node, ts[i]); !isInf(c) {
+			if c := model.Estimate(node, ts[i]); !math.IsInf(c, 1) {
 				sum += c
 				n++
 			}
@@ -147,13 +152,45 @@ func mechanisms(seed int64) map[string]alloc.Mechanism {
 	}
 }
 
-func isInf(v float64) bool { return math.IsInf(v, 1) }
+// mechanismNames lists the mechanisms() keys in deterministic order.
+var mechanismNames = []string{
+	"bnqrd", "greedy", "qa-nt", "random", "round-robin", "two-random-probes",
+}
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// ratioSweep powers the Greedy-vs-QA-NT sweep figures: for each of n
+// sweep points it runs both mechanisms over that point's arrival stream
+// and returns Y[i] = greedy mean / qa-nt mean. Every (point, mechanism)
+// pair is an independent task fanned across the worker pool; arrivalsFor
+// must be pure (it is invoked once per task, possibly concurrently) and
+// must derive any randomness from Scale.Seed so the series are identical
+// at every pool width.
+func ratioSweep(s Scale, cat *catalog.Catalog, ts []costmodel.Template, n int, arrivalsFor func(i int) ([]workload.Arrival, error)) ([]float64, error) {
+	qant := make([]float64, n)
+	greedy := make([]float64, n)
+	err := forEach(s.workers(), 2*n, func(task int) error {
+		i, name, slot := task/2, "qa-nt", qant
+		if task%2 == 1 {
+			name, slot = "greedy", greedy
+		}
+		as, err := arrivalsFor(i)
+		if err != nil {
+			return err
+		}
+		sum, _, err := runOne(s, cat, ts, mechanisms(s.Seed)[name], as)
+		if err != nil {
+			return err
+		}
+		slot[i] = sum.MeanRespMs
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return b
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = greedy[i] / qant[i]
+	}
+	return ys, nil
 }
 
 // Point is one (x, y) sample of a figure's series.

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel execution of sweep points.
+//
+// Every figure's sweep is a set of *independent* simulation runs: each
+// (sweep point, mechanism) pair derives its RNG seed from Scale.Seed
+// through a fixed offset, builds fresh mechanism state, and runs its own
+// Federation. The only shared state is the read-only fixture (catalog +
+// templates). forEach fans those tasks across a bounded worker pool and
+// writes every result into a pre-assigned slot, so the assembled series
+// are byte-identical to a sequential run at any worker count — the same
+// independence WALRAS-style market simulators exploit to scale auction
+// rounds.
+
+// workers resolves Scale.Parallel: 0 picks GOMAXPROCS, anything below
+// that floor runs strictly sequentially.
+func (s Scale) workers() int {
+	if s.Parallel == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if s.Parallel < 1 {
+		return 1
+	}
+	return s.Parallel
+}
+
+// forEach runs fn(0) … fn(n-1) on up to workers goroutines and returns
+// the lowest-index error (deterministic regardless of completion order).
+// With workers <= 1 it degenerates to the plain sequential loop.
+func forEach(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

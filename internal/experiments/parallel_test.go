@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// parallelScale is small enough to run two figures twice each in a few
+// seconds while still exercising queueing at multiple sweep points.
+func parallelScale(parallel int) Scale {
+	return Scale{
+		Nodes: 12, Relations: 60, Queries: 300, Classes: 10, MaxJoins: 4,
+		DurationS: 10, Seed: 1, PeriodMs: 500, Parallel: parallel,
+	}
+}
+
+// TestParallelMatchesSequentialFigure5a is the determinism guarantee:
+// the worker pool must produce byte-identical series to the sequential
+// path because every sweep point regenerates its own arrival stream
+// from a Scale.Seed-derived seed.
+func TestParallelMatchesSequentialFigure5a(t *testing.T) {
+	seq, err := Figure5a(parallelScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure5a(parallelScale(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("figure 5a parallel != sequential:\nseq %v\npar %v", seq, par)
+	}
+}
+
+func TestParallelMatchesSequentialFigure6(t *testing.T) {
+	seq, err := Figure6(parallelScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure6(parallelScale(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("figure 6 parallel != sequential:\nseq %v\npar %v", seq, par)
+	}
+}
+
+func TestForEachCoversAllIndexesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 41
+		counts := make([]int64, n)
+		err := forEach(workers, n, func(i int) error {
+			atomic.AddInt64(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachReturnsLowestIndexError pins the deterministic error
+// choice: whichever goroutine finishes last, the caller always sees the
+// failure of the lowest task index.
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := forEach(workers, 10, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 7:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, errLow)
+		}
+	}
+}

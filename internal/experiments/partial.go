@@ -27,23 +27,32 @@ func PartialAdoption(s Scale) (PartialAdoptionResult, error) {
 	durationMs := int64(s.DurationS) * 1000
 	as := f.sinusoidArrivals(s, 0.05, 2.0, durationMs, rng)
 
-	res := PartialAdoptionResult{MeanMs: make(map[float64]float64)}
-	for _, frac := range []float64{0, 0.5, 1.0} {
+	fracs := []float64{0, 0.5, 1.0}
+	means := make([]float64, len(fracs))
+	err = forEach(s.workers(), len(fracs), func(fi int) error {
 		mech := alloc.NewQANT(market.DefaultConfig(2))
 		// Stripe the adopters across the node range so adoption is not
 		// confounded with data placement (the fixture puts Q2's data on
 		// the first half of the nodes).
 		adopters := make(map[int]bool, s.Nodes)
-		want := int(frac * float64(s.Nodes))
+		want := int(fracs[fi] * float64(s.Nodes))
 		for i := 0; i < want; i++ {
 			adopters[(i*2)%s.Nodes+(i*2)/s.Nodes] = true
 		}
 		mech.Adopters = adopters
 		sum, _, err := runOne(s, f.cat, f.templates, mech, as)
 		if err != nil {
-			return PartialAdoptionResult{}, err
+			return err
 		}
-		res.MeanMs[frac] = sum.MeanRespMs
+		means[fi] = sum.MeanRespMs
+		return nil
+	})
+	if err != nil {
+		return PartialAdoptionResult{}, err
+	}
+	res := PartialAdoptionResult{MeanMs: make(map[float64]float64, len(fracs))}
+	for i, frac := range fracs {
+		res.MeanMs[frac] = means[i]
 	}
 	return res, nil
 }

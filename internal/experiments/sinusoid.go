@@ -61,13 +61,24 @@ func Figure4(s Scale) (Figure4Result, error) {
 	// capacity".
 	peakFrac := 0.95
 	as := f.sinusoidArrivals(s, 0.05, peakFrac/3.1416, durationMs, rng)
-	means := make(map[string]float64)
-	for name, mech := range mechanisms(s.Seed) {
-		sum, _, err := runOne(s, f.cat, f.templates, mech, as)
+	// All six mechanisms replay the same arrival stream; each run is an
+	// independent task on the pool.
+	names := mechanismNames
+	perName := make([]float64, len(names))
+	err = forEach(s.workers(), len(names), func(i int) error {
+		sum, _, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)[names[i]], as)
 		if err != nil {
-			return Figure4Result{}, fmt.Errorf("figure 4 (%s): %w", name, err)
+			return fmt.Errorf("figure 4 (%s): %w", names[i], err)
 		}
-		means[name] = sum.MeanRespMs
+		perName[i] = sum.MeanRespMs
+		return nil
+	})
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	means := make(map[string]float64, len(names))
+	for i, name := range names {
+		means[name] = perName[i]
 	}
 	norm, err := metrics.Normalize(means, "qa-nt")
 	if err != nil {
@@ -92,19 +103,16 @@ func Figure5a(s Scale) (Figure5aResult, error) {
 		return Figure5aResult{}, err
 	}
 	durationMs := int64(s.DurationS) * 1000
+	ys, err := ratioSweep(s, f.cat, f.templates, len(Figure5aLoads), func(i int) ([]workload.Arrival, error) {
+		rng := rand.New(rand.NewSource(s.Seed + 300 + int64(i)))
+		return f.sinusoidArrivals(s, 0.05, Figure5aLoads[i], durationMs, rng), nil
+	})
+	if err != nil {
+		return Figure5aResult{}, err
+	}
 	var out Figure5aResult
 	for i, load := range Figure5aLoads {
-		rng := rand.New(rand.NewSource(s.Seed + 300 + int64(i)))
-		as := f.sinusoidArrivals(s, 0.05, load, durationMs, rng)
-		qant, _, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)["qa-nt"], as)
-		if err != nil {
-			return Figure5aResult{}, err
-		}
-		greedy, _, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)["greedy"], as)
-		if err != nil {
-			return Figure5aResult{}, err
-		}
-		out.Points = append(out.Points, Point{X: load, Y: greedy.MeanRespMs / qant.MeanRespMs})
+		out.Points = append(out.Points, Point{X: load, Y: ys[i]})
 	}
 	return out, nil
 }
@@ -125,19 +133,16 @@ func Figure5b(s Scale) (Figure5bResult, error) {
 		return Figure5bResult{}, err
 	}
 	durationMs := int64(s.DurationS) * 1000
+	ys, err := ratioSweep(s, f.cat, f.templates, len(Figure5bFreqs), func(i int) ([]workload.Arrival, error) {
+		rng := rand.New(rand.NewSource(s.Seed + 400 + int64(i)))
+		return f.sinusoidArrivals(s, Figure5bFreqs[i], 0.8, durationMs, rng), nil
+	})
+	if err != nil {
+		return Figure5bResult{}, err
+	}
 	var out Figure5bResult
 	for i, freq := range Figure5bFreqs {
-		rng := rand.New(rand.NewSource(s.Seed + 400 + int64(i)))
-		as := f.sinusoidArrivals(s, freq, 0.8, durationMs, rng)
-		qant, _, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)["qa-nt"], as)
-		if err != nil {
-			return Figure5bResult{}, err
-		}
-		greedy, _, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)["greedy"], as)
-		if err != nil {
-			return Figure5bResult{}, err
-		}
-		out.Points = append(out.Points, Point{X: freq, Y: greedy.MeanRespMs / qant.MeanRespMs})
+		out.Points = append(out.Points, Point{X: freq, Y: ys[i]})
 	}
 	return out, nil
 }
@@ -167,21 +172,20 @@ func Figure5c(s Scale) (Figure5cResult, error) {
 		}
 	}
 	horizon := durationMs + 15000 // allow queue drain past the last arrival
-	collect := func(name string) ([]int, error) {
+	series := make([][]int, 2)
+	err = forEach(s.workers(), 2, func(i int) error {
+		name := [...]string{"qa-nt", "greedy"}[i]
 		_, col, err := runOne(s, f.cat, f.templates, mechanisms(s.Seed)[name], as)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return col.ExecutedPerBucket(500, horizon, 0), nil
-	}
-	qant, err := collect("qa-nt")
+		series[i] = col.ExecutedPerBucket(500, horizon, 0)
+		return nil
+	})
 	if err != nil {
 		return Figure5cResult{}, err
 	}
-	greedy, err := collect("greedy")
-	if err != nil {
-		return Figure5cResult{}, err
-	}
+	qant, greedy := series[0], series[1]
 	return Figure5cResult{
 		Arrivals:  workload.HalfSecondCounts(q1, horizon),
 		QANTDone:  qant,

@@ -50,19 +50,34 @@ func StaticWorkload(s Scale, loadFrac float64) (StaticResult, error) {
 	// The Markov reference is centralized and receives the true class
 	// rates — the autonomy-violating knowledge Section 4 criticizes.
 	rates := []float64{rate * 2 / 3, rate / 3}
-	mechs := map[string]alloc.Mechanism{
-		"qa-nt":  alloc.NewQANT(market.DefaultConfig(2)),
-		"greedy": alloc.NewGreedy(nil, 0),
-		"random": alloc.NewRandom(rand.New(rand.NewSource(s.Seed))),
-		"markov": alloc.NewMarkov(rates),
-	}
-	res := StaticResult{MeanMs: make(map[string]float64)}
-	for name, mech := range mechs {
-		sum, _, err := runOne(s, f.cat, f.templates, mech, arrivals)
-		if err != nil {
-			return StaticResult{}, err
+	names := []string{"greedy", "markov", "qa-nt", "random"}
+	newMech := func(name string) alloc.Mechanism {
+		switch name {
+		case "qa-nt":
+			return alloc.NewQANT(market.DefaultConfig(2))
+		case "greedy":
+			return alloc.NewGreedy(nil, 0)
+		case "random":
+			return alloc.NewRandom(rand.New(rand.NewSource(s.Seed)))
+		default:
+			return alloc.NewMarkov(rates)
 		}
-		res.MeanMs[name] = sum.MeanRespMs
+	}
+	means := make([]float64, len(names))
+	err = forEach(s.workers(), len(names), func(i int) error {
+		sum, _, err := runOne(s, f.cat, f.templates, newMech(names[i]), arrivals)
+		if err != nil {
+			return err
+		}
+		means[i] = sum.MeanRespMs
+		return nil
+	})
+	if err != nil {
+		return StaticResult{}, err
+	}
+	res := StaticResult{MeanMs: make(map[string]float64, len(names))}
+	for i, name := range names {
+		res.MeanMs[name] = means[i]
 	}
 	norm, err := metrics.Normalize(res.MeanMs, "markov")
 	if err != nil {

@@ -51,8 +51,8 @@ func Figure6(s Scale) (Figure6Result, error) {
 	if err != nil {
 		return Figure6Result{}, err
 	}
-	var out Figure6Result
-	for i, gap := range Figure6Gaps {
+	ys, err := ratioSweep(s, cat, ts, len(Figure6Gaps), func(i int) ([]workload.Arrival, error) {
+		gap := Figure6Gaps[i]
 		rng := rand.New(rand.NewSource(s.Seed + 700 + int64(i)))
 		z := workload.Zipf{
 			Classes:     s.Classes,
@@ -64,17 +64,16 @@ func Figure6(s Scale) (Figure6Result, error) {
 		}
 		as, err := z.Generate(rng)
 		if err != nil {
-			return Figure6Result{}, fmt.Errorf("figure 6 gap %g: %w", gap, err)
+			return nil, fmt.Errorf("figure 6 gap %g: %w", gap, err)
 		}
-		qant, _, err := runOne(s, cat, ts, mechanisms(s.Seed)["qa-nt"], as)
-		if err != nil {
-			return Figure6Result{}, err
-		}
-		greedy, _, err := runOne(s, cat, ts, mechanisms(s.Seed)["greedy"], as)
-		if err != nil {
-			return Figure6Result{}, err
-		}
-		out.Points = append(out.Points, Point{X: gap, Y: greedy.MeanRespMs / qant.MeanRespMs})
+		return as, nil
+	})
+	if err != nil {
+		return Figure6Result{}, err
+	}
+	var out Figure6Result
+	for i, gap := range Figure6Gaps {
+		out.Points = append(out.Points, Point{X: gap, Y: ys[i]})
 	}
 	return out, nil
 }

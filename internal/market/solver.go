@@ -22,6 +22,35 @@ type ExactTimeBudgetSupplySet struct {
 	// Granularity is the DP time step in milliseconds (default 1).
 	// Coarser steps trade exactness for speed.
 	Granularity float64
+	// Scratch, when non-nil, supplies reusable DP buffers so repeated
+	// solves (one per node per period) stop allocating. A scratch must
+	// not be shared across concurrent solvers.
+	Scratch *DPScratch
+}
+
+// DPScratch holds the BestResponse working arrays between solves.
+type DPScratch struct {
+	best      []float64
+	last      []int
+	costTicks []int
+}
+
+// grow resizes the buffers for k classes and t+1 budget ticks, zeroing
+// the prefix BestResponse reads.
+func (s *DPScratch) grow(k, ticks int) (best []float64, last, costTicks []int) {
+	if cap(s.best) < ticks+1 {
+		s.best = make([]float64, ticks+1)
+		s.last = make([]int, ticks+1)
+	}
+	if cap(s.costTicks) < k {
+		s.costTicks = make([]int, k)
+	}
+	best = s.best[:ticks+1]
+	last = s.last[:ticks+1]
+	costTicks = s.costTicks[:k]
+	best[0] = 0
+	last[0] = -1
+	return best, last, costTicks
 }
 
 // Feasible reports whether s fits the budget (same test as the greedy
@@ -57,7 +86,15 @@ func (t ExactTimeBudgetSupplySet) BestResponse(p vector.Prices) vector.Quantity 
 	if ticks <= 0 {
 		return out
 	}
-	costTicks := make([]int, k)
+	var best []float64
+	var last, costTicks []int
+	if t.Scratch != nil {
+		best, last, costTicks = t.Scratch.grow(k, ticks)
+	} else {
+		best = make([]float64, ticks+1)
+		last = make([]int, ticks+1)
+		costTicks = make([]int, k)
+	}
 	usable := false
 	for c := range t.Cost {
 		if t.Cost[c] <= 0 {
@@ -78,8 +115,6 @@ func (t ExactTimeBudgetSupplySet) BestResponse(p vector.Prices) vector.Quantity 
 	// best[b] = max value achievable with b ticks; last[b] = class of the
 	// item added to reach best[b] at exactly budget b, or -1 when the
 	// optimum at b simply inherits the optimum at b-1.
-	best := make([]float64, ticks+1)
-	last := make([]int, ticks+1)
 	for b := 1; b <= ticks; b++ {
 		best[b] = best[b-1]
 		last[b] = -1

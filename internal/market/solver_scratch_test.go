@@ -1,0 +1,38 @@
+package market
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/qamarket/qamarket/internal/vector"
+)
+
+// TestExactSolverScratchMatchesFresh checks that reusing one DPScratch
+// across many solves — with varying class counts, budgets and prices —
+// returns exactly the allocations of the allocate-per-call path.
+func TestExactSolverScratchMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	scratch := &DPScratch{}
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(8)
+		cost := make([]float64, k)
+		p := vector.Prices(make([]float64, k))
+		for c := range cost {
+			cost[c] = float64(rng.Intn(40)) // 0 marks infeasible classes
+			p[c] = rng.Float64() * 10
+		}
+		budget := float64(1 + rng.Intn(200))
+		fresh := ExactTimeBudgetSupplySet{Cost: cost, Budget: budget}
+		pooled := ExactTimeBudgetSupplySet{Cost: cost, Budget: budget, Scratch: scratch}
+		want := fresh.BestResponse(p)
+		got := pooled.BestResponse(p)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d (k=%d budget=%g cost=%v p=%v):\nfresh  %v\npooled %v",
+				trial, k, budget, cost, p, want, got)
+		}
+		if !pooled.Feasible(got) {
+			t.Fatalf("trial %d: pooled response %v infeasible", trial, got)
+		}
+	}
+}

@@ -59,18 +59,26 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// job is one query instance flowing through the simulator.
+// job is one query instance flowing through the simulator. Jobs are
+// recycled through the federation's free list once they complete, and
+// each job caches its completion event so steady-state execution
+// schedules without allocating closures.
 type job struct {
 	q        alloc.Query
 	node     int
 	costMs   float64
 	startMs  int64
 	assignMs int64
+	f        *Federation
+	done     desim.Event // fires f.complete(job); built once per job object
 }
 
-// nodeState models one RDBMS: a FIFO queue drained sequentially.
+// nodeState models one RDBMS: a FIFO queue drained sequentially. The
+// queue is a head-indexed slice so dequeues don't shift or reallocate;
+// the backing array is reused once drained.
 type nodeState struct {
 	queue     []*job
+	head      int
 	running   *job
 	pendingMs float64 // queued + running work (full costs)
 	runStart  int64
@@ -83,9 +91,12 @@ type Federation struct {
 	mech  alloc.Mechanism
 	nodes []*nodeState
 	cost  [][]float64 // [node][class] estimated+actual execution ms
+	feas  [][]int     // [class] ascending nodes able to evaluate it
 	col   metrics.Collector
 
 	retry       []alloc.Query
+	retrySpare  []alloc.Query // recycled backing array for retry
+	jobFree     []*job        // completed jobs awaiting reuse
 	outstanding int
 	periodOn    bool
 }
@@ -127,6 +138,16 @@ func New(cfg Config, mech alloc.Mechanism) (*Federation, error) {
 		}
 	}
 	f := &Federation{cfg: cfg, mech: mech, cost: cost}
+	// Precompute the per-class feasibility index the mechanisms iterate
+	// on every allocation round.
+	f.feas = make([][]int, k)
+	for c := 0; c < k; c++ {
+		for node := 0; node < n; node++ {
+			if !math.IsInf(cost[node][c], 1) {
+				f.feas[c] = append(f.feas[c], node)
+			}
+		}
+	}
 	f.nodes = make([]*nodeState, n)
 	for i := range f.nodes {
 		f.nodes[i] = &nodeState{}
@@ -144,6 +165,7 @@ func (v view) PeriodMs() int64 { return v.f.cfg.PeriodMs }
 func (v view) Feasible(node, class int) bool {
 	return !math.IsInf(v.f.cost[node][class], 1)
 }
+func (v view) FeasibleNodes(class int) []int { return v.f.feas[class] }
 func (v view) Cost(node, class int) float64 { return v.f.cost[node][class] }
 func (v view) Backlog(node int) float64 {
 	ns := v.f.nodes[node]
@@ -216,13 +238,30 @@ func (f *Federation) startPeriodClock() {
 	f.eng.After(desim.Time(f.cfg.PeriodMs), tick)
 }
 
-// flushRetries re-dispatches the queries deferred to this period.
+// flushRetries re-dispatches the queries deferred to this period. The
+// drained backing array is kept for the next period's deferrals, so the
+// retry churn of an overloaded run stops allocating.
 func (f *Federation) flushRetries() {
 	pending := f.retry
-	f.retry = nil
+	f.retry = f.retrySpare[:0]
 	for _, q := range pending {
 		f.dispatch(q)
 	}
+	f.retrySpare = pending[:0]
+}
+
+// newJob takes a job from the free list, or builds one with its cached
+// completion event on first use.
+func (f *Federation) newJob() *job {
+	if n := len(f.jobFree); n > 0 {
+		j := f.jobFree[n-1]
+		f.jobFree[n-1] = nil
+		f.jobFree = f.jobFree[:n-1]
+		return j
+	}
+	j := &job{f: f}
+	j.done = func(desim.Time) { j.f.complete(j) }
+	return j
 }
 
 // dispatch runs one allocation round for the query.
@@ -245,13 +284,12 @@ func (f *Federation) dispatch(q alloc.Query) {
 	if math.IsInf(cost, 1) {
 		panic(fmt.Sprintf("sim: mechanism %s sent class %d to incapable node %d", f.mech.Name(), q.Class, d.Node))
 	}
-	now := int64(f.eng.Now())
-	j := &job{q: q, node: d.Node, costMs: cost, assignMs: f.cfg.NetworkLatencyMs}
-	start := func(desim.Time) { f.enqueue(j) }
+	j := f.newJob()
+	j.q, j.node, j.costMs, j.assignMs = q, d.Node, cost, f.cfg.NetworkLatencyMs
 	if f.cfg.NetworkLatencyMs > 0 {
-		f.eng.After(desim.Time(f.cfg.NetworkLatencyMs), start)
+		f.eng.After(desim.Time(f.cfg.NetworkLatencyMs), func(desim.Time) { f.enqueue(j) })
 	} else {
-		start(desim.Time(now))
+		f.enqueue(j)
 	}
 }
 
@@ -268,12 +306,15 @@ func (f *Federation) enqueue(j *job) {
 // startNext begins the node's next queued job.
 func (f *Federation) startNext(node int) {
 	ns := f.nodes[node]
-	if len(ns.queue) == 0 {
+	if ns.head == len(ns.queue) {
+		ns.queue = ns.queue[:0]
+		ns.head = 0
 		ns.running = nil
 		return
 	}
-	j := ns.queue[0]
-	ns.queue = ns.queue[1:]
+	j := ns.queue[ns.head]
+	ns.queue[ns.head] = nil
+	ns.head++
 	ns.running = j
 	now := int64(f.eng.Now())
 	ns.runStart = now
@@ -282,11 +323,13 @@ func (f *Federation) startNext(node int) {
 	if dur < 1 {
 		dur = 1
 	}
-	f.eng.After(desim.Time(dur), func(now desim.Time) { f.complete(node, j) })
+	f.eng.After(desim.Time(dur), j.done)
 }
 
-// complete records the finished job and starts the node's next one.
-func (f *Federation) complete(node int, j *job) {
+// complete records the finished job, recycles it, and starts the node's
+// next one.
+func (f *Federation) complete(j *job) {
+	node := j.node
 	ns := f.nodes[node]
 	ns.pendingMs -= j.costMs
 	if ns.pendingMs < 0 {
@@ -304,6 +347,8 @@ func (f *Federation) complete(node int, j *job) {
 		Resubmits:  j.q.Resubmits,
 		ExecutedMs: now - j.startMs,
 	})
+	ns.running = nil
+	f.jobFree = append(f.jobFree, j)
 	f.outstanding--
 	f.startNext(node)
 }
