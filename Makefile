@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke ci
+.PHONY: all build test vet race bench benchsmoke loadsmoke ci
 
 all: build test
 
@@ -28,4 +28,10 @@ bench:
 benchsmoke:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
 
-ci: build vet test race benchsmoke
+# loadsmoke drives a tiny qaload run against a self-hosted in-process
+# federation: the load generator, pooled transport, and latency
+# histograms all exercised end to end in a couple of seconds.
+loadsmoke:
+	$(GO) run ./cmd/qaload -selfnodes 2 -clients 4 -queries 24 -mix 3 -mspercost 0.005 -period 25
+
+ci: build vet test race benchsmoke loadsmoke

@@ -36,12 +36,24 @@ type qabenchTiming struct {
 	Speedup      float64 `json:"speedup"`       // sequential / parallel
 }
 
+// transportTiming is the transport trajectory row: the same qaload
+// closed-loop workload driven over the fresh-dial and pooled
+// multiplexed transports.
+type transportTiming struct {
+	Clients   int     `json:"clients"`
+	Queries   int     `json:"queries"`
+	FreshQPS  float64 `json:"fresh_qps"`
+	PooledQPS float64 `json:"pooled_qps"`
+	Speedup   float64 `json:"speedup"` // pooled / fresh
+}
+
 type report struct {
-	GeneratedAt string        `json:"generated_at"`
-	GoVersion   string        `json:"go_version"`
-	GOMAXPROCS  int           `json:"gomaxprocs"`
-	Benchmarks  []benchEntry  `json:"benchmarks"`
-	Qabench     qabenchTiming `json:"qabench"`
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Benchmarks  []benchEntry    `json:"benchmarks"`
+	Qabench     qabenchTiming   `json:"qabench"`
+	Transport   transportTiming `json:"transport"`
 }
 
 // benchLine matches `go test -bench` output rows, with or without the
@@ -77,8 +89,21 @@ func main() {
 		fatal(err)
 	}
 	entries = append(entries, micro...)
+	// The transport micro-benchmarks: per-RPC cost fresh vs pooled
+	// (sequential and 8-way concurrent) and the fetch-path encoding
+	// round trip with allocs/op (tagged vs compact).
+	transportBenches, err := runBenchPkg("./internal/cluster",
+		`^(BenchmarkTransportRPC|BenchmarkTransportConcurrent|BenchmarkFetchEncoding)`, microTime)
+	if err != nil {
+		fatal(err)
+	}
+	entries = append(entries, transportBenches...)
 
 	timing, err := timeQabench()
+	if err != nil {
+		fatal(err)
+	}
+	transport, err := timeTransport()
 	if err != nil {
 		fatal(err)
 	}
@@ -89,6 +114,7 @@ func main() {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Benchmarks:  entries,
 		Qabench:     timing,
+		Transport:   transport,
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -97,15 +123,20 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx on GOMAXPROCS=%d)\n",
-		*out, len(entries), r.Qabench.Speedup, r.GOMAXPROCS)
+	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx on GOMAXPROCS=%d)\n",
+		*out, len(entries), r.Qabench.Speedup, r.Transport.Speedup, r.GOMAXPROCS)
 }
 
-// runBench executes `go test -bench` for the pattern and parses the
+// runBench executes `go test -bench` in the repo root and parses the
 // result rows.
 func runBench(pattern, benchtime string) ([]benchEntry, error) {
+	return runBenchPkg(".", pattern, benchtime)
+}
+
+// runBenchPkg executes `go test -bench` for one package pattern.
+func runBenchPkg(pkg, pattern, benchtime string) ([]benchEntry, error) {
 	cmd := exec.Command("go", "test", "-run=NONE", "-bench="+pattern,
-		"-benchtime="+benchtime, "-benchmem", ".")
+		"-benchtime="+benchtime, "-benchmem", pkg)
 	cmd.Stderr = os.Stderr
 	outBytes, err := cmd.Output()
 	if err != nil {
@@ -168,6 +199,59 @@ func timeQabench() (qabenchTiming, error) {
 		SequentialMs: seq,
 		ParallelMs:   par,
 		Speedup:      seq / par,
+	}, nil
+}
+
+// timeTransport builds cmd/qaload once and drives the same closed-loop
+// workload (8 clients, self-hosted 3-node federation) over both
+// transports, recording queries/sec for the trajectory. The query is a
+// cheap fixed COUNT so the run measures the transport, not the
+// execution engine — an execution-bound mix hides the dial cost behind
+// the nodes' serial executors.
+func timeTransport() (transportTiming, error) {
+	const clients, queries = 8, 400
+	dir, err := os.MkdirTemp(".", "benchjson-")
+	if err != nil {
+		return transportTiming{}, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "qaload")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/qaload").CombinedOutput(); err != nil {
+		return transportTiming{}, fmt.Errorf("building qaload: %v\n%s", err, out)
+	}
+	run := func(transport string) (float64, error) {
+		cmd := exec.Command(bin, "-selfnodes", "3", "-clients", strconv.Itoa(clients),
+			"-queries", strconv.Itoa(queries), "-sql", "SELECT COUNT(*) FROM t00",
+			"-mspercost", "0.0001", "-period", "25", "-transport", transport, "-json")
+		out, err := cmd.Output()
+		if err != nil {
+			return 0, fmt.Errorf("qaload -transport %s: %v", transport, err)
+		}
+		var rep struct {
+			Completed int64   `json:"completed"`
+			Failed    int64   `json:"failed"`
+			QPS       float64 `json:"qps"`
+		}
+		if err := json.Unmarshal(out, &rep); err != nil {
+			return 0, fmt.Errorf("parsing qaload report: %w", err)
+		}
+		if rep.Failed > 0 || rep.Completed != queries {
+			return 0, fmt.Errorf("qaload -transport %s: %d/%d completed, %d failed",
+				transport, rep.Completed, queries, rep.Failed)
+		}
+		return rep.QPS, nil
+	}
+	fresh, err := run("fresh")
+	if err != nil {
+		return transportTiming{}, err
+	}
+	pooled, err := run("pooled")
+	if err != nil {
+		return transportTiming{}, err
+	}
+	return transportTiming{
+		Clients: clients, Queries: queries,
+		FreshQPS: fresh, PooledQPS: pooled, Speedup: pooled / fresh,
 	}, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -20,13 +21,15 @@ import (
 
 func main() {
 	var (
-		nodeList = flag.String("nodes", "", "comma-separated server addresses")
-		sql      = flag.String("sql", "", "query to evaluate")
-		mech     = flag.String("mechanism", "greedy", "greedy | qa-nt")
-		period   = flag.Int64("period", 500, "resubmission period in ms")
-		repeat   = flag.Int("repeat", 1, "times to run the query")
-		gap      = flag.Duration("gap", 0, "wait between repeats")
-		stats    = flag.Int("stats", -1, "print market stats of node index and exit")
+		nodeList  = flag.String("nodes", "", "comma-separated server addresses")
+		sql       = flag.String("sql", "", "query to evaluate")
+		mech      = flag.String("mechanism", "greedy", "greedy | qa-nt")
+		period    = flag.Int64("period", 500, "resubmission period in ms")
+		repeat    = flag.Int("repeat", 1, "times to run the query")
+		gap       = flag.Duration("gap", 0, "wait between repeats")
+		stats     = flag.Int("stats", -1, "print market stats of node index and exit")
+		transport = flag.String("transport", "pooled", "rpc transport: pooled | fresh")
+		hist      = flag.Bool("hist", false, "print per-op RPC latency histograms after the run")
 	)
 	flag.Parse()
 
@@ -39,10 +42,12 @@ func main() {
 		Mechanism: cluster.Mechanism(*mech),
 		PeriodMs:  *period,
 		Timeout:   30 * time.Second,
+		Transport: cluster.Transport(*transport),
 	})
 	if err != nil {
 		die(err)
 	}
+	defer client.Close()
 	if *stats >= 0 {
 		st, err := client.Stats(*stats)
 		if err != nil {
@@ -66,6 +71,31 @@ func main() {
 			out.QueryID, out.Node, out.Rows, out.AssignMs, out.ExecMs, out.TotalMs, out.Retries)
 		if *gap > 0 && i+1 < *repeat {
 			time.Sleep(*gap)
+		}
+	}
+	if *hist {
+		printLatencies(client)
+	}
+}
+
+// printLatencies renders the client's per-op, per-node RPC latency
+// histograms.
+func printLatencies(client *cluster.Client) {
+	lat := client.Latencies()
+	ops := make([]string, 0, len(lat))
+	for op := range lat {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Println("rpc latency:")
+	for _, op := range ops {
+		nodes := make([]int, 0, len(lat[op]))
+		for node := range lat[op] {
+			nodes = append(nodes, node)
+		}
+		sort.Ints(nodes)
+		for _, node := range nodes {
+			fmt.Printf("  %-9s node %d: %s\n", op, node, lat[op][node])
 		}
 	}
 }

@@ -1,0 +1,276 @@
+// Command qaload is the federation load generator: it drives a set of
+// qanode servers (or a self-hosted in-process federation) with a
+// seeded query mix and reports throughput plus latency histograms, the
+// transport trajectory's measurement tool.
+//
+// Closed mode (default) keeps -clients workers each running one query
+// at a time until -queries complete: the classic closed-loop benchmark
+// where concurrency is the controlled variable. Open mode fires
+// queries at a fixed -rate for -duration regardless of completions,
+// measuring behavior under offered load.
+//
+// Examples:
+//
+//	qaload -selfnodes 3 -clients 8 -queries 200
+//	qaload -selfnodes 3 -mode open -rate 50 -duration 10s -mechanism qa-nt
+//	qaload -nodes 127.0.0.1:7001,127.0.0.1:7002 -sql "SELECT COUNT(*) FROM t00" -queries 500 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/cluster"
+	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/metrics"
+)
+
+type options struct {
+	nodes     string
+	selfNodes int
+	mechanism string
+	transport string
+	poolSize  int
+	clients   int
+	queries   int
+	mode      string
+	rate      float64
+	duration  time.Duration
+	mix       int
+	joins     int
+	seed      int64
+	period    int64
+	msPerCost float64
+	sql       string
+	jsonOut   bool
+}
+
+// loadReport is qaload's result, printed as text or JSON (-json); the
+// JSON form is what cmd/benchjson records into BENCH_qamarket.json.
+type loadReport struct {
+	Mode      string                         `json:"mode"`
+	Transport string                         `json:"transport"`
+	Mechanism string                         `json:"mechanism"`
+	Clients   int                            `json:"clients"`
+	Completed int64                          `json:"completed"`
+	Failed    int64                          `json:"failed"`
+	Retries   int64                          `json:"retries"`
+	ElapsedMs float64                        `json:"elapsed_ms"`
+	QPS       float64                        `json:"qps"`
+	TotalMs   metrics.HistSummary            `json:"total_ms"`
+	AssignMs  metrics.HistSummary            `json:"assign_ms"`
+	RPC       map[string]metrics.HistSummary `json:"rpc"`
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.nodes, "nodes", "", "comma-separated server addresses (empty: self-host)")
+	flag.IntVar(&o.selfNodes, "selfnodes", 3, "nodes to self-host in-process when -nodes is empty")
+	flag.StringVar(&o.mechanism, "mechanism", "greedy", "allocation mechanism: greedy | qa-nt")
+	flag.StringVar(&o.transport, "transport", "pooled", "rpc transport: pooled | fresh")
+	flag.IntVar(&o.poolSize, "poolsize", 0, "connections per node per lane (0: default)")
+	flag.IntVar(&o.clients, "clients", 8, "concurrent workers (closed mode)")
+	flag.IntVar(&o.queries, "queries", 200, "total queries to run (closed mode)")
+	flag.StringVar(&o.mode, "mode", "closed", "load mode: closed | open")
+	flag.Float64Var(&o.rate, "rate", 20, "arrival rate in queries/sec (open mode)")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "how long to offer load (open mode)")
+	flag.IntVar(&o.mix, "mix", 6, "distinct query templates in the workload mix")
+	flag.IntVar(&o.joins, "joins", 2, "joins per generated template")
+	flag.Int64Var(&o.seed, "seed", 17, "workload seed")
+	flag.Int64Var(&o.period, "period", 50, "market period / resubmission base in ms")
+	flag.Float64Var(&o.msPerCost, "mspercost", 0.002, "self-hosted node speed (ms per plan cost unit)")
+	flag.StringVar(&o.sql, "sql", "", "fixed query instead of a generated mix (required with -nodes)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON")
+	flag.Parse()
+
+	rep, err := run(&o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qaload:", err)
+		os.Exit(1)
+	}
+	if o.jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qaload:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	printReport(rep)
+}
+
+func run(o *options) (*loadReport, error) {
+	rng := rand.New(rand.NewSource(o.seed))
+
+	// Resolve the target federation: external addresses, or a
+	// self-hosted one over a generated dataset.
+	var addrs []string
+	var sqls func(workerRng *rand.Rand) string
+	if o.nodes != "" {
+		if o.sql == "" {
+			return nil, fmt.Errorf("-nodes needs -sql (no dataset to generate a mix from)")
+		}
+		addrs = strings.Split(o.nodes, ",")
+		sqls = func(*rand.Rand) string { return o.sql }
+	} else {
+		if o.selfNodes < 1 {
+			return nil, fmt.Errorf("-selfnodes must be >= 1")
+		}
+		maxCopies := 3
+		if maxCopies > o.selfNodes {
+			maxCopies = o.selfNodes
+		}
+		minCopies := 2
+		if minCopies > maxCopies {
+			minCopies = maxCopies
+		}
+		ds, err := cluster.GenerateDataset(cluster.DatasetParams{
+			Nodes: o.selfNodes, Tables: 6, Views: 8, RowsPerTable: 40,
+			MinCopies: minCopies, MaxCopies: maxCopies,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < o.selfNodes; i++ {
+			n, err := cluster.StartNode("127.0.0.1:0", cluster.NodeConfig{
+				DB:            ds.DBs[i],
+				Slowdown:      1 + float64(i), // heterogeneous, like the paper's PCs
+				MsPerCostUnit: o.msPerCost,
+				PeriodMs:      o.period,
+				Market:        market.DefaultConfig(1),
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer n.Close()
+			addrs = append(addrs, n.Addr())
+		}
+		if o.sql != "" {
+			sqls = func(*rand.Rand) string { return o.sql }
+		} else {
+			templates, err := ds.GenerateTemplates(o.mix, o.joins, rng)
+			if err != nil {
+				return nil, err
+			}
+			sqls = func(workerRng *rand.Rand) string {
+				return templates[workerRng.Intn(len(templates))].Instantiate(workerRng)
+			}
+		}
+	}
+
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Addrs:     addrs,
+		Mechanism: cluster.Mechanism(o.mechanism),
+		PeriodMs:  o.period,
+		Timeout:   30 * time.Second,
+		Transport: cluster.Transport(o.transport),
+		PoolSize:  o.poolSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	rep := &loadReport{
+		Mode: o.mode, Transport: o.transport, Mechanism: o.mechanism, Clients: o.clients,
+	}
+	totalHist := metrics.NewHistogram()
+	assignHist := metrics.NewHistogram()
+	var completed, failed, retries atomic.Int64
+	runOne := func(id int64, workerRng *rand.Rand) {
+		out := client.Run(id, sqls(workerRng))
+		retries.Add(int64(out.Retries))
+		if out.Err != nil {
+			failed.Add(1)
+			return
+		}
+		completed.Add(1)
+		totalHist.Observe(out.TotalMs)
+		assignHist.Observe(out.AssignMs)
+	}
+
+	start := time.Now()
+	switch o.mode {
+	case "closed":
+		if o.clients < 1 || o.queries < 1 {
+			return nil, fmt.Errorf("closed mode needs -clients and -queries >= 1")
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < o.clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				workerRng := rand.New(rand.NewSource(o.seed + int64(g) + 1))
+				for {
+					id := next.Add(1)
+					if id > int64(o.queries) {
+						return
+					}
+					runOne(id, workerRng)
+				}
+			}(g)
+		}
+		wg.Wait()
+	case "open":
+		if o.rate <= 0 {
+			return nil, fmt.Errorf("open mode needs -rate > 0")
+		}
+		interval := time.Duration(float64(time.Second) / o.rate)
+		deadline := time.Now().Add(o.duration)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var wg sync.WaitGroup
+		var id int64
+		var seq int64
+		for now := range ticker.C {
+			if now.After(deadline) {
+				break
+			}
+			id++
+			seq++
+			wg.Add(1)
+			go func(id, seq int64) {
+				defer wg.Done()
+				runOne(id, rand.New(rand.NewSource(o.seed+seq)))
+			}(id, seq)
+		}
+		wg.Wait()
+	default:
+		return nil, fmt.Errorf("unknown mode %q", o.mode)
+	}
+
+	rep.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	rep.Completed = completed.Load()
+	rep.Failed = failed.Load()
+	rep.Retries = retries.Load()
+	rep.QPS = float64(rep.Completed) / (rep.ElapsedMs / 1000)
+	rep.TotalMs = totalHist.Summary()
+	rep.AssignMs = assignHist.Summary()
+	rep.RPC = client.OpLatencies()
+	return rep, nil
+}
+
+func printReport(r *loadReport) {
+	fmt.Printf("%s load, %s transport, %s: %d completed, %d failed, %d retries in %.0f ms -> %.1f queries/sec\n",
+		r.Mode, r.Transport, r.Mechanism, r.Completed, r.Failed, r.Retries, r.ElapsedMs, r.QPS)
+	fmt.Printf("  query total  %s\n", r.TotalMs)
+	fmt.Printf("  assignment   %s\n", r.AssignMs)
+	ops := make([]string, 0, len(r.RPC))
+	for op := range r.RPC {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Printf("  rpc %-9s %s\n", op, r.RPC[op])
+	}
+}

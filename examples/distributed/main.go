@@ -59,6 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer client.Close()
 	d := cluster.NewDistributor(client)
 
 	sql := `SELECT customers.name, COUNT(*) AS orders, SUM(orders.amount) AS total

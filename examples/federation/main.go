@@ -56,6 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer client.Close()
 
 	templates, err := ds.GenerateTemplates(6, 1, rng)
 	if err != nil {

@@ -43,6 +43,16 @@ type ClientConfig struct {
 	// BreakerCooldown is how long an open breaker waits before probing
 	// the node again (default 2s).
 	BreakerCooldown time.Duration
+	// Transport selects the RPC transport: TransportPooled (default)
+	// keeps persistent multiplexed connections per node, TransportFresh
+	// dials per RPC (the v0 behavior, kept for comparison).
+	Transport Transport
+	// PoolSize is how many connections each per-node, per-lane pool
+	// holds under TransportPooled (default 2). The client keeps two
+	// lanes per node — control (negotiate/stats) and data
+	// (execute/fetch) — so a short RPC timing out never evicts a
+	// connection carrying a long execution.
+	PoolSize int
 }
 
 func (c *ClientConfig) validate() error {
@@ -82,6 +92,16 @@ func (c *ClientConfig) validate() error {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Second
 	}
+	switch c.Transport {
+	case "":
+		c.Transport = TransportPooled
+	case TransportPooled, TransportFresh:
+	default:
+		return fmt.Errorf("cluster: unknown transport %q", c.Transport)
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 2
+	}
 	return nil
 }
 
@@ -95,19 +115,52 @@ type Client struct {
 	cfg      ClientConfig
 	breakers []*breaker
 	health   *metrics.Health
+
+	// Pooled transport: one two-lane pool set per node, plus the addr
+	// lookup that routes rpc(addr, ...) onto the right pools. Both are
+	// nil/empty under TransportFresh.
+	transports []*nodeTransport
+	addrIndex  map[string]int
+
+	// Per-op, per-node RPC latency histograms, populated lazily.
+	latMu sync.Mutex
+	lat   map[latKey]*metrics.Histogram
 }
 
-// NewClient builds a client.
+// latKey indexes one latency histogram.
+type latKey struct {
+	op   string
+	node int
+}
+
+// NewClient builds a client. Under the default pooled transport the
+// client owns persistent connections; call Close when done with it.
 func NewClient(cfg ClientConfig) (*Client, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	c := &Client{cfg: cfg, health: metrics.NewHealth()}
+	c := &Client{cfg: cfg, health: metrics.NewHealth(), lat: make(map[latKey]*metrics.Histogram)}
 	c.breakers = make([]*breaker, len(cfg.Addrs))
 	for i := range c.breakers {
 		c.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, c.noteTransition)
 	}
+	if cfg.Transport == TransportPooled {
+		c.transports = make([]*nodeTransport, len(cfg.Addrs))
+		c.addrIndex = make(map[string]int, len(cfg.Addrs))
+		for i, addr := range cfg.Addrs {
+			c.transports[i] = newNodeTransport(addr, cfg.PoolSize)
+			c.addrIndex[addr] = i
+		}
+	}
 	return c, nil
+}
+
+// Close shuts the client's pooled connections down. Safe to call more
+// than once, and a no-op under TransportFresh.
+func (c *Client) Close() {
+	for _, nt := range c.transports {
+		nt.close()
+	}
 }
 
 // noteTransition feeds breaker state changes into the health counters.
@@ -252,16 +305,16 @@ func (c *Client) negotiateAll(sql string) (int, time.Duration, error) {
 	replies := make([]negotiateReply, len(c.cfg.Addrs))
 	errs := make([]error, len(c.cfg.Addrs))
 	var wg sync.WaitGroup
-	for i, addr := range c.cfg.Addrs {
+	for i := range c.cfg.Addrs {
 		if !c.breakers[i].allow() {
 			errs[i] = errBreakerOpen
 			continue
 		}
 		wg.Add(1)
-		go func(i int, addr string) {
+		go func(i int) {
 			defer wg.Done()
 			var rep reply
-			err := c.rpc(addr, &request{Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism}, &rep, c.cfg.Timeout)
+			err := c.rpcNode(i, &request{Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism}, &rep, c.cfg.Timeout)
 			switch {
 			case err != nil:
 				c.breakers[i].failure()
@@ -280,7 +333,7 @@ func (c *Client) negotiateAll(sql string) (int, time.Duration, error) {
 					replies[i] = *rep.Negotiate
 				}
 			}
-		}(i, addr)
+		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -323,7 +376,7 @@ func aggregateNodeErrors(addrs []string, errs []error) error {
 // draining or stopping), in which case the caller may renegotiate it.
 func (c *Client) executeOn(node int, queryID int64, sql string) (*executeReply, bool, error) {
 	var rep reply
-	err := c.rpc(c.cfg.Addrs[node], &request{
+	err := c.rpcNode(node, &request{
 		Op: "execute", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism,
 	}, &rep, c.cfg.execTimeout())
 	if err != nil {
@@ -351,8 +404,25 @@ func (c *Client) executeOn(node int, queryID int64, sql string) (*executeReply, 
 	return rep.Execute, false, nil
 }
 
-// rpc performs one request/reply exchange on a fresh connection.
+// rpc performs one request/reply exchange. Under the pooled transport,
+// known addresses ride a persistent multiplexed connection from the
+// op's lane; unknown addresses (and TransportFresh) fall back to a
+// fresh dial per RPC.
 func (c *Client) rpc(addr string, req *request, rep *reply, timeout time.Duration) error {
+	if c.transports != nil {
+		if i, ok := c.addrIndex[addr]; ok {
+			mc, err := c.transports[i].lane(req.Op).get(timeout)
+			if err != nil {
+				return err
+			}
+			return mc.call(req, rep, timeout)
+		}
+	}
+	return freshRPC(addr, req, rep, timeout)
+}
+
+// freshRPC is the v0 transport: dial, one exchange, hang up.
+func freshRPC(addr string, req *request, rep *reply, timeout time.Duration) error {
 	conn, err := dial(addr, timeout)
 	if err != nil {
 		return err
@@ -368,14 +438,120 @@ func (c *Client) rpc(addr string, req *request, rep *reply, timeout time.Duratio
 	return readMsg(bufio.NewReader(conn), rep)
 }
 
-// Stats fetches one node's market counters.
+// rpcNode is rpc addressed by node index, recording the exchange's
+// latency (successful RPCs only — failures are already counted by the
+// breaker and retry metrics) in the per-op, per-node histogram.
+func (c *Client) rpcNode(node int, req *request, rep *reply, timeout time.Duration) error {
+	start := time.Now()
+	err := c.rpc(c.cfg.Addrs[node], req, rep, timeout)
+	if err == nil {
+		c.observeLatency(req.Op, node, msSince(start))
+	}
+	return err
+}
+
+func (c *Client) observeLatency(op string, node int, ms float64) {
+	k := latKey{op, node}
+	c.latMu.Lock()
+	h := c.lat[k]
+	if h == nil {
+		h = metrics.NewHistogram()
+		c.lat[k] = h
+	}
+	c.latMu.Unlock()
+	h.Observe(ms)
+}
+
+// Latencies snapshots the client's RPC latency histograms, keyed by op
+// then node index.
+func (c *Client) Latencies() map[string]map[int]metrics.HistSummary {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	out := make(map[string]map[int]metrics.HistSummary)
+	for k, h := range c.lat {
+		m := out[k.op]
+		if m == nil {
+			m = make(map[int]metrics.HistSummary)
+			out[k.op] = m
+		}
+		m[k.node] = h.Summary()
+	}
+	return out
+}
+
+// OpLatencies merges each op's per-node histograms into one summary.
+func (c *Client) OpLatencies() map[string]metrics.HistSummary {
+	c.latMu.Lock()
+	merged := make(map[string]*metrics.Histogram)
+	for k, h := range c.lat {
+		m := merged[k.op]
+		if m == nil {
+			m = metrics.NewHistogram()
+			merged[k.op] = m
+		}
+		m.Merge(h)
+	}
+	c.latMu.Unlock()
+	out := make(map[string]metrics.HistSummary, len(merged))
+	for op, h := range merged {
+		out[op] = h.Summary()
+	}
+	return out
+}
+
+// Stats fetches one node's market counters. Stats is an out-of-band
+// observability op, so it leaves the breaker's failure accounting alone
+// — except for a typed draining reply, which trips the breaker exactly
+// like it does on negotiate/execute/fetch (the node told us it is going
+// away; there is no reason to keep paying timeouts to learn it again).
 func (c *Client) Stats(node int) (*NodeStats, error) {
 	var rep reply
-	if err := c.rpc(c.cfg.Addrs[node], &request{Op: "stats"}, &rep, c.cfg.Timeout); err != nil {
+	if err := c.rpcNode(node, &request{Op: "stats"}, &rep, c.cfg.Timeout); err != nil {
 		return nil, err
+	}
+	if rep.Code == CodeDraining {
+		c.breakers[node].trip()
+		return nil, fmt.Errorf("cluster: node %d: %w", node, errDraining)
+	}
+	if rep.Err != "" {
+		return nil, errors.New(rep.Err)
 	}
 	if rep.Stats == nil {
 		return nil, errors.New("cluster: malformed stats reply")
 	}
 	return rep.Stats, nil
+}
+
+// fetchOn dispatches a fetch (execute + result shipping) to the chosen
+// node, advertising the compact row encoding. Same retryable semantics
+// as executeOn: a transport loss, drain, or hard stop leaves the query
+// unexecuted and the caller may renegotiate it elsewhere.
+func (c *Client) fetchOn(node int, queryID int64, sql string) (*fetchReply, bool, error) {
+	var rep reply
+	err := c.rpcNode(node, &request{
+		Op: "fetch", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism, Enc: encCompact,
+	}, &rep, c.cfg.execTimeout())
+	if err != nil {
+		c.breakers[node].failure()
+		return nil, true, fmt.Errorf("cluster: fetch on node %d: %w", node, err)
+	}
+	if rep.Code == CodeDraining {
+		c.breakers[node].trip()
+		return nil, true, fmt.Errorf("cluster: node %d: %w", node, errDraining)
+	}
+	if rep.Err != "" {
+		return nil, false, errors.New(rep.Err)
+	}
+	if rep.Fetch == nil {
+		return nil, false, errors.New("cluster: malformed fetch reply")
+	}
+	if rep.Fetch.Err == msgNodeStopping {
+		c.breakers[node].trip()
+		return nil, true, fmt.Errorf("cluster: node %d: %s", node, msgNodeStopping)
+	}
+	if rep.Fetch.Err != "" {
+		return nil, false, errors.New(rep.Fetch.Err)
+	}
+	c.breakers[node].success()
+	return rep.Fetch, false, nil
 }

@@ -56,9 +56,9 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 	// Fast path: some node can run the whole query.
 	node, _, err := d.client.negotiateAll(sql)
 	if err == nil && node >= 0 {
-		fr, ferr := d.fetchFrom(node, queryID, sql)
+		fr, _, ferr := d.client.fetchOn(node, queryID, sql)
 		if ferr == nil && fr.Accepted {
-			rows, derr := decodeRows(fr.Rows)
+			rows, derr := fr.rows()
 			if derr != nil {
 				return DistOutcome{}, derr
 			}
@@ -84,7 +84,7 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 		}
 		out.Subqueries++
 		out.PerNode[frNode]++
-		rows, err := decodeRows(fr.Rows)
+		rows, err := fr.rows()
 		if err != nil {
 			return DistOutcome{}, err
 		}
@@ -107,7 +107,10 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 }
 
 // allocateFetch negotiates a subquery and fetches it from the best
-// offer, retrying through the market's periods like Client.Run.
+// offer, retrying through the market's periods like Client.Run. A
+// retryable fetch failure (transport loss, node draining or stopping —
+// the query never ran) renegotiates the subquery elsewhere; the
+// breaker fetchOn tripped keeps the dead node out of the next round.
 func (d *Distributor) allocateFetch(queryID int64, sql string) (int, *fetchReply, error) {
 	for attempt := 0; attempt <= d.client.cfg.MaxRetries; attempt++ {
 		node, _, err := d.client.negotiateAll(sql)
@@ -118,9 +121,12 @@ func (d *Distributor) allocateFetch(queryID int64, sql string) (int, *fetchReply
 			time.Sleep(time.Duration(d.client.cfg.PeriodMs) * time.Millisecond)
 			continue
 		}
-		fr, err := d.fetchFrom(node, queryID, sql)
+		fr, retryable, err := d.client.fetchOn(node, queryID, sql)
 		if err != nil {
-			return -1, nil, err
+			if !retryable {
+				return -1, nil, err
+			}
+			continue
 		}
 		if !fr.Accepted {
 			continue // lost the supply race; renegotiate
@@ -128,26 +134,6 @@ func (d *Distributor) allocateFetch(queryID int64, sql string) (int, *fetchReply
 		return node, fr, nil
 	}
 	return -1, nil, fmt.Errorf("cluster: subquery %q refused by all nodes", sql)
-}
-
-func (d *Distributor) fetchFrom(node int, queryID int64, sql string) (*fetchReply, error) {
-	var rep reply
-	err := d.client.rpc(d.client.cfg.Addrs[node], &request{
-		Op: "fetch", SQL: sql, QueryID: queryID, Mechanism: d.client.cfg.Mechanism,
-	}, &rep, d.client.cfg.execTimeout())
-	if err != nil {
-		return nil, err
-	}
-	if rep.Err != "" {
-		return nil, errors.New(rep.Err)
-	}
-	if rep.Fetch == nil {
-		return nil, errors.New("cluster: malformed fetch reply")
-	}
-	if rep.Fetch.Err != "" {
-		return nil, errors.New(rep.Fetch.Err)
-	}
-	return rep.Fetch, nil
 }
 
 // splitConjuncts partitions the WHERE clause's AND-conjuncts into

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/metrics"
+)
+
+// startDrainingStub runs a minimal server that answers every request,
+// regardless of op, with a typed draining refusal — the reply a real
+// node sends for non-stats ops during graceful drain. It echoes the
+// request id so both transports' framing works against it.
+func startDrainingStub(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				w := bufio.NewWriter(conn)
+				for {
+					var req request
+					if err := readMsg(r, &req); err != nil {
+						return
+					}
+					rep := reply{ID: req.ID, Err: "node draining", Code: CodeDraining}
+					if err := writeMsg(w, &rep); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestDrainingTripsBreakerOnEveryOp is the audit the draining satellite
+// asks for: every client op that receives a typed draining reply must
+// trip the node's breaker the same way, under both transports.
+func TestDrainingTripsBreakerOnEveryOp(t *testing.T) {
+	ops := []struct {
+		name string
+		call func(t *testing.T, c *Client)
+	}{
+		{"negotiate", func(t *testing.T, c *Client) {
+			if _, _, err := c.negotiateAll("SELECT 1 FROM t"); err == nil {
+				t.Fatal("negotiateAll against draining node succeeded")
+			}
+		}},
+		{"execute", func(t *testing.T, c *Client) {
+			_, retryable, err := c.executeOn(0, 1, "SELECT 1 FROM t")
+			if err == nil || !retryable {
+				t.Fatalf("executeOn = retryable %v, err %v; want retryable draining error", retryable, err)
+			}
+			if !errors.Is(err, errDraining) {
+				t.Fatalf("executeOn err = %v, want errDraining", err)
+			}
+		}},
+		{"fetch", func(t *testing.T, c *Client) {
+			_, retryable, err := c.fetchOn(0, 1, "SELECT 1 FROM t")
+			if err == nil || !retryable {
+				t.Fatalf("fetchOn = retryable %v, err %v; want retryable draining error", retryable, err)
+			}
+			if !errors.Is(err, errDraining) {
+				t.Fatalf("fetchOn err = %v, want errDraining", err)
+			}
+		}},
+		{"stats", func(t *testing.T, c *Client) {
+			if _, err := c.Stats(0); !errors.Is(err, errDraining) {
+				t.Fatalf("Stats err = %v, want errDraining", err)
+			}
+		}},
+	}
+	for _, transport := range []Transport{TransportPooled, TransportFresh} {
+		for _, op := range ops {
+			t.Run(string(transport)+"/"+op.name, func(t *testing.T) {
+				addr := startDrainingStub(t)
+				c, err := NewClient(ClientConfig{
+					Addrs:     []string{addr},
+					Timeout:   2 * time.Second,
+					Transport: transport,
+					// High threshold proves the open circuit came from the
+					// typed trip, not accumulated failures.
+					BreakerThreshold: 100,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				op.call(t, c)
+				if st := c.breakers[0].snapshot(); st != breakerOpen {
+					t.Fatalf("breaker after draining %s = %v, want open", op.name, st)
+				}
+				if got := c.Health()[metrics.BreakerOpenTotal]; got != 1 {
+					t.Fatalf("breaker_open_total = %v, want 1", got)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport selects how a Client carries its RPCs.
+type Transport string
+
+const (
+	// TransportPooled (the default) keeps a small pool of persistent
+	// multiplexed connections per node: requests carry client-assigned
+	// ids, many RPCs ride one connection concurrently, and a reader
+	// goroutine demuxes replies to the waiting callers. Connections dial
+	// lazily and are evicted on any protocol error or RPC timeout — a
+	// stream that lost a reply is suspect, and re-dialing keeps the
+	// breaker's dials-per-window accounting identical to fresh dialing.
+	TransportPooled Transport = "pooled"
+	// TransportFresh dials a new connection per RPC: the v0 behavior,
+	// kept for rollout comparison (qaload -transport fresh) and as the
+	// baseline in the transport benchmarks.
+	TransportFresh Transport = "fresh"
+)
+
+// Transport-layer errors. All of them count as node failures for the
+// circuit breaker, exactly like a dial error on the fresh path.
+var (
+	// errRPCTimeout reports no reply within the caller's budget. The
+	// connection is evicted: its stream may still deliver the reply
+	// arbitrarily late, and a hung TCP stream (blackhole, partition)
+	// must cost one dial per probe, not zero.
+	errRPCTimeout = errors.New("cluster: rpc timeout awaiting reply")
+	// errPoolClosed reports an RPC attempted after Client.Close.
+	errPoolClosed = errors.New("cluster: client transport closed")
+)
+
+// rpcResult is one demuxed reply (or the connection's terminal error).
+type rpcResult struct {
+	rep *reply
+	err error
+}
+
+// mconn is one multiplexed connection: writes are serialized under wmu,
+// replies are read by a single readLoop goroutine and routed to waiting
+// callers through the pending map. A connection dies on its first
+// protocol error or timeout; every in-flight caller then receives the
+// terminal error, and the pool dials a replacement on next use.
+type mconn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes writeMsg calls
+	w   *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan rpcResult
+	dead    bool
+	deadErr error
+}
+
+func newMconn(conn net.Conn) *mconn {
+	mc := &mconn{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		pending: make(map[uint64]chan rpcResult),
+	}
+	go mc.readLoop()
+	return mc
+}
+
+// call performs one RPC: register a pending id, write the request, wait
+// for the demuxed reply or the timeout.
+func (mc *mconn) call(req *request, rep *reply, timeout time.Duration) error {
+	mc.mu.Lock()
+	if mc.dead {
+		err := mc.deadErr
+		mc.mu.Unlock()
+		return err
+	}
+	mc.nextID++
+	id := mc.nextID
+	ch := make(chan rpcResult, 1)
+	mc.pending[id] = ch
+	mc.mu.Unlock()
+
+	req.ID = id
+	mc.wmu.Lock()
+	mc.conn.SetWriteDeadline(time.Now().Add(timeout))
+	err := writeMsg(mc.w, req)
+	mc.wmu.Unlock()
+	if err != nil {
+		mc.unregister(id)
+		mc.fail(err)
+		return err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return res.err
+		}
+		*rep = *res.rep
+		return nil
+	case <-timer.C:
+		mc.unregister(id)
+		mc.fail(errRPCTimeout)
+		return fmt.Errorf("%w after %v", errRPCTimeout, timeout)
+	}
+}
+
+func (mc *mconn) unregister(id uint64) {
+	mc.mu.Lock()
+	delete(mc.pending, id)
+	mc.mu.Unlock()
+}
+
+// readLoop demuxes replies by id until the connection dies. Replies for
+// ids no longer pending (a caller timed out meanwhile) are dropped.
+func (mc *mconn) readLoop() {
+	r := bufio.NewReader(mc.conn)
+	for {
+		rep := new(reply)
+		if err := readMsg(r, rep); err != nil {
+			mc.fail(err)
+			return
+		}
+		mc.mu.Lock()
+		ch, ok := mc.pending[rep.ID]
+		if ok {
+			delete(mc.pending, rep.ID)
+		}
+		mc.mu.Unlock()
+		if ok {
+			ch <- rpcResult{rep: rep}
+		}
+	}
+}
+
+// fail marks the connection dead, closes it (unblocking the readLoop),
+// and delivers the terminal error to every in-flight caller. Idempotent;
+// the first error wins.
+func (mc *mconn) fail(err error) {
+	mc.mu.Lock()
+	if mc.dead {
+		mc.mu.Unlock()
+		return
+	}
+	mc.dead = true
+	mc.deadErr = err
+	waiters := mc.pending
+	mc.pending = nil
+	mc.mu.Unlock()
+	mc.conn.Close()
+	for _, ch := range waiters {
+		ch <- rpcResult{err: err}
+	}
+}
+
+func (mc *mconn) isDead() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.dead
+}
+
+// pool is a fixed-size set of multiplexed connections to one node, used
+// round-robin. Slots dial lazily; dead slots re-dial on next use.
+type pool struct {
+	addr string
+
+	mu     sync.Mutex
+	slots  []*mconn
+	next   int
+	closed bool
+}
+
+func newPool(addr string, size int) *pool {
+	return &pool{addr: addr, slots: make([]*mconn, size)}
+}
+
+// get returns a live connection from the next slot, dialing if the slot
+// is empty or its connection has died. The dial happens outside the
+// pool lock so a slow node never serializes the other slots; if a
+// concurrent caller repopulated the slot first, the loser's dial is
+// discarded.
+func (p *pool) get(timeout time.Duration) (*mconn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errPoolClosed
+	}
+	i := p.next % len(p.slots)
+	p.next++
+	if mc := p.slots[i]; mc != nil && !mc.isDead() {
+		p.mu.Unlock()
+		return mc, nil
+	}
+	p.mu.Unlock()
+
+	conn, err := dial(p.addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	nc := newMconn(conn)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		nc.fail(errPoolClosed)
+		return nil, errPoolClosed
+	}
+	if cur := p.slots[i]; cur != nil && !cur.isDead() {
+		p.mu.Unlock()
+		nc.fail(errPoolClosed) // lost the dial race; use the winner
+		return cur, nil
+	}
+	p.slots[i] = nc
+	p.mu.Unlock()
+	return nc, nil
+}
+
+// closeAll shuts every connection and refuses further use.
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	p.closed = true
+	slots := p.slots
+	p.slots = make([]*mconn, len(slots))
+	p.mu.Unlock()
+	for _, mc := range slots {
+		if mc != nil {
+			mc.fail(errPoolClosed)
+		}
+	}
+}
+
+// nodeTransport is one node's pooled transport, split into two lanes:
+// "control" carries negotiate/stats (short, Timeout-bounded RPCs) and
+// "data" carries execute/fetch (long, execTimeout-bounded RPCs). The
+// split keeps a short RPC's timeout from evicting a connection with a
+// long execution in flight, and keeps the per-op connection accounting
+// that the resilience tests pin (one control dial + one data dial per
+// healthy negotiate→execute exchange).
+type nodeTransport struct {
+	control *pool
+	data    *pool
+}
+
+func newNodeTransport(addr string, size int) *nodeTransport {
+	return &nodeTransport{control: newPool(addr, size), data: newPool(addr, size)}
+}
+
+// lane picks the pool for an op.
+func (nt *nodeTransport) lane(op string) *pool {
+	if op == "execute" || op == "fetch" {
+		return nt.data
+	}
+	return nt.control
+}
+
+func (nt *nodeTransport) close() {
+	nt.control.closeAll()
+	nt.data.closeAll()
+}

@@ -30,11 +30,33 @@ const (
 
 // request is one RPC from client to server.
 type request struct {
+	// ID tags the request for multiplexed connections: the server echoes
+	// it on the reply so many RPCs can be in flight per connection and
+	// the client can demux. Zero (omitted) keeps the legacy one-at-a-time
+	// framing, where replies match requests by order.
+	ID        uint64    `json:"id,omitempty"`
 	Op        string    `json:"op"` // "negotiate", "execute", "stats"
 	SQL       string    `json:"sql,omitempty"`
 	QueryID   int64     `json:"query_id,omitempty"`
 	Mechanism Mechanism `json:"mechanism,omitempty"`
+	// Enc advertises the newest fetch-row encoding the client decodes
+	// (see encTagged/encCompact). Servers reply with min(Enc, newest they
+	// speak); old servers ignore the field and reply tagged, so mixed
+	// fleets interoperate during rollout.
+	Enc int `json:"enc,omitempty"`
 }
+
+// Fetch-row encodings, in negotiation order. The request's Enc field
+// carries the client's newest supported version.
+const (
+	// encTagged is the v0 per-cell encoding: every non-null value is a
+	// single-key {"kind": value} object (see toWire).
+	encTagged = 0
+	// encCompact is the v1 columnar encoding: one kind byte per row plus
+	// typed per-column arrays (see encodeCols), cutting decode work from
+	// O(rows×cols) map allocations to O(cols) slices.
+	encCompact = 1
+)
 
 // negotiateReply answers a call-for-proposals.
 type negotiateReply struct {
@@ -62,9 +84,14 @@ type executeReply struct {
 type fetchReply struct {
 	Accepted bool     `json:"accepted"`
 	Columns  []string `json:"columns"`
-	Rows     [][]any  `json:"rows"` // wire-encoded values, see toWire
-	ExecMs   float64  `json:"exec_ms"`
-	Err      string   `json:"error,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"` // encTagged values, see toWire
+	// Cols is the encCompact representation: one entry per column, row
+	// count carried by each column's Kinds string. Exactly one of Rows
+	// and Cols is populated on a non-empty result; which one depends on
+	// the request's negotiated Enc.
+	Cols   []wireColumn `json:"cols,omitempty"`
+	ExecMs float64      `json:"exec_ms"`
+	Err    string       `json:"error,omitempty"`
 }
 
 // NodeStats reports a node's market state for observability.
@@ -96,6 +123,8 @@ const msgNodeStopping = "node shutting down"
 
 // reply is the union envelope sent back by the server.
 type reply struct {
+	// ID echoes the request's ID (zero for legacy ordered framing).
+	ID        uint64          `json:"id,omitempty"`
 	Negotiate *negotiateReply `json:"negotiate,omitempty"`
 	Execute   *executeReply   `json:"execute,omitempty"`
 	Fetch     *fetchReply     `json:"fetch,omitempty"`
@@ -104,13 +133,19 @@ type reply struct {
 	Code      string          `json:"code,omitempty"`
 }
 
-// writeMsg sends one newline-delimited JSON message.
+// writeMsg sends one newline-delimited JSON message. The delimiter is
+// written separately: append(b, '\n') would copy the whole marshalled
+// message whenever the buffer is exactly full, and the bufio.Writer
+// coalesces the two writes anyway.
 func writeMsg(w *bufio.Writer, v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("cluster: encoding message: %w", err)
 	}
-	if _, err := w.Write(append(b, '\n')); err != nil {
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	if err := w.WriteByte('\n'); err != nil {
 		return err
 	}
 	return w.Flush()

@@ -239,6 +239,14 @@ func (n *Node) closeConns() {
 	n.connMu.Unlock()
 }
 
+// OpenConns reports how many client connections the node currently
+// tracks. Tests use it to assert pooled transports do not leak.
+func (n *Node) OpenConns() int {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	return len(n.conns)
+}
+
 // Executed returns how many queries the node has run.
 func (n *Node) Executed() int {
 	n.mu.Lock()
@@ -307,12 +315,29 @@ func (n *Node) acceptLoop() {
 	}
 }
 
+// maxConnInflight bounds how many requests one connection may have in
+// flight server-side. The reader stops pulling new requests past the
+// cap, so a runaway pipelining client gets TCP backpressure instead of
+// unbounded goroutines.
+const maxConnInflight = 256
+
+// serveConn handles one client connection. Requests are dispatched to
+// their own goroutines so a multiplexing client can keep many RPCs in
+// flight on one connection; replies echo the request's id (the client
+// demuxes by it) and share the connection's writer under a mutex.
+// Replies therefore complete in finish order, not arrival order — the
+// legacy one-at-a-time framing (id 0) is unaffected because such
+// clients never pipeline.
 func (n *Node) serveConn(conn net.Conn) {
 	n.trackConn(conn)
 	defer n.untrackConn(conn)
+	var handlers sync.WaitGroup
 	defer conn.Close()
+	defer handlers.Wait() // let in-flight replies hit the wire before Close
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	var wmu sync.Mutex // serializes writeMsg across handler goroutines
+	sem := make(chan struct{}, maxConnInflight)
 	for {
 		var req request
 		if err := readMsg(r, &req); err != nil {
@@ -321,41 +346,58 @@ func (n *Node) serveConn(conn net.Conn) {
 		// Count the whole request as in flight until its reply is on the
 		// wire, so a drain never severs a connection mid-reply.
 		n.inflight.Add(1)
-		var rep reply
-		switch {
-		case n.draining.Load() && req.Op != "stats":
-			// Stats stay readable during drain for observability; every
-			// other op gets the typed refusal the client breaker trips on.
-			rep.Err = "node draining"
-			rep.Code = CodeDraining
-			n.health.Inc(metrics.DrainRejectsTotal)
-		default:
-			switch req.Op {
-			case "negotiate":
-				nr := n.negotiate(&req)
-				rep.Negotiate = &nr
-			case "execute":
-				er := n.execute(&req)
-				rep.Execute = &er
-			case "fetch":
-				fr := n.fetch(&req)
-				rep.Fetch = &fr
-			case "stats":
-				sr := n.nodeStats()
-				rep.Stats = &sr
-			default:
-				rep.Err = fmt.Sprintf("unknown op %q", req.Op)
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(req request) {
+			defer handlers.Done()
+			rep := n.handle(&req)
+			rep.ID = req.ID
+			if n.cfg.LinkLatency > 0 {
+				time.Sleep(n.cfg.LinkLatency)
 			}
-		}
-		if n.cfg.LinkLatency > 0 {
-			time.Sleep(n.cfg.LinkLatency)
-		}
-		err := writeMsg(w, &rep)
-		n.inflight.Add(-1)
-		if err != nil {
-			return
+			wmu.Lock()
+			err := writeMsg(w, rep)
+			wmu.Unlock()
+			n.inflight.Add(-1)
+			<-sem
+			if err != nil {
+				// The write path is broken; close the conn so the reader
+				// unblocks and the remaining handlers drain.
+				conn.Close()
+			}
+		}(req)
+	}
+}
+
+// handle runs one request through the drain gate and its op handler.
+func (n *Node) handle(req *request) *reply {
+	var rep reply
+	switch {
+	case n.draining.Load() && req.Op != "stats":
+		// Stats stay readable during drain for observability; every
+		// other op gets the typed refusal the client breaker trips on.
+		rep.Err = "node draining"
+		rep.Code = CodeDraining
+		n.health.Inc(metrics.DrainRejectsTotal)
+	default:
+		switch req.Op {
+		case "negotiate":
+			nr := n.negotiate(req)
+			rep.Negotiate = &nr
+		case "execute":
+			er := n.execute(req)
+			rep.Execute = &er
+		case "fetch":
+			fr := n.fetch(req)
+			rep.Fetch = &fr
+		case "stats":
+			sr := n.nodeStats()
+			rep.Stats = &sr
+		default:
+			rep.Err = fmt.Sprintf("unknown op %q", req.Op)
 		}
 	}
+	return &rep
 }
 
 // planTargetMs is the node's true baseline execution time for a plan:
@@ -467,7 +509,14 @@ func (n *Node) fetch(req *request) fetchReply {
 		fr := fetchReply{Accepted: true, ExecMs: rep.ExecMs}
 		if job.result != nil {
 			fr.Columns = job.result.Columns
-			fr.Rows = encodeRows(job.result)
+			// The client advertised the newest encoding it decodes; ship
+			// compact columns to encCompact-aware clients and the legacy
+			// tagged rows to everyone older.
+			if req.Enc >= encCompact {
+				fr.Cols = encodeCols(job.result)
+			} else {
+				fr.Rows = encodeRows(job.result)
+			}
 		}
 		return fr
 	case <-n.stopCh:

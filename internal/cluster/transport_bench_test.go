@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// startBenchNode stands up one federation node over a tiny seeded
+// dataset for transport benchmarks.
+func startBenchNode(b *testing.B) (*Node, string) {
+	b.Helper()
+	ds, err := GenerateDataset(DatasetParams{
+		Nodes: 1, Tables: 2, Views: 2, RowsPerTable: 20, MinCopies: 1, MaxCopies: 1,
+	}, rand.New(rand.NewSource(17)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := StartNode("127.0.0.1:0", NodeConfig{
+		DB: ds.DBs[0], MsPerCostUnit: 0.001, PeriodMs: 50, Market: market.DefaultConfig(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { n.Close() })
+	return n, n.Addr()
+}
+
+func benchClient(b *testing.B, addr string, transport Transport) *Client {
+	b.Helper()
+	c, err := NewClient(ClientConfig{
+		Addrs: []string{addr}, Timeout: 5 * time.Second, Transport: transport,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+// BenchmarkTransportRPC measures one sequential stats exchange: the
+// pooled transport saves the dial round trip the fresh one pays per op.
+func BenchmarkTransportRPC(b *testing.B) {
+	for _, transport := range []Transport{TransportFresh, TransportPooled} {
+		b.Run(string(transport), func(b *testing.B) {
+			_, addr := startBenchNode(b)
+			c := benchClient(b, addr, transport)
+			if _, err := c.Stats(0); err != nil { // warm the pool / plan caches
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Stats(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransportConcurrent is the acceptance benchmark's shape:
+// 8 concurrent callers per proc hammering one node. Multiplexing lets
+// the pooled transport overlap RPCs on a handful of connections where
+// the fresh transport pays a dial each.
+func BenchmarkTransportConcurrent(b *testing.B) {
+	for _, transport := range []Transport{TransportFresh, TransportPooled} {
+		b.Run(string(transport), func(b *testing.B) {
+			_, addr := startBenchNode(b)
+			c := benchClient(b, addr, transport)
+			if _, err := c.Stats(0); err != nil {
+				b.Fatal(err)
+			}
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := c.Stats(0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// benchResult builds the acceptance criterion's 1,000-row, 4-column
+// result (int, float, text, bool; every tenth row has a NULL).
+func benchResult() *sqldb.Result {
+	res := &sqldb.Result{Columns: []string{"id", "score", "name", "ok"}}
+	for i := 0; i < 1000; i++ {
+		row := sqldb.Row{
+			sqldb.NewInt(int64(i)),
+			sqldb.NewFloat(float64(i) * 1.5),
+			sqldb.NewText(fmt.Sprintf("name-%d", i)),
+			sqldb.NewBool(i%2 == 0),
+		}
+		if i%10 == 0 {
+			row[1] = sqldb.Null
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// benchEncodingRoundTrip measures the full fetch path cost of an
+// encoding: server-side encode, the JSON hop, client-side decode.
+func benchEncodingRoundTrip(b *testing.B, enc int) {
+	res := benchResult()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr := &fetchReply{Accepted: true, Columns: res.Columns}
+		if enc >= encCompact {
+			fr.Cols = encodeCols(res)
+		} else {
+			fr.Rows = encodeRows(res)
+		}
+		data, err := json.Marshal(fr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := new(fetchReply)
+		if err := json.Unmarshal(data, got); err != nil {
+			b.Fatal(err)
+		}
+		rows, err := got.rows()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(res.Rows) {
+			b.Fatalf("decoded %d rows", len(rows))
+		}
+	}
+}
+
+func BenchmarkFetchEncodingTagged(b *testing.B)  { benchEncodingRoundTrip(b, encTagged) }
+func BenchmarkFetchEncodingCompact(b *testing.B) { benchEncodingRoundTrip(b, encCompact) }

@@ -105,3 +105,134 @@ func decodeRows(raw [][]any) ([]sqldb.Row, error) {
 	}
 	return out, nil
 }
+
+// Compact columnar encoding (encCompact). Instead of one tagged map per
+// cell, each column ships a kind string (one byte per row: 'n' null,
+// 'i' int, 'f' float, 's' text, 'b' bool) plus typed arrays holding the
+// non-null values of that type in row order. Decoding allocates O(cols)
+// slices instead of O(rows×cols) maps, and int64s ride a typed []int64
+// field so they round-trip exactly (no float64 2^53 ceiling).
+
+// Column kind bytes used in wireColumn.Kinds.
+const (
+	kindByteNull  = 'n'
+	kindByteInt   = 'i'
+	kindByteFloat = 'f'
+	kindByteText  = 's'
+	kindByteBool  = 'b'
+)
+
+// wireColumn is one column of an encCompact fetch reply.
+type wireColumn struct {
+	Kinds  string    `json:"k"` // one kind byte per row
+	Ints   []int64   `json:"i,omitempty"`
+	Floats []float64 `json:"f,omitempty"`
+	Texts  []string  `json:"s,omitempty"`
+	Bools  []bool    `json:"b,omitempty"`
+}
+
+// encodeCols converts a result to compact columns.
+func encodeCols(res *sqldb.Result) []wireColumn {
+	if len(res.Columns) == 0 {
+		return nil
+	}
+	cols := make([]wireColumn, len(res.Columns))
+	kinds := make([]byte, len(res.Rows))
+	for j := range cols {
+		c := &cols[j]
+		for i, row := range res.Rows {
+			v := row[j]
+			switch v.Kind {
+			case sqldb.KindInt:
+				kinds[i] = kindByteInt
+				c.Ints = append(c.Ints, v.Int)
+			case sqldb.KindFloat:
+				kinds[i] = kindByteFloat
+				c.Floats = append(c.Floats, v.Float)
+			case sqldb.KindText:
+				kinds[i] = kindByteText
+				c.Texts = append(c.Texts, v.Str)
+			case sqldb.KindBool:
+				kinds[i] = kindByteBool
+				c.Bools = append(c.Bools, v.Bool)
+			default:
+				kinds[i] = kindByteNull
+			}
+		}
+		c.Kinds = string(kinds)
+	}
+	return cols
+}
+
+// decodeCols converts compact columns back to rows, validating that
+// every column agrees on the row count and that each typed array holds
+// exactly as many values as its kind string promises.
+func decodeCols(cols []wireColumn) ([]sqldb.Row, error) {
+	if len(cols) == 0 {
+		return nil, nil
+	}
+	nRows := len(cols[0].Kinds)
+	for j := range cols {
+		if len(cols[j].Kinds) != nRows {
+			return nil, fmt.Errorf("cluster: column %d has %d rows, column 0 has %d",
+				j, len(cols[j].Kinds), nRows)
+		}
+	}
+	rows := make([]sqldb.Row, nRows)
+	cells := make([]sqldb.Value, nRows*len(cols))
+	for i := range rows {
+		rows[i], cells = cells[:len(cols):len(cols)], cells[len(cols):]
+	}
+	for j := range cols {
+		c := &cols[j]
+		var ni, nf, ns, nb int
+		for i := 0; i < nRows; i++ {
+			switch c.Kinds[i] {
+			case kindByteNull:
+				rows[i][j] = sqldb.Null
+			case kindByteInt:
+				if ni >= len(c.Ints) {
+					return nil, fmt.Errorf("cluster: column %d short int array", j)
+				}
+				rows[i][j] = sqldb.NewInt(c.Ints[ni])
+				ni++
+			case kindByteFloat:
+				if nf >= len(c.Floats) {
+					return nil, fmt.Errorf("cluster: column %d short float array", j)
+				}
+				rows[i][j] = sqldb.NewFloat(c.Floats[nf])
+				nf++
+			case kindByteText:
+				if ns >= len(c.Texts) {
+					return nil, fmt.Errorf("cluster: column %d short text array", j)
+				}
+				rows[i][j] = sqldb.NewText(c.Texts[ns])
+				ns++
+			case kindByteBool:
+				if nb >= len(c.Bools) {
+					return nil, fmt.Errorf("cluster: column %d short bool array", j)
+				}
+				rows[i][j] = sqldb.NewBool(c.Bools[nb])
+				nb++
+			default:
+				return nil, fmt.Errorf("cluster: column %d row %d unknown kind byte %q",
+					j, i, c.Kinds[i])
+			}
+		}
+		if ni != len(c.Ints) || nf != len(c.Floats) || ns != len(c.Texts) || nb != len(c.Bools) {
+			return nil, fmt.Errorf("cluster: column %d typed arrays longer than kind string", j)
+		}
+	}
+	return rows, nil
+}
+
+// rows decodes a fetch reply's payload regardless of which encoding the
+// server chose: Cols (encCompact) wins when present, otherwise the
+// legacy tagged Rows. An old server that ignored the Enc field simply
+// never sets Cols, so mixed-version federations keep working.
+func (fr *fetchReply) rows() ([]sqldb.Row, error) {
+	if fr.Cols != nil {
+		return decodeCols(fr.Cols)
+	}
+	return decodeRows(fr.Rows)
+}

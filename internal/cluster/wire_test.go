@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// hopFetchReply runs a fetch reply through a real JSON encode/decode,
+// the way the transport delivers it.
+func hopFetchReply(t *testing.T, fr *fetchReply) *fetchReply {
+	t.Helper()
+	b, err := json.Marshal(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := new(fetchReply)
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertRowsEqual(t *testing.T, got, want []sqldb.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d width = %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j].Kind != want[i][j].Kind || !sqldb.Equal(got[i][j], want[i][j]) {
+				t.Fatalf("row %d col %d = %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		res  *sqldb.Result
+	}{
+		{"empty result", &sqldb.Result{Columns: []string{"a", "b"}}},
+		{"no columns", &sqldb.Result{}},
+		{"all kinds", &sqldb.Result{
+			Columns: []string{"i", "f", "s", "b", "n"},
+			Rows: []sqldb.Row{
+				{sqldb.NewInt(0), sqldb.NewFloat(0), sqldb.NewText(""), sqldb.NewBool(false), sqldb.Null},
+				{sqldb.NewInt(-42), sqldb.NewFloat(-1.5), sqldb.NewText("x y"), sqldb.NewBool(true), sqldb.Null},
+				{sqldb.NewInt(1 << 40), sqldb.NewFloat(3.14159), sqldb.NewText("ünïcode"), sqldb.NewBool(false), sqldb.Null},
+			},
+		}},
+		{"mixed kinds in one column", &sqldb.Result{
+			Columns: []string{"v"},
+			Rows: []sqldb.Row{
+				{sqldb.NewInt(1)}, {sqldb.Null}, {sqldb.NewText("t")},
+				{sqldb.NewFloat(2.5)}, {sqldb.NewBool(true)}, {sqldb.Null},
+			},
+		}},
+		// JSON numbers lose integer precision past 2^53 in the tagged
+		// encoding's map[string]any decode path; the compact encoding's
+		// typed []int64 must not.
+		{"big ints", &sqldb.Result{
+			Columns: []string{"v"},
+			Rows:    []sqldb.Row{{sqldb.NewInt(1 << 60)}, {sqldb.NewInt(-(1<<60 + 1))}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fr := &fetchReply{Accepted: true, Columns: tc.res.Columns, Cols: encodeCols(tc.res)}
+			rows, err := hopFetchReply(t, fr).rows()
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			assertRowsEqual(t, rows, tc.res.Rows)
+		})
+	}
+}
+
+// TestCompactMatchesTagged is the property test: for random results of
+// every kind mix, decode(encode(rows)) == rows under both encodings,
+// and both agree with each other — through a real JSON hop.
+func TestCompactMatchesTagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	randValue := func() sqldb.Value {
+		switch rng.Intn(5) {
+		case 0:
+			return sqldb.Null
+		case 1:
+			return sqldb.NewInt(rng.Int63n(1<<50) - 1<<49)
+		case 2:
+			// NaN-free floats: the JSON transport cannot carry NaN.
+			return sqldb.NewFloat((rng.Float64() - 0.5) * 1e6)
+		case 3:
+			letters := []byte("abcdefgh ")
+			s := make([]byte, rng.Intn(8))
+			for i := range s {
+				s[i] = letters[rng.Intn(len(letters))]
+			}
+			return sqldb.NewText(string(s))
+		default:
+			return sqldb.NewBool(rng.Intn(2) == 0)
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		cols := 1 + rng.Intn(5)
+		res := &sqldb.Result{Columns: make([]string, cols)}
+		for j := range res.Columns {
+			res.Columns[j] = string(rune('a' + j))
+		}
+		for i := 0; i < rng.Intn(12); i++ {
+			row := make(sqldb.Row, cols)
+			for j := range row {
+				row[j] = randValue()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+
+		compact := hopFetchReply(t, &fetchReply{Columns: res.Columns, Cols: encodeCols(res)})
+		compactRows, err := compact.rows()
+		if err != nil {
+			t.Fatalf("iter %d: compact decode: %v", iter, err)
+		}
+		assertRowsEqual(t, compactRows, res.Rows)
+
+		tagged := hopFetchReply(t, &fetchReply{Columns: res.Columns, Rows: encodeRows(res)})
+		taggedRows, err := tagged.rows()
+		if err != nil {
+			t.Fatalf("iter %d: tagged decode: %v", iter, err)
+		}
+		assertRowsEqual(t, taggedRows, res.Rows)
+	}
+}
+
+func TestCompactRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		cols []wireColumn
+	}{
+		{"row count mismatch", []wireColumn{
+			{Kinds: "ii", Ints: []int64{1, 2}},
+			{Kinds: "i", Ints: []int64{3}},
+		}},
+		{"short int array", []wireColumn{{Kinds: "ii", Ints: []int64{1}}}},
+		{"short float array", []wireColumn{{Kinds: "f"}}},
+		{"short text array", []wireColumn{{Kinds: "ss", Texts: []string{"x"}}}},
+		{"short bool array", []wireColumn{{Kinds: "b"}}},
+		{"long typed array", []wireColumn{{Kinds: "i", Ints: []int64{1, 2}}}},
+		{"unknown kind byte", []wireColumn{{Kinds: "z"}}},
+		{"nulls with stray values", []wireColumn{{Kinds: "nn", Ints: []int64{7}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := decodeCols(tc.cols); err == nil {
+				t.Fatalf("malformed columns accepted: %+v", tc.cols)
+			}
+		})
+	}
+}
+
+// FuzzCompactCols hammers the decoder with arbitrary column payloads:
+// it must either reject them or produce a rows slice consistent with
+// the kind strings — never panic.
+func FuzzCompactCols(f *testing.F) {
+	f.Add("ii", []byte(`[1,2]`), "ff")
+	f.Add("nsb", []byte(`[]`), "")
+	f.Add("z", []byte(`[1]`), "i")
+	f.Fuzz(func(t *testing.T, kinds1 string, intsJSON []byte, kinds2 string) {
+		var ints []int64
+		_ = json.Unmarshal(intsJSON, &ints)
+		cols := []wireColumn{
+			{Kinds: kinds1, Ints: ints, Floats: []float64{1.5}, Texts: []string{"t"}, Bools: []bool{true}},
+			{Kinds: kinds2},
+		}
+		rows, err := decodeCols(cols)
+		if err != nil {
+			return
+		}
+		if len(rows) != len(kinds1) {
+			t.Fatalf("decoded %d rows from %d kind bytes", len(rows), len(kinds1))
+		}
+	})
+}

@@ -183,6 +183,7 @@ func figure7Run(opt Figure7Options, ds *cluster.Dataset, templates []cluster.Que
 	if err != nil {
 		return Figure7Run{}, err
 	}
+	defer client.Close()
 	rng := rand.New(rand.NewSource(opt.Seed + int64(gap)))
 	outcomes := make([]cluster.Outcome, opt.Queries)
 	var wg sync.WaitGroup

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	if s := h.Summary(); s != (HistSummary{}) {
+		t.Fatalf("empty summary = %+v, want zero", s)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3.7)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 3.7 {
+			t.Fatalf("Quantile(%v) = %v, want exactly 3.7 (min/max clamp)", q, got)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 1 || s.MeanMs != 3.7 || s.MinMs != 3.7 || s.MaxMs != 3.7 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 ms uniformly: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990. The bucket
+	// growth factor bounds relative error at 25%.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 500}, {0.95, 950}, {0.99, 990},
+	} {
+		got := h.Quantile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.25 {
+			t.Errorf("Quantile(%v) = %v, want %v ±25%%", tc.q, got, tc.want)
+		}
+	}
+	s := h.Summary()
+	if s.MinMs != 1 || s.MaxMs != 1000 || s.Count != 1000 {
+		t.Fatalf("summary bounds = %+v", s)
+	}
+	if math.Abs(s.MeanMs-500.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 500.5 (exact sum)", s.MeanMs)
+	}
+	// Quantiles are monotone and inside [min, max].
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev || v < s.MinMs || v > s.MaxMs {
+			t.Fatalf("Quantile(%v) = %v not monotone/clamped (prev %v)", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)                // below first bucket edge
+	h.Observe(-5)               // clamps to 0
+	h.Observe(math.NaN())       // dropped
+	h.Observe(1e9)              // overflow bucket
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3 (NaN dropped)", got)
+	}
+	if got := h.Quantile(1); got != 1e9 {
+		t.Fatalf("p100 = %v, want max clamp 1e9", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want min clamp 0", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Observe(float64(i))
+		both.Observe(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(float64(i))
+		both.Observe(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), both.Count())
+	}
+	if got, want := a.Summary(), both.Summary(); got != want {
+		t.Fatalf("merged summary %+v != direct %+v", got, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(g*1000+i) / 100)
+				if i%100 == 0 {
+					h.Quantile(0.5)
+					h.Summary()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBucketMapping(t *testing.T) {
+	// Every bucket's representative value maps back into that bucket (or
+	// its immediate neighbor for float rounding at edges) — the property
+	// that keeps quantile error within one bucket width.
+	for i := 0; i < histBuckets; i++ {
+		rep := bucketRep(i)
+		got := histBucketOf(rep)
+		if got < i-1 || got > i+1 {
+			t.Fatalf("bucketRep(%d) = %v maps to bucket %d", i, rep, got)
+		}
+	}
+	if histBucketOf(1e12) != histBuckets {
+		t.Fatal("huge value must land in overflow bucket")
+	}
+}
