@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke loadsmoke ci
+.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke ci
 
 all: build test
 
@@ -34,4 +34,11 @@ benchsmoke:
 loadsmoke:
 	$(GO) run ./cmd/qaload -selfnodes 2 -clients 4 -queries 24 -mix 3 -mspercost 0.005 -period 25
 
-ci: build vet test race benchsmoke loadsmoke
+# membersmoke exercises dynamic membership end to end: a 3-node
+# federation converges from one seed, a 4th node joins the live market
+# (and receives allocations), one founder is crashed, and gossip must
+# evict it from every surviving table and the client view.
+membersmoke:
+	$(GO) run ./cmd/membersmoke
+
+ci: build vet test race benchsmoke loadsmoke membersmoke

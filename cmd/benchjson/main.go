@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/qamarket/qamarket/internal/membership"
 )
 
 type benchEntry struct {
@@ -47,13 +49,26 @@ type transportTiming struct {
 	Speedup   float64 `json:"speedup"` // pooled / fresh
 }
 
+// membershipTiming is the gossip-convergence trajectory row: how many
+// synchronous anti-entropy rounds a seeded n-node mesh needs to admit a
+// joiner everywhere and to evict a crashed member. The simulation is
+// deterministic for (nodes, seed), so drift in these numbers means the
+// protocol changed, not the machine.
+type membershipTiming struct {
+	Nodes       int   `json:"nodes"`
+	Seed        int64 `json:"seed"`
+	JoinRounds  int   `json:"join_rounds"`
+	EvictRounds int   `json:"evict_rounds"`
+}
+
 type report struct {
-	GeneratedAt string          `json:"generated_at"`
-	GoVersion   string          `json:"go_version"`
-	GOMAXPROCS  int             `json:"gomaxprocs"`
-	Benchmarks  []benchEntry    `json:"benchmarks"`
-	Qabench     qabenchTiming   `json:"qabench"`
-	Transport   transportTiming `json:"transport"`
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Benchmarks  []benchEntry     `json:"benchmarks"`
+	Qabench     qabenchTiming    `json:"qabench"`
+	Transport   transportTiming  `json:"transport"`
+	Membership  membershipTiming `json:"membership"`
 }
 
 // benchLine matches `go test -bench` output rows, with or without the
@@ -99,6 +114,20 @@ func main() {
 	}
 	entries = append(entries, transportBenches...)
 
+	// The membership-convergence benchmark (wall clock per simulated
+	// churn cycle) plus the deterministic round counts behind it.
+	memberBench, err := runBenchPkg("./internal/membership",
+		`^BenchmarkMembershipConvergence$`, microTime)
+	if err != nil {
+		fatal(err)
+	}
+	entries = append(entries, memberBench...)
+	const memberNodes, memberSeed = 16, 11
+	conv, err := membership.SimulateConvergence(memberNodes, memberSeed)
+	if err != nil {
+		fatal(err)
+	}
+
 	timing, err := timeQabench()
 	if err != nil {
 		fatal(err)
@@ -115,6 +144,10 @@ func main() {
 		Benchmarks:  entries,
 		Qabench:     timing,
 		Transport:   transport,
+		Membership: membershipTiming{
+			Nodes: memberNodes, Seed: memberSeed,
+			JoinRounds: conv.JoinRounds, EvictRounds: conv.EvictRounds,
+		},
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -123,8 +156,9 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx on GOMAXPROCS=%d)\n",
-		*out, len(entries), r.Qabench.Speedup, r.Transport.Speedup, r.GOMAXPROCS)
+	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx, membership join/evict %d/%d rounds on GOMAXPROCS=%d)\n",
+		*out, len(entries), r.Qabench.Speedup, r.Transport.Speedup,
+		r.Membership.JoinRounds, r.Membership.EvictRounds, r.GOMAXPROCS)
 }
 
 // runBench executes `go test -bench` in the repo root and parses the

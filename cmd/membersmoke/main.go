@@ -1,0 +1,216 @@
+// Command membersmoke is the membership smoke test `make ci` runs: it
+// stands up an in-process 3-node federation over localhost TCP, joins a
+// 4th node into the live market, crashes one founding member, and
+// asserts the gossip layer converges on every step — the surviving
+// nodes' tables and a dynamic client's view must all agree, and the
+// late joiner must actually receive query allocations.
+//
+// Exit status 0 means every assertion held; any failure prints the
+// divergent state and exits 1.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/cluster"
+)
+
+func main() {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(17))
+	ds, err := cluster.GenerateDataset(cluster.DatasetParams{
+		Nodes: 4, Tables: 6, Views: 10, RowsPerTable: 60,
+		MinCopies: 3, MaxCopies: 4,
+	}, rng)
+	if err != nil {
+		die("dataset: %v", err)
+	}
+	startNode := func(i int, id string, seeds []string, slowdown float64) *cluster.Node {
+		n, err := cluster.StartNode("127.0.0.1:0", cluster.NodeConfig{
+			DB:                 ds.DBs[i],
+			Slowdown:           slowdown,
+			MsPerCostUnit:      0.01,
+			PeriodMs:           25,
+			NodeID:             id,
+			Seeds:              seeds,
+			GossipPeriodMs:     20,
+			SuspectAfterRounds: 3,
+			EvictAfterRounds:   3,
+			MembershipSeed:     int64(i) + 1,
+		})
+		if err != nil {
+			die("node %s: %v", id, err)
+		}
+		return n
+	}
+
+	// Phase 1: a founding 3-node federation converges from one seed.
+	n0 := startNode(0, "n0", nil, 4)
+	defer n0.Close()
+	n1 := startNode(1, "n1", []string{n0.Addr()}, 4)
+	defer n1.Close()
+	n2 := startNode(2, "n2", []string{n0.Addr()}, 4)
+	defer n2.Close()
+	nodes := []*cluster.Node{n0, n1, n2}
+	waitFor(5*time.Second, func() bool {
+		for _, n := range nodes {
+			if len(liveIDs(n)) != 3 {
+				return false
+			}
+		}
+		return true
+	}, func() { dumpTables(nodes) }, "founding federation never converged to 3 live members")
+	fmt.Printf("membersmoke: 3-node federation converged in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// A dynamic client seeded with a single address must discover the
+	// whole federation.
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Addrs:       []string{n0.Addr()},
+		Mechanism:   cluster.MechGreedy,
+		PeriodMs:    25,
+		MaxRetries:  50,
+		Timeout:     2 * time.Second,
+		ViewRefresh: 20 * time.Millisecond,
+	})
+	if err != nil {
+		die("client: %v", err)
+	}
+	defer client.Close()
+	waitFor(5*time.Second, func() bool { return len(clientLive(client)) == 3 },
+		func() { dumpView(client) }, "client view never discovered the 3 founders")
+
+	// Phase 2: a 4th, faster node joins the live market and must start
+	// winning allocations with no client restart.
+	joinStart := time.Now()
+	n3 := startNode(3, "n3", []string{n0.Addr()}, 1)
+	defer n3.Close()
+	nodes = append(nodes, n3)
+	waitFor(5*time.Second, func() bool {
+		for _, n := range nodes {
+			if !liveIDs(n)["n3"] {
+				return false
+			}
+		}
+		return clientLive(client)["n3"]
+	}, func() { dumpTables(nodes); dumpView(client) }, "late joiner n3 never converged everywhere")
+	fmt.Printf("membersmoke: n3 joined and converged in %v\n", time.Since(joinStart).Round(time.Millisecond))
+
+	templates, err := ds.GenerateTemplates(4, 1, rng)
+	if err != nil {
+		die("templates: %v", err)
+	}
+	joinerHits, completed := 0, 0
+	for qi := 0; qi < 20; qi++ {
+		out := client.Run(int64(qi), templates[qi%len(templates)].Instantiate(rng))
+		if out.Err != nil {
+			die("query %d: %v", qi, out.Err)
+		}
+		completed++
+		if out.Node == "n3" {
+			joinerHits++
+		}
+	}
+	if joinerHits == 0 {
+		die("the late joiner n3 received none of %d allocations", completed)
+	}
+	fmt.Printf("membersmoke: joiner n3 took %d/%d queries\n", joinerHits, completed)
+
+	// Phase 3: crash a founder (no drain, no goodbye). The failure
+	// detector must evict it and the client view must follow.
+	crashStart := time.Now()
+	n1.CloseNow()
+	survivors := []*cluster.Node{n0, n2, n3}
+	waitFor(10*time.Second, func() bool {
+		for _, n := range survivors {
+			if liveIDs(n)["n1"] {
+				return false
+			}
+		}
+		return !clientHas(client, "n1")
+	}, func() { dumpTables(survivors); dumpView(client) }, "crashed n1 never evicted everywhere")
+	fmt.Printf("membersmoke: n1 crash detected and evicted in %v\n", time.Since(crashStart).Round(time.Millisecond))
+
+	after := 0
+	for qi := 100; qi < 112; qi++ {
+		out := client.Run(int64(qi), templates[qi%len(templates)].Instantiate(rng))
+		if out.Err != nil {
+			continue // relations hosted only on n1 fail legitimately
+		}
+		if out.Node == "n1" {
+			die("query %d allocated to the evicted n1", qi)
+		}
+		after++
+	}
+	if after < 8 {
+		die("only %d/12 queries completed after the crash", after)
+	}
+	fmt.Printf("membersmoke: OK (%d post-crash queries served) in %v\n",
+		after, time.Since(start).Round(time.Millisecond))
+}
+
+func liveIDs(n *cluster.Node) map[string]bool {
+	out := make(map[string]bool)
+	for _, m := range n.Members() {
+		if m.State.Live() {
+			out[m.ID] = true
+		}
+	}
+	return out
+}
+
+func clientLive(c *cluster.Client) map[string]bool {
+	out := make(map[string]bool)
+	for _, m := range c.Members() {
+		if m.State == "alive" || m.State == "suspect" {
+			out[m.ID] = true
+		}
+	}
+	return out
+}
+
+func clientHas(c *cluster.Client, id string) bool {
+	for _, m := range c.Members() {
+		if m.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func waitFor(d time.Duration, cond func() bool, dump func(), msg string) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	dump()
+	die("%s", msg)
+}
+
+func dumpTables(nodes []*cluster.Node) {
+	for _, n := range nodes {
+		fmt.Fprintf(os.Stderr, "table of %s:\n", n.ID())
+		for _, m := range n.Members() {
+			fmt.Fprintf(os.Stderr, "  %-4s %-22s %-8s inc=%d hb=%d\n",
+				m.ID, m.Addr, m.State, m.Incarnation, m.Heartbeat)
+		}
+	}
+}
+
+func dumpView(c *cluster.Client) {
+	fmt.Fprintln(os.Stderr, "client view:")
+	for _, m := range c.Members() {
+		fmt.Fprintf(os.Stderr, "  %-4s %-22s %-8s inc=%d breaker=%s\n",
+			m.ID, m.Addr, m.State, m.Incarnation, m.Breaker)
+	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "membersmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

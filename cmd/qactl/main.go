@@ -5,7 +5,8 @@
 // Examples:
 //
 //	qactl -nodes 127.0.0.1:7001,127.0.0.1:7002 -sql "SELECT COUNT(*) FROM t00"
-//	qactl -nodes ... -mechanism qa-nt -stats 0
+//	qactl -nodes ... -mechanism qa-nt -stats n-1a2b3c4d
+//	qactl -nodes ... -members
 package main
 
 import (
@@ -21,13 +22,15 @@ import (
 
 func main() {
 	var (
-		nodeList  = flag.String("nodes", "", "comma-separated server addresses")
+		nodeList  = flag.String("nodes", "", "comma-separated seed server addresses")
 		sql       = flag.String("sql", "", "query to evaluate")
 		mech      = flag.String("mechanism", "greedy", "greedy | qa-nt")
 		period    = flag.Int64("period", 500, "resubmission period in ms")
 		repeat    = flag.Int("repeat", 1, "times to run the query")
 		gap       = flag.Duration("gap", 0, "wait between repeats")
-		stats     = flag.Int("stats", -1, "print market stats of node index and exit")
+		stats     = flag.String("stats", "", "print market stats of one node (ID or address) and exit")
+		members   = flag.Bool("members", false, "print the live membership view and exit")
+		refresh   = flag.Duration("refresh", 0, "membership view refresh period (0 = static seed view)")
 		transport = flag.String("transport", "pooled", "rpc transport: pooled | fresh")
 		hist      = flag.Bool("hist", false, "print per-op RPC latency histograms after the run")
 	)
@@ -38,22 +41,30 @@ func main() {
 		die(fmt.Errorf("no -nodes given"))
 	}
 	client, err := cluster.NewClient(cluster.ClientConfig{
-		Addrs:     addrs,
-		Mechanism: cluster.Mechanism(*mech),
-		PeriodMs:  *period,
-		Timeout:   30 * time.Second,
-		Transport: cluster.Transport(*transport),
+		Addrs:       addrs,
+		Mechanism:   cluster.Mechanism(*mech),
+		PeriodMs:    *period,
+		Timeout:     30 * time.Second,
+		Transport:   cluster.Transport(*transport),
+		ViewRefresh: *refresh,
 	})
 	if err != nil {
 		die(err)
 	}
 	defer client.Close()
-	if *stats >= 0 {
+	if *members {
+		if err := client.RefreshView(); err != nil {
+			die(err)
+		}
+		printMembers(client)
+		return
+	}
+	if *stats != "" {
 		st, err := client.Stats(*stats)
 		if err != nil {
 			die(err)
 		}
-		fmt.Printf("node %d: executed=%d offers=%d rejects=%d\n", *stats, st.Executed, st.Offers, st.Rejects)
+		fmt.Printf("node %s: executed=%d offers=%d rejects=%d\n", *stats, st.Executed, st.Offers, st.Rejects)
 		for sig, price := range st.Prices {
 			fmt.Printf("  price %.4f  class %s\n", price, sig)
 		}
@@ -67,14 +78,26 @@ func main() {
 		if out.Err != nil {
 			die(out.Err)
 		}
-		fmt.Printf("query %d -> node %d: %d rows, assign %.1f ms, exec %.1f ms, total %.1f ms (%d retries)\n",
-			out.QueryID, out.Node, out.Rows, out.AssignMs, out.ExecMs, out.TotalMs, out.Retries)
+		fmt.Printf("query %d -> node %s (%s): %d rows, assign %.1f ms, exec %.1f ms, total %.1f ms (%d retries)\n",
+			out.QueryID, out.Node, out.NodeAddr, out.Rows, out.AssignMs, out.ExecMs, out.TotalMs, out.Retries)
 		if *gap > 0 && i+1 < *repeat {
 			time.Sleep(*gap)
 		}
 	}
 	if *hist {
 		printLatencies(client)
+	}
+}
+
+// printMembers renders the client's membership view: stable ID,
+// address, gossiped state, incarnation, client breaker state, and the
+// advertised catalog digest.
+func printMembers(client *cluster.Client) {
+	fmt.Printf("%-14s %-22s %-8s %-5s %-6s %-9s %s\n",
+		"ID", "ADDR", "STATE", "INC", "EPOCH", "BREAKER", "CATALOG")
+	for _, m := range client.Members() {
+		fmt.Printf("%-14s %-22s %-8s %-5d %-6d %-9s %s\n",
+			m.ID, m.Addr, m.State, m.Incarnation, m.Epoch, m.Breaker, m.CatalogDigest)
 	}
 }
 
@@ -89,13 +112,13 @@ func printLatencies(client *cluster.Client) {
 	sort.Strings(ops)
 	fmt.Println("rpc latency:")
 	for _, op := range ops {
-		nodes := make([]int, 0, len(lat[op]))
+		nodes := make([]string, 0, len(lat[op]))
 		for node := range lat[op] {
 			nodes = append(nodes, node)
 		}
-		sort.Ints(nodes)
+		sort.Strings(nodes)
 		for _, node := range nodes {
-			fmt.Printf("  %-9s node %d: %s\n", op, node, lat[op][node])
+			fmt.Printf("  %-9s node %s: %s\n", op, node, lat[op][node])
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -25,20 +26,26 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7001", "listen address")
-		initFile  = flag.String("init", "", "SQL script creating tables/views and loading data")
-		slow      = flag.Float64("slowdown", 1, "uniform execution slowdown factor")
-		ioSlow    = flag.Float64("io-slowdown", 0, "I/O (scan) slowdown; 0 = use -slowdown")
-		cpuSlow   = flag.Float64("cpu-slowdown", 0, "CPU (join/sort) slowdown; 0 = use -slowdown")
-		msPerUnit = flag.Float64("ms-per-unit", 0.05, "milliseconds per planner cost unit")
-		period    = flag.Int64("period", 500, "market period T in ms")
-		lambda    = flag.Float64("lambda", 0.1, "price adjustment step λ")
-		threshold = flag.Float64("threshold", 0, "price activation threshold (0 = market always active)")
+		addr         = flag.String("addr", "127.0.0.1:7001", "listen address")
+		initFile     = flag.String("init", "", "SQL script creating tables/views and loading data")
+		slow         = flag.Float64("slowdown", 1, "uniform execution slowdown factor")
+		ioSlow       = flag.Float64("io-slowdown", 0, "I/O (scan) slowdown; 0 = use -slowdown")
+		cpuSlow      = flag.Float64("cpu-slowdown", 0, "CPU (join/sort) slowdown; 0 = use -slowdown")
+		msPerUnit    = flag.Float64("ms-per-unit", 0.05, "milliseconds per planner cost unit")
+		period       = flag.Int64("period", 500, "market period T in ms")
+		lambda       = flag.Float64("lambda", 0.1, "price adjustment step λ")
+		threshold    = flag.Float64("threshold", 0, "price activation threshold (0 = market always active)")
 		latency      = flag.Duration("link-latency", 0, "added reply latency (wireless node)")
 		noise        = flag.Float64("exec-noise", 0, "execution time variability fraction")
 		snapshotPath = flag.String("snapshot", "", "market-state checkpoint file (restored on boot, rewritten atomically every -snapshot-interval and after the shutdown drain)")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "how often to checkpoint market state (requires -snapshot)")
 		drainBudget  = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain budget on shutdown: in-flight queries get this long to finish")
+		nodeID       = flag.String("id", "", "stable node identity in the membership registry (empty = random)")
+		join         = flag.String("join", "", "comma-separated addresses of existing federation members to announce to")
+		gossipPeriod = flag.Int64("gossip-period", 250, "anti-entropy gossip round length in ms")
+		gossipFanout = flag.Int("gossip-fanout", 2, "live peers contacted per gossip round")
+		suspectAfter = flag.Int("suspect-after", 3, "stalled gossip rounds before a member is suspected")
+		evictAfter   = flag.Int("evict-after", 3, "further stalled rounds before a suspect is evicted")
 	)
 	flag.Parse()
 
@@ -50,17 +57,23 @@ func main() {
 	}
 	mcfg := market.Config{Lambda: *lambda, InitialPrice: 1, ActivationThreshold: *threshold, Classes: 1}
 	node, err := cluster.StartNode(*addr, cluster.NodeConfig{
-		DB:            db,
-		Slowdown:      *slow,
-		IOSlowdown:    *ioSlow,
-		CPUSlowdown:   *cpuSlow,
-		MsPerCostUnit: *msPerUnit,
-		PeriodMs:      *period,
-		LinkLatency:   *latency,
-		ExecNoise:     *noise,
-		NoiseSeed:     time.Now().UnixNano(),
-		DrainTimeout:  *drainBudget,
-		Market:        mcfg,
+		DB:                 db,
+		Slowdown:           *slow,
+		IOSlowdown:         *ioSlow,
+		CPUSlowdown:        *cpuSlow,
+		MsPerCostUnit:      *msPerUnit,
+		PeriodMs:           *period,
+		LinkLatency:        *latency,
+		ExecNoise:          *noise,
+		NoiseSeed:          time.Now().UnixNano(),
+		DrainTimeout:       *drainBudget,
+		Market:             mcfg,
+		NodeID:             *nodeID,
+		Seeds:              splitSeeds(*join),
+		GossipPeriodMs:     *gossipPeriod,
+		GossipFanout:       *gossipFanout,
+		SuspectAfterRounds: *suspectAfter,
+		EvictAfterRounds:   *evictAfter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -82,8 +95,11 @@ func main() {
 			die(err)
 		}
 	}
-	fmt.Printf("qanode: serving on %s (%d tables, %d views)\n",
-		node.Addr(), len(db.Tables()), len(db.Views()))
+	fmt.Printf("qanode: %s serving on %s (%d tables, %d views)\n",
+		node.ID(), node.Addr(), len(db.Tables()), len(db.Views()))
+	if seeds := splitSeeds(*join); len(seeds) > 0 {
+		fmt.Printf("qanode: joining federation via %v\n", seeds)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -100,6 +116,17 @@ func main() {
 		}
 		fmt.Printf("qanode: saved market state to %s\n", *snapshotPath)
 	}
+}
+
+// splitSeeds parses the -join list, dropping empty entries.
+func splitSeeds(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // loadScript executes a ';'-separated SQL script file.

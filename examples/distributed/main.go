@@ -75,7 +75,7 @@ func main() {
 	fmt.Printf("\ndecomposed into %d subqueries (%d fragment rows, %.1f ms total):\n",
 		out.Subqueries, out.FragmentRows, out.TotalMs)
 	for node, n := range out.PerNode {
-		fmt.Printf("  node %d supplied %d fragment(s)\n", node, n)
+		fmt.Printf("  node %s supplied %d fragment(s)\n", node, n)
 	}
 	fmt.Println("\nresult:")
 	fmt.Println(" ", out.Result.Columns)

@@ -69,17 +69,17 @@ func main() {
 		if out.Err != nil {
 			log.Fatalf("query %d: %v", i, out.Err)
 		}
-		fmt.Printf("  q%02d -> node %d  %3d rows  assign %5.1f ms  exec %6.1f ms  total %6.1f ms\n",
+		fmt.Printf("  q%02d -> node %s  %3d rows  assign %5.1f ms  exec %6.1f ms  total %6.1f ms\n",
 			i, out.Node, out.Rows, out.AssignMs, out.ExecMs, out.TotalMs)
 	}
 
 	fmt.Println("\nper-node market state:")
-	for i := range addrs {
-		st, err := client.Stats(i)
+	for _, addr := range addrs {
+		st, err := client.Stats(addr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  node %d: executed=%d offers=%d rejects=%d classes=%d\n",
-			i, st.Executed, st.Offers, st.Rejects, len(st.Prices))
+		fmt.Printf("  node %s: executed=%d offers=%d rejects=%d classes=%d\n",
+			addr, st.Executed, st.Offers, st.Rejects, len(st.Prices))
 	}
 }

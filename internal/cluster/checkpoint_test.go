@@ -99,7 +99,7 @@ func TestCrashRestartResumesPriceTable(t *testing.T) {
 	// Let the periodic writer tick at least once, then verify its
 	// heartbeat is visible through the stats op.
 	time.Sleep(60 * time.Millisecond)
-	preCrash, err := client.Stats(0)
+	preCrash, err := client.Stats(addrs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestCrashRestartResumesPriceTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	postRestore, err := client2.Stats(0)
+	postRestore, err := client2.Stats(restarted.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -15,7 +16,11 @@ import (
 
 // ClientConfig parameterizes a federation client.
 type ClientConfig struct {
-	// Addrs lists the server nodes' TCP addresses.
+	// Addrs seeds the client's membership view with server addresses.
+	// With ViewRefresh enabled the view then tracks the federation's
+	// gossip: nodes joining later are discovered and departing nodes
+	// are pruned, no client restart needed. Without it the view stays
+	// exactly these seeds (the static pre-membership behavior).
 	Addrs []string
 	// Mechanism selects the allocation protocol (greedy or qa-nt).
 	Mechanism Mechanism
@@ -53,6 +58,13 @@ type ClientConfig struct {
 	// (execute/fetch) — so a short RPC timing out never evicts a
 	// connection carrying a long execution.
 	PoolSize int
+	// ViewRefresh, when positive, makes the client poll a live node's
+	// merged membership table (the "members" op) this often and fold
+	// it into its view: joiners are added, left/dead members pruned
+	// (breakers, pools, and histograms follow the stable node ID). A
+	// node answering with a draining reply is pruned immediately. Zero
+	// keeps the static seed view.
+	ViewRefresh time.Duration
 }
 
 func (c *ClientConfig) validate() error {
@@ -102,6 +114,9 @@ func (c *ClientConfig) validate() error {
 	if c.PoolSize <= 0 {
 		c.PoolSize = 2
 	}
+	if c.ViewRefresh < 0 {
+		return fmt.Errorf("cluster: ViewRefresh %v is negative", c.ViewRefresh)
+	}
 	return nil
 }
 
@@ -110,27 +125,94 @@ func (c *ClientConfig) execTimeout() time.Duration {
 	return time.Duration(c.ExecTimeoutFactor) * c.Timeout
 }
 
-// Client negotiates and dispatches queries against the federation.
-type Client struct {
-	cfg      ClientConfig
-	breakers []*breaker
-	health   *metrics.Health
+// nodeState is everything the client keeps per federation member:
+// identity, circuit breaker, pooled transport, latency histograms. The
+// state is keyed (and carried) by stable node ID, not slice position,
+// so it survives membership churn — a node keeps its breaker history
+// and histograms across view refreshes, and error messages stay
+// attributable.
+type nodeState struct {
+	breaker *breaker
 
-	// Pooled transport: one two-lane pool set per node, plus the addr
-	// lookup that routes rpc(addr, ...) onto the right pools. Both are
-	// nil/empty under TransportFresh.
-	transports []*nodeTransport
-	addrIndex  map[string]int
+	// mu guards the identity fields below. A node enters the view
+	// provisionally keyed by its seed address; the first reply's
+	// NodeID stamp resolves the real ID and re-keys the entry, state
+	// intact.
+	mu          sync.Mutex
+	id          string
+	addr        string
+	resolved    bool
+	state       string // last gossiped membership state; "seed" until learned
+	incarnation uint64
+	epoch       uint64
+	catalog     string
 
-	// Per-op, per-node RPC latency histograms, populated lazily.
+	// transport is the two-lane pooled transport (nil under
+	// TransportFresh). Guarded by mu because a member can move to a
+	// new address across a restart.
+	transport *nodeTransport
+
+	// Per-op RPC latency histograms, populated lazily.
 	latMu sync.Mutex
-	lat   map[latKey]*metrics.Histogram
+	lat   map[string]*metrics.Histogram
 }
 
-// latKey indexes one latency histogram.
-type latKey struct {
-	op   string
-	node int
+// nodeID returns the node's current (possibly provisional) ID.
+func (ns *nodeState) nodeID() string {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.id
+}
+
+// address returns the node's current dial address.
+func (ns *nodeState) address() string {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.addr
+}
+
+// label names the node for error messages: stable ID plus address once
+// resolved, bare address before the first exchange.
+func (ns *nodeState) label() string {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.resolved && ns.id != ns.addr {
+		return fmt.Sprintf("node %s (%s)", ns.id, ns.addr)
+	}
+	return fmt.Sprintf("node %s", ns.addr)
+}
+
+// observe records one successful RPC's latency.
+func (ns *nodeState) observe(op string, ms float64) {
+	ns.latMu.Lock()
+	h := ns.lat[op]
+	if h == nil {
+		h = metrics.NewHistogram()
+		ns.lat[op] = h
+	}
+	ns.latMu.Unlock()
+	h.Observe(ms)
+}
+
+// Client negotiates and dispatches queries against the federation.
+type Client struct {
+	cfg    ClientConfig
+	health *metrics.Health
+
+	// view is the membership view, keyed by stable node ID (seed
+	// address until the node's first reply resolves it). removedInc
+	// remembers the incarnation at which a member was pruned, so a
+	// slower peer's stale table cannot resurrect it. retired holds
+	// transports of pruned members until Close — in-flight RPCs on
+	// them finish or fail on their own.
+	viewMu     sync.RWMutex
+	view       map[string]*nodeState
+	removedInc map[string]uint64
+	retired    []*nodeTransport
+
+	stopRefresh chan struct{}
+	refreshWG   sync.WaitGroup
+	closeOnce   sync.Once
 }
 
 // NewClient builds a client. Under the default pooled transport the
@@ -139,28 +221,129 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	c := &Client{cfg: cfg, health: metrics.NewHealth(), lat: make(map[latKey]*metrics.Histogram)}
-	c.breakers = make([]*breaker, len(cfg.Addrs))
-	for i := range c.breakers {
-		c.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, c.noteTransition)
+	c := &Client{
+		cfg:         cfg,
+		health:      metrics.NewHealth(),
+		view:        make(map[string]*nodeState, len(cfg.Addrs)),
+		removedInc:  make(map[string]uint64),
+		stopRefresh: make(chan struct{}),
 	}
-	if cfg.Transport == TransportPooled {
-		c.transports = make([]*nodeTransport, len(cfg.Addrs))
-		c.addrIndex = make(map[string]int, len(cfg.Addrs))
-		for i, addr := range cfg.Addrs {
-			c.transports[i] = newNodeTransport(addr, cfg.PoolSize)
-			c.addrIndex[addr] = i
+	for _, addr := range cfg.Addrs {
+		if _, dup := c.view[addr]; dup {
+			continue
 		}
+		c.view[addr] = c.newNodeState(addr, addr, false)
+	}
+	if cfg.ViewRefresh > 0 {
+		c.refreshWG.Add(1)
+		go c.refreshLoop()
 	}
 	return c, nil
 }
 
-// Close shuts the client's pooled connections down. Safe to call more
-// than once, and a no-op under TransportFresh.
-func (c *Client) Close() {
-	for _, nt := range c.transports {
-		nt.close()
+// newNodeState builds the per-member state (breaker, transport,
+// histograms) for a node entering the view.
+func (c *Client) newNodeState(id, addr string, resolved bool) *nodeState {
+	ns := &nodeState{
+		breaker:  newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown, c.noteTransition),
+		id:       id,
+		addr:     addr,
+		resolved: resolved,
+		state:    "seed",
+		lat:      make(map[string]*metrics.Histogram),
 	}
+	if c.cfg.Transport == TransportPooled {
+		ns.transport = newNodeTransport(addr, c.cfg.PoolSize)
+	}
+	return ns
+}
+
+// Close stops the view refresher and shuts the client's pooled
+// connections down. Safe to call more than once, and a no-op for
+// transports under TransportFresh.
+func (c *Client) Close() {
+	c.closeOnce.Do(func() {
+		close(c.stopRefresh)
+		c.refreshWG.Wait()
+		c.viewMu.Lock()
+		transports := c.retired
+		c.retired = nil
+		for _, ns := range c.view {
+			ns.mu.Lock()
+			if ns.transport != nil {
+				transports = append(transports, ns.transport)
+			}
+			ns.mu.Unlock()
+		}
+		c.viewMu.Unlock()
+		for _, nt := range transports {
+			nt.close()
+		}
+	})
+}
+
+// nodes snapshots the current view, sorted by ID so fan-outs and
+// aggregated errors are deterministically ordered.
+func (c *Client) nodes() []*nodeState {
+	c.viewMu.RLock()
+	out := make([]*nodeState, 0, len(c.view))
+	for _, ns := range c.view {
+		out = append(out, ns)
+	}
+	c.viewMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].nodeID() < out[j].nodeID() })
+	return out
+}
+
+// lookup finds a view member by node ID or address.
+func (c *Client) lookup(key string) *nodeState {
+	c.viewMu.RLock()
+	defer c.viewMu.RUnlock()
+	if ns, ok := c.view[key]; ok {
+		return ns
+	}
+	for _, ns := range c.view {
+		ns.mu.Lock()
+		hit := ns.addr == key || ns.id == key
+		ns.mu.Unlock()
+		if hit {
+			return ns
+		}
+	}
+	return nil
+}
+
+// learnID re-keys a provisionally addressed member under the stable
+// node ID its reply carried. The nodeState pointer (breaker, pools,
+// histograms) is preserved; only the map key and label change.
+func (c *Client) learnID(ns *nodeState, id string) {
+	ns.mu.Lock()
+	already := ns.resolved && ns.id == id
+	ns.mu.Unlock()
+	if already || id == "" {
+		return
+	}
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	ns.mu.Lock()
+	old := ns.id
+	ns.id = id
+	ns.resolved = true
+	ns.mu.Unlock()
+	if other, ok := c.view[id]; ok && other != ns {
+		// Two seed addresses resolved to the same node: keep the entry
+		// that answered, retire the duplicate's transport.
+		other.mu.Lock()
+		if other.transport != nil {
+			c.retired = append(c.retired, other.transport)
+			other.transport = nil
+		}
+		other.mu.Unlock()
+	}
+	if c.view[old] == ns {
+		delete(c.view, old)
+	}
+	c.view[id] = ns
 }
 
 // noteTransition feeds breaker state changes into the health counters.
@@ -182,7 +365,8 @@ func (c *Client) Health() map[string]float64 { return c.health.Snapshot() }
 // Outcome reports one query's journey through the federation.
 type Outcome struct {
 	QueryID   int64
-	Node      int     // index into Addrs
+	Node      string  // stable ID of the executing node ("" when none)
+	NodeAddr  string  // its address at execution time
 	AssignMs  float64 // negotiation time (the paper's "time to assign")
 	TotalMs   float64 // assignment + queueing + execution
 	ExecMs    float64 // server-side execution time
@@ -199,15 +383,15 @@ var errBreakerOpen = errors.New("breaker open")
 // errDraining marks a node that answered with a typed draining reply.
 var errDraining = errors.New("draining")
 
-// Run evaluates one query: negotiate with every reachable node (waiting
-// for all replies, as the paper's implementation did), send it to the
-// best offer, and return the outcome. Refusals and transient transport
-// failures are retried with capped exponential backoff up to
+// Run evaluates one query: negotiate with every node in the live view
+// (waiting for all replies, as the paper's implementation did), send it
+// to the best offer, and return the outcome. Refusals and transient
+// transport failures are retried with capped exponential backoff up to
 // MaxRetries; per-node circuit breakers keep dead nodes from charging
 // a timeout on every round.
 func (c *Client) Run(queryID int64, sql string) Outcome {
 	start := time.Now()
-	out := Outcome{QueryID: queryID, Node: -1, Submitted: start}
+	out := Outcome{QueryID: queryID, Submitted: start}
 	finish := func(err error) Outcome {
 		out.Err = err
 		out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
@@ -224,7 +408,7 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 	// QA-NT price dynamics are untouched by the resilience layer.
 	unreachableRounds := 0
 	for attempt := 0; ; attempt++ {
-		node, assignDur, err := c.negotiateAll(sql)
+		ns, assignDur, err := c.negotiateAll(sql)
 		out.AssignMs += float64(assignDur) / float64(time.Millisecond)
 		if err != nil {
 			// Whole federation unreachable this round: transient until
@@ -238,7 +422,7 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 			continue
 		}
 		unreachableRounds = 0
-		if node < 0 {
+		if ns == nil {
 			// Nobody offered: resubmit next period (Section 3.3 client
 			// protocol).
 			if attempt >= c.cfg.MaxRetries {
@@ -248,7 +432,7 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 			c.sleepBackoff(0)
 			continue
 		}
-		rep, retryable, err := c.executeOn(node, queryID, sql)
+		rep, retryable, err := c.executeOn(ns, queryID, sql)
 		if err != nil {
 			if !retryable {
 				return finish(err)
@@ -269,7 +453,8 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 			noteRetry()
 			continue
 		}
-		out.Node = node
+		out.Node = ns.nodeID()
+		out.NodeAddr = ns.address()
 		out.ExecMs = rep.ExecMs
 		out.Rows = rep.Rows
 		return finish(nil)
@@ -296,48 +481,56 @@ func (c *Client) backoffDelay(round int) time.Duration {
 	return time.Duration(target * jitter * float64(time.Millisecond))
 }
 
-// negotiateAll broadcasts the call-for-proposals and picks the node
-// with the earliest estimated completion among those offering. It
-// returns -1 when no node offers, and an aggregate error naming every
-// node's failure when none is reachable.
-func (c *Client) negotiateAll(sql string) (int, time.Duration, error) {
+// negotiateAll broadcasts the call-for-proposals to the current live
+// view and picks the node with the earliest estimated completion among
+// those offering. It returns nil when no node offers, and an aggregate
+// error naming every node's failure when none is reachable.
+func (c *Client) negotiateAll(sql string) (*nodeState, time.Duration, error) {
 	start := time.Now()
-	replies := make([]negotiateReply, len(c.cfg.Addrs))
-	errs := make([]error, len(c.cfg.Addrs))
+	members := c.nodes()
+	if len(members) == 0 {
+		return nil, 0, errors.New("cluster: membership view is empty")
+	}
+	replies := make([]negotiateReply, len(members))
+	errs := make([]error, len(members))
 	var wg sync.WaitGroup
-	for i := range c.cfg.Addrs {
-		if !c.breakers[i].allow() {
+	for i, ns := range members {
+		if !ns.breaker.allow() {
 			errs[i] = errBreakerOpen
 			continue
 		}
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, ns *nodeState) {
 			defer wg.Done()
 			var rep reply
-			err := c.rpcNode(i, &request{Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism}, &rep, c.cfg.Timeout)
+			err := c.rpcOn(ns, &request{Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism}, &rep, c.cfg.Timeout)
 			switch {
 			case err != nil:
-				c.breakers[i].failure()
+				ns.breaker.failure()
 				errs[i] = err
 			case rep.Code == CodeDraining:
 				// The node told us it is going away: open its circuit now
-				// instead of discovering the death one timeout at a time.
-				c.breakers[i].trip()
+				// instead of discovering the death one timeout at a time,
+				// and — under a dynamic view — prune its supply from the
+				// market ahead of gossip eviction.
+				ns.breaker.trip()
+				c.noteDraining(ns)
 				errs[i] = errDraining
 			case rep.Err != "":
-				c.breakers[i].success()
+				ns.breaker.success()
 				errs[i] = errors.New(rep.Err)
 			default:
-				c.breakers[i].success()
+				ns.breaker.success()
 				if rep.Negotiate != nil {
 					replies[i] = *rep.Negotiate
 				}
 			}
-		}(i)
+		}(i, ns)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	best, bestNode := math.Inf(1), -1
+	best := math.Inf(1)
+	var bestNode *nodeState
 	reachable := false
 	for i := range replies {
 		if errs[i] != nil {
@@ -349,23 +542,60 @@ func (c *Client) negotiateAll(sql string) (int, time.Duration, error) {
 			continue
 		}
 		if finish := r.QueueMs + r.EstimateMs; finish < best {
-			best, bestNode = finish, i
+			best, bestNode = finish, members[i]
 		}
 	}
 	if !reachable {
-		return -1, elapsed, aggregateNodeErrors(c.cfg.Addrs, errs)
+		return nil, elapsed, aggregateNodeErrors(members, errs)
 	}
 	return bestNode, elapsed, nil
 }
 
+// noteDraining reacts to a typed draining reply. Under a dynamic view
+// the member is pruned immediately — a graceful leave removes supply
+// from the market before suspicion could; the membership refresh would
+// only rediscover the tombstone later. A static view keeps the entry
+// (its breaker is already open) so a node restarting on the same
+// address is found again by the breaker's probe.
+func (c *Client) noteDraining(ns *nodeState) {
+	if c.cfg.ViewRefresh <= 0 {
+		return
+	}
+	ns.mu.Lock()
+	id, inc := ns.id, ns.incarnation
+	ns.mu.Unlock()
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	c.pruneLocked(id, inc)
+}
+
+// pruneLocked removes a member from the view, remembering the
+// incarnation so stale gossip cannot resurrect it. Callers hold viewMu.
+func (c *Client) pruneLocked(id string, incarnation uint64) {
+	ns, ok := c.view[id]
+	if !ok {
+		return
+	}
+	delete(c.view, id)
+	if prev, ok := c.removedInc[id]; !ok || incarnation > prev {
+		c.removedInc[id] = incarnation
+	}
+	ns.mu.Lock()
+	if ns.transport != nil {
+		c.retired = append(c.retired, ns.transport)
+		ns.transport = nil
+	}
+	ns.mu.Unlock()
+}
+
 // aggregateNodeErrors folds per-node failures into one error naming
-// every node, so "no node reachable" is diagnosable instead of hiding
-// everything behind the first node's error.
-func aggregateNodeErrors(addrs []string, errs []error) error {
+// every node by stable ID and address, so "no node reachable" stays
+// diagnosable and correctly attributed across membership changes.
+func aggregateNodeErrors(members []*nodeState, errs []error) error {
 	parts := make([]string, 0, len(errs))
 	for i, err := range errs {
 		if err != nil {
-			parts = append(parts, fmt.Sprintf("node %d (%s): %v", i, addrs[i], err))
+			parts = append(parts, fmt.Sprintf("%s: %v", members[i].label(), err))
 		}
 	}
 	return fmt.Errorf("no node reachable: %s", strings.Join(parts, "; "))
@@ -374,18 +604,19 @@ func aggregateNodeErrors(addrs []string, errs []error) error {
 // executeOn dispatches the query to the chosen node. retryable reports
 // whether a failure left the query unexecuted (transport loss, node
 // draining or stopping), in which case the caller may renegotiate it.
-func (c *Client) executeOn(node int, queryID int64, sql string) (*executeReply, bool, error) {
+func (c *Client) executeOn(ns *nodeState, queryID int64, sql string) (*executeReply, bool, error) {
 	var rep reply
-	err := c.rpcNode(node, &request{
+	err := c.rpcOn(ns, &request{
 		Op: "execute", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism,
 	}, &rep, c.cfg.execTimeout())
 	if err != nil {
-		c.breakers[node].failure()
-		return nil, true, fmt.Errorf("cluster: execute on node %d: %w", node, err)
+		ns.breaker.failure()
+		return nil, true, fmt.Errorf("cluster: execute on %s: %w", ns.label(), err)
 	}
 	if rep.Code == CodeDraining {
-		c.breakers[node].trip()
-		return nil, true, fmt.Errorf("cluster: node %d: %w", node, errDraining)
+		ns.breaker.trip()
+		c.noteDraining(ns)
+		return nil, true, fmt.Errorf("cluster: %s: %w", ns.label(), errDraining)
 	}
 	if rep.Err != "" {
 		return nil, false, errors.New(rep.Err)
@@ -394,29 +625,22 @@ func (c *Client) executeOn(node int, queryID int64, sql string) (*executeReply, 
 		return nil, false, errors.New("cluster: malformed execute reply")
 	}
 	if rep.Execute.Err == msgNodeStopping {
-		c.breakers[node].trip()
-		return nil, true, fmt.Errorf("cluster: node %d: %s", node, msgNodeStopping)
+		ns.breaker.trip()
+		return nil, true, fmt.Errorf("cluster: %s: %s", ns.label(), msgNodeStopping)
 	}
 	if rep.Execute.Err != "" {
 		return nil, false, errors.New(rep.Execute.Err)
 	}
-	c.breakers[node].success()
+	ns.breaker.success()
 	return rep.Execute, false, nil
 }
 
-// rpc performs one request/reply exchange. Under the pooled transport,
-// known addresses ride a persistent multiplexed connection from the
-// op's lane; unknown addresses (and TransportFresh) fall back to a
-// fresh dial per RPC.
+// rpc performs one request/reply exchange by address. Known view
+// members ride their pooled transport; unknown addresses (and
+// TransportFresh) fall back to a fresh dial per RPC.
 func (c *Client) rpc(addr string, req *request, rep *reply, timeout time.Duration) error {
-	if c.transports != nil {
-		if i, ok := c.addrIndex[addr]; ok {
-			mc, err := c.transports[i].lane(req.Op).get(timeout)
-			if err != nil {
-				return err
-			}
-			return mc.call(req, rep, timeout)
-		}
+	if ns := c.lookup(addr); ns != nil {
+		return c.rpcOn(ns, req, rep, timeout)
 	}
 	return freshRPC(addr, req, rep, timeout)
 }
@@ -438,60 +662,68 @@ func freshRPC(addr string, req *request, rep *reply, timeout time.Duration) erro
 	return readMsg(bufio.NewReader(conn), rep)
 }
 
-// rpcNode is rpc addressed by node index, recording the exchange's
-// latency (successful RPCs only — failures are already counted by the
-// breaker and retry metrics) in the per-op, per-node histogram.
-func (c *Client) rpcNode(node int, req *request, rep *reply, timeout time.Duration) error {
+// rpcOn performs one exchange with a view member, recording the
+// latency of successful RPCs (failures are already counted by the
+// breaker and retry metrics) in the member's per-op histogram, and
+// resolving the member's stable ID from the reply's NodeID stamp.
+func (c *Client) rpcOn(ns *nodeState, req *request, rep *reply, timeout time.Duration) error {
 	start := time.Now()
-	err := c.rpc(c.cfg.Addrs[node], req, rep, timeout)
+	ns.mu.Lock()
+	nt, addr := ns.transport, ns.addr
+	ns.mu.Unlock()
+	var err error
+	if nt != nil {
+		var mc *mconn
+		if mc, err = nt.lane(req.Op).get(timeout); err == nil {
+			err = mc.call(req, rep, timeout)
+		}
+	} else {
+		err = freshRPC(addr, req, rep, timeout)
+	}
 	if err == nil {
-		c.observeLatency(req.Op, node, msSince(start))
+		ns.observe(req.Op, msSince(start))
+		if rep.NodeID != "" {
+			c.learnID(ns, rep.NodeID)
+		}
 	}
 	return err
 }
 
-func (c *Client) observeLatency(op string, node int, ms float64) {
-	k := latKey{op, node}
-	c.latMu.Lock()
-	h := c.lat[k]
-	if h == nil {
-		h = metrics.NewHistogram()
-		c.lat[k] = h
-	}
-	c.latMu.Unlock()
-	h.Observe(ms)
-}
-
 // Latencies snapshots the client's RPC latency histograms, keyed by op
-// then node index.
-func (c *Client) Latencies() map[string]map[int]metrics.HistSummary {
-	c.latMu.Lock()
-	defer c.latMu.Unlock()
-	out := make(map[string]map[int]metrics.HistSummary)
-	for k, h := range c.lat {
-		m := out[k.op]
-		if m == nil {
-			m = make(map[int]metrics.HistSummary)
-			out[k.op] = m
+// then stable node ID.
+func (c *Client) Latencies() map[string]map[string]metrics.HistSummary {
+	out := make(map[string]map[string]metrics.HistSummary)
+	for _, ns := range c.nodes() {
+		id := ns.nodeID()
+		ns.latMu.Lock()
+		for op, h := range ns.lat {
+			m := out[op]
+			if m == nil {
+				m = make(map[string]metrics.HistSummary)
+				out[op] = m
+			}
+			m[id] = h.Summary()
 		}
-		m[k.node] = h.Summary()
+		ns.latMu.Unlock()
 	}
 	return out
 }
 
 // OpLatencies merges each op's per-node histograms into one summary.
 func (c *Client) OpLatencies() map[string]metrics.HistSummary {
-	c.latMu.Lock()
 	merged := make(map[string]*metrics.Histogram)
-	for k, h := range c.lat {
-		m := merged[k.op]
-		if m == nil {
-			m = metrics.NewHistogram()
-			merged[k.op] = m
+	for _, ns := range c.nodes() {
+		ns.latMu.Lock()
+		for op, h := range ns.lat {
+			m := merged[op]
+			if m == nil {
+				m = metrics.NewHistogram()
+				merged[op] = m
+			}
+			m.Merge(h)
 		}
-		m.Merge(h)
+		ns.latMu.Unlock()
 	}
-	c.latMu.Unlock()
 	out := make(map[string]metrics.HistSummary, len(merged))
 	for op, h := range merged {
 		out[op] = h.Summary()
@@ -499,19 +731,24 @@ func (c *Client) OpLatencies() map[string]metrics.HistSummary {
 	return out
 }
 
-// Stats fetches one node's market counters. Stats is an out-of-band
-// observability op, so it leaves the breaker's failure accounting alone
-// — except for a typed draining reply, which trips the breaker exactly
-// like it does on negotiate/execute/fetch (the node told us it is going
-// away; there is no reason to keep paying timeouts to learn it again).
-func (c *Client) Stats(node int) (*NodeStats, error) {
+// Stats fetches one node's market counters, addressed by stable node
+// ID or address. Stats is an out-of-band observability op, so it
+// leaves the breaker's failure accounting alone — except for a typed
+// draining reply, which trips the breaker exactly like it does on
+// negotiate/execute/fetch (the node told us it is going away; there is
+// no reason to keep paying timeouts to learn it again).
+func (c *Client) Stats(node string) (*NodeStats, error) {
+	ns := c.lookup(node)
+	if ns == nil {
+		return nil, fmt.Errorf("cluster: unknown node %q", node)
+	}
 	var rep reply
-	if err := c.rpcNode(node, &request{Op: "stats"}, &rep, c.cfg.Timeout); err != nil {
+	if err := c.rpcOn(ns, &request{Op: "stats"}, &rep, c.cfg.Timeout); err != nil {
 		return nil, err
 	}
 	if rep.Code == CodeDraining {
-		c.breakers[node].trip()
-		return nil, fmt.Errorf("cluster: node %d: %w", node, errDraining)
+		ns.breaker.trip()
+		return nil, fmt.Errorf("cluster: %s: %w", ns.label(), errDraining)
 	}
 	if rep.Err != "" {
 		return nil, errors.New(rep.Err)
@@ -526,18 +763,19 @@ func (c *Client) Stats(node int) (*NodeStats, error) {
 // node, advertising the compact row encoding. Same retryable semantics
 // as executeOn: a transport loss, drain, or hard stop leaves the query
 // unexecuted and the caller may renegotiate it elsewhere.
-func (c *Client) fetchOn(node int, queryID int64, sql string) (*fetchReply, bool, error) {
+func (c *Client) fetchOn(ns *nodeState, queryID int64, sql string) (*fetchReply, bool, error) {
 	var rep reply
-	err := c.rpcNode(node, &request{
+	err := c.rpcOn(ns, &request{
 		Op: "fetch", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism, Enc: encCompact,
 	}, &rep, c.cfg.execTimeout())
 	if err != nil {
-		c.breakers[node].failure()
-		return nil, true, fmt.Errorf("cluster: fetch on node %d: %w", node, err)
+		ns.breaker.failure()
+		return nil, true, fmt.Errorf("cluster: fetch on %s: %w", ns.label(), err)
 	}
 	if rep.Code == CodeDraining {
-		c.breakers[node].trip()
-		return nil, true, fmt.Errorf("cluster: node %d: %w", node, errDraining)
+		ns.breaker.trip()
+		c.noteDraining(ns)
+		return nil, true, fmt.Errorf("cluster: %s: %w", ns.label(), errDraining)
 	}
 	if rep.Err != "" {
 		return nil, false, errors.New(rep.Err)
@@ -546,12 +784,12 @@ func (c *Client) fetchOn(node int, queryID int64, sql string) (*fetchReply, bool
 		return nil, false, errors.New("cluster: malformed fetch reply")
 	}
 	if rep.Fetch.Err == msgNodeStopping {
-		c.breakers[node].trip()
-		return nil, true, fmt.Errorf("cluster: node %d: %s", node, msgNodeStopping)
+		ns.breaker.trip()
+		return nil, true, fmt.Errorf("cluster: %s: %s", ns.label(), msgNodeStopping)
 	}
 	if rep.Fetch.Err != "" {
 		return nil, false, errors.New(rep.Fetch.Err)
 	}
-	c.breakers[node].success()
+	ns.breaker.success()
 	return rep.Fetch, false, nil
 }

@@ -154,8 +154,14 @@ func TestNegotiateExecuteRoundTrip(t *testing.T) {
 	if out.Err != nil {
 		t.Fatalf("Run: %v", out.Err)
 	}
-	if out.Node < 0 || out.Node >= len(addrs) {
-		t.Fatalf("bad node %d", out.Node)
+	known := false
+	for _, n := range nodes {
+		if out.Node == n.ID() {
+			known = true
+		}
+	}
+	if !known {
+		t.Fatalf("bad node %q", out.Node)
 	}
 	if out.TotalMs <= 0 || out.AssignMs <= 0 {
 		t.Errorf("timings: %+v", out)
@@ -208,7 +214,7 @@ func TestGreedyPrefersFastNode(t *testing.T) {
 		if out.Err != nil {
 			t.Fatalf("query %d: %v", qi, out.Err)
 		}
-		if out.Node == 0 {
+		if out.Node == nodes[0].ID() {
 			// Only legitimate if no fast node holds all relations.
 			for _, db := range ds.DBs[1:] {
 				if _, err := db.Query(sql); err == nil {
@@ -267,7 +273,7 @@ func TestQANTServesWorkload(t *testing.T) {
 		t.Errorf("nodes executed %d, clients saw %d", total, completed)
 	}
 	// The market must have tracked prices for the discovered classes.
-	st, err := client.Stats(0)
+	st, err := client.Stats(addrs[0])
 	if err != nil {
 		t.Fatalf("stats: %v", err)
 	}
@@ -290,8 +296,8 @@ func TestHistoryEstimatorConverges(t *testing.T) {
 	sql := templates[0].Instantiate(rng)
 	// First negotiation: estimate comes from the plan cost.
 	n1, _, err := client.negotiateAll(sql)
-	if err != nil || n1 < 0 {
-		t.Fatalf("negotiate: node=%d err=%v", n1, err)
+	if err != nil || n1 == nil {
+		t.Fatalf("negotiate: node=%v err=%v", n1, err)
 	}
 	if out := client.Run(1, sql); out.Err != nil {
 		t.Fatalf("run: %v", out.Err)

@@ -23,6 +23,11 @@ import (
 // corresponding subquery so fragments shrink before travelling.
 type Distributor struct {
 	client *Client
+	// afterNegotiate, when set, runs between winning a negotiation and
+	// fetching from the winner, with the winner's node ID and the
+	// subquery SQL. Tests use it to kill a node in exactly that window
+	// and assert the retry path re-allocates on the surviving view.
+	afterNegotiate func(nodeID, sql string)
 }
 
 // NewDistributor wraps a federation client.
@@ -35,7 +40,7 @@ type DistOutcome struct {
 	FragmentRows int
 	AssignMs     float64 // summed negotiation time across subqueries
 	TotalMs      float64
-	PerNode      map[int]int // fragments fetched per node
+	PerNode      map[string]int // fragments fetched per node, by stable node ID
 }
 
 // Run evaluates the query, decomposing if needed. Queries a single
@@ -51,11 +56,14 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 	if !ok {
 		return DistOutcome{}, errors.New("cluster: distributor handles SELECT only")
 	}
-	out := DistOutcome{PerNode: make(map[int]int)}
+	out := DistOutcome{PerNode: make(map[string]int)}
 
 	// Fast path: some node can run the whole query.
 	node, _, err := d.client.negotiateAll(sql)
-	if err == nil && node >= 0 {
+	if err == nil && node != nil {
+		if d.afterNegotiate != nil {
+			d.afterNegotiate(node.nodeID(), sql)
+		}
 		fr, _, ferr := d.client.fetchOn(node, queryID, sql)
 		if ferr == nil && fr.Accepted {
 			rows, derr := fr.rows()
@@ -65,7 +73,7 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 			out.Result = &sqldb.Result{Columns: fr.Columns, Rows: rows}
 			out.Subqueries = 1
 			out.FragmentRows = len(rows)
-			out.PerNode[node]++
+			out.PerNode[node.nodeID()]++
 			out.TotalMs = msSince(start)
 			return out, nil
 		}
@@ -83,7 +91,7 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 			return DistOutcome{}, fmt.Errorf("cluster: subquery for %s: %w", name, err)
 		}
 		out.Subqueries++
-		out.PerNode[frNode]++
+		out.PerNode[frNode.nodeID()]++
 		rows, err := fr.rows()
 		if err != nil {
 			return DistOutcome{}, err
@@ -111,20 +119,23 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 // retryable fetch failure (transport loss, node draining or stopping —
 // the query never ran) renegotiates the subquery elsewhere; the
 // breaker fetchOn tripped keeps the dead node out of the next round.
-func (d *Distributor) allocateFetch(queryID int64, sql string) (int, *fetchReply, error) {
+func (d *Distributor) allocateFetch(queryID int64, sql string) (*nodeState, *fetchReply, error) {
 	for attempt := 0; attempt <= d.client.cfg.MaxRetries; attempt++ {
 		node, _, err := d.client.negotiateAll(sql)
 		if err != nil {
-			return -1, nil, err
+			return nil, nil, err
 		}
-		if node < 0 {
+		if node == nil {
 			time.Sleep(time.Duration(d.client.cfg.PeriodMs) * time.Millisecond)
 			continue
+		}
+		if d.afterNegotiate != nil {
+			d.afterNegotiate(node.nodeID(), sql)
 		}
 		fr, retryable, err := d.client.fetchOn(node, queryID, sql)
 		if err != nil {
 			if !retryable {
-				return -1, nil, err
+				return nil, nil, err
 			}
 			continue
 		}
@@ -133,7 +144,7 @@ func (d *Distributor) allocateFetch(queryID int64, sql string) (int, *fetchReply
 		}
 		return node, fr, nil
 	}
-	return -1, nil, fmt.Errorf("cluster: subquery %q refused by all nodes", sql)
+	return nil, nil, fmt.Errorf("cluster: subquery %q refused by all nodes", sql)
 }
 
 // splitConjuncts partitions the WHERE clause's AND-conjuncts into

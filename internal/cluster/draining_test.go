@@ -61,7 +61,7 @@ func TestDrainingTripsBreakerOnEveryOp(t *testing.T) {
 			}
 		}},
 		{"execute", func(t *testing.T, c *Client) {
-			_, retryable, err := c.executeOn(0, 1, "SELECT 1 FROM t")
+			_, retryable, err := c.executeOn(c.nodes()[0], 1, "SELECT 1 FROM t")
 			if err == nil || !retryable {
 				t.Fatalf("executeOn = retryable %v, err %v; want retryable draining error", retryable, err)
 			}
@@ -70,7 +70,7 @@ func TestDrainingTripsBreakerOnEveryOp(t *testing.T) {
 			}
 		}},
 		{"fetch", func(t *testing.T, c *Client) {
-			_, retryable, err := c.fetchOn(0, 1, "SELECT 1 FROM t")
+			_, retryable, err := c.fetchOn(c.nodes()[0], 1, "SELECT 1 FROM t")
 			if err == nil || !retryable {
 				t.Fatalf("fetchOn = retryable %v, err %v; want retryable draining error", retryable, err)
 			}
@@ -79,7 +79,7 @@ func TestDrainingTripsBreakerOnEveryOp(t *testing.T) {
 			}
 		}},
 		{"stats", func(t *testing.T, c *Client) {
-			if _, err := c.Stats(0); !errors.Is(err, errDraining) {
+			if _, err := c.Stats(c.nodes()[0].address()); !errors.Is(err, errDraining) {
 				t.Fatalf("Stats err = %v, want errDraining", err)
 			}
 		}},
@@ -101,7 +101,7 @@ func TestDrainingTripsBreakerOnEveryOp(t *testing.T) {
 				}
 				defer c.Close()
 				op.call(t, c)
-				if st := c.breakers[0].snapshot(); st != breakerOpen {
+				if st := c.nodes()[0].breaker.snapshot(); st != breakerOpen {
 					t.Fatalf("breaker after draining %s = %v, want open", op.name, st)
 				}
 				if got := c.Health()[metrics.BreakerOpenTotal]; got != 1 {

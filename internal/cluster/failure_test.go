@@ -37,7 +37,7 @@ func TestNodeFailureMidWorkload(t *testing.T) {
 			continue
 		}
 		completed++
-		if qi > 10 && out.Node == 2 {
+		if qi > 10 && out.Node == nodes[2].ID() {
 			t.Errorf("query %d assigned to the dead node", qi)
 		}
 	}

@@ -108,7 +108,7 @@ func TestPooledReusesConnections(t *testing.T) {
 	}
 	defer client.Close()
 	for i := 0; i < 20; i++ {
-		if _, err := client.Stats(0); err != nil {
+		if _, err := client.Stats(addrs[0]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -144,7 +144,7 @@ func TestMultiplexedPipelining(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st, err := client.Stats(0)
+			st, err := client.Stats(addrs[0])
 			if err != nil {
 				errs <- err
 				return

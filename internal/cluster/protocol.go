@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"github.com/qamarket/qamarket/internal/membership"
 )
 
 // Mechanism selects the allocation protocol a client runs.
@@ -44,6 +46,80 @@ type request struct {
 	// speak); old servers ignore the field and reply tagged, so mixed
 	// fleets interoperate during rollout.
 	Enc int `json:"enc,omitempty"`
+	// Gossip carries the sender's membership table on a "gossip" op
+	// (anti-entropy push-pull; the reply carries the receiver's table
+	// back). Versioned like Enc: the payload's V field lets future
+	// table formats coexist with old nodes.
+	Gossip *gossipPayload `json:"gossip,omitempty"`
+}
+
+// gossipV is the newest gossip payload version this build speaks. The
+// member rows are additive JSON, so a v1 node merges whatever fields it
+// understands from a newer payload — V exists to make that negotiation
+// explicit, exactly like the fetch-row Enc field.
+const gossipV = 1
+
+// wireMember is one membership-table row on the wire.
+type wireMember struct {
+	ID          string `json:"id"`
+	Addr        string `json:"addr"`
+	Incarnation uint64 `json:"inc"`
+	Heartbeat   uint64 `json:"hb"`
+	State       string `json:"state"`
+	// Catalog is the compact catalog digest: a hash over the sorted
+	// relation names the node hosts, so peers detect placement changes
+	// without shipping schemas.
+	Catalog string `json:"catalog,omitempty"`
+	// Epoch is the member's market age in pricer periods.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// gossipPayload rides both directions of a push-pull gossip exchange.
+type gossipPayload struct {
+	V       int          `json:"v"`
+	From    string       `json:"from"`
+	Members []wireMember `json:"members"`
+}
+
+// membersReply answers the "members" op with the node's merged view,
+// for clients refreshing their live view and for qactl -members.
+type membersReply struct {
+	Self    string       `json:"self"`
+	Members []wireMember `json:"members"`
+}
+
+// toWireMembers converts a registry snapshot for the wire.
+func toWireMembers(ms []membership.Member) []wireMember {
+	out := make([]wireMember, len(ms))
+	for i, m := range ms {
+		out[i] = wireMember{
+			ID:          m.ID,
+			Addr:        m.Addr,
+			Incarnation: m.Incarnation,
+			Heartbeat:   m.Heartbeat,
+			State:       m.State.String(),
+			Catalog:     m.CatalogDigest,
+			Epoch:       m.Epoch,
+		}
+	}
+	return out
+}
+
+// fromWireMembers parses wire rows back into registry members.
+func fromWireMembers(ws []wireMember) []membership.Member {
+	out := make([]membership.Member, len(ws))
+	for i, w := range ws {
+		out[i] = membership.Member{
+			ID:            w.ID,
+			Addr:          w.Addr,
+			Incarnation:   w.Incarnation,
+			Heartbeat:     w.Heartbeat,
+			State:         membership.ParseState(w.State),
+			CatalogDigest: w.Catalog,
+			Epoch:         w.Epoch,
+		}
+	}
+	return out
 }
 
 // Fetch-row encodings, in negotiation order. The request's Enc field
@@ -129,8 +205,15 @@ type reply struct {
 	Execute   *executeReply   `json:"execute,omitempty"`
 	Fetch     *fetchReply     `json:"fetch,omitempty"`
 	Stats     *NodeStats      `json:"stats,omitempty"`
+	Gossip    *gossipPayload  `json:"gossip,omitempty"`
+	Members   *membersReply   `json:"members,omitempty"`
 	Err       string          `json:"error,omitempty"`
 	Code      string          `json:"code,omitempty"`
+	// NodeID stamps every reply with the answering node's stable
+	// identity, so clients learn seed addresses' IDs passively from
+	// their first exchange (old nodes omit it and stay addressed by
+	// seed address).
+	NodeID string `json:"node_id,omitempty"`
 }
 
 // writeMsg sends one newline-delimited JSON message. The delimiter is

@@ -243,7 +243,7 @@ func TestAggregatedUnreachableError(t *testing.T) {
 		t.Fatal("dead federation produced a result")
 	}
 	msg := out.Err.Error()
-	for _, want := range []string{"no node reachable", "node 0 (127.0.0.1:1)", "node 1 (127.0.0.1:2)"} {
+	for _, want := range []string{"no node reachable", "node 127.0.0.1:1", "node 127.0.0.1:2"} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("aggregate error missing %q: %v", want, msg)
 		}
@@ -259,7 +259,7 @@ func TestStatsHealthExposed(t *testing.T) {
 		t.Fatal(err)
 	}
 	node.noteCheckpoint()
-	st, err := client.Stats(0)
+	st, err := client.Stats(node.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}

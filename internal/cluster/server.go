@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/membership"
 	"github.com/qamarket/qamarket/internal/metrics"
 	"github.com/qamarket/qamarket/internal/sqldb"
 )
@@ -63,6 +66,28 @@ type NodeConfig struct {
 	// "draining" reply, and gives in-flight queries this long to finish
 	// before hard-stopping. Default 5s.
 	DrainTimeout time.Duration
+	// NodeID is the node's stable identity in the membership registry,
+	// constant across address changes. Empty generates a random one.
+	NodeID string
+	// Seeds lists addresses of existing federation members to announce
+	// this node to on startup (qanode -join). Empty starts a new
+	// federation of one.
+	Seeds []string
+	// GossipPeriodMs is the anti-entropy gossip round length (default
+	// 250ms). Each round the node ticks its failure detector and
+	// push-pulls its member table with GossipFanout random live peers.
+	GossipPeriodMs int64
+	// GossipFanout is how many peers each gossip round contacts
+	// (default 2).
+	GossipFanout int
+	// SuspectAfterRounds is how many gossip rounds without heartbeat
+	// progress mark a member suspect (default 3); EvictAfterRounds is
+	// how many further stalled rounds evict it (default 3).
+	SuspectAfterRounds, EvictAfterRounds int
+	// MembershipSeed seeds the gossip target-selection RNG. Zero
+	// derives a per-node seed from NodeID, so a fixed topology gossips
+	// deterministically.
+	MembershipSeed int64
 	// Market configures the QA-NT agent (Classes is managed dynamically
 	// and may be left zero).
 	Market market.Config
@@ -95,6 +120,12 @@ func (c *NodeConfig) validate() error {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.NodeID == "" {
+		c.NodeID = fmt.Sprintf("n-%08x", rand.Uint32())
+	}
+	if c.GossipPeriodMs <= 0 {
+		c.GossipPeriodMs = 250
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -107,6 +138,8 @@ type Node struct {
 	ln     net.Listener
 	pricer *pricer
 	health *metrics.Health
+	reg    *membership.Registry
+	epoch  atomic.Uint64 // pricer periods elapsed (the market's age)
 
 	mu        sync.Mutex
 	backlogMs float64
@@ -162,15 +195,138 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 	if cfg.ExecNoise > 0 {
 		n.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
 	}
-	n.wg.Add(3)
+	seed := cfg.MembershipSeed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(cfg.NodeID))
+		seed = int64(h.Sum64())
+	}
+	n.reg, err = membership.New(membership.Config{
+		Self: membership.Member{
+			ID:            cfg.NodeID,
+			Addr:          ln.Addr().String(),
+			CatalogDigest: catalogDigest(cfg.DB),
+		},
+		Fanout:       cfg.GossipFanout,
+		SuspectAfter: cfg.SuspectAfterRounds,
+		EvictAfter:   cfg.EvictAfterRounds,
+		Rand:         rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	n.wg.Add(4)
 	go n.acceptLoop()
 	go n.execLoop()
 	go n.periodLoop()
+	go n.gossipLoop()
 	return n, nil
+}
+
+// catalogDigest hashes the sorted relation names a node hosts into the
+// compact placement advertisement gossiped with its member row.
+func catalogDigest(db *sqldb.DB) string {
+	var names []string
+	names = append(names, db.Tables()...)
+	names = append(names, db.Views()...)
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, name := range names {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%d:%08x", len(names), h.Sum64())
 }
 
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ID returns the node's stable membership identity.
+func (n *Node) ID() string { return n.cfg.NodeID }
+
+// Members snapshots the node's membership table (tombstones included).
+func (n *Node) Members() []membership.Member { return n.reg.Members() }
+
+// gossipLoop drives the anti-entropy rounds: announce to the join
+// seeds, then every period tick the failure detector and push-pull the
+// member table with a few random live peers.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	for _, seed := range n.cfg.Seeds {
+		if seed != "" && seed != n.Addr() {
+			go n.gossipWith(seed)
+		}
+	}
+	t := time.NewTicker(time.Duration(n.cfg.GossipPeriodMs) * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			sum := n.reg.Tick()
+			n.health.Inc(metrics.GossipRoundsTotal)
+			if sum.Evicted > 0 {
+				n.health.Add(metrics.MembershipEvictionsTotal, int64(sum.Evicted))
+			}
+			n.health.SetGauge(metrics.MembersLive, float64(len(n.reg.Live())))
+			for _, m := range n.reg.Targets() {
+				go n.gossipWith(m.Addr)
+			}
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+// gossipWith runs one push-pull exchange: send our table, merge the
+// peer's. Exchanges ride fresh connections — gossip is rare and tiny,
+// and must not compete with query traffic for pooled lanes.
+func (n *Node) gossipWith(addr string) {
+	req := &request{Op: "gossip", Gossip: &gossipPayload{
+		V:       gossipV,
+		From:    n.cfg.NodeID,
+		Members: toWireMembers(n.reg.Members()),
+	}}
+	timeout := 2 * time.Duration(n.cfg.GossipPeriodMs) * time.Millisecond
+	if timeout < 200*time.Millisecond {
+		timeout = 200 * time.Millisecond
+	}
+	var rep reply
+	if err := freshRPC(addr, req, &rep, timeout); err != nil {
+		n.health.Inc(metrics.GossipFailuresTotal)
+		return
+	}
+	if rep.Gossip != nil {
+		n.reg.Merge(fromWireMembers(rep.Gossip.Members))
+	}
+}
+
+// broadcastLeave tombstones the local member and pushes the goodbye to
+// every live peer, so departing supply is pruned from the market ahead
+// of the failure detector. Best effort with a short timeout: a peer
+// that misses it still converges through regular gossip.
+func (n *Node) broadcastLeave() {
+	n.reg.Leave()
+	peers := n.reg.Live()
+	req := &request{Op: "gossip", Gossip: &gossipPayload{
+		V:       gossipV,
+		From:    n.cfg.NodeID,
+		Members: toWireMembers(n.reg.Members()),
+	}}
+	var wg sync.WaitGroup
+	for _, m := range peers {
+		if m.ID == n.cfg.NodeID {
+			continue
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			var rep reply
+			_ = freshRPC(addr, req, &rep, 250*time.Millisecond)
+		}(m.Addr)
+	}
+	wg.Wait()
+}
 
 // Close stops the node gracefully: new work is refused with a typed
 // draining reply (clients keep connecting, so their breakers learn the
@@ -191,6 +347,13 @@ func (n *Node) shutdown(drainFor time.Duration) error {
 	n.stopOnce.Do(func() {
 		n.draining.Store(true)
 		n.health.Inc(metrics.DrainsTotal)
+		if drainFor > 0 {
+			// Graceful leave: tombstone ourselves and tell the peers,
+			// so the membership layer prunes our supply immediately
+			// instead of waiting out suspicion. A hard stop (drainFor
+			// zero, the crash path) stays silent on purpose.
+			n.broadcastLeave()
+		}
 		// The listener stays open through the drain so clients receive
 		// the typed refusal rather than dial errors; only work stops.
 		if drainFor > 0 && !n.waitIdle(drainFor) {
@@ -264,17 +427,33 @@ func (n *Node) MarketState() ([]byte, error) {
 		history[k] = v
 	}
 	n.mu.Unlock()
+	self := n.reg.Self()
 	return json.Marshal(struct {
-		Pricer  PricerState        `json:"pricer"`
-		History map[string]float64 `json:"history"`
-	}{n.pricer.snapshot(), history})
+		Pricer     PricerState        `json:"pricer"`
+		History    map[string]float64 `json:"history"`
+		Membership membershipState    `json:"membership"`
+	}{n.pricer.snapshot(), history, membershipState{
+		Incarnation: self.Incarnation,
+		Epoch:       self.Epoch,
+	}})
+}
+
+// membershipState is the membership slice of a market-state
+// checkpoint: enough for a rejoining node to re-announce itself at its
+// persisted incarnation (peers' stale tombstones are then refuted by
+// the registry's incarnation bump) and to keep advertising its true
+// market age.
+type membershipState struct {
+	Incarnation uint64 `json:"incarnation"`
+	Epoch       uint64 `json:"epoch"`
 }
 
 // RestoreMarketState installs a checkpoint produced by MarketState.
 func (n *Node) RestoreMarketState(data []byte) error {
 	var st struct {
-		Pricer  PricerState        `json:"pricer"`
-		History map[string]float64 `json:"history"`
+		Pricer     PricerState        `json:"pricer"`
+		History    map[string]float64 `json:"history"`
+		Membership membershipState    `json:"membership"`
 	}
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("cluster: parsing market state: %w", err)
@@ -288,6 +467,17 @@ func (n *Node) RestoreMarketState(data []byte) error {
 		n.history[k] = v
 	}
 	n.mu.Unlock()
+	// Membership is restored exactly as persisted (pre-membership
+	// checkpoints carry zeros, which are ignored): the incarnation is
+	// NOT bumped here, so a freshly restored node's market state stays
+	// byte-identical to its checkpoint. Stale left/dead tombstones at
+	// the persisted incarnation are refuted organically by the
+	// registry the first time a peer gossips them back.
+	n.reg.SetIncarnation(st.Membership.Incarnation)
+	if st.Membership.Epoch > 0 {
+		n.epoch.Store(st.Membership.Epoch)
+		n.reg.SetEpoch(st.Membership.Epoch)
+	}
 	return nil
 }
 
@@ -372,10 +562,13 @@ func (n *Node) serveConn(conn net.Conn) {
 // handle runs one request through the drain gate and its op handler.
 func (n *Node) handle(req *request) *reply {
 	var rep reply
+	rep.NodeID = n.cfg.NodeID
 	switch {
-	case n.draining.Load() && req.Op != "stats":
-		// Stats stay readable during drain for observability; every
-		// other op gets the typed refusal the client breaker trips on.
+	case n.draining.Load() && req.Op != "stats" && req.Op != "gossip" && req.Op != "members":
+		// Stats stay readable during drain for observability, and the
+		// membership ops keep answering so the leave tombstone (and the
+		// final view behind it) can still propagate; every other op
+		// gets the typed refusal the client breaker trips on.
 		rep.Err = "node draining"
 		rep.Code = CodeDraining
 		n.health.Inc(metrics.DrainRejectsTotal)
@@ -393,11 +586,33 @@ func (n *Node) handle(req *request) *reply {
 		case "stats":
 			sr := n.nodeStats()
 			rep.Stats = &sr
+		case "gossip":
+			rep.Gossip = n.handleGossip(req)
+		case "members":
+			rep.Members = n.handleMembers()
 		default:
 			rep.Err = fmt.Sprintf("unknown op %q", req.Op)
 		}
 	}
 	return &rep
+}
+
+// handleGossip is the receiving half of a push-pull exchange: merge
+// the sender's table, answer with ours.
+func (n *Node) handleGossip(req *request) *gossipPayload {
+	if req.Gossip != nil {
+		n.reg.Merge(fromWireMembers(req.Gossip.Members))
+	}
+	return &gossipPayload{
+		V:       gossipV,
+		From:    n.cfg.NodeID,
+		Members: toWireMembers(n.reg.Members()),
+	}
+}
+
+// handleMembers serves the node's merged membership view.
+func (n *Node) handleMembers() *membersReply {
+	return &membersReply{Self: n.cfg.NodeID, Members: toWireMembers(n.reg.Members())}
 }
 
 // planTargetMs is the node's true baseline execution time for a plan:
@@ -610,6 +825,9 @@ func (n *Node) periodLoop() {
 		select {
 		case <-t.C:
 			n.pricer.tick()
+			// The market epoch the member row advertises is the count
+			// of pricer periods this agent has lived through.
+			n.reg.SetEpoch(n.epoch.Add(1))
 		case <-n.stopCh:
 			return
 		}

@@ -27,7 +27,7 @@ func TestMarketStateCheckpoint(t *testing.T) {
 			t.Fatalf("query %d: %v", qi, out.Err)
 		}
 	}
-	st0, err := client.Stats(0)
+	st0, err := client.Stats(addrs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestMarketStateCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st1, err := client2.Stats(0)
+	st1, err := client2.Stats(restored.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,12 +50,12 @@ func BenchmarkTransportRPC(b *testing.B) {
 		b.Run(string(transport), func(b *testing.B) {
 			_, addr := startBenchNode(b)
 			c := benchClient(b, addr, transport)
-			if _, err := c.Stats(0); err != nil { // warm the pool / plan caches
+			if _, err := c.Stats(addr); err != nil { // warm the pool / plan caches
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := c.Stats(0); err != nil {
+				if _, err := c.Stats(addr); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -72,14 +72,14 @@ func BenchmarkTransportConcurrent(b *testing.B) {
 		b.Run(string(transport), func(b *testing.B) {
 			_, addr := startBenchNode(b)
 			c := benchClient(b, addr, transport)
-			if _, err := c.Stats(0); err != nil {
+			if _, err := c.Stats(addr); err != nil {
 				b.Fatal(err)
 			}
 			b.SetParallelism(8)
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					if _, err := c.Stats(0); err != nil {
+					if _, err := c.Stats(addr); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestChurnShiftsAllocationOntoJoiner runs the elastic-entry experiment
+// at test scale: the fast late joiner must be discovered by the running
+// client and take a meaningful share of the post-join workload.
+func TestChurnShiftsAllocationOntoJoiner(t *testing.T) {
+	opt := DefaultChurn()
+	opt.QueriesPerPhase = 16
+	res, err := Churn(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreCompleted == 0 || res.PostCompleted == 0 {
+		t.Fatalf("phases completed %d/%d queries", res.PreCompleted, res.PostCompleted)
+	}
+	if got := res.PrePerNode[res.JoinerID]; got != 0 {
+		t.Errorf("joiner credited with %d pre-join allocations", got)
+	}
+	if res.PostPerNode[res.JoinerID] == 0 {
+		t.Errorf("no allocation shifted onto the joiner: %v", res.PostPerNode)
+	}
+	if res.JoinerShare <= 0 {
+		t.Errorf("joiner share = %g", res.JoinerShare)
+	}
+	if res.DiscoveryMs <= 0 || res.DiscoveryMs > 5000 {
+		t.Errorf("implausible discovery time %gms", res.DiscoveryMs)
+	}
+	t.Logf("joiner took %.0f%% of post-join allocations, discovered in %.0fms",
+		100*res.JoinerShare, res.DiscoveryMs)
+}
+
+func TestChurnRejectsBadOptions(t *testing.T) {
+	if _, err := Churn(ChurnOptions{}); err == nil {
+		t.Error("zero-node churn accepted")
+	}
+}

@@ -199,6 +199,12 @@ func figure7Run(opt Figure7Options, ds *cluster.Dataset, templates []cluster.Que
 	}
 	wg.Wait()
 	run := Figure7Run{Interarrival: gap, Mechanism: mech, PerNode: make([]int, opt.Nodes)}
+	// Outcomes name nodes by stable membership ID; map them back onto
+	// the figure's positional axes.
+	nodeIndex := make(map[string]int, opt.Nodes)
+	for i, n := range nodes {
+		nodeIndex[n.ID()] = i
+	}
 	var assign, total, exec float64
 	for _, out := range outcomes {
 		if out.Err != nil {
@@ -209,8 +215,8 @@ func figure7Run(opt Figure7Options, ds *cluster.Dataset, templates []cluster.Que
 		assign += out.AssignMs
 		total += out.TotalMs
 		exec += out.ExecMs
-		if out.Node >= 0 && out.Node < opt.Nodes {
-			run.PerNode[out.Node]++
+		if i, ok := nodeIndex[out.Node]; ok {
+			run.PerNode[i]++
 		}
 	}
 	if run.Completed > 0 {

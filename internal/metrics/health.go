@@ -28,6 +28,17 @@ const (
 	CheckpointsTotal = "checkpoints_total"
 	// CheckpointAgeMs is the time since the node last checkpointed.
 	CheckpointAgeMs = "checkpoint_age_ms"
+	// GossipRoundsTotal counts membership gossip rounds run.
+	GossipRoundsTotal = "gossip_rounds_total"
+	// GossipFailuresTotal counts gossip exchanges that failed at the
+	// transport (peer unreachable or timed out).
+	GossipFailuresTotal = "gossip_failures_total"
+	// MembershipEvictionsTotal counts members the local failure
+	// detector moved suspect -> dead.
+	MembershipEvictionsTotal = "membership_evictions_total"
+	// MembersLive is the current live-view size (alive + suspect),
+	// including the node itself.
+	MembersLive = "members_live"
 )
 
 // Health is a concurrency-safe named counter/gauge set for

@@ -28,6 +28,7 @@ import (
 	"github.com/qamarket/qamarket/internal/costmodel"
 	"github.com/qamarket/qamarket/internal/economics"
 	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/membership"
 	"github.com/qamarket/qamarket/internal/metrics"
 	"github.com/qamarket/qamarket/internal/qtrade"
 	"github.com/qamarket/qamarket/internal/sim"
@@ -158,6 +159,12 @@ type (
 	Distributor = cluster.Distributor
 	// DistOutcome describes one distributed evaluation.
 	DistOutcome = cluster.DistOutcome
+	// Member is one gossiped membership row (a federation node's
+	// identity, address, liveness state, and catalog advertisement).
+	Member = membership.Member
+	// MemberInfo is one row of a client's membership view, including
+	// the client-side breaker state.
+	MemberInfo = cluster.MemberInfo
 )
 
 // OpenDB creates an empty embedded database.
