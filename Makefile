@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke ci
+.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke ci
 
 all: build test
 
@@ -41,4 +41,11 @@ loadsmoke:
 membersmoke:
 	$(GO) run ./cmd/membersmoke
 
-ci: build vet test race benchsmoke loadsmoke membersmoke
+# tracesmoke runs one traced query through a 2-node federation and
+# asserts the assembled cross-process span tree (client run/negotiate/
+# execute over server solve/queue/exec) plus the winner's Prometheus
+# exposition.
+tracesmoke:
+	$(GO) run ./cmd/tracesmoke
+
+ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke

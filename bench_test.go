@@ -19,6 +19,7 @@ import (
 	"github.com/qamarket/qamarket/internal/experiments"
 	"github.com/qamarket/qamarket/internal/market"
 	"github.com/qamarket/qamarket/internal/sim"
+	"github.com/qamarket/qamarket/internal/trace"
 	"github.com/qamarket/qamarket/internal/vector"
 	"github.com/qamarket/qamarket/internal/workload"
 )
@@ -546,4 +547,31 @@ func formatFloat(prefix string, v float64) string {
 
 func formatInt(prefix string, v int64) string {
 	return prefix + "=" + strconv.FormatInt(v, 10)
+}
+
+// BenchmarkTraceOverhead guards the cost of the query-lifecycle
+// tracing hot path: one start/annotate/finish span cycle per
+// iteration, with the recorder disabled (nil — what untraced queries
+// pay) and enabled (ring-buffer write). The deterministic allocation
+// budget lives in internal/trace's tests; this keeps the ns/op in the
+// tracked benchmark trajectory.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		var r *trace.Recorder
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := r.Start(int64(i), "", "exec")
+			sp.Annotate("rows=%d", i)
+			sp.Finish()
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		r := trace.NewRecorder("bench", trace.DefaultCapacity, time.Now)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := r.Start(int64(i), "", "exec")
+			sp.Annotate("rows=%d", i)
+			sp.Finish()
+		}
+	})
 }

@@ -69,6 +69,53 @@ type report struct {
 	Qabench     qabenchTiming    `json:"qabench"`
 	Transport   transportTiming  `json:"transport"`
 	Membership  membershipTiming `json:"membership"`
+	// Trajectory is the run history: one headline row per `make bench`,
+	// oldest first. The snapshot fields above always describe the latest
+	// run; earlier runs used to be overwritten, losing the trajectory
+	// the file is named for.
+	Trajectory []trajectoryEntry `json:"trajectory"`
+}
+
+// trajectoryEntry is one run's headline numbers, compact enough to
+// accumulate across the repo's whole history.
+type trajectoryEntry struct {
+	GeneratedAt      string  `json:"generated_at"`
+	GoVersion        string  `json:"go_version"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Benchmarks       int     `json:"benchmarks"`
+	QabenchSpeedup   float64 `json:"qabench_speedup"`
+	TransportSpeedup float64 `json:"transport_speedup"`
+	JoinRounds       int     `json:"join_rounds"`
+	EvictRounds      int     `json:"evict_rounds"`
+}
+
+// entryOf compresses a report into its trajectory row.
+func entryOf(r *report) trajectoryEntry {
+	return trajectoryEntry{
+		GeneratedAt:      r.GeneratedAt,
+		GoVersion:        r.GoVersion,
+		GOMAXPROCS:       r.GOMAXPROCS,
+		Benchmarks:       len(r.Benchmarks),
+		QabenchSpeedup:   r.Qabench.Speedup,
+		TransportSpeedup: r.Transport.Speedup,
+		JoinRounds:       r.Membership.JoinRounds,
+		EvictRounds:      r.Membership.EvictRounds,
+	}
+}
+
+// mergeTrajectory appends the current run to the history found in the
+// previous report file. A pre-trajectory snapshot (older file layout)
+// is not lost: its headline numbers are synthesized into the first
+// row. Unreadable or absent previous content starts a fresh history.
+func mergeTrajectory(prev []byte, cur *report) []trajectoryEntry {
+	var old report
+	if err := json.Unmarshal(prev, &old); err == nil {
+		if len(old.Trajectory) == 0 && old.GeneratedAt != "" {
+			old.Trajectory = []trajectoryEntry{entryOf(&old)}
+		}
+		return append(old.Trajectory, entryOf(cur))
+	}
+	return []trajectoryEntry{entryOf(cur)}
 }
 
 // benchLine matches `go test -bench` output rows, with or without the
@@ -79,7 +126,11 @@ var benchLine = regexp.MustCompile(
 func main() {
 	out := flag.String("out", "BENCH_qamarket.json", "output path for the benchmark report")
 	quick := flag.Bool("quick", false, "run every bench at -benchtime=1x (CI smoke; noisier numbers)")
+	stamp := flag.String("timestamp", "", "RFC3339 generated_at stamp (empty: now); measurement code never reads the clock for it")
 	flag.Parse()
+	if *stamp == "" {
+		*stamp = time.Now().UTC().Format(time.RFC3339)
+	}
 
 	var entries []benchEntry
 	// The figure/table regenerations take seconds per iteration; a single
@@ -98,7 +149,7 @@ func main() {
 		microTime = "1x"
 	}
 	micro, err := runBench(
-		`^(BenchmarkDesimEngine|BenchmarkSimDispatch|BenchmarkExactSolver|BenchmarkAgentPeriod|BenchmarkSupplySolvers)$`,
+		`^(BenchmarkDesimEngine|BenchmarkSimDispatch|BenchmarkExactSolver|BenchmarkAgentPeriod|BenchmarkSupplySolvers|BenchmarkTraceOverhead)$`,
 		microTime)
 	if err != nil {
 		fatal(err)
@@ -138,7 +189,7 @@ func main() {
 	}
 
 	r := report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GeneratedAt: *stamp,
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Benchmarks:  entries,
@@ -149,6 +200,8 @@ func main() {
 			JoinRounds: conv.JoinRounds, EvictRounds: conv.EvictRounds,
 		},
 	}
+	prev, _ := os.ReadFile(*out)
+	r.Trajectory = mergeTrajectory(prev, &r)
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -156,9 +209,9 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx, membership join/evict %d/%d rounds on GOMAXPROCS=%d)\n",
+	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx, membership join/evict %d/%d rounds, %d trajectory rows on GOMAXPROCS=%d)\n",
 		*out, len(entries), r.Qabench.Speedup, r.Transport.Speedup,
-		r.Membership.JoinRounds, r.Membership.EvictRounds, r.GOMAXPROCS)
+		r.Membership.JoinRounds, r.Membership.EvictRounds, len(r.Trajectory), r.GOMAXPROCS)
 }
 
 // runBench executes `go test -bench` in the repo root and parses the

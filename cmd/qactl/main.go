@@ -7,6 +7,8 @@
 //	qactl -nodes 127.0.0.1:7001,127.0.0.1:7002 -sql "SELECT COUNT(*) FROM t00"
 //	qactl -nodes ... -mechanism qa-nt -stats n-1a2b3c4d
 //	qactl -nodes ... -members
+//	qactl -nodes ... -sql "SELECT * FROM t00" -trace 7   # run traced, print span tree
+//	qactl -nodes ... -trace 7                            # assemble spans already retained
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"github.com/qamarket/qamarket/internal/cluster"
+	"github.com/qamarket/qamarket/internal/trace"
 )
 
 func main() {
@@ -33,12 +36,17 @@ func main() {
 		refresh   = flag.Duration("refresh", 0, "membership view refresh period (0 = static seed view)")
 		transport = flag.String("transport", "pooled", "rpc transport: pooled | fresh")
 		hist      = flag.Bool("hist", false, "print per-op RPC latency histograms after the run")
+		traceID   = flag.Int64("trace", 0, "trace ID: with -sql, run the query traced under this ID; alone, assemble and print the federation's retained spans for it")
 	)
 	flag.Parse()
 
 	addrs := strings.Split(*nodeList, ",")
 	if len(addrs) == 1 && addrs[0] == "" {
 		die(fmt.Errorf("no -nodes given"))
+	}
+	var tracer *trace.Recorder
+	if *traceID != 0 {
+		tracer = trace.NewRecorder("client", 0, nil)
 	}
 	client, err := cluster.NewClient(cluster.ClientConfig{
 		Addrs:       addrs,
@@ -47,6 +55,7 @@ func main() {
 		Timeout:     30 * time.Second,
 		Transport:   cluster.Transport(*transport),
 		ViewRefresh: *refresh,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		die(err)
@@ -71,10 +80,22 @@ func main() {
 		return
 	}
 	if *sql == "" {
+		if *traceID != 0 {
+			// Assemble whatever the federation still retains for the ID:
+			// the trace was recorded by an earlier traced run.
+			fmt.Print(trace.RenderTree(client.TraceSpans(*traceID)))
+			return
+		}
 		die(fmt.Errorf("no -sql given"))
 	}
 	for i := 0; i < *repeat; i++ {
-		out := client.Run(int64(i), *sql)
+		qid := int64(i)
+		if *traceID != 0 {
+			// A traced run keeps one trace ID across repeats so the
+			// assembled tree shows every round under distinct run roots.
+			qid = *traceID
+		}
+		out := client.Run(qid, *sql)
 		if out.Err != nil {
 			die(out.Err)
 		}
@@ -83,6 +104,9 @@ func main() {
 		if *gap > 0 && i+1 < *repeat {
 			time.Sleep(*gap)
 		}
+	}
+	if *traceID != 0 {
+		fmt.Print(trace.RenderTree(client.TraceSpans(*traceID)))
 	}
 	if *hist {
 		printLatencies(client)

@@ -31,6 +31,7 @@ import (
 	"github.com/qamarket/qamarket/internal/cluster"
 	"github.com/qamarket/qamarket/internal/market"
 	"github.com/qamarket/qamarket/internal/metrics"
+	"github.com/qamarket/qamarket/internal/trace"
 )
 
 type options struct {
@@ -51,6 +52,7 @@ type options struct {
 	msPerCost float64
 	sql       string
 	jsonOut   bool
+	trace     bool
 }
 
 // loadReport is qaload's result, printed as text or JSON (-json); the
@@ -68,6 +70,10 @@ type loadReport struct {
 	TotalMs   metrics.HistSummary            `json:"total_ms"`
 	AssignMs  metrics.HistSummary            `json:"assign_ms"`
 	RPC       map[string]metrics.HistSummary `json:"rpc"`
+	// Phases breaks query latency down by lifecycle span name
+	// (run/negotiate/execute), aggregated from the client-side tracer
+	// when -trace is on.
+	Phases map[string]metrics.HistSummary `json:"phases,omitempty"`
 }
 
 func main() {
@@ -89,6 +95,7 @@ func main() {
 	flag.Float64Var(&o.msPerCost, "mspercost", 0.002, "self-hosted node speed (ms per plan cost unit)")
 	flag.StringVar(&o.sql, "sql", "", "fixed query instead of a generated mix (required with -nodes)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON")
+	flag.BoolVar(&o.trace, "trace", false, "record client-side lifecycle spans and report a per-phase latency breakdown")
 	flag.Parse()
 
 	rep, err := run(&o)
@@ -167,6 +174,17 @@ func run(o *options) (*loadReport, error) {
 		}
 	}
 
+	var tracer *trace.Recorder
+	if o.trace {
+		// Every query gets a unique ID, so spans group cleanly by name;
+		// size the ring for a few spans per query so closed runs keep
+		// them all.
+		capacity := 8 * o.queries
+		if capacity < trace.DefaultCapacity {
+			capacity = trace.DefaultCapacity
+		}
+		tracer = trace.NewRecorder("client", capacity, nil)
+	}
 	client, err := cluster.NewClient(cluster.ClientConfig{
 		Addrs:     addrs,
 		Mechanism: cluster.Mechanism(o.mechanism),
@@ -174,6 +192,7 @@ func run(o *options) (*loadReport, error) {
 		Timeout:   30 * time.Second,
 		Transport: cluster.Transport(o.transport),
 		PoolSize:  o.poolSize,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -257,7 +276,32 @@ func run(o *options) (*loadReport, error) {
 	rep.TotalMs = totalHist.Summary()
 	rep.AssignMs = assignHist.Summary()
 	rep.RPC = client.OpLatencies()
+	if tracer != nil {
+		rep.Phases = phaseBreakdown(tracer.All())
+	}
 	return rep, nil
+}
+
+// phaseBreakdown folds recorded lifecycle spans into one latency
+// histogram per phase name (run, negotiate, execute, ...), the
+// span-level counterpart to the RPC histograms: RPC measures the wire
+// call, phases measure the whole lifecycle step including retries and
+// local work.
+func phaseBreakdown(spans []trace.Span) map[string]metrics.HistSummary {
+	hists := make(map[string]*metrics.Histogram)
+	for _, s := range spans {
+		h := hists[s.Name]
+		if h == nil {
+			h = metrics.NewHistogram()
+			hists[s.Name] = h
+		}
+		h.Observe(s.DurMs)
+	}
+	out := make(map[string]metrics.HistSummary, len(hists))
+	for name, h := range hists {
+		out[name] = h.Summary()
+	}
+	return out
 }
 
 func printReport(r *loadReport) {
@@ -272,5 +316,13 @@ func printReport(r *loadReport) {
 	sort.Strings(ops)
 	for _, op := range ops {
 		fmt.Printf("  rpc %-9s %s\n", op, r.RPC[op])
+	}
+	phases := make([]string, 0, len(r.Phases))
+	for ph := range r.Phases {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	for _, ph := range phases {
+		fmt.Printf("  phase %-9s %s\n", ph, r.Phases[ph])
 	}
 }

@@ -13,6 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +49,7 @@ func main() {
 		gossipFanout = flag.Int("gossip-fanout", 2, "live peers contacted per gossip round")
 		suspectAfter = flag.Int("suspect-after", 3, "stalled gossip rounds before a member is suspected")
 		evictAfter   = flag.Int("evict-after", 3, "further stalled rounds before a suspect is evicted")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus /debug/pprof); empty disables")
 	)
 	flag.Parse()
 
@@ -95,6 +99,27 @@ func main() {
 			die(err)
 		}
 	}
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			die(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", node.MetricsHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		metricsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := metricsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "qanode: metrics server:", err)
+			}
+		}()
+		fmt.Printf("qanode: metrics on http://%s/metrics\n", ln.Addr())
+	}
 	fmt.Printf("qanode: %s serving on %s (%d tables, %d views)\n",
 		node.ID(), node.Addr(), len(db.Tables()), len(db.Views()))
 	if seeds := splitSeeds(*join); len(seeds) > 0 {
@@ -105,6 +130,9 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Printf("qanode: draining (budget %v)\n", *drainBudget)
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	if err := node.Close(); err != nil {
 		die(err)
 	}

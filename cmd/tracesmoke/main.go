@@ -1,0 +1,148 @@
+// Command tracesmoke is the observability smoke test `make ci` runs:
+// it stands up an in-process 2-node federation over localhost TCP,
+// runs one traced query, assembles the cross-process span tree from
+// the client and both server rings, and asserts the full lifecycle is
+// present — client run/negotiate/execute spans with the servers'
+// solve/queue/exec spans parented under them across the wire. It also
+// scrapes one node's Prometheus exposition and checks the market
+// telemetry made it out.
+//
+// Exit status 0 means every assertion held; any failure prints the
+// offending tree or scrape and exits 1.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/cluster"
+	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/trace"
+)
+
+func main() {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(17))
+	ds, err := cluster.GenerateDataset(cluster.DatasetParams{
+		Nodes: 2, Tables: 4, Views: 6, RowsPerTable: 40,
+		MinCopies: 2, MaxCopies: 2,
+	}, rng)
+	if err != nil {
+		die("dataset: %v", err)
+	}
+	var nodes []*cluster.Node
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		n, err := cluster.StartNode("127.0.0.1:0", cluster.NodeConfig{
+			DB:            ds.DBs[i],
+			Slowdown:      1 + float64(i),
+			MsPerCostUnit: 0.01,
+			PeriodMs:      25,
+			Market:        market.DefaultConfig(1),
+		})
+		if err != nil {
+			die("node %d: %v", i, err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+		addrs = append(addrs, n.Addr())
+	}
+
+	tracer := trace.NewRecorder("client", 0, nil)
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Addrs:     addrs,
+		Mechanism: cluster.MechQANT,
+		PeriodMs:  25,
+		Timeout:   5 * time.Second,
+		Tracer:    tracer,
+	})
+	if err != nil {
+		die("client: %v", err)
+	}
+	defer client.Close()
+
+	const qid = 7
+	out := client.Run(qid, "SELECT * FROM "+ds.Relations[0])
+	if out.Err != nil {
+		die("traced query: %v", out.Err)
+	}
+
+	spans := client.TraceSpans(qid)
+	byName := map[string]int{}
+	parents := map[string]trace.Span{}
+	for _, s := range spans {
+		byName[s.Name]++
+		parents[s.ID] = s
+	}
+	rendered := trace.RenderTree(spans)
+	for _, want := range []string{"run", "negotiate", "execute", "solve", "queue", "exec"} {
+		if byName[want] == 0 {
+			fmt.Fprint(os.Stderr, rendered)
+			die("span tree has no %q span (%d spans total)", want, len(spans))
+		}
+	}
+	// Both nodes answered the call-for-proposals; the winner executed.
+	if byName["solve"] != 2 {
+		fmt.Fprint(os.Stderr, rendered)
+		die("want 2 solve spans (one per node), got %d", byName["solve"])
+	}
+	clientSpans, serverSpans := 0, 0
+	crossLinks := 0
+	for _, s := range spans {
+		if s.Origin == "client" {
+			clientSpans++
+		} else {
+			serverSpans++
+			if p, ok := parents[s.Parent]; ok && p.Origin == "client" {
+				crossLinks++
+			}
+		}
+	}
+	if clientSpans == 0 || serverSpans == 0 {
+		fmt.Fprint(os.Stderr, rendered)
+		die("tree not cross-process: %d client spans, %d server spans", clientSpans, serverSpans)
+	}
+	if crossLinks == 0 {
+		fmt.Fprint(os.Stderr, rendered)
+		die("no server span parents under a client span")
+	}
+
+	// The exposition endpoint must render the executed query and the
+	// market telemetry for the node that won the allocation.
+	var winner *cluster.Node
+	for _, n := range nodes {
+		if n.ID() == out.Node {
+			winner = n
+		}
+	}
+	if winner == nil {
+		die("winning node %s not found", out.Node)
+	}
+	rec := httptest.NewRecorder()
+	winner.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	scrape := rec.Body.String()
+	for _, want := range []string{
+		"qa_queries_executed_total",
+		"qa_op_handle_ms_bucket",
+		"qa_market_price{",
+		"qa_market_offers_total",
+	} {
+		if !strings.Contains(scrape, want) {
+			fmt.Fprint(os.Stderr, scrape)
+			die("exposition missing %q", want)
+		}
+	}
+
+	fmt.Printf("tracesmoke: OK — %d spans (%d client, %d server, %d cross-process links) in %v\n",
+		len(spans), clientSpans, serverSpans, crossLinks, time.Since(start).Round(time.Millisecond))
+	fmt.Print(rendered)
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/qamarket/qamarket/internal/metrics"
+	"github.com/qamarket/qamarket/internal/trace"
 )
 
 // ClientConfig parameterizes a federation client.
@@ -65,6 +66,18 @@ type ClientConfig struct {
 	// node answering with a draining reply is pruned immediately. Zero
 	// keeps the static seed view.
 	ViewRefresh time.Duration
+	// Jitter is the RNG behind retry-backoff jitter. Backoff used to
+	// draw from the unseeded global rand, which made retry schedules
+	// unreproducible and immune to the repo's seeded-determinism
+	// policy; now tests inject a seeded source and get identical
+	// schedules. Nil defaults to a time-seeded private source. The
+	// client serializes access; the source need not be concurrency-safe.
+	Jitter *rand.Rand
+	// Tracer, when set, records client-side query-lifecycle spans
+	// (run/negotiate/execute/fetch) and stamps traced requests with a
+	// wire trace context so server spans parent under them. Nil
+	// disables tracing at zero cost beyond a nil check.
+	Tracer *trace.Recorder
 }
 
 func (c *ClientConfig) validate() error {
@@ -116,6 +129,9 @@ func (c *ClientConfig) validate() error {
 	}
 	if c.ViewRefresh < 0 {
 		return fmt.Errorf("cluster: ViewRefresh %v is negative", c.ViewRefresh)
+	}
+	if c.Jitter == nil {
+		c.Jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 	return nil
 }
@@ -209,6 +225,10 @@ type Client struct {
 	view       map[string]*nodeState
 	removedInc map[string]uint64
 	retired    []*nodeTransport
+
+	// jitterMu serializes the backoff RNG (rand.Rand is not
+	// concurrency-safe and concurrent Runs may back off together).
+	jitterMu sync.Mutex
 
 	stopRefresh chan struct{}
 	refreshWG   sync.WaitGroup
@@ -383,6 +403,26 @@ var errBreakerOpen = errors.New("breaker open")
 // errDraining marks a node that answered with a typed draining reply.
 var errDraining = errors.New("draining")
 
+// startSpan opens a client-side span when tracing is on; nil otherwise
+// (a nil *trace.Active no-ops everywhere).
+func (c *Client) startSpan(traceID int64, parent, name string) *trace.Active {
+	if c.cfg.Tracer == nil {
+		return nil
+	}
+	return c.cfg.Tracer.Start(traceID, parent, name)
+}
+
+// childCtx derives the wire trace context requests under sp should
+// carry. With tracing off locally (sp == nil) the caller's context is
+// forwarded unchanged, so a relay without its own recorder still links
+// server spans into the trace.
+func childCtx(tc *traceCtx, sp *trace.Active) *traceCtx {
+	if tc == nil || sp == nil {
+		return tc
+	}
+	return &traceCtx{V: traceV, ID: tc.ID, Span: sp.ID()}
+}
+
 // Run evaluates one query: negotiate with every node in the live view
 // (waiting for all replies, as the paper's implementation did), send it
 // to the best offer, and return the outcome. Refusals and transient
@@ -392,9 +432,20 @@ var errDraining = errors.New("draining")
 func (c *Client) Run(queryID int64, sql string) Outcome {
 	start := time.Now()
 	out := Outcome{QueryID: queryID, Submitted: start}
+	root := c.startSpan(queryID, "", "run")
+	tc := childCtx(&traceCtx{V: traceV, ID: queryID}, root)
+	if root == nil {
+		tc = nil // tracing off: requests stay id-less on the wire
+	}
 	finish := func(err error) Outcome {
 		out.Err = err
 		out.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+		if err != nil {
+			root.Annotate("error: %v", err)
+		} else {
+			root.Annotate("node=%s retries=%d", out.Node, out.Retries)
+		}
+		root.Finish()
 		return out
 	}
 	noteRetry := func() {
@@ -408,7 +459,7 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 	// QA-NT price dynamics are untouched by the resilience layer.
 	unreachableRounds := 0
 	for attempt := 0; ; attempt++ {
-		ns, assignDur, err := c.negotiateAll(sql)
+		ns, assignDur, err := c.negotiateAll(sql, tc)
 		out.AssignMs += float64(assignDur) / float64(time.Millisecond)
 		if err != nil {
 			// Whole federation unreachable this round: transient until
@@ -432,7 +483,7 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 			c.sleepBackoff(0)
 			continue
 		}
-		rep, retryable, err := c.executeOn(ns, queryID, sql)
+		rep, retryable, err := c.executeOn(ns, queryID, sql, tc)
 		if err != nil {
 			if !retryable {
 				return finish(err)
@@ -477,7 +528,9 @@ func (c *Client) backoffDelay(round int) time.Duration {
 	if target > ceil || math.IsInf(target, 1) {
 		target = ceil
 	}
-	jitter := 0.5 + 0.5*rand.Float64()
+	c.jitterMu.Lock()
+	jitter := 0.5 + 0.5*c.cfg.Jitter.Float64()
+	c.jitterMu.Unlock()
 	return time.Duration(target * jitter * float64(time.Millisecond))
 }
 
@@ -485,8 +538,14 @@ func (c *Client) backoffDelay(round int) time.Duration {
 // view and picks the node with the earliest estimated completion among
 // those offering. It returns nil when no node offers, and an aggregate
 // error naming every node's failure when none is reachable.
-func (c *Client) negotiateAll(sql string) (*nodeState, time.Duration, error) {
+func (c *Client) negotiateAll(sql string, tc *traceCtx) (*nodeState, time.Duration, error) {
 	start := time.Now()
+	var sp *trace.Active
+	if tc != nil {
+		sp = c.startSpan(tc.ID, tc.Span, "negotiate")
+		defer sp.Finish()
+		tc = childCtx(tc, sp)
+	}
 	members := c.nodes()
 	if len(members) == 0 {
 		return nil, 0, errors.New("cluster: membership view is empty")
@@ -503,7 +562,7 @@ func (c *Client) negotiateAll(sql string) (*nodeState, time.Duration, error) {
 		go func(i int, ns *nodeState) {
 			defer wg.Done()
 			var rep reply
-			err := c.rpcOn(ns, &request{Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism}, &rep, c.cfg.Timeout)
+			err := c.rpcOn(ns, &request{Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism, Trace: tc}, &rep, c.cfg.Timeout)
 			switch {
 			case err != nil:
 				ns.breaker.failure()
@@ -546,7 +605,13 @@ func (c *Client) negotiateAll(sql string) (*nodeState, time.Duration, error) {
 		}
 	}
 	if !reachable {
+		sp.Annotate("no node reachable")
 		return nil, elapsed, aggregateNodeErrors(members, errs)
+	}
+	if bestNode != nil {
+		sp.Annotate("winner=%s of %d nodes", bestNode.nodeID(), len(members))
+	} else {
+		sp.Annotate("no offer from %d nodes", len(members))
 	}
 	return bestNode, elapsed, nil
 }
@@ -604,10 +669,17 @@ func aggregateNodeErrors(members []*nodeState, errs []error) error {
 // executeOn dispatches the query to the chosen node. retryable reports
 // whether a failure left the query unexecuted (transport loss, node
 // draining or stopping), in which case the caller may renegotiate it.
-func (c *Client) executeOn(ns *nodeState, queryID int64, sql string) (*executeReply, bool, error) {
+func (c *Client) executeOn(ns *nodeState, queryID int64, sql string, tc *traceCtx) (*executeReply, bool, error) {
+	var sp *trace.Active
+	if tc != nil {
+		sp = c.startSpan(tc.ID, tc.Span, "execute")
+		sp.Annotate("node=%s", ns.nodeID())
+		defer sp.Finish()
+		tc = childCtx(tc, sp)
+	}
 	var rep reply
 	err := c.rpcOn(ns, &request{
-		Op: "execute", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism,
+		Op: "execute", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism, Trace: tc,
 	}, &rep, c.cfg.execTimeout())
 	if err != nil {
 		ns.breaker.failure()
@@ -759,14 +831,51 @@ func (c *Client) Stats(node string) (*NodeStats, error) {
 	return rep.Stats, nil
 }
 
+// TraceSpans assembles one trace's spans from across the federation:
+// the client's own recorder plus every reachable node's span ring,
+// collected via the "spans" op. Unreachable nodes (and old nodes that
+// answer the unknown op with an error) are skipped — a lossy
+// collection still renders, with orphaned spans becoming tree roots.
+func (c *Client) TraceSpans(traceID int64) []trace.Span {
+	members := c.nodes()
+	collected := make([][]trace.Span, len(members))
+	var wg sync.WaitGroup
+	for i, ns := range members {
+		wg.Add(1)
+		go func(i int, ns *nodeState) {
+			defer wg.Done()
+			var rep reply
+			if err := c.rpcOn(ns, &request{Op: "spans", QueryID: traceID}, &rep, c.cfg.Timeout); err != nil {
+				return
+			}
+			if rep.Err == "" && rep.Spans != nil {
+				collected[i] = rep.Spans.Spans
+			}
+		}(i, ns)
+	}
+	wg.Wait()
+	out := c.cfg.Tracer.Spans(traceID)
+	for _, spans := range collected {
+		out = append(out, spans...)
+	}
+	return out
+}
+
 // fetchOn dispatches a fetch (execute + result shipping) to the chosen
 // node, advertising the compact row encoding. Same retryable semantics
 // as executeOn: a transport loss, drain, or hard stop leaves the query
 // unexecuted and the caller may renegotiate it elsewhere.
-func (c *Client) fetchOn(ns *nodeState, queryID int64, sql string) (*fetchReply, bool, error) {
+func (c *Client) fetchOn(ns *nodeState, queryID int64, sql string, tc *traceCtx) (*fetchReply, bool, error) {
+	var sp *trace.Active
+	if tc != nil {
+		sp = c.startSpan(tc.ID, tc.Span, "fetch")
+		sp.Annotate("node=%s", ns.nodeID())
+		defer sp.Finish()
+		tc = childCtx(tc, sp)
+	}
 	var rep reply
 	err := c.rpcOn(ns, &request{
-		Op: "fetch", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism, Enc: encCompact,
+		Op: "fetch", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism, Enc: encCompact, Trace: tc,
 	}, &rep, c.cfg.execTimeout())
 	if err != nil {
 		ns.breaker.failure()

@@ -295,7 +295,7 @@ func TestHistoryEstimatorConverges(t *testing.T) {
 	}
 	sql := templates[0].Instantiate(rng)
 	// First negotiation: estimate comes from the plan cost.
-	n1, _, err := client.negotiateAll(sql)
+	n1, _, err := client.negotiateAll(sql, nil)
 	if err != nil || n1 == nil {
 		t.Fatalf("negotiate: node=%v err=%v", n1, err)
 	}
@@ -332,7 +332,7 @@ func TestLinkLatencySlowsNegotiation(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	if _, _, err := client.negotiateAll("SELECT a FROM t"); err != nil {
+	if _, _, err := client.negotiateAll("SELECT a FROM t", nil); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {

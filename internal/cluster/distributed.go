@@ -57,14 +57,20 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 		return DistOutcome{}, errors.New("cluster: distributor handles SELECT only")
 	}
 	out := DistOutcome{PerNode: make(map[string]int)}
+	root := d.client.startSpan(queryID, "", "run")
+	tc := childCtx(&traceCtx{V: traceV, ID: queryID}, root)
+	if root == nil {
+		tc = nil
+	}
+	defer root.Finish()
 
 	// Fast path: some node can run the whole query.
-	node, _, err := d.client.negotiateAll(sql)
+	node, _, err := d.client.negotiateAll(sql, tc)
 	if err == nil && node != nil {
 		if d.afterNegotiate != nil {
 			d.afterNegotiate(node.nodeID(), sql)
 		}
-		fr, _, ferr := d.client.fetchOn(node, queryID, sql)
+		fr, _, ferr := d.client.fetchOn(node, queryID, sql, tc)
 		if ferr == nil && fr.Accepted {
 			rows, derr := fr.rows()
 			if derr != nil {
@@ -86,7 +92,7 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 	for i, ref := range sel.From {
 		name := ref.Name()
 		sub := buildSubquery(ref, pushed[i])
-		frNode, fr, err := d.allocateFetch(queryID, sub)
+		frNode, fr, err := d.allocateFetch(queryID, sub, tc)
 		if err != nil {
 			return DistOutcome{}, fmt.Errorf("cluster: subquery for %s: %w", name, err)
 		}
@@ -119,9 +125,9 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 // retryable fetch failure (transport loss, node draining or stopping —
 // the query never ran) renegotiates the subquery elsewhere; the
 // breaker fetchOn tripped keeps the dead node out of the next round.
-func (d *Distributor) allocateFetch(queryID int64, sql string) (*nodeState, *fetchReply, error) {
+func (d *Distributor) allocateFetch(queryID int64, sql string, tc *traceCtx) (*nodeState, *fetchReply, error) {
 	for attempt := 0; attempt <= d.client.cfg.MaxRetries; attempt++ {
-		node, _, err := d.client.negotiateAll(sql)
+		node, _, err := d.client.negotiateAll(sql, tc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -132,7 +138,7 @@ func (d *Distributor) allocateFetch(queryID int64, sql string) (*nodeState, *fet
 		if d.afterNegotiate != nil {
 			d.afterNegotiate(node.nodeID(), sql)
 		}
-		fr, retryable, err := d.client.fetchOn(node, queryID, sql)
+		fr, retryable, err := d.client.fetchOn(node, queryID, sql, tc)
 		if err != nil {
 			if !retryable {
 				return nil, nil, err

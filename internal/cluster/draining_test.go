@@ -56,12 +56,12 @@ func TestDrainingTripsBreakerOnEveryOp(t *testing.T) {
 		call func(t *testing.T, c *Client)
 	}{
 		{"negotiate", func(t *testing.T, c *Client) {
-			if _, _, err := c.negotiateAll("SELECT 1 FROM t"); err == nil {
+			if _, _, err := c.negotiateAll("SELECT 1 FROM t", nil); err == nil {
 				t.Fatal("negotiateAll against draining node succeeded")
 			}
 		}},
 		{"execute", func(t *testing.T, c *Client) {
-			_, retryable, err := c.executeOn(c.nodes()[0], 1, "SELECT 1 FROM t")
+			_, retryable, err := c.executeOn(c.nodes()[0], 1, "SELECT 1 FROM t", nil)
 			if err == nil || !retryable {
 				t.Fatalf("executeOn = retryable %v, err %v; want retryable draining error", retryable, err)
 			}
@@ -70,7 +70,7 @@ func TestDrainingTripsBreakerOnEveryOp(t *testing.T) {
 			}
 		}},
 		{"fetch", func(t *testing.T, c *Client) {
-			_, retryable, err := c.fetchOn(c.nodes()[0], 1, "SELECT 1 FROM t")
+			_, retryable, err := c.fetchOn(c.nodes()[0], 1, "SELECT 1 FROM t", nil)
 			if err == nil || !retryable {
 				t.Fatalf("fetchOn = retryable %v, err %v; want retryable draining error", retryable, err)
 			}

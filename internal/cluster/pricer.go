@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"github.com/qamarket/qamarket/internal/economics"
@@ -178,6 +179,68 @@ func (p *pricer) stats() market.Stats {
 		return market.Stats{}
 	}
 	return p.agent.Stats()
+}
+
+// ClassTelemetry is the observable market state of one query class,
+// keyed by the node's private plan signature.
+type ClassTelemetry struct {
+	Signature string  `json:"signature"`
+	CostMs    float64 `json:"cost_ms"`
+	Price     float64 `json:"price"`
+	Planned   int     `json:"planned"`
+	Remaining int     `json:"remaining"`
+	Accepted  int     `json:"accepted"`
+}
+
+// MarketTelemetry is a per-period snapshot of one node's market state
+// for the exposition layer: every known class with its price and
+// supply picture, plus the agent's lifetime trading counters. Classes
+// are sorted by signature so repeated scrapes render identically.
+type MarketTelemetry struct {
+	// Epoch is the market's age in pricer periods; the Node accessor
+	// stamps it (the pricer itself does not count ticks).
+	Epoch   uint64           `json:"epoch"`
+	Active  bool             `json:"active"`
+	CarryMs float64          `json:"carry_ms"`
+	Classes []ClassTelemetry `json:"classes"`
+	Stats   market.Stats     `json:"stats"`
+}
+
+// telemetry snapshots the pricer's market state. A pricer that has not
+// yet observed any class returns an empty (but non-nil-stats) snapshot.
+func (p *pricer) telemetry() MarketTelemetry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := MarketTelemetry{CarryMs: p.carry}
+	if p.agent == nil {
+		return out
+	}
+	tel := p.agent.Telemetry()
+	out.Active = tel.Active
+	out.Stats = market.Stats{
+		Periods:  tel.Periods,
+		Offers:   tel.Offers,
+		Accepts:  tel.Accepts,
+		Rejects:  tel.Rejects,
+		Unsold:   tel.Unsold,
+		PriceUps: tel.PriceUps,
+		PriceDns: tel.PriceDns,
+	}
+	out.Classes = make([]ClassTelemetry, 0, len(p.classes))
+	for sig, idx := range p.classes {
+		out.Classes = append(out.Classes, ClassTelemetry{
+			Signature: sig,
+			CostMs:    p.costs[idx],
+			Price:     tel.Prices[idx],
+			Planned:   tel.Planned[idx],
+			Remaining: tel.Remaining[idx],
+			Accepted:  tel.Accepted[idx],
+		})
+	}
+	sort.Slice(out.Classes, func(i, j int) bool {
+		return out.Classes[i].Signature < out.Classes[j].Signature
+	})
+	return out
 }
 
 // PricerState is the serializable market state of one node: the

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/qamarket/qamarket/internal/membership"
+	"github.com/qamarket/qamarket/internal/trace"
 )
 
 // Mechanism selects the allocation protocol a client runs.
@@ -51,6 +52,31 @@ type request struct {
 	// back). Versioned like Enc: the payload's V field lets future
 	// table formats coexist with old nodes.
 	Gossip *gossipPayload `json:"gossip,omitempty"`
+	// Trace carries the client's trace context when the query is being
+	// traced. Additive and versioned like Enc and Gossip: old servers
+	// ignore the unknown field (the query still runs, untraced on that
+	// node), and old clients omit it, so mixed fleets interoperate.
+	Trace *traceCtx `json:"trace,omitempty"`
+}
+
+// traceV is the newest trace-context version this build speaks.
+const traceV = 1
+
+// traceCtx links a server's spans into the client's query trace: the
+// trace ID names the traced query, Span is the client-side span that
+// server spans hang under in the assembled tree.
+type traceCtx struct {
+	V    int    `json:"v"`
+	ID   int64  `json:"id"`
+	Span string `json:"span,omitempty"`
+}
+
+// spansReply answers the "spans" op with the node's retained spans for
+// one trace (request.QueryID; zero returns everything in the ring).
+// qactl -trace fans this out to assemble the cross-node span tree.
+type spansReply struct {
+	Origin string       `json:"origin"`
+	Spans  []trace.Span `json:"spans"`
 }
 
 // gossipV is the newest gossip payload version this build speaks. The
@@ -207,6 +233,7 @@ type reply struct {
 	Stats     *NodeStats      `json:"stats,omitempty"`
 	Gossip    *gossipPayload  `json:"gossip,omitempty"`
 	Members   *membersReply   `json:"members,omitempty"`
+	Spans     *spansReply     `json:"spans,omitempty"`
 	Err       string          `json:"error,omitempty"`
 	Code      string          `json:"code,omitempty"`
 	// NodeID stamps every reply with the answering node's stable

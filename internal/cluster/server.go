@@ -17,6 +17,7 @@ import (
 	"github.com/qamarket/qamarket/internal/membership"
 	"github.com/qamarket/qamarket/internal/metrics"
 	"github.com/qamarket/qamarket/internal/sqldb"
+	"github.com/qamarket/qamarket/internal/trace"
 )
 
 // NodeConfig parameterizes one federation server.
@@ -120,9 +121,6 @@ func (c *NodeConfig) validate() error {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
-	if c.NodeID == "" {
-		c.NodeID = fmt.Sprintf("n-%08x", rand.Uint32())
-	}
 	if c.GossipPeriodMs <= 0 {
 		c.GossipPeriodMs = 250
 	}
@@ -140,6 +138,16 @@ type Node struct {
 	health *metrics.Health
 	reg    *membership.Registry
 	epoch  atomic.Uint64 // pricer periods elapsed (the market's age)
+
+	// tracer retains recent query-lifecycle spans in a ring buffer;
+	// qactl -trace collects them via the "spans" op. Spans record only
+	// for requests carrying a trace context, so untraced traffic pays
+	// nothing beyond a nil check.
+	tracer *trace.Recorder
+	// opHist tracks server-side handling latency per op for the
+	// /metrics exposition endpoint.
+	histMu sync.Mutex
+	opHist map[string]*metrics.Histogram
 
 	mu        sync.Mutex
 	backlogMs float64
@@ -166,6 +174,8 @@ type execJob struct {
 	estMs    float64
 	withRows bool          // fetch: ship result rows back
 	result   *sqldb.Result // filled when withRows and no error
+	trace    *traceCtx     // non-nil when the query is being traced
+	queued   time.Time     // when the job entered the executor queue
 }
 
 // historyAlpha is the EMA weight of the newest observation in the
@@ -182,11 +192,16 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
 	}
+	if cfg.NodeID == "" {
+		cfg.NodeID = fallbackNodeID(ln.Addr().String())
+	}
 	n := &Node{
 		cfg:     cfg,
 		ln:      ln,
 		pricer:  newPricer(cfg.Market, float64(cfg.PeriodMs)),
 		health:  metrics.NewHealth(),
+		tracer:  trace.NewRecorder(cfg.NodeID, trace.DefaultCapacity, time.Now),
+		opHist:  make(map[string]*metrics.Histogram),
 		history: make(map[string]float64),
 		conns:   make(map[net.Conn]struct{}),
 		execCh:  make(chan *execJob, 1024),
@@ -222,6 +237,22 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 	go n.periodLoop()
 	go n.gossipLoop()
 	return n, nil
+}
+
+// nodeIDSeq disambiguates fallback NodeIDs minted in one process (tests
+// start many nodes on 127.0.0.1 ephemeral ports).
+var nodeIDSeq atomic.Uint64
+
+// fallbackNodeID derives a NodeID for configs that left it empty. It
+// used to be rand.Uint32() from the unseeded global source, which made
+// node identities — and everything keyed off them, like the per-node
+// membership RNG seed — differ run to run. Hashing the listen address
+// plus a process-local counter is deterministic for a fixed topology
+// and still unique within a process.
+func fallbackNodeID(addr string) string {
+	h := fnv.New32a()
+	h.Write([]byte(addr))
+	return fmt.Sprintf("n-%08x-%d", h.Sum32(), nodeIDSeq.Add(1))
 }
 
 // catalogDigest hashes the sorted relation names a node hosts into the
@@ -559,13 +590,16 @@ func (n *Node) serveConn(conn net.Conn) {
 	}
 }
 
-// handle runs one request through the drain gate and its op handler.
+// handle runs one request through the drain gate and its op handler,
+// recording server-side handling latency per op.
 func (n *Node) handle(req *request) *reply {
+	start := time.Now()
+	defer func() { n.observeOp(req.Op, msSince(start)) }()
 	var rep reply
 	rep.NodeID = n.cfg.NodeID
 	switch {
-	case n.draining.Load() && req.Op != "stats" && req.Op != "gossip" && req.Op != "members":
-		// Stats stay readable during drain for observability, and the
+	case n.draining.Load() && req.Op != "stats" && req.Op != "gossip" && req.Op != "members" && req.Op != "spans":
+		// Stats and spans stay readable during drain for observability, and the
 		// membership ops keep answering so the leave tombstone (and the
 		// final view behind it) can still propagate; every other op
 		// gets the typed refusal the client breaker trips on.
@@ -590,6 +624,8 @@ func (n *Node) handle(req *request) *reply {
 			rep.Gossip = n.handleGossip(req)
 		case "members":
 			rep.Members = n.handleMembers()
+		case "spans":
+			rep.Spans = n.handleSpans(req)
 		default:
 			rep.Err = fmt.Sprintf("unknown op %q", req.Op)
 		}
@@ -613,6 +649,64 @@ func (n *Node) handleGossip(req *request) *gossipPayload {
 // handleMembers serves the node's merged membership view.
 func (n *Node) handleMembers() *membersReply {
 	return &membersReply{Self: n.cfg.NodeID, Members: toWireMembers(n.reg.Members())}
+}
+
+// handleSpans serves the node's retained spans for one trace (or the
+// whole ring when QueryID is zero).
+func (n *Node) handleSpans(req *request) *spansReply {
+	var spans []trace.Span
+	if req.QueryID != 0 {
+		spans = n.tracer.Spans(req.QueryID)
+	} else {
+		spans = n.tracer.All()
+	}
+	return &spansReply{Origin: n.tracer.Origin(), Spans: spans}
+}
+
+// traceStart opens a server-side span under the caller's span for a
+// traced request. Untraced requests get a nil *trace.Active, whose
+// methods are no-ops, so normal traffic pays only this nil check.
+func (n *Node) traceStart(req *request, name string) *trace.Active {
+	if req.Trace == nil || req.Trace.V < 1 {
+		return nil
+	}
+	return n.tracer.Start(req.Trace.ID, req.Trace.Span, name)
+}
+
+// observeOp records one request's server-side handling latency.
+func (n *Node) observeOp(op string, ms float64) {
+	n.histMu.Lock()
+	h, ok := n.opHist[op]
+	if !ok {
+		h = metrics.NewHistogram()
+		n.opHist[op] = h
+	}
+	n.histMu.Unlock()
+	h.Observe(ms)
+}
+
+// opLatencyBuckets snapshots the per-op handling histograms for the
+// exposition endpoint.
+func (n *Node) opLatencyBuckets() map[string]metrics.BucketSnapshot {
+	n.histMu.Lock()
+	defer n.histMu.Unlock()
+	out := make(map[string]metrics.BucketSnapshot, len(n.opHist))
+	for op, h := range n.opHist {
+		out[op] = h.Buckets()
+	}
+	return out
+}
+
+// Epoch returns the market's age in pricer periods.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// MarketTelemetry snapshots the node's per-period market state —
+// per-class prices, the supply picture, and the lifetime trading
+// counters — stamped with the current market epoch.
+func (n *Node) MarketTelemetry() MarketTelemetry {
+	tel := n.pricer.telemetry()
+	tel.Epoch = n.epoch.Load()
+	return tel
 }
 
 // planTargetMs is the node's true baseline execution time for a plan:
@@ -640,9 +734,12 @@ func (n *Node) estimate(sql string) (sig string, estMs float64, fromHistory bool
 }
 
 func (n *Node) negotiate(req *request) negotiateReply {
+	sp := n.traceStart(req, "solve")
+	defer sp.Finish()
 	sig, estMs, fromHistory, err := n.estimate(req.SQL)
 	if err != nil {
 		// Unknown relations (or malformed SQL) mean "cannot evaluate".
+		sp.Annotate("infeasible: %s", err)
 		return negotiateReply{Feasible: false, Err: err.Error()}
 	}
 	if n.cfg.ExplainFraction > 0 && !fromHistory {
@@ -661,6 +758,7 @@ func (n *Node) negotiate(req *request) negotiateReply {
 		queue = n.backlogMs
 		n.mu.Unlock()
 	}
+	sp.Annotate("sig=%s offer=%v est=%.2fms", sig, offer, estMs)
 	return negotiateReply{
 		Feasible:   true,
 		Offer:      offer,
@@ -680,7 +778,8 @@ func (n *Node) execute(req *request) executeReply {
 		// Supply sold out since the offer (another client won the race).
 		return executeReply{Accepted: false}
 	}
-	job := &execJob{sql: req.SQL, reply: make(chan executeReply, 1), estMs: estMs}
+	job := &execJob{sql: req.SQL, reply: make(chan executeReply, 1), estMs: estMs,
+		trace: req.Trace, queued: time.Now()}
 	n.mu.Lock()
 	n.backlogMs += estMs
 	n.mu.Unlock()
@@ -707,7 +806,8 @@ func (n *Node) fetch(req *request) fetchReply {
 	if req.Mechanism == MechQANT && !n.pricer.accept(sig) {
 		return fetchReply{Accepted: false}
 	}
-	job := &execJob{sql: req.SQL, reply: make(chan executeReply, 1), estMs: estMs, withRows: true}
+	job := &execJob{sql: req.SQL, reply: make(chan executeReply, 1), estMs: estMs, withRows: true,
+		trace: req.Trace, queued: time.Now()}
 	n.mu.Lock()
 	n.backlogMs += estMs
 	n.mu.Unlock()
@@ -757,12 +857,14 @@ func (n *Node) runJob(job *execJob) {
 	queued := time.Now()
 	plan, err := n.cfg.DB.Explain(job.sql)
 	if err != nil {
+		n.recordJobError(job, queued, err)
 		n.finishJob(job, executeReply{Err: err.Error()})
 		return
 	}
 	start := time.Now()
 	res, err := n.cfg.DB.Query(job.sql)
 	if err != nil {
+		n.recordJobError(job, queued, err)
 		n.finishJob(job, executeReply{Err: err.Error()})
 		return
 	}
@@ -796,12 +898,33 @@ func (n *Node) runJob(job *execJob) {
 	}
 	n.executed++
 	n.mu.Unlock()
+	if job.trace != nil && job.trace.V >= 1 {
+		// The queue span covers enqueue -> dequeue+plan; the exec span is
+		// the engine run (including the heterogeneity stretch).
+		qstart := job.queued
+		if qstart.IsZero() {
+			qstart = queued
+		}
+		n.tracer.Record(job.trace.ID, job.trace.Span, "queue", qstart,
+			float64(start.Sub(qstart))/float64(time.Millisecond), "")
+		n.tracer.Record(job.trace.ID, job.trace.Span, "exec", start, execMs,
+			fmt.Sprintf("sig=%s rows=%d", sig, len(res.Rows)))
+	}
 	n.finishJob(job, executeReply{
 		Accepted: true,
 		Rows:     len(res.Rows),
 		ExecMs:   execMs,
 		WaitMs:   float64(start.Sub(queued)) / float64(time.Millisecond),
 	})
+}
+
+// recordJobError attaches a failed traced job's exec span so the trace
+// tree shows where the query died.
+func (n *Node) recordJobError(job *execJob, queued time.Time, err error) {
+	if job.trace == nil || job.trace.V < 1 {
+		return
+	}
+	n.tracer.Record(job.trace.ID, job.trace.Span, "exec", queued, msSince(queued), "error: "+err.Error())
 }
 
 func (n *Node) finishJob(job *execJob, rep executeReply) {

@@ -1,6 +1,9 @@
 package metrics
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Canonical health metric names shared by the cluster client and
 // server. Counters end in _total; everything else is a gauge.
@@ -61,10 +64,17 @@ func NewHealth() *Health {
 // Inc adds one to the named counter and returns the new value.
 func (h *Health) Inc(name string) int64 { return h.Add(name, 1) }
 
-// Add adds delta to the named counter and returns the new value.
+// Add adds delta to the named counter and returns the new value. A
+// name already registered as a gauge panics: the two kinds used to
+// merge into one Snapshot map and silently overwrite each other, so a
+// collision is a programming error surfaced at the first write, not a
+// corrupted metric discovered in a dashboard.
 func (h *Health) Add(name string, delta int64) int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if _, clash := h.gauges[name]; clash {
+		panic(fmt.Sprintf("metrics: %q is already registered as a gauge", name))
+	}
 	h.counters[name] += delta
 	return h.counters[name]
 }
@@ -76,15 +86,27 @@ func (h *Health) Counter(name string) int64 {
 	return h.counters[name]
 }
 
-// SetGauge records an instantaneous value.
+// SetGauge records an instantaneous value. A name already registered
+// as a counter panics (see Add).
 func (h *Health) SetGauge(name string, v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if _, clash := h.counters[name]; clash {
+		panic(fmt.Sprintf("metrics: %q is already registered as a counter", name))
+	}
 	h.gauges[name] = v
 }
 
+// Gauge reads the named gauge (0 when never set).
+func (h *Health) Gauge(name string) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.gauges[name]
+}
+
 // Snapshot merges counters and gauges into one map, safe for the
-// caller to mutate. Gauges shadow counters on a name collision.
+// caller to mutate. Registration panics guarantee the two namespaces
+// are disjoint, so the merge cannot drop a metric.
 func (h *Health) Snapshot() map[string]float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -92,6 +114,29 @@ func (h *Health) Snapshot() map[string]float64 {
 	for k, v := range h.counters {
 		out[k] = float64(v)
 	}
+	for k, v := range h.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Counters copies the counter namespace, for exposition layers that
+// must emit counters and gauges with distinct metric types.
+func (h *Health) Counters() map[string]int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]int64, len(h.counters))
+	for k, v := range h.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges copies the gauge namespace.
+func (h *Health) Gauges() map[string]float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]float64, len(h.gauges))
 	for k, v := range h.gauges {
 		out[k] = v
 	}

@@ -27,6 +27,51 @@ func TestHealthCountersAndGauges(t *testing.T) {
 	}
 }
 
+// TestHealthKindCollisionPanics pins the fix for the silent Snapshot
+// name collision: counters and gauges used to merge into one map, so a
+// counter and gauge sharing a name overwrote each other without any
+// error. Now the second registration of the other kind panics.
+func TestHealthKindCollisionPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic on counter/gauge name collision", name)
+			}
+		}()
+		fn()
+	}
+	h := NewHealth()
+	h.Inc("requests_total")
+	mustPanic("gauge over counter", func() { h.SetGauge("requests_total", 1) })
+
+	h2 := NewHealth()
+	h2.SetGauge("queue_depth", 4)
+	mustPanic("counter over gauge", func() { h2.Inc("queue_depth") })
+	mustPanic("add over gauge", func() { h2.Add("queue_depth", 2) })
+
+	// Same-kind re-registration stays legal, and both kinds survive in
+	// the merged snapshot untouched.
+	h3 := NewHealth()
+	h3.Inc("a_total")
+	h3.Inc("a_total")
+	h3.SetGauge("b", 7)
+	h3.SetGauge("b", 8)
+	snap := h3.Snapshot()
+	if snap["a_total"] != 2 || snap["b"] != 8 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if c := h3.Counters(); len(c) != 1 || c["a_total"] != 2 {
+		t.Errorf("Counters() = %v", c)
+	}
+	if g := h3.Gauges(); len(g) != 1 || g["b"] != 8 {
+		t.Errorf("Gauges() = %v", g)
+	}
+	if h3.Gauge("b") != 8 {
+		t.Errorf("Gauge(b) = %v", h3.Gauge("b"))
+	}
+}
+
 func TestHealthConcurrentAccess(t *testing.T) {
 	h := NewHealth()
 	var wg sync.WaitGroup

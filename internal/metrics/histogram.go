@@ -60,17 +60,38 @@ func (h *Histogram) Observe(ms float64) {
 	h.mu.Unlock()
 }
 
-// histBucketOf maps a value to its bucket index.
+// histBounds[i] is the inclusive lower edge of bucket i, precomputed so
+// bucketing and exposition agree on the exact float64 edge values.
+// histBounds[histBuckets] is the lower edge of the overflow bucket.
+var histBounds = func() [histBuckets + 1]float64 {
+	var b [histBuckets + 1]float64
+	for i := range b {
+		b[i] = histMinMs * math.Pow(histGrowth, float64(i))
+	}
+	return b
+}()
+
+// histBucketOf maps a value to its bucket index. The log gives a fast
+// estimate, but at an exact edge histMinMs·g^i the float division can
+// land just below i and truncate into bucket i−1 (and symmetrically
+// just above), so the estimate is corrected against the precomputed
+// edges; each loop runs at most one step.
 func histBucketOf(ms float64) int {
 	if ms < histMinMs {
 		return 0
 	}
 	i := int(math.Log(ms/histMinMs) / math.Log(histGrowth))
 	if i < 0 {
-		return 0
+		i = 0
 	}
-	if i >= histBuckets {
-		return histBuckets
+	if i > histBuckets {
+		i = histBuckets
+	}
+	for i < histBuckets && ms >= histBounds[i+1] {
+		i++
+	}
+	for i > 0 && ms < histBounds[i] {
+		i--
 	}
 	return i
 }
@@ -192,6 +213,44 @@ func (h *Histogram) Summary() HistSummary {
 		MinMs:  h.min,
 		MaxMs:  h.max,
 	}
+}
+
+// BucketSnapshot is the raw bucket view of a histogram, for
+// Prometheus-style exposition: cumulative counts per upper bound (the
+// classic `le` layout), plus the exact sum and count.
+type BucketSnapshot struct {
+	// UpperMs[i] is bucket i's exclusive upper edge in milliseconds;
+	// the final entry is +Inf (the overflow bucket).
+	UpperMs []float64
+	// CumCount[i] counts observations at or below UpperMs[i].
+	CumCount []uint64
+	Count    uint64
+	SumMs    float64
+}
+
+// Buckets snapshots the histogram's cumulative bucket counts. Empty
+// buckets are included — the fixed layout is the contract that makes
+// scrapes from different nodes comparable.
+func (h *Histogram) Buckets() BucketSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := BucketSnapshot{
+		UpperMs:  make([]float64, histBuckets+1),
+		CumCount: make([]uint64, histBuckets+1),
+		Count:    h.count,
+		SumMs:    h.sum,
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		s.CumCount[i] = cum
+		if i < histBuckets {
+			s.UpperMs[i] = histBounds[i+1]
+		} else {
+			s.UpperMs[i] = math.Inf(1)
+		}
+	}
+	return s
 }
 
 // String renders the summary on one line.

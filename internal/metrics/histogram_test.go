@@ -6,6 +6,78 @@ import (
 	"testing"
 )
 
+// TestHistogramBucketEdges pins edge-robust bucketing at every exact
+// bucket boundary: a value exactly at histMinMs·g^i belongs to bucket
+// i (buckets are [low, high) by construction). The naive
+// log(ms/min)/log(g) bucketing rounds just below the integer at 21 of
+// the 88 edges and truncates into bucket i−1; this table fails on it.
+func TestHistogramBucketEdges(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		edge := histMinMs * math.Pow(histGrowth, float64(i))
+		if got := histBucketOf(edge); got != i {
+			t.Errorf("exact edge %d (%.12g ms) -> bucket %d, want %d", i, edge, got, i)
+		}
+		// Nudging one ULP below the edge must stay in the bucket below
+		// (or 0 for the first edge, whose lower neighbors clamp).
+		below := math.Nextafter(edge, 0)
+		wantBelow := i - 1
+		if wantBelow < 0 {
+			wantBelow = 0
+		}
+		if got := histBucketOf(below); got != wantBelow {
+			t.Errorf("just below edge %d (%.12g ms) -> bucket %d, want %d", i, below, got, wantBelow)
+		}
+	}
+	// The overflow bucket starts at the 88th edge.
+	top := histMinMs * math.Pow(histGrowth, float64(histBuckets))
+	if got := histBucketOf(top); got != histBuckets {
+		t.Errorf("overflow edge (%.12g ms) -> bucket %d, want %d", top, got, histBuckets)
+	}
+	if got := histBucketOf(math.Nextafter(top, 0)); got != histBuckets-1 {
+		t.Errorf("just below overflow -> bucket %d, want %d", got, histBuckets-1)
+	}
+	if got := histBucketOf(0); got != 0 {
+		t.Errorf("zero -> bucket %d, want 0", got)
+	}
+	if got := histBucketOf(math.Inf(1)); got != histBuckets {
+		t.Errorf("+Inf -> bucket %d, want overflow", got)
+	}
+}
+
+func TestHistogramBucketsSnapshot(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(1e9) // overflow bucket
+	b := h.Buckets()
+	if len(b.UpperMs) != histBuckets+1 || len(b.CumCount) != histBuckets+1 {
+		t.Fatalf("bucket layout %d/%d, want %d", len(b.UpperMs), len(b.CumCount), histBuckets+1)
+	}
+	if b.Count != 3 || b.SumMs != 1e9+1 {
+		t.Fatalf("count=%d sum=%v", b.Count, b.SumMs)
+	}
+	if !math.IsInf(b.UpperMs[histBuckets], 1) {
+		t.Fatalf("last upper bound = %v, want +Inf", b.UpperMs[histBuckets])
+	}
+	if b.CumCount[histBuckets] != 3 {
+		t.Fatalf("final cumulative count = %d, want 3", b.CumCount[histBuckets])
+	}
+	// Cumulative counts are monotone and the 0.5 ms pair lands at its
+	// bucket's edge and stays counted from there on.
+	i05 := histBucketOf(0.5)
+	if b.CumCount[i05] != 2 {
+		t.Fatalf("cum count at 0.5ms bucket = %d, want 2", b.CumCount[i05])
+	}
+	for i := 1; i < len(b.CumCount); i++ {
+		if b.CumCount[i] < b.CumCount[i-1] {
+			t.Fatalf("cumulative counts not monotone at %d", i)
+		}
+		if b.UpperMs[i] <= b.UpperMs[i-1] {
+			t.Fatalf("upper bounds not increasing at %d", i)
+		}
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram()
 	if got := h.Quantile(0.5); got != 0 {
@@ -65,10 +137,10 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 
 func TestHistogramEdgeValues(t *testing.T) {
 	h := NewHistogram()
-	h.Observe(0)                // below first bucket edge
-	h.Observe(-5)               // clamps to 0
-	h.Observe(math.NaN())       // dropped
-	h.Observe(1e9)              // overflow bucket
+	h.Observe(0)          // below first bucket edge
+	h.Observe(-5)         // clamps to 0
+	h.Observe(math.NaN()) // dropped
+	h.Observe(1e9)        // overflow bucket
 	if got := h.Count(); got != 3 {
 		t.Fatalf("count = %d, want 3 (NaN dropped)", got)
 	}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prometheus plain-text exposition (text format 0.0.4), rendered with
+// the stdlib only. PromWriter keeps the output deterministic: metric
+// families are emitted in the order first written, labels and repeated
+// series are sorted, and every family carries exactly one # TYPE line.
+type PromWriter struct {
+	w     io.Writer
+	typed map[string]bool
+	err   error
+}
+
+// NewPromWriter wraps an io.Writer for exposition rendering.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, typed: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// header emits the # TYPE line once per metric family.
+func (p *PromWriter) header(name, typ string) {
+	if !p.typed[name] {
+		p.typed[name] = true
+		p.printf("# TYPE %s %s\n", name, typ)
+	}
+}
+
+// Counter emits one counter sample.
+func (p *PromWriter) Counter(name string, labels Labels, v float64) {
+	p.header(name, "counter")
+	p.printf("%s%s %s\n", name, labels.render(), formatValue(v))
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name string, labels Labels, v float64) {
+	p.header(name, "gauge")
+	p.printf("%s%s %s\n", name, labels.render(), formatValue(v))
+}
+
+// Histogram emits one histogram series: cumulative buckets with `le`
+// labels, plus the _sum and _count samples, all carrying the caller's
+// labels. Empty histograms still render their full bucket layout, so a
+// scrape's schema is stable from the first period.
+func (p *PromWriter) Histogram(name string, labels Labels, b BucketSnapshot) {
+	p.header(name, "histogram")
+	for i := range b.UpperMs {
+		le := formatValue(b.UpperMs[i])
+		bucketLabels := labels.with("le", le)
+		p.printf("%s_bucket%s %d\n", name, bucketLabels.render(), b.CumCount[i])
+	}
+	p.printf("%s_sum%s %s\n", name, labels.render(), formatValue(b.SumMs))
+	p.printf("%s_count%s %d\n", name, labels.render(), b.Count)
+}
+
+// Labels is one sample's label set. Rendering sorts by key so output
+// is deterministic regardless of construction order.
+type Labels map[string]string
+
+// with copies the set and adds one pair (the receiver is unchanged).
+func (l Labels) with(k, v string) Labels {
+	out := make(Labels, len(l)+1)
+	for key, val := range l {
+		out[key] = val
+	}
+	out[k] = v
+	return out
+}
+
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslashes, quotes, and newlines — the three
+		// escapes the exposition format requires.
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value: integers without a fraction,
+// +Inf for the overflow bucket edge, shortest round-trip otherwise.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// SanitizeMetricName maps an arbitrary metric name onto the exposition
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*, replacing anything else with '_'.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromWriterCountersAndGauges(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("qa_retries_total", nil, 3)
+	p.Counter("qa_retries_total", Labels{"node": "n-1"}, 4)
+	p.Gauge("qa_members_live", nil, 2.5)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantLines := []string{
+		"# TYPE qa_retries_total counter",
+		"qa_retries_total 3",
+		`qa_retries_total{node="n-1"} 4`,
+		"# TYPE qa_members_live gauge",
+		"qa_members_live 2.5",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+	// One TYPE line per family, even with several samples.
+	if strings.Count(out, "# TYPE qa_retries_total") != 1 {
+		t.Errorf("duplicate TYPE header:\n%s", out)
+	}
+}
+
+func TestPromWriterHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(1e9)
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Histogram("qa_rpc_ms", Labels{"op": "negotiate"}, h.Buckets())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE qa_rpc_ms histogram") {
+		t.Fatalf("missing TYPE:\n%s", out)
+	}
+	if !strings.Contains(out, `qa_rpc_ms_bucket{le="+Inf",op="negotiate"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `qa_rpc_ms_count{op="negotiate"} 3`) {
+		t.Fatalf("missing count:\n%s", out)
+	}
+	if !strings.Contains(out, "qa_rpc_ms_sum{op=\"negotiate\"}") {
+		t.Fatalf("missing sum:\n%s", out)
+	}
+	// 88 finite buckets + overflow.
+	if got := strings.Count(out, "qa_rpc_ms_bucket{"); got != histBuckets+1 {
+		t.Fatalf("bucket sample count = %d, want %d", got, histBuckets+1)
+	}
+	// Deterministic: the same histogram renders identically.
+	var b2 strings.Builder
+	p2 := NewPromWriter(&b2)
+	p2.Histogram("qa_rpc_ms", Labels{"op": "negotiate"}, h.Buckets())
+	if b2.String() != out {
+		t.Fatal("histogram rendering not deterministic")
+	}
+}
+
+func TestPromLabelsSortedAndEscaped(t *testing.T) {
+	l := Labels{"zeta": "z", "alpha": `quote " and \slash`, "mid": "line\nbreak"}
+	got := l.render()
+	want := `{alpha="quote \" and \\slash",mid="line\nbreak",zeta="z"}`
+	if got != want {
+		t.Fatalf("render = %s, want %s", got, want)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"drains_total":     "drains_total",
+		"scan(t1,t2)|sort": "scan_t1_t2__sort",
+		"9lives":           "_lives",
+	} {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("sanitize %q = %q, want %q", in, got, want)
+		}
+	}
+}
