@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke ci
+.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke chaossmoke ci
 
 all: build test
 
@@ -48,4 +48,12 @@ membersmoke:
 tracesmoke:
 	$(GO) run ./cmd/tracesmoke
 
-ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke
+# chaossmoke soaks the query-protection layer under deterministic
+# faults: overload sheds with typed refusals, severed replies are
+# answered from the dedup window, partitions and a node crash fail
+# over — and no query may execute twice or vanish untyped. Run under
+# the race detector: the protection paths are all concurrency.
+chaossmoke:
+	$(GO) run -race ./cmd/chaossmoke
+
+ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke chaossmoke

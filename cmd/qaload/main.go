@@ -18,6 +18,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -35,35 +36,47 @@ import (
 )
 
 type options struct {
-	nodes     string
-	selfNodes int
-	mechanism string
-	transport string
-	poolSize  int
-	clients   int
-	queries   int
-	mode      string
-	rate      float64
-	duration  time.Duration
-	mix       int
-	joins     int
-	seed      int64
-	period    int64
-	msPerCost float64
-	sql       string
-	jsonOut   bool
-	trace     bool
+	nodes       string
+	selfNodes   int
+	mechanism   string
+	transport   string
+	poolSize    int
+	clients     int
+	queries     int
+	mode        string
+	rate        float64
+	duration    time.Duration
+	mix         int
+	joins       int
+	seed        int64
+	period      int64
+	msPerCost   float64
+	sql         string
+	jsonOut     bool
+	trace       bool
+	deadline    time.Duration
+	retryBudget float64
+	maxInflight int
+	maxQueue    int
 }
 
 // loadReport is qaload's result, printed as text or JSON (-json); the
 // JSON form is what cmd/benchjson records into BENCH_qamarket.json.
 type loadReport struct {
-	Mode      string                         `json:"mode"`
-	Transport string                         `json:"transport"`
-	Mechanism string                         `json:"mechanism"`
-	Clients   int                            `json:"clients"`
-	Completed int64                          `json:"completed"`
-	Failed    int64                          `json:"failed"`
+	Mode      string `json:"mode"`
+	Transport string `json:"transport"`
+	Mechanism string `json:"mechanism"`
+	Clients   int    `json:"clients"`
+	Completed int64  `json:"completed"`
+	Failed    int64  `json:"failed"`
+	// Shed counts queries every node refused with typed overload
+	// replies until the retry limit — the federation protecting itself,
+	// not failing. Expired counts queries whose deadline (-deadline)
+	// ran out, client-side or via typed expired sheds. Neither is
+	// folded into Failed, so overload experiments can tell refusal
+	// from breakage.
+	Shed      int64                          `json:"shed"`
+	Expired   int64                          `json:"expired"`
 	Retries   int64                          `json:"retries"`
 	ElapsedMs float64                        `json:"elapsed_ms"`
 	QPS       float64                        `json:"qps"`
@@ -96,6 +109,10 @@ func main() {
 	flag.StringVar(&o.sql, "sql", "", "fixed query instead of a generated mix (required with -nodes)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON")
 	flag.BoolVar(&o.trace, "trace", false, "record client-side lifecycle spans and report a per-phase latency breakdown")
+	flag.DurationVar(&o.deadline, "deadline", 0, "end-to-end budget per query, propagated as deadline_ms so nodes shed late work (0 = none)")
+	flag.Float64Var(&o.retryBudget, "retry-budget", 0, "client-wide retry tokens per second; retries beyond the budget fail fast (0 = unlimited)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "self-hosted nodes: max concurrent work requests before typed overload (0 = default)")
+	flag.IntVar(&o.maxQueue, "max-queue", 0, "self-hosted nodes: executor queue depth before typed overload (0 = default)")
 	flag.Parse()
 
 	rep, err := run(&o)
@@ -153,6 +170,8 @@ func run(o *options) (*loadReport, error) {
 				Slowdown:      1 + float64(i), // heterogeneous, like the paper's PCs
 				MsPerCostUnit: o.msPerCost,
 				PeriodMs:      o.period,
+				MaxInflight:   o.maxInflight,
+				MaxQueue:      o.maxQueue,
 				Market:        market.DefaultConfig(1),
 			})
 			if err != nil {
@@ -186,13 +205,15 @@ func run(o *options) (*loadReport, error) {
 		tracer = trace.NewRecorder("client", capacity, nil)
 	}
 	client, err := cluster.NewClient(cluster.ClientConfig{
-		Addrs:     addrs,
-		Mechanism: cluster.Mechanism(o.mechanism),
-		PeriodMs:  o.period,
-		Timeout:   30 * time.Second,
-		Transport: cluster.Transport(o.transport),
-		PoolSize:  o.poolSize,
-		Tracer:    tracer,
+		Addrs:        addrs,
+		Mechanism:    cluster.Mechanism(o.mechanism),
+		PeriodMs:     o.period,
+		Timeout:      30 * time.Second,
+		Transport:    cluster.Transport(o.transport),
+		PoolSize:     o.poolSize,
+		Tracer:       tracer,
+		QueryTimeout: o.deadline,
+		RetryBudget:  o.retryBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -204,17 +225,28 @@ func run(o *options) (*loadReport, error) {
 	}
 	totalHist := metrics.NewHistogram()
 	assignHist := metrics.NewHistogram()
-	var completed, failed, retries atomic.Int64
+	shedHist := metrics.NewHistogram()
+	expiredHist := metrics.NewHistogram()
+	var completed, failed, shed, expired, retries atomic.Int64
 	runOne := func(id int64, workerRng *rand.Rand) {
 		out := client.Run(id, sqls(workerRng))
 		retries.Add(int64(out.Retries))
-		if out.Err != nil {
+		switch {
+		case out.Err == nil:
+			completed.Add(1)
+			totalHist.Observe(out.TotalMs)
+			assignHist.Observe(out.AssignMs)
+		case errors.Is(out.Err, cluster.ErrExpired):
+			expired.Add(1)
+			expiredHist.Observe(out.TotalMs)
+		case errors.Is(out.Err, cluster.ErrOverloaded), errors.Is(out.Err, cluster.ErrRetryBudget):
+			// The federation (or our own retry budget) refused the work:
+			// shed by protection, not broken.
+			shed.Add(1)
+			shedHist.Observe(out.TotalMs)
+		default:
 			failed.Add(1)
-			return
 		}
-		completed.Add(1)
-		totalHist.Observe(out.TotalMs)
-		assignHist.Observe(out.AssignMs)
 	}
 
 	start := time.Now()
@@ -271,6 +303,8 @@ func run(o *options) (*loadReport, error) {
 	rep.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
 	rep.Completed = completed.Load()
 	rep.Failed = failed.Load()
+	rep.Shed = shed.Load()
+	rep.Expired = expired.Load()
 	rep.Retries = retries.Load()
 	rep.QPS = float64(rep.Completed) / (rep.ElapsedMs / 1000)
 	rep.TotalMs = totalHist.Summary()
@@ -278,6 +312,20 @@ func run(o *options) (*loadReport, error) {
 	rep.RPC = client.OpLatencies()
 	if tracer != nil {
 		rep.Phases = phaseBreakdown(tracer.All())
+	}
+	// Shed/expired time-to-refusal rides the per-phase breakdown as its
+	// own categories: how long a query burned before the protection
+	// layer gave its typed answer.
+	if rep.Shed > 0 || rep.Expired > 0 {
+		if rep.Phases == nil {
+			rep.Phases = make(map[string]metrics.HistSummary)
+		}
+		if rep.Shed > 0 {
+			rep.Phases["shed"] = shedHist.Summary()
+		}
+		if rep.Expired > 0 {
+			rep.Phases["expired"] = expiredHist.Summary()
+		}
 	}
 	return rep, nil
 }
@@ -305,8 +353,8 @@ func phaseBreakdown(spans []trace.Span) map[string]metrics.HistSummary {
 }
 
 func printReport(r *loadReport) {
-	fmt.Printf("%s load, %s transport, %s: %d completed, %d failed, %d retries in %.0f ms -> %.1f queries/sec\n",
-		r.Mode, r.Transport, r.Mechanism, r.Completed, r.Failed, r.Retries, r.ElapsedMs, r.QPS)
+	fmt.Printf("%s load, %s transport, %s: %d completed, %d failed, %d shed, %d expired, %d retries in %.0f ms -> %.1f queries/sec\n",
+		r.Mode, r.Transport, r.Mechanism, r.Completed, r.Failed, r.Shed, r.Expired, r.Retries, r.ElapsedMs, r.QPS)
 	fmt.Printf("  query total  %s\n", r.TotalMs)
 	fmt.Printf("  assignment   %s\n", r.AssignMs)
 	ops := make([]string, 0, len(r.RPC))

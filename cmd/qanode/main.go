@@ -50,6 +50,9 @@ func main() {
 		suspectAfter = flag.Int("suspect-after", 3, "stalled gossip rounds before a member is suspected")
 		evictAfter   = flag.Int("evict-after", 3, "further stalled rounds before a suspect is evicted")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus /debug/pprof); empty disables")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrently handled work requests before typed overload refusals (0 = default 256)")
+		maxQueue     = flag.Int("max-queue", 0, "executor queue depth before typed overload refusals (0 = default 256)")
+		dedupWindow  = flag.Duration("dedup-window", 0, "how long execute/fetch outcomes stay replayable for at-most-once retries (0 = default 60s)")
 	)
 	flag.Parse()
 
@@ -71,6 +74,9 @@ func main() {
 		ExecNoise:          *noise,
 		NoiseSeed:          time.Now().UnixNano(),
 		DrainTimeout:       *drainBudget,
+		MaxInflight:        *maxInflight,
+		MaxQueue:           *maxQueue,
+		DedupWindow:        *dedupWindow,
 		Market:             mcfg,
 		NodeID:             *nodeID,
 		Seeds:              splitSeeds(*join),

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/qamarket/qamarket/internal/metrics"
@@ -78,6 +79,36 @@ type ClientConfig struct {
 	// wire trace context so server spans parent under them. Nil
 	// disables tracing at zero cost beyond a nil check.
 	Tracer *trace.Recorder
+	// QueryTimeout is the end-to-end budget for one Run: negotiation,
+	// queueing, execution, and every retry round. The remaining budget
+	// rides each RPC as the wire's deadline_ms field, so servers shed
+	// queries that cannot finish in time instead of running them for
+	// nobody. Zero (the default) disables deadlines.
+	QueryTimeout time.Duration
+	// RunID names this client run for server-side at-most-once dedup:
+	// servers cache execute/fetch outcomes under (RunID, query id, SQL)
+	// so a retransmit after a lost reply replays the original outcome.
+	// Empty derives a process-unique id.
+	RunID string
+	// AtMostOnce selects the lost-reply policy. When false (default,
+	// the pre-protection behavior) a lost execute reply makes the
+	// client renegotiate the query elsewhere — maximally available, but
+	// the query may run twice if the first node actually executed it.
+	// When true the client retransmits to the *same* node (where the
+	// dedup window makes the retry safe) up to ExecRetries times, and
+	// declares the outcome unknown rather than risk a double execution.
+	AtMostOnce bool
+	// ExecRetries bounds the same-node retransmits of a lost execute/
+	// fetch reply under AtMostOnce (default 2).
+	ExecRetries int
+	// RetryBudget is a client-wide token-bucket refill rate (tokens per
+	// second) charged for every retry round, failover, and retransmit,
+	// so retries cannot amplify an overload. Zero (default) disables
+	// the budget.
+	RetryBudget float64
+	// RetryBurst is the retry bucket's capacity (default 16 when
+	// RetryBudget is set). The bucket starts full.
+	RetryBurst float64
 }
 
 func (c *ClientConfig) validate() error {
@@ -133,8 +164,26 @@ func (c *ClientConfig) validate() error {
 	if c.Jitter == nil {
 		c.Jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
+	if c.QueryTimeout < 0 {
+		return fmt.Errorf("cluster: QueryTimeout %v is negative", c.QueryTimeout)
+	}
+	if c.RunID == "" {
+		c.RunID = fmt.Sprintf("r-%d-%d", time.Now().UnixNano(), runIDSeq.Add(1))
+	}
+	if c.ExecRetries <= 0 {
+		c.ExecRetries = 2
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("cluster: RetryBudget %g is negative", c.RetryBudget)
+	}
+	if c.RetryBurst <= 0 {
+		c.RetryBurst = 16
+	}
 	return nil
 }
+
+// runIDSeq disambiguates derived run ids minted in one process.
+var runIDSeq atomic.Uint64
 
 // execTimeout is the budget for an execution RPC.
 func (c *ClientConfig) execTimeout() time.Duration {
@@ -230,6 +279,10 @@ type Client struct {
 	// concurrency-safe and concurrent Runs may back off together).
 	jitterMu sync.Mutex
 
+	// retry is the client-wide retry token bucket; nil when RetryBudget
+	// is zero (unlimited retries, the pre-protection behavior).
+	retry *tokenBucket
+
 	stopRefresh chan struct{}
 	refreshWG   sync.WaitGroup
 	closeOnce   sync.Once
@@ -247,6 +300,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		view:        make(map[string]*nodeState, len(cfg.Addrs)),
 		removedInc:  make(map[string]uint64),
 		stopRefresh: make(chan struct{}),
+	}
+	if cfg.RetryBudget > 0 {
+		c.retry = newTokenBucket(cfg.RetryBudget, cfg.RetryBurst)
 	}
 	for _, addr := range cfg.Addrs {
 		if _, dup := c.view[addr]; dup {
@@ -403,6 +459,98 @@ var errBreakerOpen = errors.New("breaker open")
 // errDraining marks a node that answered with a typed draining reply.
 var errDraining = errors.New("draining")
 
+// Typed terminal errors callers classify with errors.Is: load tools
+// separate shed work (refusals, deadlines) from real failures.
+var (
+	// ErrOverloaded reports a query shed because every offering node
+	// answered a typed overload refusal until the retry limit.
+	ErrOverloaded = errors.New("overloaded")
+	// ErrExpired reports a query whose deadline ran out — client-side,
+	// or shed by servers with typed expired refusals.
+	ErrExpired = errors.New("deadline exceeded")
+	// ErrRetryBudget reports a query abandoned because the client-wide
+	// retry token bucket ran dry.
+	ErrRetryBudget = errors.New("retry budget exhausted")
+	// ErrOutcomeUnknown reports an execute whose reply was lost under
+	// AtMostOnce after the retransmit limit: the query may or may not
+	// have run; the client refuses to risk a double execution.
+	ErrOutcomeUnknown = errors.New("execute outcome unknown")
+)
+
+// errNotSent wraps transport failures that happened before the request
+// could reach the node (dial refused, pool closed): the query certainly
+// did not run there, so failing over to another node is always safe.
+var errNotSent = errors.New("request not sent")
+
+// tokenBucket is the client-wide retry budget: `rate` tokens per second
+// refill up to `burst`; every retry round, runner-up failover, and
+// retransmit takes one token. Time-based rather than count-based so a
+// long run earns back its budget while a retry storm cannot.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// take consumes one token, reporting false when the bucket is dry.
+func (tb *tokenBucket) take() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// takeRetryToken charges one retry against the budget (always allowed
+// with the budget disabled).
+func (c *Client) takeRetryToken() bool {
+	if c.retry == nil {
+		return true
+	}
+	if c.retry.take() {
+		return true
+	}
+	c.health.Inc(metrics.RetryBudgetExhaustedTotal)
+	return false
+}
+
+// attemptKind classifies one execute/fetch attempt for the retry and
+// failover logic.
+type attemptKind int
+
+const (
+	// attemptOK: a well-formed reply arrived (the query ran, or the
+	// supply race was lost — the caller inspects Accepted).
+	attemptOK attemptKind = iota
+	// attemptFatal: a terminal engine/protocol error; retrying cannot
+	// help.
+	attemptFatal
+	// attemptRefused: a typed refusal (overload/expired/draining) or a
+	// hard-stop interruption. The query did not run; another candidate
+	// may be tried immediately and the breaker saw a live node.
+	attemptRefused
+	// attemptNotSent: the request never reached the node (dial failed);
+	// trying the next candidate is always safe.
+	attemptNotSent
+	// attemptLost: the request was sent but the reply never arrived —
+	// the query may or may not have executed.
+	attemptLost
+)
+
 // startSpan opens a client-side span when tracing is on; nil otherwise
 // (a nil *trace.Active no-ops everywhere).
 func (c *Client) startSpan(traceID int64, parent, name string) *trace.Active {
@@ -428,9 +576,16 @@ func childCtx(tc *traceCtx, sp *trace.Active) *traceCtx {
 // to the best offer, and return the outcome. Refusals and transient
 // transport failures are retried with capped exponential backoff up to
 // MaxRetries; per-node circuit breakers keep dead nodes from charging
-// a timeout on every round.
+// a timeout on every round. When the winning bidder fails without
+// having run the query, the runner-up from the same proposal round is
+// tried before paying a full renegotiation fan-out; every retry round,
+// failover, and retransmit is charged against the retry budget.
 func (c *Client) Run(queryID int64, sql string) Outcome {
 	start := time.Now()
+	var deadline time.Time
+	if c.cfg.QueryTimeout > 0 {
+		deadline = start.Add(c.cfg.QueryTimeout)
+	}
 	out := Outcome{QueryID: queryID, Submitted: start}
 	root := c.startSpan(queryID, "", "run")
 	tc := childCtx(&traceCtx{V: traceV, ID: queryID}, root)
@@ -448,9 +603,13 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 		root.Finish()
 		return out
 	}
-	noteRetry := func() {
+	noteRetry := func() bool {
 		out.Retries++
 		c.health.Inc(metrics.RetriesTotal)
+		return c.takeRetryToken()
+	}
+	budgetErr := func() error {
+		return fmt.Errorf("cluster: query %d: %w", queryID, ErrRetryBudget)
 	}
 	// unreachableRounds counts consecutive rounds where no node answered
 	// at all; it drives the exponential backoff and resets the moment
@@ -459,7 +618,10 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 	// QA-NT price dynamics are untouched by the resilience layer.
 	unreachableRounds := 0
 	for attempt := 0; ; attempt++ {
-		ns, assignDur, err := c.negotiateAll(sql, tc)
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return finish(fmt.Errorf("cluster: query %d: %w after %d rounds", queryID, ErrExpired, attempt))
+		}
+		pr, assignDur, err := c.negotiateAll(sql, tc, deadline)
 		out.AssignMs += float64(assignDur) / float64(time.Millisecond)
 		if err != nil {
 			// Whole federation unreachable this round: transient until
@@ -467,56 +629,147 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 			if attempt >= c.cfg.MaxRetries {
 				return finish(fmt.Errorf("cluster: query %d after %d rounds: %w", queryID, attempt+1, err))
 			}
-			noteRetry()
-			c.sleepBackoff(unreachableRounds)
+			if !noteRetry() {
+				return finish(budgetErr())
+			}
+			c.sleepBackoff(unreachableRounds, deadline)
 			unreachableRounds++
 			continue
 		}
 		unreachableRounds = 0
-		if ns == nil {
+		if len(pr.ranked) == 0 {
 			// Nobody offered: resubmit next period (Section 3.3 client
-			// protocol).
+			// protocol). Typed refusals flavor the terminal error so shed
+			// work is distinguishable from starvation.
 			if attempt >= c.cfg.MaxRetries {
+				if re := pr.refusalError(); re != nil {
+					return finish(fmt.Errorf("cluster: query %d refused by all nodes after %d rounds: %w", queryID, attempt, re))
+				}
 				return finish(fmt.Errorf("cluster: query %d refused by all nodes after %d rounds", queryID, attempt))
 			}
-			noteRetry()
-			c.sleepBackoff(0)
+			if !noteRetry() {
+				return finish(budgetErr())
+			}
+			c.sleepBackoff(0, deadline)
 			continue
 		}
-		rep, retryable, err := c.executeOn(ns, queryID, sql, tc)
-		if err != nil {
-			if !retryable {
-				return finish(err)
+		// Failover ladder: the winner first, then the runner-ups from the
+		// same still-fresh proposal round. Each step past the winner is a
+		// failover, charged one retry token.
+		var (
+			win         *executeReply
+			winner      *nodeState
+			terminal    error
+			renegotiate bool
+		)
+	ladder:
+		for ci, cand := range pr.ranked {
+			if ci > 0 {
+				if !c.takeRetryToken() {
+					terminal = budgetErr()
+					break
+				}
+				c.health.Inc(metrics.FailoversTotal)
 			}
-			// The node died or drained mid-execute; the query never ran,
-			// so renegotiate it elsewhere.
-			if attempt >= c.cfg.MaxRetries {
-				return finish(fmt.Errorf("cluster: query %d after %d rounds: %w", queryID, attempt+1, err))
+			rep, kind, err := c.execAttempt(cand, queryID, sql, tc, deadline, noteRetry)
+			switch kind {
+			case attemptOK:
+				if !rep.Accepted {
+					// Lost the race for the last supply unit; this round's
+					// other offers may be stale too, so renegotiate.
+					renegotiate = true
+					break ladder
+				}
+				win, winner = rep, cand
+				break ladder
+			case attemptFatal:
+				terminal = err
+				break ladder
+			case attemptRefused, attemptNotSent:
+				// The query did not run on this candidate; the runner-up
+				// is safe to try immediately.
+				continue
+			case attemptLost:
+				if c.cfg.AtMostOnce {
+					// Retransmits (inside execAttempt) did not resolve it:
+					// the outcome is unknown and running it elsewhere could
+					// execute it twice.
+					terminal = err
+					break ladder
+				}
+				// Legacy availability-first semantics: assume the query did
+				// not run and renegotiate it elsewhere. It may have — only
+				// the same-node dedup window can tell, and we are leaving
+				// the node.
+				renegotiate = true
+				break ladder
 			}
-			noteRetry()
-			continue
 		}
-		if !rep.Accepted {
-			// Lost the race for the last supply unit: renegotiate.
-			if attempt >= c.cfg.MaxRetries {
-				return finish(fmt.Errorf("cluster: query %d starved after %d rounds", queryID, attempt))
-			}
-			noteRetry()
-			continue
+		switch {
+		case win != nil:
+			out.Node = winner.nodeID()
+			out.NodeAddr = winner.address()
+			out.ExecMs = win.ExecMs
+			out.Rows = win.Rows
+			return finish(nil)
+		case terminal != nil:
+			return finish(terminal)
 		}
-		out.Node = ns.nodeID()
-		out.NodeAddr = ns.address()
-		out.ExecMs = rep.ExecMs
-		out.Rows = rep.Rows
-		return finish(nil)
+		// Ladder exhausted (every candidate refused or unreachable) or a
+		// renegotiation was requested: back to the market.
+		if attempt >= c.cfg.MaxRetries {
+			return finish(fmt.Errorf("cluster: query %d starved after %d rounds", queryID, attempt))
+		}
+		if !noteRetry() {
+			return finish(budgetErr())
+		}
+		if !renegotiate {
+			// All candidates refused: wait out the market period like any
+			// other refusal round.
+			c.sleepBackoff(0, deadline)
+		}
 	}
+}
+
+// execAttempt runs one execute attempt against a candidate plus, under
+// AtMostOnce, the same-node retransmits a lost reply gets: the node's
+// dedup window replays the original outcome if the query ran. A
+// returned attemptLost therefore means "outcome unknown" when
+// AtMostOnce is on. A refused or unsent retransmit does NOT prove the
+// original never ran (the admission gate answers before the dedup
+// window), so those keep retransmitting rather than failing over.
+func (c *Client) execAttempt(ns *nodeState, queryID int64, sql string, tc *traceCtx, deadline time.Time, noteRetry func() bool) (*executeReply, attemptKind, error) {
+	rep, kind, err := c.executeOn(ns, queryID, sql, tc, deadline)
+	if kind != attemptLost || !c.cfg.AtMostOnce {
+		return rep, kind, err
+	}
+	for r := 0; r < c.cfg.ExecRetries; r++ {
+		if !noteRetry() {
+			return nil, attemptFatal, fmt.Errorf("cluster: %w with execute outcome unknown on %s", ErrRetryBudget, ns.label())
+		}
+		rep, kind, err = c.executeOn(ns, queryID, sql, tc, deadline)
+		if kind == attemptOK || kind == attemptFatal {
+			return rep, kind, err
+		}
+	}
+	return nil, attemptLost, fmt.Errorf("cluster: %w on %s: %v", ErrOutcomeUnknown, ns.label(), err)
 }
 
 // sleepBackoff waits the capped exponential backoff for the given retry
 // round: PeriodMs doubled per round, capped at MaxBackoffMs, jittered
 // into [1/2, 1] of the target so synchronized clients desynchronize.
-func (c *Client) sleepBackoff(round int) {
+// With a deadline set the sleep is clipped to the remaining budget —
+// sleeping past the deadline would just discover the expiry later.
+func (c *Client) sleepBackoff(round int, deadline time.Time) {
 	d := c.backoffDelay(round)
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); rem < d {
+			d = rem
+		}
+	}
+	if d <= 0 {
+		return
+	}
 	c.health.Add(metrics.BackoffMsTotal, int64(d/time.Millisecond))
 	time.Sleep(d)
 }
@@ -534,11 +787,57 @@ func (c *Client) backoffDelay(round int) time.Duration {
 	return time.Duration(target * jitter * float64(time.Millisecond))
 }
 
+// proposals is one negotiation round's outcome: the offering nodes
+// ranked by earliest estimated completion (winner first, runner-up
+// next — the failover ladder), plus counts of the typed refusals seen.
+// A typed overload/expired refusal came from a live, answering node, so
+// it counts as reachable without producing a candidate.
+type proposals struct {
+	ranked    []*nodeState
+	overloads int
+	expireds  int
+}
+
+// best returns the winning bidder (nil when nobody offered).
+func (p proposals) best() *nodeState {
+	if len(p.ranked) == 0 {
+		return nil
+	}
+	return p.ranked[0]
+}
+
+// refusalError maps a round's typed refusals onto the client's typed
+// terminal errors, nil when the round saw none.
+func (p proposals) refusalError() error {
+	switch {
+	case p.overloads > 0:
+		return ErrOverloaded
+	case p.expireds > 0:
+		return ErrExpired
+	}
+	return nil
+}
+
+// remainingMs converts an absolute deadline into the relative budget a
+// request carries on the wire. A set-but-already-passed deadline
+// travels as 1ms — still shed server-side — rather than 0, which would
+// mean "no deadline".
+func remainingMs(deadline time.Time) int64 {
+	if deadline.IsZero() {
+		return 0
+	}
+	rem := time.Until(deadline)
+	if rem < time.Millisecond {
+		return 1
+	}
+	return int64(rem / time.Millisecond)
+}
+
 // negotiateAll broadcasts the call-for-proposals to the current live
-// view and picks the node with the earliest estimated completion among
-// those offering. It returns nil when no node offers, and an aggregate
-// error naming every node's failure when none is reachable.
-func (c *Client) negotiateAll(sql string, tc *traceCtx) (*nodeState, time.Duration, error) {
+// view and ranks the offering nodes by estimated completion. It
+// returns an aggregate error naming every node's failure when none is
+// reachable; typed overload/expired refusals count as reachable.
+func (c *Client) negotiateAll(sql string, tc *traceCtx, deadline time.Time) (proposals, time.Duration, error) {
 	start := time.Now()
 	var sp *trace.Active
 	if tc != nil {
@@ -548,10 +847,11 @@ func (c *Client) negotiateAll(sql string, tc *traceCtx) (*nodeState, time.Durati
 	}
 	members := c.nodes()
 	if len(members) == 0 {
-		return nil, 0, errors.New("cluster: membership view is empty")
+		return proposals{}, 0, errors.New("cluster: membership view is empty")
 	}
 	replies := make([]negotiateReply, len(members))
 	errs := make([]error, len(members))
+	refusals := make([]string, len(members))
 	var wg sync.WaitGroup
 	for i, ns := range members {
 		if !ns.breaker.allow() {
@@ -562,7 +862,10 @@ func (c *Client) negotiateAll(sql string, tc *traceCtx) (*nodeState, time.Durati
 		go func(i int, ns *nodeState) {
 			defer wg.Done()
 			var rep reply
-			err := c.rpcOn(ns, &request{Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism, Trace: tc}, &rep, c.cfg.Timeout)
+			err := c.rpcOn(ns, &request{
+				Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism, Trace: tc,
+				DeadlineMs: remainingMs(deadline),
+			}, &rep, c.cfg.Timeout)
 			switch {
 			case err != nil:
 				ns.breaker.failure()
@@ -575,6 +878,12 @@ func (c *Client) negotiateAll(sql string, tc *traceCtx) (*nodeState, time.Durati
 				ns.breaker.trip()
 				c.noteDraining(ns)
 				errs[i] = errDraining
+			case rep.Code == CodeOverload, rep.Code == CodeExpired:
+				// A market refusal from a live node: no offer this round,
+				// but emphatically not a failure — the breaker must stay
+				// closed so the node is renegotiated next period.
+				ns.breaker.success()
+				refusals[i] = rep.Code
 			case rep.Err != "":
 				ns.breaker.success()
 				errs[i] = errors.New(rep.Err)
@@ -588,11 +897,24 @@ func (c *Client) negotiateAll(sql string, tc *traceCtx) (*nodeState, time.Durati
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	best := math.Inf(1)
-	var bestNode *nodeState
+	var pr proposals
+	type scored struct {
+		ns     *nodeState
+		finish float64
+	}
+	var offers []scored
 	reachable := false
 	for i := range replies {
-		if errs[i] != nil {
+		switch {
+		case refusals[i] == CodeOverload:
+			reachable = true
+			pr.overloads++
+			continue
+		case refusals[i] == CodeExpired:
+			reachable = true
+			pr.expireds++
+			continue
+		case errs[i] != nil:
 			continue
 		}
 		reachable = true
@@ -600,20 +922,22 @@ func (c *Client) negotiateAll(sql string, tc *traceCtx) (*nodeState, time.Durati
 		if !r.Feasible || !r.Offer {
 			continue
 		}
-		if finish := r.QueueMs + r.EstimateMs; finish < best {
-			best, bestNode = finish, members[i]
-		}
+		offers = append(offers, scored{members[i], r.QueueMs + r.EstimateMs})
 	}
 	if !reachable {
 		sp.Annotate("no node reachable")
-		return nil, elapsed, aggregateNodeErrors(members, errs)
+		return proposals{}, elapsed, aggregateNodeErrors(members, errs)
 	}
-	if bestNode != nil {
-		sp.Annotate("winner=%s of %d nodes", bestNode.nodeID(), len(members))
+	sort.SliceStable(offers, func(i, j int) bool { return offers[i].finish < offers[j].finish })
+	for _, o := range offers {
+		pr.ranked = append(pr.ranked, o.ns)
+	}
+	if best := pr.best(); best != nil {
+		sp.Annotate("winner=%s of %d nodes (%d offers)", best.nodeID(), len(members), len(offers))
 	} else {
-		sp.Annotate("no offer from %d nodes", len(members))
+		sp.Annotate("no offer from %d nodes (%d overloaded, %d expired)", len(members), pr.overloads, pr.expireds)
 	}
-	return bestNode, elapsed, nil
+	return pr, elapsed, nil
 }
 
 // noteDraining reacts to a typed draining reply. Under a dynamic view
@@ -666,10 +990,12 @@ func aggregateNodeErrors(members []*nodeState, errs []error) error {
 	return fmt.Errorf("no node reachable: %s", strings.Join(parts, "; "))
 }
 
-// executeOn dispatches the query to the chosen node. retryable reports
-// whether a failure left the query unexecuted (transport loss, node
-// draining or stopping), in which case the caller may renegotiate it.
-func (c *Client) executeOn(ns *nodeState, queryID int64, sql string, tc *traceCtx) (*executeReply, bool, error) {
+// executeOn dispatches the query to the chosen node and classifies the
+// attempt: OK (reply in hand), a typed refusal (safe to try the next
+// candidate, breaker untouched or tripped-by-type), a transport loss
+// (the query may have run), a never-sent dial failure, or a fatal
+// engine error.
+func (c *Client) executeOn(ns *nodeState, queryID int64, sql string, tc *traceCtx, deadline time.Time) (*executeReply, attemptKind, error) {
 	var sp *trace.Active
 	if tc != nil {
 		sp = c.startSpan(tc.ID, tc.Span, "execute")
@@ -680,31 +1006,43 @@ func (c *Client) executeOn(ns *nodeState, queryID int64, sql string, tc *traceCt
 	var rep reply
 	err := c.rpcOn(ns, &request{
 		Op: "execute", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism, Trace: tc,
+		DeadlineMs: remainingMs(deadline), RunID: c.cfg.RunID,
 	}, &rep, c.cfg.execTimeout())
 	if err != nil {
 		ns.breaker.failure()
-		return nil, true, fmt.Errorf("cluster: execute on %s: %w", ns.label(), err)
+		kind := attemptLost
+		if errors.Is(err, errNotSent) {
+			kind = attemptNotSent
+		}
+		return nil, kind, fmt.Errorf("cluster: execute on %s: %w", ns.label(), err)
 	}
-	if rep.Code == CodeDraining {
+	switch rep.Code {
+	case CodeDraining:
 		ns.breaker.trip()
 		c.noteDraining(ns)
-		return nil, true, fmt.Errorf("cluster: %s: %w", ns.label(), errDraining)
+		return nil, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), errDraining)
+	case CodeOverload:
+		ns.breaker.success()
+		return nil, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), ErrOverloaded)
+	case CodeExpired:
+		ns.breaker.success()
+		return nil, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), ErrExpired)
 	}
 	if rep.Err != "" {
-		return nil, false, errors.New(rep.Err)
+		return nil, attemptFatal, errors.New(rep.Err)
 	}
 	if rep.Execute == nil {
-		return nil, false, errors.New("cluster: malformed execute reply")
+		return nil, attemptFatal, errors.New("cluster: malformed execute reply")
 	}
 	if rep.Execute.Err == msgNodeStopping {
 		ns.breaker.trip()
-		return nil, true, fmt.Errorf("cluster: %s: %s", ns.label(), msgNodeStopping)
+		return nil, attemptRefused, fmt.Errorf("cluster: %s: %s", ns.label(), msgNodeStopping)
 	}
 	if rep.Execute.Err != "" {
-		return nil, false, errors.New(rep.Execute.Err)
+		return nil, attemptFatal, errors.New(rep.Execute.Err)
 	}
 	ns.breaker.success()
-	return rep.Execute, false, nil
+	return rep.Execute, attemptOK, nil
 }
 
 // rpc performs one request/reply exchange by address. Known view
@@ -717,11 +1055,14 @@ func (c *Client) rpc(addr string, req *request, rep *reply, timeout time.Duratio
 	return freshRPC(addr, req, rep, timeout)
 }
 
-// freshRPC is the v0 transport: dial, one exchange, hang up.
+// freshRPC is the v0 transport: dial, one exchange, hang up. A dial
+// failure is wrapped errNotSent: the request never reached the node,
+// which the failover ladder uses to fail over without double-execution
+// risk.
 func freshRPC(addr string, req *request, rep *reply, timeout time.Duration) error {
 	conn, err := dial(addr, timeout)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", errNotSent, err)
 	}
 	defer conn.Close()
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
@@ -746,7 +1087,10 @@ func (c *Client) rpcOn(ns *nodeState, req *request, rep *reply, timeout time.Dur
 	var err error
 	if nt != nil {
 		var mc *mconn
-		if mc, err = nt.lane(req.Op).get(timeout); err == nil {
+		if mc, err = nt.lane(req.Op).get(timeout); err != nil {
+			// Pool get failures are dial-stage: the request was not sent.
+			err = fmt.Errorf("%w: %v", errNotSent, err)
+		} else {
 			err = mc.call(req, rep, timeout)
 		}
 	} else {
@@ -862,10 +1206,9 @@ func (c *Client) TraceSpans(traceID int64) []trace.Span {
 }
 
 // fetchOn dispatches a fetch (execute + result shipping) to the chosen
-// node, advertising the compact row encoding. Same retryable semantics
-// as executeOn: a transport loss, drain, or hard stop leaves the query
-// unexecuted and the caller may renegotiate it elsewhere.
-func (c *Client) fetchOn(ns *nodeState, queryID int64, sql string, tc *traceCtx) (*fetchReply, bool, error) {
+// node, advertising the compact row encoding. Same attempt semantics
+// as executeOn.
+func (c *Client) fetchOn(ns *nodeState, queryID int64, sql string, tc *traceCtx, deadline time.Time) (*fetchReply, attemptKind, error) {
 	var sp *trace.Active
 	if tc != nil {
 		sp = c.startSpan(tc.ID, tc.Span, "fetch")
@@ -876,29 +1219,41 @@ func (c *Client) fetchOn(ns *nodeState, queryID int64, sql string, tc *traceCtx)
 	var rep reply
 	err := c.rpcOn(ns, &request{
 		Op: "fetch", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism, Enc: encCompact, Trace: tc,
+		DeadlineMs: remainingMs(deadline), RunID: c.cfg.RunID,
 	}, &rep, c.cfg.execTimeout())
 	if err != nil {
 		ns.breaker.failure()
-		return nil, true, fmt.Errorf("cluster: fetch on %s: %w", ns.label(), err)
+		kind := attemptLost
+		if errors.Is(err, errNotSent) {
+			kind = attemptNotSent
+		}
+		return nil, kind, fmt.Errorf("cluster: fetch on %s: %w", ns.label(), err)
 	}
-	if rep.Code == CodeDraining {
+	switch rep.Code {
+	case CodeDraining:
 		ns.breaker.trip()
 		c.noteDraining(ns)
-		return nil, true, fmt.Errorf("cluster: %s: %w", ns.label(), errDraining)
+		return nil, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), errDraining)
+	case CodeOverload:
+		ns.breaker.success()
+		return nil, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), ErrOverloaded)
+	case CodeExpired:
+		ns.breaker.success()
+		return nil, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), ErrExpired)
 	}
 	if rep.Err != "" {
-		return nil, false, errors.New(rep.Err)
+		return nil, attemptFatal, errors.New(rep.Err)
 	}
 	if rep.Fetch == nil {
-		return nil, false, errors.New("cluster: malformed fetch reply")
+		return nil, attemptFatal, errors.New("cluster: malformed fetch reply")
 	}
 	if rep.Fetch.Err == msgNodeStopping {
 		ns.breaker.trip()
-		return nil, true, fmt.Errorf("cluster: %s: %s", ns.label(), msgNodeStopping)
+		return nil, attemptRefused, fmt.Errorf("cluster: %s: %s", ns.label(), msgNodeStopping)
 	}
 	if rep.Fetch.Err != "" {
-		return nil, false, errors.New(rep.Fetch.Err)
+		return nil, attemptFatal, errors.New(rep.Fetch.Err)
 	}
 	ns.breaker.success()
-	return rep.Fetch, false, nil
+	return rep.Fetch, attemptOK, nil
 }

@@ -295,9 +295,9 @@ func TestHistoryEstimatorConverges(t *testing.T) {
 	}
 	sql := templates[0].Instantiate(rng)
 	// First negotiation: estimate comes from the plan cost.
-	n1, _, err := client.negotiateAll(sql, nil)
-	if err != nil || n1 == nil {
-		t.Fatalf("negotiate: node=%v err=%v", n1, err)
+	pr1, _, err := client.negotiateAll(sql, nil, time.Time{})
+	if err != nil || pr1.best() == nil {
+		t.Fatalf("negotiate: node=%v err=%v", pr1.best(), err)
 	}
 	if out := client.Run(1, sql); out.Err != nil {
 		t.Fatalf("run: %v", out.Err)
@@ -332,7 +332,7 @@ func TestLinkLatencySlowsNegotiation(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	if _, _, err := client.negotiateAll("SELECT a FROM t", nil); err != nil {
+	if _, _, err := client.negotiateAll("SELECT a FROM t", nil, time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {

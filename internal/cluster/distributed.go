@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/qamarket/qamarket/internal/metrics"
 	"github.com/qamarket/qamarket/internal/sqldb"
 )
 
@@ -64,13 +65,20 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 	}
 	defer root.Finish()
 
+	// A distributed evaluation shares one deadline across its
+	// subqueries, stamped on every negotiate/fetch RPC.
+	var deadline time.Time
+	if d.client.cfg.QueryTimeout > 0 {
+		deadline = start.Add(d.client.cfg.QueryTimeout)
+	}
+
 	// Fast path: some node can run the whole query.
-	node, _, err := d.client.negotiateAll(sql, tc)
-	if err == nil && node != nil {
+	pr, _, err := d.client.negotiateAll(sql, tc, deadline)
+	if node := pr.best(); err == nil && node != nil {
 		if d.afterNegotiate != nil {
 			d.afterNegotiate(node.nodeID(), sql)
 		}
-		fr, _, ferr := d.client.fetchOn(node, queryID, sql, tc)
+		fr, _, ferr := d.client.fetchOn(node, queryID, sql, tc, deadline)
 		if ferr == nil && fr.Accepted {
 			rows, derr := fr.rows()
 			if derr != nil {
@@ -92,7 +100,7 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 	for i, ref := range sel.From {
 		name := ref.Name()
 		sub := buildSubquery(ref, pushed[i])
-		frNode, fr, err := d.allocateFetch(queryID, sub, tc)
+		frNode, fr, err := d.allocateFetch(queryID, sub, tc, deadline)
 		if err != nil {
 			return DistOutcome{}, fmt.Errorf("cluster: subquery for %s: %w", name, err)
 		}
@@ -121,34 +129,55 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 }
 
 // allocateFetch negotiates a subquery and fetches it from the best
-// offer, retrying through the market's periods like Client.Run. A
-// retryable fetch failure (transport loss, node draining or stopping —
-// the query never ran) renegotiates the subquery elsewhere; the
-// breaker fetchOn tripped keeps the dead node out of the next round.
-func (d *Distributor) allocateFetch(queryID int64, sql string, tc *traceCtx) (*nodeState, *fetchReply, error) {
+// offer, retrying through the market's periods like Client.Run. The
+// failover ladder walks the round's runner-ups when the winner refused
+// or was unreachable before the request went out; a lost reply or a
+// fatal engine error surfaces exactly like in Run.
+func (d *Distributor) allocateFetch(queryID int64, sql string, tc *traceCtx, deadline time.Time) (*nodeState, *fetchReply, error) {
 	for attempt := 0; attempt <= d.client.cfg.MaxRetries; attempt++ {
-		node, _, err := d.client.negotiateAll(sql, tc)
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, nil, fmt.Errorf("subquery %q: %w", sql, ErrExpired)
+		}
+		pr, _, err := d.client.negotiateAll(sql, tc, deadline)
 		if err != nil {
 			return nil, nil, err
 		}
-		if node == nil {
+		if len(pr.ranked) == 0 {
 			time.Sleep(time.Duration(d.client.cfg.PeriodMs) * time.Millisecond)
 			continue
 		}
-		if d.afterNegotiate != nil {
-			d.afterNegotiate(node.nodeID(), sql)
-		}
-		fr, retryable, err := d.client.fetchOn(node, queryID, sql, tc)
-		if err != nil {
-			if !retryable {
-				return nil, nil, err
+		renegotiated := false
+		for ci, node := range pr.ranked {
+			if ci > 0 {
+				if !d.client.takeRetryToken() {
+					return nil, nil, fmt.Errorf("subquery %q: %w", sql, ErrRetryBudget)
+				}
+				d.client.health.Inc(metrics.FailoversTotal)
 			}
-			continue
+			if d.afterNegotiate != nil {
+				d.afterNegotiate(node.nodeID(), sql)
+			}
+			fr, kind, err := d.client.fetchOn(node, queryID, sql, tc, deadline)
+			switch kind {
+			case attemptOK:
+				if !fr.Accepted {
+					renegotiated = true // lost the supply race; this round is stale
+				}
+			case attemptFatal:
+				return nil, nil, err
+			case attemptRefused, attemptNotSent:
+				continue // next candidate is safe: the subquery did not run here
+			case attemptLost:
+				// Fetches are read-only fragment pulls: re-running one is
+				// wasteful but never incorrect, so the availability-first
+				// renegotiate is always the right call here.
+				renegotiated = true
+			}
+			if renegotiated {
+				break
+			}
+			return node, fr, nil
 		}
-		if !fr.Accepted {
-			continue // lost the supply race; renegotiate
-		}
-		return node, fr, nil
 	}
 	return nil, nil, fmt.Errorf("cluster: subquery %q refused by all nodes", sql)
 }

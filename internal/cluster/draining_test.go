@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"bufio"
-	"errors"
 	"net"
 	"testing"
 	"time"
@@ -10,11 +9,10 @@ import (
 	"github.com/qamarket/qamarket/internal/metrics"
 )
 
-// startDrainingStub runs a minimal server that answers every request,
-// regardless of op, with a typed draining refusal — the reply a real
-// node sends for non-stats ops during graceful drain. It echoes the
+// startCodedStub runs a minimal server that answers every request,
+// regardless of op, with the given typed refusal. It echoes the
 // request id so both transports' framing works against it.
-func startDrainingStub(t *testing.T) string {
+func startCodedStub(t *testing.T, code, msg string) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -36,7 +34,7 @@ func startDrainingStub(t *testing.T) string {
 					if err := readMsg(r, &req); err != nil {
 						return
 					}
-					rep := reply{ID: req.ID, Err: "node draining", Code: CodeDraining}
+					rep := reply{ID: req.ID, Err: msg, Code: code}
 					if err := writeMsg(w, &rep); err != nil {
 						return
 					}
@@ -47,45 +45,42 @@ func startDrainingStub(t *testing.T) string {
 	return ln.Addr().String()
 }
 
+// startDrainingStub answers everything with the typed draining refusal
+// a real node sends for non-stats ops during graceful drain.
+func startDrainingStub(t *testing.T) string {
+	t.Helper()
+	return startCodedStub(t, CodeDraining, "node draining")
+}
+
+// breakerOps are the four client ops the typed-reply audits drive.
+var breakerOps = []struct {
+	name string
+	call func(t *testing.T, c *Client) error
+}{
+	{"negotiate", func(t *testing.T, c *Client) error {
+		_, _, err := c.negotiateAll("SELECT 1 FROM t", nil, time.Time{})
+		return err
+	}},
+	{"execute", func(t *testing.T, c *Client) error {
+		_, _, err := c.executeOn(c.nodes()[0], 1, "SELECT 1 FROM t", nil, time.Time{})
+		return err
+	}},
+	{"fetch", func(t *testing.T, c *Client) error {
+		_, _, err := c.fetchOn(c.nodes()[0], 1, "SELECT 1 FROM t", nil, time.Time{})
+		return err
+	}},
+	{"stats", func(t *testing.T, c *Client) error {
+		_, err := c.Stats(c.nodes()[0].address())
+		return err
+	}},
+}
+
 // TestDrainingTripsBreakerOnEveryOp is the audit the draining satellite
 // asks for: every client op that receives a typed draining reply must
 // trip the node's breaker the same way, under both transports.
 func TestDrainingTripsBreakerOnEveryOp(t *testing.T) {
-	ops := []struct {
-		name string
-		call func(t *testing.T, c *Client)
-	}{
-		{"negotiate", func(t *testing.T, c *Client) {
-			if _, _, err := c.negotiateAll("SELECT 1 FROM t", nil); err == nil {
-				t.Fatal("negotiateAll against draining node succeeded")
-			}
-		}},
-		{"execute", func(t *testing.T, c *Client) {
-			_, retryable, err := c.executeOn(c.nodes()[0], 1, "SELECT 1 FROM t", nil)
-			if err == nil || !retryable {
-				t.Fatalf("executeOn = retryable %v, err %v; want retryable draining error", retryable, err)
-			}
-			if !errors.Is(err, errDraining) {
-				t.Fatalf("executeOn err = %v, want errDraining", err)
-			}
-		}},
-		{"fetch", func(t *testing.T, c *Client) {
-			_, retryable, err := c.fetchOn(c.nodes()[0], 1, "SELECT 1 FROM t", nil)
-			if err == nil || !retryable {
-				t.Fatalf("fetchOn = retryable %v, err %v; want retryable draining error", retryable, err)
-			}
-			if !errors.Is(err, errDraining) {
-				t.Fatalf("fetchOn err = %v, want errDraining", err)
-			}
-		}},
-		{"stats", func(t *testing.T, c *Client) {
-			if _, err := c.Stats(c.nodes()[0].address()); !errors.Is(err, errDraining) {
-				t.Fatalf("Stats err = %v, want errDraining", err)
-			}
-		}},
-	}
 	for _, transport := range []Transport{TransportPooled, TransportFresh} {
-		for _, op := range ops {
+		for _, op := range breakerOps {
 			t.Run(string(transport)+"/"+op.name, func(t *testing.T) {
 				addr := startDrainingStub(t)
 				c, err := NewClient(ClientConfig{
@@ -100,7 +95,9 @@ func TestDrainingTripsBreakerOnEveryOp(t *testing.T) {
 					t.Fatal(err)
 				}
 				defer c.Close()
-				op.call(t, c)
+				if err := op.call(t, c); err == nil {
+					t.Fatalf("%s against draining node succeeded", op.name)
+				}
 				if st := c.nodes()[0].breaker.snapshot(); st != breakerOpen {
 					t.Fatalf("breaker after draining %s = %v, want open", op.name, st)
 				}
@@ -109,5 +106,79 @@ func TestDrainingTripsBreakerOnEveryOp(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestMarketRefusalsDoNotTripBreaker is the overload-satellite
+// counterpart: typed overload and expired replies are market refusals
+// from live nodes, so none of the four ops may charge them to the
+// circuit breaker — while a transport error on the same op still must.
+func TestMarketRefusalsDoNotTripBreaker(t *testing.T) {
+	refusals := []struct {
+		code, msg string
+	}{
+		{CodeOverload, msgOverloaded},
+		{CodeExpired, msgExpired},
+	}
+	for _, transport := range []Transport{TransportPooled, TransportFresh} {
+		for _, refusal := range refusals {
+			for _, op := range breakerOps {
+				t.Run(string(transport)+"/"+refusal.code+"/"+op.name, func(t *testing.T) {
+					addr := startCodedStub(t, refusal.code, refusal.msg)
+					c, err := NewClient(ClientConfig{
+						Addrs:     []string{addr},
+						Timeout:   2 * time.Second,
+						Transport: transport,
+						// Threshold 1: a single failure charged to the breaker
+						// would open it, so a closed breaker after the call
+						// proves the refusal was not charged at all.
+						BreakerThreshold: 1,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer c.Close()
+					op.call(t, c)
+					if st := c.nodes()[0].breaker.snapshot(); st != breakerClosed {
+						t.Fatalf("breaker after typed %s %s = %v, want closed", refusal.code, op.name, st)
+					}
+					if got := c.Health()[metrics.BreakerOpenTotal]; got != 0 {
+						t.Fatalf("breaker_open_total = %v, want 0", got)
+					}
+				})
+			}
+		}
+	}
+	// Control: the work ops against a dead address must still charge the
+	// breaker — typed refusals are special, transport errors are not.
+	// (Stats is excluded by design: it is an out-of-band observability
+	// op whose transport failures never feed the breaker.)
+	for _, op := range breakerOps {
+		if op.name == "stats" {
+			continue
+		}
+		t.Run("transport-error/"+op.name, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := ln.Addr().String()
+			ln.Close() // nothing listens here anymore: dials are refused
+			c, err := NewClient(ClientConfig{
+				Addrs:            []string{addr},
+				Timeout:          500 * time.Millisecond,
+				BreakerThreshold: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := op.call(t, c); err == nil {
+				t.Fatalf("%s against dead address succeeded", op.name)
+			}
+			if st := c.nodes()[0].breaker.snapshot(); st != breakerOpen {
+				t.Fatalf("breaker after %s transport error = %v, want open", op.name, st)
+			}
+		})
 	}
 }

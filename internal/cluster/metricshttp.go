@@ -36,6 +36,9 @@ func (n *Node) MetricsHandler() http.Handler {
 		if ts := n.lastCheckpoint.Load(); ts > 0 {
 			gauges[metrics.CheckpointAgeMs] = float64(time.Now().UnixMilli() - ts)
 		}
+		// Load gauges are sampled at scrape time, not at the last write.
+		gauges[metrics.InflightWork] = float64(n.working.Load())
+		gauges[metrics.QueueDepth] = float64(len(n.execCh))
 		names = names[:0]
 		for name := range gauges {
 			names = append(names, name)

@@ -1,0 +1,495 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/faultnet"
+	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/metrics"
+)
+
+// protectionQuery returns a one-node federation plus a query that is
+// feasible on it, the shared fixture of the protection tests.
+func protectionQuery(t *testing.T) (*Dataset, *Node, string, string) {
+	t.Helper()
+	ds, nodes, addrs := startTestFederation(t, []float64{1})
+	rng := rand.New(rand.NewSource(41))
+	templates, err := ds.GenerateTemplates(4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, nodes[0], addrs[0], templates[0].Instantiate(rng)
+}
+
+// TestSeveredReplyRetryExecutesOnce is the regression test the at-most-
+// once tentpole exists for: a faultnet proxy drops the execute reply on
+// the floor (the server ran the query, the client saw a timeout), and
+// the client's retransmit to the same node must return the original
+// outcome from the dedup window instead of executing the query again.
+// Before the dedup window existed, the retry re-ran the query and the
+// node's executed count came back 2.
+func TestSeveredReplyRetryExecutesOnce(t *testing.T) {
+	_, node, addr, sql := protectionQuery(t)
+	p, err := faultnet.Start("127.0.0.1:0", addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := NewClient(ClientConfig{
+		Addrs: []string{p.Addr()}, Transport: TransportFresh,
+		Timeout: 100 * time.Millisecond, ExecTimeoutFactor: 2,
+		AtMostOnce: true, ExecRetries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ns := c.nodes()[0]
+
+	// Sever the reply lane: the request arrives and executes, the answer
+	// vanishes. The client must classify this as a lost (not unsent)
+	// attempt — the query may have run.
+	p.Partition(faultnet.ServerToClient)
+	rep, kind, err := c.executeOn(ns, 1, sql, nil, time.Time{})
+	if kind != attemptLost {
+		t.Fatalf("severed reply: kind = %v err = %v, want attemptLost", kind, err)
+	}
+	if rep != nil {
+		t.Fatalf("severed reply returned a payload: %+v", rep)
+	}
+
+	// Heal and retransmit the same query id: the dedup window replays
+	// the original outcome; the executor must not run the query again.
+	p.Heal()
+	rep, kind, err = c.executeOn(ns, 1, sql, nil, time.Time{})
+	if kind != attemptOK || err != nil {
+		t.Fatalf("retransmit after heal: kind = %v err = %v, want attemptOK", kind, err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("retransmit not accepted: %+v", rep)
+	}
+	if got := node.Executed(); got != 1 {
+		t.Fatalf("node executed %d times, want exactly 1 (retry must dedup)", got)
+	}
+	if got := node.health.Snapshot()[metrics.DedupHitsTotal]; got != 1 {
+		t.Fatalf("dedup_hits_total = %g, want 1", got)
+	}
+
+	// Under a partition that never heals, execAttempt's same-node
+	// retransmits exhaust and the client reports the outcome unknown
+	// instead of failing over — the query still ran exactly once.
+	p.Partition(faultnet.ServerToClient)
+	_, kind, err = c.execAttempt(ns, 3, sql, nil, time.Time{}, func() bool { return true })
+	if kind != attemptLost || !errors.Is(err, ErrOutcomeUnknown) {
+		t.Fatalf("unhealed partition: kind = %v err = %v, want attemptLost/ErrOutcomeUnknown", kind, err)
+	}
+	p.Heal()
+	rep, kind, err = c.executeOn(ns, 3, sql, nil, time.Time{})
+	if kind != attemptOK || err != nil || !rep.Accepted {
+		t.Fatalf("post-heal retransmit: kind = %v err = %v rep = %+v", kind, err, rep)
+	}
+	if got := node.Executed(); got != 2 {
+		t.Fatalf("node executed %d times across 2 queries, want exactly 2", got)
+	}
+}
+
+// startWinningStub runs a server that always wins negotiation (a
+// near-zero estimate) and then refuses every execute with a typed
+// overload — the deterministic bait for the failover ladder.
+func startWinningStub(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				w := bufio.NewWriter(conn)
+				for {
+					var req request
+					if err := readMsg(r, &req); err != nil {
+						return
+					}
+					rep := reply{ID: req.ID, NodeID: "stub"}
+					if req.Op == "negotiate" {
+						rep.Negotiate = &negotiateReply{
+							Feasible: true, Offer: true, EstimateMs: 0.001, Signature: "stub",
+						}
+					} else {
+						rep.Err = msgOverloaded
+						rep.Code = CodeOverload
+					}
+					if err := writeMsg(w, &rep); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestFailoverToRunnerUp drives the runner-up ladder end to end: the
+// negotiation winner refuses the execute with a typed overload, and the
+// client must execute on the runner-up from the same proposal round —
+// one failover, no renegotiation, no breaker trip.
+func TestFailoverToRunnerUp(t *testing.T) {
+	_, node, addr, sql := protectionQuery(t)
+	stub := startWinningStub(t)
+	c, err := NewClient(ClientConfig{
+		Addrs: []string{stub, addr}, Transport: TransportFresh,
+		Timeout: 2 * time.Second, BreakerThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	out := c.Run(1, sql)
+	if out.Err != nil {
+		t.Fatalf("run failed: %v", out.Err)
+	}
+	if out.Node != node.ID() {
+		t.Fatalf("executed on %q, want runner-up %q", out.Node, node.ID())
+	}
+	if got := c.Health()[metrics.FailoversTotal]; got != 1 {
+		t.Fatalf("failovers_total = %g, want 1", got)
+	}
+	if got := node.Executed(); got != 1 {
+		t.Fatalf("runner-up executed %d times, want 1", got)
+	}
+	// The overloaded winner is a live market participant, not a fault.
+	if st := c.lookup("stub").breaker.snapshot(); st != breakerClosed {
+		t.Fatalf("winner breaker = %v after typed overload, want closed", st)
+	}
+}
+
+// TestAdmissionOverloadTypedReply saturates a MaxInflight=1 node with
+// concurrent executes: exactly the admitted ones run, every refused one
+// gets the typed overload (never a hang, never a transport error), and
+// the books balance.
+func TestAdmissionOverloadTypedReply(t *testing.T) {
+	ds, _, _, _ := protectionQuery(t)
+	rng := rand.New(rand.NewSource(43))
+	templates, err := ds.GenerateTemplates(4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := templates[0].Instantiate(rng)
+	node, err := StartNode("127.0.0.1:0", NodeConfig{
+		DB: ds.DBs[0], Slowdown: 30, MsPerCostUnit: 0.02, PeriodMs: 50,
+		Market: market.DefaultConfig(1), MaxInflight: 1, MaxQueue: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	c, err := NewClient(ClientConfig{
+		Addrs: []string{node.Addr()}, Transport: TransportFresh, Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ns := c.nodes()[0]
+
+	const callers = 6
+	var (
+		start    sync.WaitGroup
+		done     sync.WaitGroup
+		mu       sync.Mutex
+		ok, over int
+		unexpect []error
+	)
+	start.Add(1)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(qid int64) {
+			defer done.Done()
+			start.Wait()
+			_, kind, err := c.executeOn(ns, qid, sql, nil, time.Time{})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case kind == attemptOK:
+				ok++
+			case kind == attemptRefused && errors.Is(err, ErrOverloaded):
+				over++
+			default:
+				unexpect = append(unexpect, err)
+			}
+		}(int64(i))
+	}
+	start.Done()
+	done.Wait()
+	if len(unexpect) > 0 {
+		t.Fatalf("unexpected outcomes: %v", unexpect)
+	}
+	if over == 0 {
+		t.Fatal("no caller was refused; MaxInflight=1 admission gate never fired")
+	}
+	if ok == 0 {
+		t.Fatal("no caller succeeded; the admitted lane starved")
+	}
+	if ok+over != callers {
+		t.Fatalf("outcomes do not balance: ok=%d over=%d of %d", ok, over, callers)
+	}
+	if got := node.Executed(); got != ok {
+		t.Fatalf("node executed %d, want %d (one per accepted caller)", got, ok)
+	}
+	if got := node.health.Snapshot()[metrics.OverloadTotal]; got != float64(over) {
+		t.Fatalf("overload_total = %g, want %d", got, over)
+	}
+}
+
+// TestDeadlineShedsBeforeExecution covers both deadline layers: a
+// budget the node cannot meet is refused with the typed expired reply
+// at admission, and a client-side QueryTimeout turns into a terminal
+// ErrExpired instead of a retry storm.
+func TestDeadlineShedsBeforeExecution(t *testing.T) {
+	ds, _, _, _ := protectionQuery(t)
+	rng := rand.New(rand.NewSource(47))
+	templates, err := ds.GenerateTemplates(4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := templates[0].Instantiate(rng)
+	// Slowdown 50 puts every estimate far above the budgets below.
+	node, err := StartNode("127.0.0.1:0", NodeConfig{
+		DB: ds.DBs[0], Slowdown: 50, MsPerCostUnit: 0.02, PeriodMs: 20,
+		Market: market.DefaultConfig(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	c, err := NewClient(ClientConfig{
+		Addrs: []string{node.Addr()}, Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, kind, err := c.executeOn(c.nodes()[0], 1, sql, nil, time.Now().Add(2*time.Millisecond))
+	if kind != attemptRefused || !errors.Is(err, ErrExpired) {
+		t.Fatalf("tiny budget: kind = %v err = %v, want refused/ErrExpired", kind, err)
+	}
+	if got := node.health.Snapshot()[metrics.ExpiredTotal]; got < 1 {
+		t.Fatalf("expired_total = %g, want >= 1", got)
+	}
+	if got := node.Executed(); got != 0 {
+		t.Fatalf("node executed %d shed queries", got)
+	}
+
+	tc, err := NewClient(ClientConfig{
+		Addrs: []string{node.Addr()}, Timeout: 2 * time.Second,
+		PeriodMs: 10, QueryTimeout: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	out := tc.Run(2, sql)
+	if !errors.Is(out.Err, ErrExpired) {
+		t.Fatalf("QueryTimeout run: err = %v, want ErrExpired", out.Err)
+	}
+	if out.TotalMs > 1000 {
+		t.Fatalf("expired query burned %.0fms; deadline did not bound the retries", out.TotalMs)
+	}
+}
+
+// TestQueuedJobExpiresAtDequeue checks the executor-side guard: a job
+// whose deadline passed while it sat in the queue is dropped at dequeue
+// with the expired error instead of burning executor time.
+func TestQueuedJobExpiresAtDequeue(t *testing.T) {
+	_, node, _, sql := protectionQuery(t)
+	job := &execJob{
+		sql: sql, reply: make(chan executeReply, 1), estMs: 1,
+		queued: time.Now().Add(-10 * time.Millisecond), deadline: time.Now().Add(-5 * time.Millisecond),
+	}
+	node.execCh <- job
+	select {
+	case rep := <-job.reply:
+		if rep.Err != msgExpired {
+			t.Fatalf("expired queued job answered %+v, want %q", rep, msgExpired)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("expired queued job never answered")
+	}
+	if got := node.health.Snapshot()[metrics.ExpiredTotal]; got != 1 {
+		t.Fatalf("expired_total = %g, want 1", got)
+	}
+	if got := node.Executed(); got != 0 {
+		t.Fatalf("node executed %d expired jobs", got)
+	}
+}
+
+// legacyRequest is the wire request an old (pre-deadline) node decodes:
+// the deadline_ms and run_id fields do not exist in its schema.
+type legacyRequest struct {
+	ID      uint64 `json:"id,omitempty"`
+	Op      string `json:"op"`
+	SQL     string `json:"sql,omitempty"`
+	QueryID int64  `json:"query_id,omitempty"`
+}
+
+// startLegacyStub runs an "old node": it decodes requests into the
+// legacy schema (unknown JSON fields like deadline_ms are dropped, as
+// encoding/json guarantees) and answers without envelope codes.
+func startLegacyStub(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				w := bufio.NewWriter(conn)
+				for sc.Scan() {
+					var req legacyRequest
+					if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+						return
+					}
+					rep := reply{ID: req.ID, NodeID: "legacy"}
+					switch req.Op {
+					case "negotiate":
+						rep.Negotiate = &negotiateReply{
+							Feasible: true, Offer: true, EstimateMs: 5, Signature: "legacy",
+						}
+					case "execute":
+						rep.Execute = &executeReply{Accepted: true, Rows: 1}
+					}
+					if err := writeMsg(w, &rep); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestDeadlineInterop is the mixed-fleet acceptance check: a deadline-
+// carrying client works against an old node that has never heard of
+// deadline_ms, and an old client's requests (no deadline_ms, no run_id)
+// work against a new node — no shedding, no dedup, no typed codes.
+func TestDeadlineInterop(t *testing.T) {
+	t.Run("new-client-old-node", func(t *testing.T) {
+		addr := startLegacyStub(t)
+		c, err := NewClient(ClientConfig{
+			Addrs: []string{addr}, Transport: TransportFresh, Timeout: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		deadline := time.Now().Add(5 * time.Second)
+		pr, _, err := c.negotiateAll("SELECT 1 FROM t", nil, deadline)
+		if err != nil || pr.best() == nil {
+			t.Fatalf("negotiate with deadline against old node: pr=%+v err=%v", pr, err)
+		}
+		rep, kind, err := c.executeOn(pr.best(), 1, "SELECT 1 FROM t", nil, deadline)
+		if kind != attemptOK || err != nil || !rep.Accepted {
+			t.Fatalf("execute with deadline against old node: kind=%v err=%v rep=%+v", kind, err, rep)
+		}
+	})
+	t.Run("old-client-new-node", func(t *testing.T) {
+		_, node, addr, sql := protectionQuery(t)
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		w := bufio.NewWriter(conn)
+		r := bufio.NewReader(conn)
+		// An old client's request never carries deadline_ms or run_id;
+		// the zero-valued fields are omitempty, so this is byte-for-byte
+		// the legacy wire format.
+		var rep reply
+		if err := writeMsg(w, &request{Op: "negotiate", SQL: sql}); err != nil {
+			t.Fatal(err)
+		}
+		if err := readMsg(r, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Code != "" || rep.Negotiate == nil || !rep.Negotiate.Feasible {
+			t.Fatalf("legacy negotiate against new node: %+v", rep)
+		}
+		rep = reply{}
+		if err := writeMsg(w, &request{Op: "execute", QueryID: 7, SQL: sql}); err != nil {
+			t.Fatal(err)
+		}
+		if err := readMsg(r, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Code != "" || rep.Execute == nil || !rep.Execute.Accepted {
+			t.Fatalf("legacy execute against new node: %+v", rep)
+		}
+		if got := node.Executed(); got != 1 {
+			t.Fatalf("node executed %d, want 1", got)
+		}
+		// No run_id means no dedup entry: old-client retries keep the
+		// pre-protection semantics.
+		if got := node.dedup.size(); got != 0 {
+			t.Fatalf("dedup window holds %d entries for an id-less client", got)
+		}
+	})
+}
+
+// TestRetryBudgetExhausted proves the client-wide token bucket turns a
+// dead federation into a fast typed failure instead of MaxRetries
+// rounds of timeouts.
+func TestRetryBudgetExhausted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // dials are refused instantly
+
+	c, err := NewClient(ClientConfig{
+		Addrs: []string{addr}, Timeout: 200 * time.Millisecond,
+		PeriodMs: 10, MaxRetries: 50, BreakerThreshold: 1,
+		RetryBudget: 0.0001, RetryBurst: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := c.Run(1, "SELECT 1 FROM t")
+	if !errors.Is(out.Err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", out.Err)
+	}
+	if out.Retries != 2 {
+		t.Fatalf("retries = %d, want 2 (one funded, one refused)", out.Retries)
+	}
+	if got := c.Health()[metrics.RetryBudgetExhaustedTotal]; got != 1 {
+		t.Fatalf("retry_budget_exhausted_total = %g, want 1", got)
+	}
+}

@@ -57,6 +57,20 @@ type request struct {
 	// ignore the unknown field (the query still runs, untraced on that
 	// node), and old clients omit it, so mixed fleets interoperate.
 	Trace *traceCtx `json:"trace,omitempty"`
+	// DeadlineMs is the query's remaining time budget in milliseconds
+	// when the request left the client. It is relative, not a wall-clock
+	// instant, so federations need no clock sync; the cost is that time
+	// on the wire is not charged. Zero means "no deadline". Additive
+	// like Enc and Trace: old servers ignore it (the query just isn't
+	// shed server-side), old clients omit it, so mixed fleets
+	// interoperate.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// RunID names the client run for at-most-once dedup: the server
+	// caches execute/fetch outcomes keyed by (RunID, op, QueryID, SQL
+	// hash) so a retransmit after a lost reply returns the original
+	// outcome instead of re-running the query. Empty disables dedup
+	// (old clients), and old servers ignore the field.
+	RunID string `json:"run_id,omitempty"`
 }
 
 // traceV is the newest trace-context version this build speaks.
@@ -216,12 +230,29 @@ const (
 	// finishes in-flight work but refuses new requests. Clients must
 	// open the node's circuit immediately rather than burning timeouts.
 	CodeDraining = "draining"
+	// CodeOverload marks a work request shed at admission: the node's
+	// inflight gate or executor queue is full. A market refusal, not
+	// unreachability — the node answered promptly — so clients must NOT
+	// trip the breaker; they resubmit elsewhere or next period.
+	CodeOverload = "overload"
+	// CodeExpired marks a query shed because its remaining deadline
+	// budget cannot cover the node's backlog estimate (or the deadline
+	// passed while the job sat queued). Also a market refusal: the node
+	// is healthy, the query just can't make it here in time.
+	CodeExpired = "expired"
 )
 
 // msgNodeStopping is reported inside an execute/fetch reply when a hard
 // shutdown interrupts a queued query. The query was not run; clients
 // may safely resubmit it elsewhere.
 const msgNodeStopping = "node shutting down"
+
+// msgOverloaded and msgExpired are the human-readable halves of the
+// typed overload/expired refusals.
+const (
+	msgOverloaded = "node overloaded"
+	msgExpired    = "deadline cannot be met"
+)
 
 // reply is the union envelope sent back by the server.
 type reply struct {

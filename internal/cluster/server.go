@@ -67,6 +67,20 @@ type NodeConfig struct {
 	// "draining" reply, and gives in-flight queries this long to finish
 	// before hard-stopping. Default 5s.
 	DrainTimeout time.Duration
+	// MaxInflight bounds how many work requests (negotiate/execute/
+	// fetch) the node handles concurrently across all connections;
+	// excess requests are refused with a typed "overload" reply instead
+	// of blocking. Replaces the old hardcoded per-connection semaphore.
+	// Default 256.
+	MaxInflight int
+	// MaxQueue bounds the executor's FIFO backlog (jobs accepted but
+	// not yet running); an execute/fetch that finds the queue full is
+	// refused with a typed "overload" reply. Default 256.
+	MaxQueue int
+	// DedupWindow is how long the node remembers execute/fetch outcomes
+	// for at-most-once retransmits (keyed by the client's run id).
+	// Default 60s.
+	DedupWindow time.Duration
 	// NodeID is the node's stable identity in the membership registry,
 	// constant across address changes. Empty generates a random one.
 	NodeID string
@@ -121,6 +135,15 @@ func (c *NodeConfig) validate() error {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.DedupWindow <= 0 {
+		c.DedupWindow = 60 * time.Second
+	}
 	if c.GossipPeriodMs <= 0 {
 		c.GossipPeriodMs = 250
 	}
@@ -159,8 +182,12 @@ type Node struct {
 	conns  map[net.Conn]struct{} // live client connections, severed on hard stop
 
 	draining       atomic.Bool  // drain started: refuse new work, finish in-flight
-	inflight       atomic.Int64 // queries accepted but not yet answered
+	inflight       atomic.Int64 // requests being handled (drain waits on this)
+	working        atomic.Int64 // work ops admitted (bounded by MaxInflight)
 	lastCheckpoint atomic.Int64 // unix ms of the last market-state checkpoint; 0 = never
+
+	// dedup is the at-most-once window for execute/fetch retransmits.
+	dedup *dedupWindow
 
 	execCh   chan *execJob
 	stopCh   chan struct{}
@@ -176,6 +203,7 @@ type execJob struct {
 	result   *sqldb.Result // filled when withRows and no error
 	trace    *traceCtx     // non-nil when the query is being traced
 	queued   time.Time     // when the job entered the executor queue
+	deadline time.Time     // zero = no deadline; expired jobs are dropped at dequeue
 }
 
 // historyAlpha is the EMA weight of the newest observation in the
@@ -204,7 +232,8 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 		opHist:  make(map[string]*metrics.Histogram),
 		history: make(map[string]float64),
 		conns:   make(map[net.Conn]struct{}),
-		execCh:  make(chan *execJob, 1024),
+		dedup:   newDedupWindow(cfg.DedupWindow),
+		execCh:  make(chan *execJob, cfg.MaxQueue),
 		stopCh:  make(chan struct{}),
 	}
 	if cfg.ExecNoise > 0 {
@@ -536,19 +565,17 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// maxConnInflight bounds how many requests one connection may have in
-// flight server-side. The reader stops pulling new requests past the
-// cap, so a runaway pipelining client gets TCP backpressure instead of
-// unbounded goroutines.
-const maxConnInflight = 256
-
 // serveConn handles one client connection. Requests are dispatched to
 // their own goroutines so a multiplexing client can keep many RPCs in
 // flight on one connection; replies echo the request's id (the client
 // demuxes by it) and share the connection's writer under a mutex.
 // Replies therefore complete in finish order, not arrival order — the
 // legacy one-at-a-time framing (id 0) is unaffected because such
-// clients never pipeline.
+// clients never pipeline. Work-op concurrency is bounded node-wide by
+// the MaxInflight admission gate in handle (excess answered with a
+// typed overload refusal), not by per-connection backpressure: a
+// refused market participant should learn the node is saturated, not
+// wait blind on a stalled TCP window.
 func (n *Node) serveConn(conn net.Conn) {
 	n.trackConn(conn)
 	defer n.untrackConn(conn)
@@ -558,7 +585,6 @@ func (n *Node) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	var wmu sync.Mutex // serializes writeMsg across handler goroutines
-	sem := make(chan struct{}, maxConnInflight)
 	for {
 		var req request
 		if err := readMsg(r, &req); err != nil {
@@ -567,7 +593,6 @@ func (n *Node) serveConn(conn net.Conn) {
 		// Count the whole request as in flight until its reply is on the
 		// wire, so a drain never severs a connection mid-reply.
 		n.inflight.Add(1)
-		sem <- struct{}{}
 		handlers.Add(1)
 		go func(req request) {
 			defer handlers.Done()
@@ -580,7 +605,6 @@ func (n *Node) serveConn(conn net.Conn) {
 			err := writeMsg(w, rep)
 			wmu.Unlock()
 			n.inflight.Add(-1)
-			<-sem
 			if err != nil {
 				// The write path is broken; close the conn so the reader
 				// unblocks and the remaining handlers drain.
@@ -608,15 +632,8 @@ func (n *Node) handle(req *request) *reply {
 		n.health.Inc(metrics.DrainRejectsTotal)
 	default:
 		switch req.Op {
-		case "negotiate":
-			nr := n.negotiate(req)
-			rep.Negotiate = &nr
-		case "execute":
-			er := n.execute(req)
-			rep.Execute = &er
-		case "fetch":
-			fr := n.fetch(req)
-			rep.Fetch = &fr
+		case "negotiate", "execute", "fetch":
+			n.handleWork(req, &rep)
 		case "stats":
 			sr := n.nodeStats()
 			rep.Stats = &sr
@@ -631,6 +648,39 @@ func (n *Node) handle(req *request) *reply {
 		}
 	}
 	return &rep
+}
+
+// handleWork runs one work op (negotiate/execute/fetch) through the
+// node-wide admission gate. Past MaxInflight the request is refused
+// with a typed overload reply — a market refusal, answered promptly,
+// that clients must not confuse with unreachability.
+func (n *Node) handleWork(req *request, rep *reply) {
+	if n.working.Add(1) > int64(n.cfg.MaxInflight) {
+		n.working.Add(-1)
+		n.health.Inc(metrics.OverloadTotal)
+		rep.Err = msgOverloaded
+		rep.Code = CodeOverload
+		return
+	}
+	defer n.working.Add(-1)
+	switch req.Op {
+	case "negotiate":
+		nr, code := n.negotiate(req)
+		rep.Code = code
+		if code != "" {
+			rep.Err = nr.Err
+			return
+		}
+		rep.Negotiate = &nr
+	case "execute":
+		er, code := n.execute(req)
+		rep.Execute = &er
+		rep.Code = code
+	case "fetch":
+		fr, code := n.fetch(req)
+		rep.Fetch = &fr
+		rep.Code = code
+	}
 }
 
 // handleGossip is the receiving half of a push-pull exchange: merge
@@ -733,14 +783,20 @@ func (n *Node) estimate(sql string) (sig string, estMs float64, fromHistory bool
 	return sig, n.planTargetMs(plan), false, nil
 }
 
-func (n *Node) negotiate(req *request) negotiateReply {
+func (n *Node) negotiate(req *request) (negotiateReply, string) {
 	sp := n.traceStart(req, "solve")
 	defer sp.Finish()
 	sig, estMs, fromHistory, err := n.estimate(req.SQL)
 	if err != nil {
 		// Unknown relations (or malformed SQL) mean "cannot evaluate".
 		sp.Annotate("infeasible: %s", err)
-		return negotiateReply{Feasible: false, Err: err.Error()}
+		return negotiateReply{Feasible: false, Err: err.Error()}, ""
+	}
+	if code := n.shedExpired(req, estMs); code != "" {
+		// The remaining budget cannot cover this node's backlog plus the
+		// query itself: refuse before burning market supply on an offer.
+		sp.Annotate("expired: backlog cannot meet %dms budget", req.DeadlineMs)
+		return negotiateReply{Err: msgExpired}, code
 	}
 	if n.cfg.ExplainFraction > 0 && !fromHistory {
 		// Planning a query shape for the first time takes real time on
@@ -766,60 +822,113 @@ func (n *Node) negotiate(req *request) negotiateReply {
 		QueueMs:    queue,
 		Signature:  sig,
 		FromCache:  fromHistory,
-	}
+	}, ""
 }
 
-func (n *Node) execute(req *request) executeReply {
+// shedExpired decides whether a deadline-carrying request must be shed:
+// the node's current backlog estimate plus the query's own estimated
+// execution time exceeds the remaining budget. Requests without a
+// deadline (old clients, or none set) are never shed.
+func (n *Node) shedExpired(req *request, estMs float64) string {
+	if req.DeadlineMs <= 0 {
+		return ""
+	}
+	n.mu.Lock()
+	backlog := n.backlogMs
+	n.mu.Unlock()
+	if backlog+estMs <= float64(req.DeadlineMs) {
+		return ""
+	}
+	n.health.Inc(metrics.ExpiredTotal)
+	return CodeExpired
+}
+
+// jobDeadline converts the request's relative budget into the absolute
+// instant the executor checks at dequeue.
+func jobDeadline(req *request) time.Time {
+	if req.DeadlineMs <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(time.Duration(req.DeadlineMs) * time.Millisecond)
+}
+
+// cacheableOutcome decides whether an execute/fetch outcome may be
+// served to retransmits from the dedup window. Completed work — the
+// query ran, or the engine rejected its SQL deterministically — is
+// cacheable. Refusals (overload, expired, supply race, node stopping)
+// are not: a retry with fresh budget must be re-admitted, not fed a
+// stale refusal.
+func cacheableOutcome(rep executeReply, code string) bool {
+	if code != "" || rep.Err == msgNodeStopping {
+		return false
+	}
+	return rep.Accepted || rep.Err != ""
+}
+
+func (n *Node) execute(req *request) (executeReply, string) {
+	if req.RunID != "" {
+		key := dedupKey(req.RunID, "execute", req.QueryID, req.SQL)
+		if out, hit, _ := n.dedup.claim(key, n.stopCh); hit {
+			n.health.Inc(metrics.DedupHitsTotal)
+			return out.exec, out.code
+		}
+		rep, code := n.executeOnce(req)
+		n.dedup.settle(key, dedupOutcome{exec: rep, code: code}, cacheableOutcome(rep, code))
+		return rep, code
+	}
+	return n.executeOnce(req)
+}
+
+func (n *Node) executeOnce(req *request) (executeReply, string) {
 	sig, estMs, _, err := n.estimate(req.SQL)
 	if err != nil {
-		return executeReply{Err: err.Error()}
+		return executeReply{Err: err.Error()}, ""
 	}
-	if req.Mechanism == MechQANT && !n.pricer.accept(sig) {
-		// Supply sold out since the offer (another client won the race).
-		return executeReply{Accepted: false}
-	}
-	job := &execJob{sql: req.SQL, reply: make(chan executeReply, 1), estMs: estMs,
-		trace: req.Trace, queued: time.Now()}
-	n.mu.Lock()
-	n.backlogMs += estMs
-	n.mu.Unlock()
-	select {
-	case n.execCh <- job:
-	case <-n.stopCh:
-		return executeReply{Err: msgNodeStopping}
+	job, rep, code := n.admit(req, sig, estMs, false)
+	if code != "" || rep.Err != "" || job == nil {
+		return rep, code
 	}
 	select {
 	case rep := <-job.reply:
-		return rep
+		return rep, expiredCode(rep)
 	case <-n.stopCh:
-		return executeReply{Err: msgNodeStopping}
+		return executeReply{Err: msgNodeStopping}, ""
 	}
 }
 
 // fetch is execute plus result shipping: the distributed subquery
 // layer pulls relation fragments through it.
-func (n *Node) fetch(req *request) fetchReply {
+func (n *Node) fetch(req *request) (fetchReply, string) {
+	if req.RunID != "" {
+		key := dedupKey(req.RunID, "fetch", req.QueryID, req.SQL)
+		if out, hit, _ := n.dedup.claim(key, n.stopCh); hit {
+			n.health.Inc(metrics.DedupHitsTotal)
+			if out.fetch != nil {
+				return *out.fetch, out.code
+			}
+			return fetchReply{Err: out.exec.Err, Accepted: out.exec.Accepted}, out.code
+		}
+		fr, code := n.fetchOnce(req)
+		cacheable := cacheableOutcome(executeReply{Accepted: fr.Accepted, Err: fr.Err}, code)
+		n.dedup.settle(key, dedupOutcome{fetch: &fr, code: code}, cacheable)
+		return fr, code
+	}
+	return n.fetchOnce(req)
+}
+
+func (n *Node) fetchOnce(req *request) (fetchReply, string) {
 	sig, estMs, _, err := n.estimate(req.SQL)
 	if err != nil {
-		return fetchReply{Err: err.Error()}
+		return fetchReply{Err: err.Error()}, ""
 	}
-	if req.Mechanism == MechQANT && !n.pricer.accept(sig) {
-		return fetchReply{Accepted: false}
-	}
-	job := &execJob{sql: req.SQL, reply: make(chan executeReply, 1), estMs: estMs, withRows: true,
-		trace: req.Trace, queued: time.Now()}
-	n.mu.Lock()
-	n.backlogMs += estMs
-	n.mu.Unlock()
-	select {
-	case n.execCh <- job:
-	case <-n.stopCh:
-		return fetchReply{Err: msgNodeStopping}
+	job, rep, code := n.admit(req, sig, estMs, true)
+	if code != "" || rep.Err != "" || job == nil {
+		return fetchReply{Accepted: rep.Accepted, Err: rep.Err}, code
 	}
 	select {
 	case rep := <-job.reply:
 		if rep.Err != "" {
-			return fetchReply{Err: rep.Err}
+			return fetchReply{Err: rep.Err}, expiredCode(rep)
 		}
 		fr := fetchReply{Accepted: true, ExecMs: rep.ExecMs}
 		if job.result != nil {
@@ -833,10 +942,67 @@ func (n *Node) fetch(req *request) fetchReply {
 				fr.Rows = encodeRows(job.result)
 			}
 		}
-		return fr
+		return fr, ""
 	case <-n.stopCh:
-		return fetchReply{Err: msgNodeStopping}
+		return fetchReply{Err: msgNodeStopping}, ""
 	}
+}
+
+// expiredCode maps the executor's queued-too-long drop onto the typed
+// expired envelope code.
+func expiredCode(rep executeReply) string {
+	if rep.Err == msgExpired {
+		return CodeExpired
+	}
+	return ""
+}
+
+// admit runs the shared execute/fetch admission path: deadline shed,
+// bounded-queue overload check, market accept, enqueue. On refusal the
+// returned job is nil and rep/code carry the typed reply. The queue-
+// full check runs before pricer.accept so a shed query does not burn
+// QA-NT supply; the later non-blocking enqueue can still lose a rare
+// race, which costs one accepted unit of supply — bounded, and far
+// cheaper than blocking every admitted request behind a full queue.
+func (n *Node) admit(req *request, sig string, estMs float64, withRows bool) (*execJob, executeReply, string) {
+	if code := n.shedExpired(req, estMs); code != "" {
+		return nil, executeReply{Err: msgExpired}, code
+	}
+	if len(n.execCh) >= cap(n.execCh) {
+		n.health.Inc(metrics.OverloadTotal)
+		return nil, executeReply{Err: msgOverloaded}, CodeOverload
+	}
+	if req.Mechanism == MechQANT && !n.pricer.accept(sig) {
+		// Supply sold out since the offer (another client won the race).
+		return nil, executeReply{Accepted: false}, ""
+	}
+	job := &execJob{sql: req.SQL, reply: make(chan executeReply, 1), estMs: estMs,
+		withRows: withRows, trace: req.Trace, queued: time.Now(), deadline: jobDeadline(req)}
+	n.mu.Lock()
+	n.backlogMs += estMs
+	n.mu.Unlock()
+	select {
+	case n.execCh <- job:
+		return job, executeReply{}, ""
+	case <-n.stopCh:
+		n.dropBacklog(estMs)
+		return nil, executeReply{Err: msgNodeStopping}, ""
+	default:
+		// Queue filled between the pre-check and the enqueue.
+		n.dropBacklog(estMs)
+		n.health.Inc(metrics.OverloadTotal)
+		return nil, executeReply{Err: msgOverloaded}, CodeOverload
+	}
+}
+
+// dropBacklog reverses an admission's backlog charge after a refusal.
+func (n *Node) dropBacklog(estMs float64) {
+	n.mu.Lock()
+	n.backlogMs -= estMs
+	if n.backlogMs < 0 {
+		n.backlogMs = 0
+	}
+	n.mu.Unlock()
 }
 
 // execLoop is the node's single query executor: one query at a time,
@@ -855,6 +1021,13 @@ func (n *Node) execLoop() {
 
 func (n *Node) runJob(job *execJob) {
 	queued := time.Now()
+	if !job.deadline.IsZero() && queued.After(job.deadline) {
+		// The deadline passed while the job sat queued: running it now
+		// would waste executor time on an answer nobody is waiting for.
+		n.health.Inc(metrics.ExpiredTotal)
+		n.finishJob(job, executeReply{Err: msgExpired})
+		return
+	}
 	plan, err := n.cfg.DB.Explain(job.sql)
 	if err != nil {
 		n.recordJobError(job, queued, err)
@@ -951,6 +1124,7 @@ func (n *Node) periodLoop() {
 			// The market epoch the member row advertises is the count
 			// of pricer periods this agent has lived through.
 			n.reg.SetEpoch(n.epoch.Add(1))
+			n.dedup.sweep(time.Now())
 		case <-n.stopCh:
 			return
 		}
@@ -969,6 +1143,8 @@ func (n *Node) nodeStats() NodeStats {
 	n.mu.Lock()
 	executed := n.executed
 	n.mu.Unlock()
+	n.health.SetGauge(metrics.InflightWork, float64(n.working.Load()))
+	n.health.SetGauge(metrics.QueueDepth, float64(len(n.execCh)))
 	health := n.health.Snapshot()
 	if ts := n.lastCheckpoint.Load(); ts > 0 {
 		health[metrics.CheckpointAgeMs] = float64(time.Now().UnixMilli() - ts)

@@ -90,6 +90,7 @@ type Proxy struct {
 	dropC2S  atomic.Bool // one-way partition: drop client->server bytes
 	dropS2C  atomic.Bool // one-way partition: drop server->client bytes
 	blackole atomic.Bool // black-hole every new connection
+	refuse   atomic.Bool // refuse (close) every new connection at accept
 
 	dialTimeout time.Duration
 	stopCh      chan struct{}
@@ -163,6 +164,24 @@ func (p *Proxy) Heal() {
 // never forwarded nor answered, like a crashed host that still routes.
 func (p *Proxy) SetBlackhole(on bool) { p.blackole.Store(on) }
 
+// SetRefuse toggles refusing new connections: accepted then closed
+// immediately, so the dialer sees a fast connection reset — a crashed
+// process whose host is still up, the cheap-failure counterpart to the
+// full-timeout blackhole.
+func (p *Proxy) SetRefuse(on bool) { p.refuse.Store(on) }
+
+// Sever closes every currently proxied connection while the listener
+// keeps running: an instantaneous crash of all established streams.
+// Combine with SetRefuse to keep the "process" down, or leave new
+// dials passing to model a blip that killed in-flight replies only.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
 // Close stops the proxy and severs every proxied connection.
 func (p *Proxy) Close() error {
 	var err error
@@ -201,7 +220,7 @@ func (p *Proxy) acceptLoop() {
 }
 
 func (p *Proxy) serve(client net.Conn, target string, plan Plan) {
-	if plan.Refuse {
+	if plan.Refuse || p.refuse.Load() {
 		client.Close()
 		return
 	}

@@ -42,6 +42,30 @@ const (
 	// MembersLive is the current live-view size (alive + suspect),
 	// including the node itself.
 	MembersLive = "members_live"
+	// OverloadTotal counts work requests a server shed with a typed
+	// overload reply because the admission gate or executor queue was
+	// full.
+	OverloadTotal = "overload_total"
+	// ExpiredTotal counts queries a server shed with a typed expired
+	// reply because their remaining deadline budget could not cover the
+	// backlog, plus queued jobs dropped when their deadline passed
+	// before execution.
+	ExpiredTotal = "expired_total"
+	// DedupHitsTotal counts execute/fetch retries answered from the
+	// at-most-once dedup window instead of re-running the query.
+	DedupHitsTotal = "dedup_hits_total"
+	// FailoversTotal counts client failovers from a failed winning
+	// bidder to a runner-up from the same proposal round.
+	FailoversTotal = "failovers_total"
+	// RetryBudgetExhaustedTotal counts retries the client refused
+	// because its token-bucket retry budget ran dry.
+	RetryBudgetExhaustedTotal = "retry_budget_exhausted_total"
+	// InflightWork is the server's current count of admitted work
+	// requests (negotiate/execute/fetch being handled).
+	InflightWork = "inflight_work"
+	// QueueDepth is the server's current executor-queue depth (jobs
+	// admitted but not yet running).
+	QueueDepth = "queue_depth"
 )
 
 // Health is a concurrency-safe named counter/gauge set for
