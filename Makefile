@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke chaossmoke ci
+.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke ci
 
 all: build test
 
@@ -19,8 +19,9 @@ race:
 	$(GO) test -race ./...
 
 # bench regenerates BENCH_qamarket.json — the committed benchmark
-# trajectory (figure wall-clocks, hot-path ns/op + allocs/op, and the
-# sequential-vs-parallel qabench timing).
+# trajectory (figure wall-clocks, hot-path ns/op + allocs/op, the
+# sequential-vs-parallel qabench timing, and the 100-node federation
+# row: negotiate RPCs per completed query, full fan-out vs amortized).
 bench:
 	$(GO) run ./cmd/benchjson
 
@@ -56,4 +57,11 @@ tracesmoke:
 chaossmoke:
 	$(GO) run -race ./cmd/chaossmoke
 
-ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke chaossmoke
+# scalesmoke stands up the full 100-node gossip-joined federation with
+# every amortization layer on (batched CFPs, epoch-stamped bid cache,
+# per-class shard probing), churns two members mid-run, and asserts
+# cached admission happened and no query executed twice or was lost.
+scalesmoke:
+	$(GO) run ./cmd/scalesmoke
+
+ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke

@@ -61,6 +61,28 @@ type membershipTiming struct {
 	EvictRounds int   `json:"evict_rounds"`
 }
 
+// federationTiming is the amortized-negotiation trajectory row: one
+// 100-node closed-loop qaload workload run twice at equal offered load
+// — full-fan-out negotiation vs batched CFPs + epoch-stamped bid
+// caching + shard probing. The headline number is mean negotiate RPCs
+// per completed query: ≈ view size unbatched, O(1) amortized.
+type federationTiming struct {
+	Nodes   int `json:"nodes"`
+	Clients int `json:"clients"`
+	Queries int `json:"queries"`
+	// Negotiate RPCs per completed query, before and after.
+	BaselineNegotiatePerQuery  float64 `json:"baseline_negotiate_per_query"`
+	AmortizedNegotiatePerQuery float64 `json:"amortized_negotiate_per_query"`
+	// p99 end-to-end latency at the same offered load, to show the
+	// RPC savings didn't cost tail latency.
+	BaselineP99Ms  float64 `json:"baseline_p99_ms"`
+	AmortizedP99Ms float64 `json:"amortized_p99_ms"`
+	// Where the saved RPCs went in the amortized run.
+	BidCacheHits   float64 `json:"bid_cache_hits"`
+	BatchCoalesced float64 `json:"batch_coalesced"`
+	ShardSkips     float64 `json:"shard_skips"`
+}
+
 type report struct {
 	GeneratedAt string           `json:"generated_at"`
 	GoVersion   string           `json:"go_version"`
@@ -69,6 +91,7 @@ type report struct {
 	Qabench     qabenchTiming    `json:"qabench"`
 	Transport   transportTiming  `json:"transport"`
 	Membership  membershipTiming `json:"membership"`
+	Federation  federationTiming `json:"federation"`
 	// Trajectory is the run history: one headline row per `make bench`,
 	// oldest first. The snapshot fields above always describe the latest
 	// run; earlier runs used to be overwritten, losing the trajectory
@@ -87,19 +110,33 @@ type trajectoryEntry struct {
 	TransportSpeedup float64 `json:"transport_speedup"`
 	JoinRounds       int     `json:"join_rounds"`
 	EvictRounds      int     `json:"evict_rounds"`
+	// The amortized-negotiation numbers (absent on rows that predate
+	// them): negotiate RPCs per completed query on the 100-node
+	// federation, full fan-out vs amortized, and the tail latencies
+	// behind them.
+	FedNodes                   int     `json:"fed_nodes,omitempty"`
+	BaselineNegotiatePerQuery  float64 `json:"baseline_negotiate_per_query,omitempty"`
+	AmortizedNegotiatePerQuery float64 `json:"amortized_negotiate_per_query,omitempty"`
+	BaselineP99Ms              float64 `json:"baseline_p99_ms,omitempty"`
+	AmortizedP99Ms             float64 `json:"amortized_p99_ms,omitempty"`
 }
 
 // entryOf compresses a report into its trajectory row.
 func entryOf(r *report) trajectoryEntry {
 	return trajectoryEntry{
-		GeneratedAt:      r.GeneratedAt,
-		GoVersion:        r.GoVersion,
-		GOMAXPROCS:       r.GOMAXPROCS,
-		Benchmarks:       len(r.Benchmarks),
-		QabenchSpeedup:   r.Qabench.Speedup,
-		TransportSpeedup: r.Transport.Speedup,
-		JoinRounds:       r.Membership.JoinRounds,
-		EvictRounds:      r.Membership.EvictRounds,
+		GeneratedAt:                r.GeneratedAt,
+		GoVersion:                  r.GoVersion,
+		GOMAXPROCS:                 r.GOMAXPROCS,
+		Benchmarks:                 len(r.Benchmarks),
+		QabenchSpeedup:             r.Qabench.Speedup,
+		TransportSpeedup:           r.Transport.Speedup,
+		JoinRounds:                 r.Membership.JoinRounds,
+		EvictRounds:                r.Membership.EvictRounds,
+		FedNodes:                   r.Federation.Nodes,
+		BaselineNegotiatePerQuery:  r.Federation.BaselineNegotiatePerQuery,
+		AmortizedNegotiatePerQuery: r.Federation.AmortizedNegotiatePerQuery,
+		BaselineP99Ms:              r.Federation.BaselineP99Ms,
+		AmortizedP99Ms:             r.Federation.AmortizedP99Ms,
 	}
 }
 
@@ -187,6 +224,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	federation, err := timeFederation(*quick)
+	if err != nil {
+		fatal(err)
+	}
 
 	r := report{
 		GeneratedAt: *stamp,
@@ -199,6 +240,7 @@ func main() {
 			Nodes: memberNodes, Seed: memberSeed,
 			JoinRounds: conv.JoinRounds, EvictRounds: conv.EvictRounds,
 		},
+		Federation: federation,
 	}
 	prev, _ := os.ReadFile(*out)
 	r.Trajectory = mergeTrajectory(prev, &r)
@@ -209,9 +251,11 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx, membership join/evict %d/%d rounds, %d trajectory rows on GOMAXPROCS=%d)\n",
+	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx, membership join/evict %d/%d rounds, %d-node negotiate/query %.1f -> %.2f, %d trajectory rows on GOMAXPROCS=%d)\n",
 		*out, len(entries), r.Qabench.Speedup, r.Transport.Speedup,
-		r.Membership.JoinRounds, r.Membership.EvictRounds, len(r.Trajectory), r.GOMAXPROCS)
+		r.Membership.JoinRounds, r.Membership.EvictRounds,
+		r.Federation.Nodes, r.Federation.BaselineNegotiatePerQuery,
+		r.Federation.AmortizedNegotiatePerQuery, len(r.Trajectory), r.GOMAXPROCS)
 }
 
 // runBench executes `go test -bench` in the repo root and parses the
@@ -339,6 +383,80 @@ func timeTransport() (transportTiming, error) {
 	return transportTiming{
 		Clients: clients, Queries: queries,
 		FreshQPS: fresh, PooledQPS: pooled, Speedup: pooled / fresh,
+	}, nil
+}
+
+// timeFederation drives the 100-node gossip-joined federation with the
+// same open-loop workload twice: full fan-out (every CFP probes every
+// member, no batching, no caching) and amortized (batched CFPs, the
+// epoch-stamped bid cache, shard probing). Open mode offers queries at
+// a fixed rate regardless of completions, so the two legs see equal
+// offered load and the negotiate-RPC and tail-latency columns compare
+// directly; a closed loop would throttle the baseline's arrivals behind
+// its own slow negotiation.
+func timeFederation(quick bool) (federationTiming, error) {
+	nodes, clients, rate, duration := 100, 16, 25, 12*time.Second
+	if quick {
+		nodes, duration = 20, 6*time.Second
+	}
+	queries := int(float64(rate) * duration.Seconds())
+	dir, err := os.MkdirTemp(".", "benchjson-")
+	if err != nil {
+		return federationTiming{}, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "qaload")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/qaload").CombinedOutput(); err != nil {
+		return federationTiming{}, fmt.Errorf("building qaload: %v\n%s", err, out)
+	}
+	common := []string{
+		"-selfnodes", strconv.Itoa(nodes), "-clients", strconv.Itoa(clients),
+		"-mode", "open", "-rate", strconv.Itoa(rate), "-duration", duration.String(),
+		"-mechanism", "qa-nt", "-mspercost", "0.0001", "-period", "250",
+		"-tables", "20", "-views", "30", "-mix", "8", "-joins", "2",
+		"-join", "-refresh", "100ms", "-settle", "2s", "-json",
+	}
+	type fedReport struct {
+		Completed   int64              `json:"completed"`
+		Failed      int64              `json:"failed"`
+		Total       map[string]float64 `json:"total_ms"`
+		RPCPerQuery map[string]float64 `json:"rpc_per_query"`
+		Amort       map[string]float64 `json:"amortization"`
+	}
+	run := func(extra ...string) (fedReport, error) {
+		var rep fedReport
+		out, err := exec.Command(bin, append(append([]string(nil), common...), extra...)...).Output()
+		if err != nil {
+			return rep, fmt.Errorf("qaload %v: %v", extra, err)
+		}
+		if err := json.Unmarshal(out, &rep); err != nil {
+			return rep, fmt.Errorf("parsing qaload report: %w", err)
+		}
+		// Open mode fires ~rate*duration queries; the exact count drifts
+		// with ticker scheduling, so accept a run that kept most of them.
+		if rep.Failed > 0 || rep.Completed < int64(queries*8/10) {
+			return rep, fmt.Errorf("qaload %v: %d/~%d completed, %d failed",
+				extra, rep.Completed, queries, rep.Failed)
+		}
+		return rep, nil
+	}
+	baseline, err := run("-noshard")
+	if err != nil {
+		return federationTiming{}, err
+	}
+	amortized, err := run("-batch", "2ms", "-bidcache", "250ms")
+	if err != nil {
+		return federationTiming{}, err
+	}
+	return federationTiming{
+		Nodes: nodes, Clients: clients, Queries: queries,
+		BaselineNegotiatePerQuery:  baseline.RPCPerQuery["negotiate"],
+		AmortizedNegotiatePerQuery: amortized.RPCPerQuery["negotiate"],
+		BaselineP99Ms:              baseline.Total["p99_ms"],
+		AmortizedP99Ms:             amortized.Total["p99_ms"],
+		BidCacheHits:               amortized.Amort["bid_cache_hits_total"],
+		BatchCoalesced:             amortized.Amort["batch_coalesced_total"],
+		ShardSkips:                 amortized.Amort["shard_skips_total"],
 	}, nil
 }
 

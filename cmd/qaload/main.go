@@ -58,6 +58,15 @@ type options struct {
 	retryBudget float64
 	maxInflight int
 	maxQueue    int
+	tables      int
+	views       int
+	rows        int
+	join        bool
+	settle      time.Duration
+	refresh     time.Duration
+	batch       time.Duration
+	bidCache    time.Duration
+	noShard     bool
 }
 
 // loadReport is qaload's result, printed as text or JSON (-json); the
@@ -83,6 +92,17 @@ type loadReport struct {
 	TotalMs   metrics.HistSummary            `json:"total_ms"`
 	AssignMs  metrics.HistSummary            `json:"assign_ms"`
 	RPC       map[string]metrics.HistSummary `json:"rpc"`
+	// RPCCounts is the absolute number of RPC attempts per op (failures
+	// included); RPCPerQuery divides each by Completed — the
+	// amortization metric. Unbatched, uncached negotiation costs ≈ one
+	// negotiate RPC per view member per query; batching, the bid cache,
+	// and shard probing drive the per-query figure toward O(1).
+	RPCCounts   map[string]int64   `json:"rpc_counts"`
+	RPCPerQuery map[string]float64 `json:"rpc_per_query"`
+	// Amortization carries the client's batching/caching/sharding
+	// counters (bid cache hits, misses, invalidations; batch windows and
+	// coalesced riders; shard skips), present when any are non-zero.
+	Amortization map[string]float64 `json:"amortization,omitempty"`
 	// Phases breaks query latency down by lifecycle span name
 	// (run/negotiate/execute), aggregated from the client-side tracer
 	// when -trace is on.
@@ -113,6 +133,15 @@ func main() {
 	flag.Float64Var(&o.retryBudget, "retry-budget", 0, "client-wide retry tokens per second; retries beyond the budget fail fast (0 = unlimited)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 0, "self-hosted nodes: max concurrent work requests before typed overload (0 = default)")
 	flag.IntVar(&o.maxQueue, "max-queue", 0, "self-hosted nodes: executor queue depth before typed overload (0 = default)")
+	flag.IntVar(&o.tables, "tables", 6, "self-hosted dataset: base tables to generate")
+	flag.IntVar(&o.views, "views", 8, "self-hosted dataset: views to generate")
+	flag.IntVar(&o.rows, "rows", 40, "self-hosted dataset: rows per base table")
+	flag.BoolVar(&o.join, "join", false, "self-hosted nodes: gossip-join them into one federation (node 0 seeds the rest), so catalog filters and market epochs propagate")
+	flag.DurationVar(&o.settle, "settle", 0, "wait this long after startup for gossip to converge before offering load (with -join)")
+	flag.DurationVar(&o.refresh, "refresh", 0, "client membership view refresh interval; needed to learn gossiped filters/epochs (0 = static view)")
+	flag.DurationVar(&o.batch, "batch", 0, "coalesce same-class negotiations arriving within this window into one batched CFP per node (0 = off)")
+	flag.DurationVar(&o.bidCache, "bidcache", 0, "winning-bid cache TTL; epoch-stamped ladders admit same-class queries without renegotiating (0 = off)")
+	flag.BoolVar(&o.noShard, "noshard", false, "disable per-class shard probing (fan CFPs to every member regardless of gossiped filters)")
 	flag.Parse()
 
 	rep, err := run(&o)
@@ -158,22 +187,38 @@ func run(o *options) (*loadReport, error) {
 			minCopies = maxCopies
 		}
 		ds, err := cluster.GenerateDataset(cluster.DatasetParams{
-			Nodes: o.selfNodes, Tables: 6, Views: 8, RowsPerTable: 40,
+			Nodes: o.selfNodes, Tables: o.tables, Views: o.views, RowsPerTable: o.rows,
 			MinCopies: minCopies, MaxCopies: maxCopies,
 		}, rng)
 		if err != nil {
 			return nil, err
 		}
 		for i := 0; i < o.selfNodes; i++ {
-			n, err := cluster.StartNode("127.0.0.1:0", cluster.NodeConfig{
+			// Heterogeneous speeds like the paper's PCs: the slowest node is
+			// ~14x the fastest regardless of federation size, instead of
+			// growing linearly with the node index.
+			spread := 0.0
+			if o.selfNodes > 1 {
+				spread = float64(i) / float64(o.selfNodes-1)
+			}
+			cfg := cluster.NodeConfig{
 				DB:            ds.DBs[i],
-				Slowdown:      1 + float64(i), // heterogeneous, like the paper's PCs
+				Slowdown:      1 + 13*spread,
 				MsPerCostUnit: o.msPerCost,
 				PeriodMs:      o.period,
 				MaxInflight:   o.maxInflight,
 				MaxQueue:      o.maxQueue,
 				Market:        market.DefaultConfig(1),
-			})
+			}
+			if o.join {
+				// One federation: node 0 seeds, the rest announce to it, and
+				// gossip spreads catalog filters + market epochs to everyone.
+				cfg.NodeID = fmt.Sprintf("load-%03d", i)
+				if i > 0 {
+					cfg.Seeds = []string{addrs[0]}
+				}
+			}
+			n, err := cluster.StartNode("127.0.0.1:0", cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -214,11 +259,20 @@ func run(o *options) (*loadReport, error) {
 		Tracer:       tracer,
 		QueryTimeout: o.deadline,
 		RetryBudget:  o.retryBudget,
+		ViewRefresh:  o.refresh,
+		BatchWindow:  o.batch,
+		BidCacheTTL:  o.bidCache,
+		NoShardProbe: o.noShard,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer client.Close()
+	if o.settle > 0 {
+		// Let gossip converge and the client's view refresher pick up the
+		// full membership (with filters and epochs) before measuring.
+		time.Sleep(o.settle)
+	}
 
 	rep := &loadReport{
 		Mode: o.mode, Transport: o.transport, Mechanism: o.mechanism, Clients: o.clients,
@@ -310,6 +364,25 @@ func run(o *options) (*loadReport, error) {
 	rep.TotalMs = totalHist.Summary()
 	rep.AssignMs = assignHist.Summary()
 	rep.RPC = client.OpLatencies()
+	rep.RPCCounts = client.RPCCounts()
+	if rep.Completed > 0 {
+		rep.RPCPerQuery = make(map[string]float64, len(rep.RPCCounts))
+		for op, n := range rep.RPCCounts {
+			rep.RPCPerQuery[op] = float64(n) / float64(rep.Completed)
+		}
+	}
+	amort := make(map[string]float64)
+	for _, key := range []string{
+		metrics.BidCacheHitsTotal, metrics.BidCacheMissesTotal, metrics.BidCacheInvalidationsTotal,
+		metrics.BatchWindowsTotal, metrics.BatchCoalescedTotal, metrics.ShardSkipsTotal,
+	} {
+		if v := client.Health()[key]; v > 0 {
+			amort[key] = v
+		}
+	}
+	if len(amort) > 0 {
+		rep.Amortization = amort
+	}
 	if tracer != nil {
 		rep.Phases = phaseBreakdown(tracer.All())
 	}
@@ -364,6 +437,22 @@ func printReport(r *loadReport) {
 	sort.Strings(ops)
 	for _, op := range ops {
 		fmt.Printf("  rpc %-9s %s\n", op, r.RPC[op])
+	}
+	counts := make([]string, 0, len(r.RPCPerQuery))
+	for op := range r.RPCPerQuery {
+		counts = append(counts, op)
+	}
+	sort.Strings(counts)
+	for _, op := range counts {
+		fmt.Printf("  rpc/query %-9s %.2f (%d total)\n", op, r.RPCPerQuery[op], r.RPCCounts[op])
+	}
+	amort := make([]string, 0, len(r.Amortization))
+	for k := range r.Amortization {
+		amort = append(amort, k)
+	}
+	sort.Strings(amort)
+	for _, k := range amort {
+		fmt.Printf("  %-21s %.0f\n", k, r.Amortization[k])
 	}
 	phases := make([]string, 0, len(r.Phases))
 	for ph := range r.Phases {

@@ -1,0 +1,200 @@
+// Command scalesmoke is the 100-node amortized-negotiation smoke
+// `make ci` runs: a gossip-joined in-process federation driven with a
+// closed-loop star-query mix through a membership churn window, with
+// the amortization layers (batched CFPs, the epoch-stamped bid cache,
+// per-class shard probing) all enabled. Three invariants are asserted
+// at the end:
+//
+//  1. Cached admission happened: the bid cache served at least one
+//     query straight to execute (hits > 0), and shard probing excluded
+//     at least one provably infeasible node (skips > 0).
+//  2. No query executes twice: the nodes' executed counters — churned
+//     nodes included — sum to exactly the number of completed queries,
+//     so cache-admitted and batch-negotiated queries obey the same
+//     at-most-once contract as fully negotiated ones.
+//  3. No query is lost: every query completes; churn of data-less
+//     members must not strand or break in-flight work.
+//
+// The topology, dataset, workload, and churn points are all seeded, so
+// a failure reproduces. Exit status 0 means every invariant held.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/cluster"
+	"github.com/qamarket/qamarket/internal/market"
+	"github.com/qamarket/qamarket/internal/metrics"
+)
+
+const (
+	nodes    = 100
+	queries  = 120
+	workers  = 8
+	periodMs = 50
+)
+
+func main() {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(17))
+	ds, err := cluster.GenerateDataset(cluster.DatasetParams{
+		Nodes: nodes, Tables: 20, Views: 30, RowsPerTable: 10,
+		MinCopies: 2, MaxCopies: 3,
+	}, rng)
+	if err != nil {
+		die("dataset: %v", err)
+	}
+	var fleet []*cluster.Node
+	var addrs []string
+	for i := 0; i < nodes; i++ {
+		cfg := cluster.NodeConfig{
+			DB:            ds.DBs[i],
+			Slowdown:      1 + 3*float64(i)/float64(nodes-1),
+			MsPerCostUnit: 0.0001,
+			PeriodMs:      periodMs,
+			Market:        market.DefaultConfig(1),
+			NodeID:        fmt.Sprintf("scale-%03d", i),
+		}
+		if i > 0 {
+			cfg.Seeds = []string{addrs[0]}
+		}
+		n, err := cluster.StartNode("127.0.0.1:0", cfg)
+		if err != nil {
+			die("node %d: %v", i, err)
+		}
+		defer n.Close()
+		fleet = append(fleet, n)
+		addrs = append(addrs, n.Addr())
+	}
+
+	templates, err := ds.GenerateTemplates(8, 2, rng)
+	if err != nil {
+		die("templates: %v", err)
+	}
+
+	// Greedy allocation, not QA-NT: the mix concentrates every class on
+	// its 1-3 holders, and market supply races there retry for whole
+	// periods with unbounded variance — the smoke's subject is the
+	// amortization machinery, not price dynamics (same call as
+	// chaossmoke). The cache, batcher, and prober run identically under
+	// both mechanisms.
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Addrs:     addrs,
+		Mechanism: cluster.MechGreedy,
+		PeriodMs:  periodMs, MaxRetries: 300,
+		Timeout:     2 * time.Second,
+		ViewRefresh: 100 * time.Millisecond,
+		BatchWindow: 2 * time.Millisecond,
+		BidCacheTTL: 300 * time.Millisecond,
+		AtMostOnce:  true, ExecRetries: 4,
+		Jitter: rand.New(rand.NewSource(18)),
+	})
+	if err != nil {
+		die("client: %v", err)
+	}
+	defer client.Close()
+
+	// Wait for gossip to spread every member's catalog filter to the
+	// client, so shard probing starts from a converged view instead of
+	// a race against the settle phase.
+	converged := false
+	for wait := 0; wait < 100; wait++ {
+		withFilter := 0
+		members := client.Members()
+		for _, m := range members {
+			if m.CatalogFilter != "" {
+				withFilter++
+			}
+		}
+		if len(members) == nodes && withFilter == nodes {
+			converged = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !converged {
+		die("catalog filters did not converge to all %d members in 10s", nodes)
+	}
+	fmt.Printf("scalesmoke: %d nodes up, filters converged in %v\n", nodes, time.Since(start).Round(time.Millisecond))
+
+	// Churn victims: data-less members. Their departure exercises
+	// membership-driven invalidation and view pruning without making
+	// any query class infeasible.
+	var churn []int
+	for i, db := range ds.DBs {
+		if len(db.Tables())+len(db.Views()) == 0 {
+			churn = append(churn, i)
+		}
+		if len(churn) == 2 {
+			break
+		}
+	}
+	if len(churn) < 2 {
+		die("dataset left no data-less nodes to churn")
+	}
+
+	var completed, failed atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(19 + int64(w)))
+			for {
+				id := next.Add(1)
+				if id > queries {
+					return
+				}
+				if id == queries/2 {
+					// Mid-run churn: two members leave while queries are in
+					// flight on every other worker.
+					fleet[churn[0]].Close()
+					fleet[churn[1]].Close()
+				}
+				sql := templates[wrng.Intn(len(templates))].Instantiate(wrng)
+				if out := client.Run(id, sql); out.Err != nil {
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "scalesmoke: query %d failed: %v\n", id, out.Err)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	health := client.Health()
+	hits := health[metrics.BidCacheHitsTotal]
+	skips := health[metrics.ShardSkipsTotal]
+	if failed.Load() != 0 {
+		die("INVARIANT: %d/%d queries failed; churn of data-less members must not lose work", failed.Load(), queries)
+	}
+	if hits == 0 {
+		die("INVARIANT: bid cache served no queries (misses=%.0f) — cached admission is dead", health[metrics.BidCacheMissesTotal])
+	}
+	if skips == 0 {
+		die("INVARIANT: shard probing excluded no nodes despite converged filters")
+	}
+	var executed int
+	for _, n := range fleet {
+		executed += n.Executed()
+	}
+	if int64(executed) != completed.Load() {
+		die("INVARIANT: nodes executed %d queries but the client completed %d — a query ran twice or was lost", executed, completed.Load())
+	}
+	fmt.Printf("scalesmoke: ok in %v — completed=%d executed-once=%d cache hits=%.0f invalidations=%.0f batch windows=%.0f coalesced=%.0f shard skips=%.0f\n",
+		time.Since(start).Round(time.Millisecond), completed.Load(), executed,
+		hits, health[metrics.BidCacheInvalidationsTotal],
+		health[metrics.BatchWindowsTotal], health[metrics.BatchCoalescedTotal], skips)
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scalesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

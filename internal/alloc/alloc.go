@@ -91,15 +91,23 @@ func estimatedFinish(v View, node, class int) float64 {
 	return v.Backlog(node) + c
 }
 
+// ScanFeasible returns the ascending indices in [0, n) satisfying
+// feasible. It is the one feasibility scan in the repo: ScanFeasibleNodes
+// delegates to it, the simulator builds its per-class index with it, and
+// the live client's shard probe filters its CFP fan-out through it.
+func ScanFeasible(n int, feasible func(int) bool) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if feasible(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // ScanFeasibleNodes builds the ascending feasible-node list for class by
 // scanning every node. View implementations without a precomputed index
 // can delegate their FeasibleNodes to it.
 func ScanFeasibleNodes(v View, class int) []int {
-	var out []int
-	for n := 0; n < v.NumNodes(); n++ {
-		if v.Feasible(n, class) {
-			out = append(out, n)
-		}
-	}
-	return out
+	return ScanFeasible(v.NumNodes(), func(n int) bool { return v.Feasible(n, class) })
 }

@@ -1,0 +1,105 @@
+package catalog
+
+import (
+	"encoding/hex"
+	"hash/fnv"
+)
+
+// RelationFilter is a compact Bloom-style summary of the relation names
+// a node hosts, gossiped alongside the catalog digest so clients can
+// probe per-class feasibility without shipping schemas. The filter has
+// no false negatives: if Holds returns false for any relation a query
+// references, the node provably cannot evaluate the query locally and
+// the call-for-proposals may skip it. False positives merely cost one
+// extra CFP RPC, answered "infeasible" exactly as today.
+//
+// The bit layout (filterBits bits, filterHashes probes per name) is a
+// wire contract: every build derives the same bits for the same names,
+// so a filter produced by one node is interpretable by any other.
+type RelationFilter struct {
+	bits [filterBits / 8]byte
+}
+
+const (
+	// filterBits is the filter width. 256 bits keeps the advertisement
+	// at 64 hex characters per member row while holding the false-
+	// positive rate under ~1% for the few dozen relations a federation
+	// node typically hosts.
+	filterBits = 256
+	// filterHashes is the probe count per name (double hashing).
+	filterHashes = 4
+)
+
+// probes derives the filterHashes bit positions for one name using the
+// standard Kirsch–Mitzenmacher double-hashing construction over one
+// 64-bit FNV hash.
+func probes(name string, visit func(bit uint32)) {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	sum := h.Sum64()
+	h1 := uint32(sum)
+	h2 := uint32(sum>>32) | 1 // odd, so the stride cycles all positions
+	for i := uint32(0); i < filterHashes; i++ {
+		visit((h1 + i*h2) % filterBits)
+	}
+}
+
+// NewRelationFilter builds the filter over a set of relation names.
+func NewRelationFilter(names []string) *RelationFilter {
+	f := &RelationFilter{}
+	for _, name := range names {
+		probes(name, func(bit uint32) {
+			f.bits[bit/8] |= 1 << (bit % 8)
+		})
+	}
+	return f
+}
+
+// Holds reports whether the filter may contain name. False is
+// definitive (the relation is not hosted); true may be a false
+// positive.
+func (f *RelationFilter) Holds(name string) bool {
+	ok := true
+	probes(name, func(bit uint32) {
+		if f.bits[bit/8]&(1<<(bit%8)) == 0 {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// HoldsAll reports whether the filter may contain every name — the
+// local-evaluation feasibility test for a query's referenced relations.
+func (f *RelationFilter) HoldsAll(names []string) bool {
+	for _, name := range names {
+		if !f.Holds(name) {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode renders the filter for a gossip advertisement. A filter with
+// no relations encodes to 64 zero characters, NOT "": all-zeros means
+// "provably holds nothing" (the node is excludable from every CFP),
+// while the absent string means "no information" (a node that predates
+// filters, which must always be probed).
+func (f *RelationFilter) Encode() string {
+	return hex.EncodeToString(f.bits[:])
+}
+
+// DecodeRelationFilter parses an advertised filter. Empty or malformed
+// input returns nil — the caller must treat a missing filter as "always
+// feasible" (old nodes advertise nothing, and exclusion requires proof).
+func DecodeRelationFilter(s string) *RelationFilter {
+	if s == "" {
+		return nil
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != filterBits/8 {
+		return nil
+	}
+	f := &RelationFilter{}
+	copy(f.bits[:], raw)
+	return f
+}

@@ -1,0 +1,96 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRelationFilterHolds(t *testing.T) {
+	names := []string{"t00", "t01", "v05", "v17"}
+	f := NewRelationFilter(names)
+	for _, name := range names {
+		if !f.Holds(name) {
+			t.Errorf("filter lost %q", name)
+		}
+	}
+	if !f.HoldsAll(names) {
+		t.Errorf("HoldsAll(%v) = false", names)
+	}
+	if f.HoldsAll(append(append([]string(nil), names...), "definitely-absent-relation")) {
+		t.Errorf("HoldsAll with an absent name = true")
+	}
+}
+
+func TestRelationFilterNoFalseNegatives(t *testing.T) {
+	var names []string
+	for i := 0; i < 100; i++ {
+		names = append(names, fmt.Sprintf("rel%03d", i))
+	}
+	f := NewRelationFilter(names)
+	for _, name := range names {
+		if !f.Holds(name) {
+			t.Fatalf("false negative for %q", name)
+		}
+	}
+}
+
+func TestRelationFilterFalsePositiveRate(t *testing.T) {
+	// A federation node hosts a few dozen relations; the 256-bit filter
+	// must keep the false-positive rate low enough that shard probing
+	// actually shrinks the fan-out.
+	var names []string
+	for i := 0; i < 20; i++ {
+		names = append(names, fmt.Sprintf("t%02d", i))
+	}
+	f := NewRelationFilter(names)
+	fp := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if f.Holds(fmt.Sprintf("absent%04d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / trials; rate > 0.05 {
+		t.Errorf("false-positive rate %.3f above 5%% with 20 names", rate)
+	}
+}
+
+func TestRelationFilterRoundTrip(t *testing.T) {
+	f := NewRelationFilter([]string{"t00", "v03"})
+	enc := f.Encode()
+	if enc == "" {
+		t.Fatalf("non-empty filter encoded to empty string")
+	}
+	if len(enc) != filterBits/4 {
+		t.Fatalf("encoded length %d, want %d", len(enc), filterBits/4)
+	}
+	g := DecodeRelationFilter(enc)
+	if g == nil {
+		t.Fatalf("round trip decoded to nil")
+	}
+	if *g != *f {
+		t.Fatalf("round trip changed the filter")
+	}
+}
+
+func TestRelationFilterDecodeDegenerate(t *testing.T) {
+	if DecodeRelationFilter("") != nil {
+		t.Errorf("empty string must decode to nil")
+	}
+	if DecodeRelationFilter("zz") != nil {
+		t.Errorf("non-hex input must decode to nil")
+	}
+	if DecodeRelationFilter("abcd") != nil {
+		t.Errorf("short input must decode to nil")
+	}
+	// An empty filter is a real advertisement ("this node holds
+	// nothing"), distinct from the absent string ("no information"): it
+	// must round-trip to a filter that excludes every relation.
+	zero := DecodeRelationFilter((&RelationFilter{}).Encode())
+	if zero == nil {
+		t.Fatalf("empty filter must encode to a decodable advertisement")
+	}
+	if zero.Holds("anything") {
+		t.Errorf("empty filter must hold nothing")
+	}
+}

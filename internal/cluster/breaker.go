@@ -37,8 +37,8 @@ func (s breakerState) String() string {
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
-	now       func() time.Time              // injectable clock for tests
-	onChange  func(from, to breakerState)   // optional transition hook
+	now       func() time.Time            // injectable clock for tests
+	onChange  func(from, to breakerState) // optional transition hook
 
 	mu       sync.Mutex
 	state    breakerState

@@ -8,8 +8,8 @@ import (
 // fakeClock is a manually advanced clock for breaker tests.
 type fakeClock struct{ t time.Time }
 
-func (f *fakeClock) now() time.Time             { return f.t }
-func (f *fakeClock) advance(d time.Duration)    { f.t = f.t.Add(d) }
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
 
 func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock, *[]string) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}

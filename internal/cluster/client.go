@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/qamarket/qamarket/internal/catalog"
 	"github.com/qamarket/qamarket/internal/metrics"
 	"github.com/qamarket/qamarket/internal/trace"
 )
@@ -109,6 +110,34 @@ type ClientConfig struct {
 	// RetryBurst is the retry bucket's capacity (default 16 when
 	// RetryBudget is set). The bucket starts full.
 	RetryBurst float64
+	// BatchWindow, when positive, coalesces same-class queries that
+	// need a call-for-proposals within this window into ONE batched CFP
+	// per node (the negotiate request's additive batch field): the
+	// first arrival leads the window, later arrivals ride it, and every
+	// query still receives its own per-node proposal. Zero (default)
+	// negotiates every query individually, the pre-batching behavior.
+	BatchWindow time.Duration
+	// BatchLimit caps how many queries one window coalesces (default
+	// 16); a full window seals and fans out immediately.
+	BatchLimit int
+	// BidCacheTTL, when positive, enables the winning-bid cache: each
+	// negotiation round's ranked proposals are cached per query class,
+	// stamped with every bidder's gossiped market epoch, and follow-up
+	// queries of the class are admitted straight to execute while the
+	// stamp holds. The entry dies on epoch bump, membership change, a
+	// typed refusal (overload/expired/draining), or this TTL — whichever
+	// comes first. Set it to the federation's market period: the paper
+	// prices per period, so a winning bid is valid for at most one
+	// epoch. Zero (default) disables the cache.
+	BidCacheTTL time.Duration
+	// NoShardProbe disables per-class shard probing. By default the
+	// client tests each member's gossiped relation filter against the
+	// query's referenced relations and skips the CFP fan-out to nodes
+	// provably unable to evaluate it — the sim-side FeasibleNodes index
+	// lifted into the live client. Members without a filter (old nodes,
+	// static views that never refreshed) are always probed, so the
+	// default is safe in mixed fleets.
+	NoShardProbe bool
 }
 
 func (c *ClientConfig) validate() error {
@@ -179,6 +208,15 @@ func (c *ClientConfig) validate() error {
 	if c.RetryBurst <= 0 {
 		c.RetryBurst = 16
 	}
+	if c.BatchWindow < 0 {
+		return fmt.Errorf("cluster: BatchWindow %v is negative", c.BatchWindow)
+	}
+	if c.BatchLimit <= 0 {
+		c.BatchLimit = 16
+	}
+	if c.BidCacheTTL < 0 {
+		return fmt.Errorf("cluster: BidCacheTTL %v is negative", c.BidCacheTTL)
+	}
 	return nil
 }
 
@@ -211,6 +249,15 @@ type nodeState struct {
 	incarnation uint64
 	epoch       uint64
 	catalog     string
+	// filter is the member's parsed relation filter (nil until a view
+	// refresh carries one; nil means "probe for everything"), and
+	// filterEnc the advertised encoding it was parsed from.
+	filter    *catalog.RelationFilter
+	filterEnc string
+	// noBatch records that this node answered a batched CFP without a
+	// batch reply: it predates the negotiate batch field, so coalesced
+	// windows stop offering it batches and negotiate per query instead.
+	noBatch bool
 
 	// transport is the two-lane pooled transport (nil under
 	// TransportFresh). Guarded by mu because a member can move to a
@@ -283,6 +330,16 @@ type Client struct {
 	// is zero (unlimited retries, the pre-protection behavior).
 	retry *tokenBucket
 
+	// bids is the winning-bid cache (nil with BidCacheTTL zero) and
+	// batches the per-class CFP coalescer (nil with BatchWindow zero).
+	bids    *bidCache
+	batches *negotiator
+
+	// rpcMu guards rpcCounts, the per-op count of RPC attempts (sent or
+	// failed), the numerator of the amortization metric qaload reports.
+	rpcMu     sync.Mutex
+	rpcCounts map[string]int64
+
 	stopRefresh chan struct{}
 	refreshWG   sync.WaitGroup
 	closeOnce   sync.Once
@@ -299,10 +356,17 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		health:      metrics.NewHealth(),
 		view:        make(map[string]*nodeState, len(cfg.Addrs)),
 		removedInc:  make(map[string]uint64),
+		rpcCounts:   make(map[string]int64),
 		stopRefresh: make(chan struct{}),
 	}
 	if cfg.RetryBudget > 0 {
 		c.retry = newTokenBucket(cfg.RetryBudget, cfg.RetryBurst)
+	}
+	if cfg.BidCacheTTL > 0 {
+		c.bids = newBidCache(cfg.BidCacheTTL)
+	}
+	if cfg.BatchWindow > 0 {
+		c.batches = newNegotiator(c)
 	}
 	for _, addr := range cfg.Addrs {
 		if _, dup := c.view[addr]; dup {
@@ -611,6 +675,12 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 	budgetErr := func() error {
 		return fmt.Errorf("cluster: query %d: %w", queryID, ErrRetryBudget)
 	}
+	// class is the query's market class, the key of both the winning-bid
+	// cache and the CFP coalescing windows ("" with both disabled).
+	var class string
+	if c.bids != nil || c.batches != nil {
+		class = classKey(sql)
+	}
 	// unreachableRounds counts consecutive rounds where no node answered
 	// at all; it drives the exponential backoff and resets the moment
 	// the federation responds. Market refusals keep the paper's
@@ -621,8 +691,30 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			return finish(fmt.Errorf("cluster: query %d: %w after %d rounds", queryID, ErrExpired, attempt))
 		}
-		pr, assignDur, err := c.negotiateAll(sql, tc, deadline)
-		out.AssignMs += float64(assignDur) / float64(time.Millisecond)
+		// Cached admission: a still-valid ladder for the class skips the
+		// negotiate fan-out entirely — execute burns supply on its own, so
+		// the market stays consistent; a lost supply race below drops the
+		// entry and renegotiates.
+		var (
+			pr        proposals
+			err       error
+			fromCache = false
+		)
+		if ranked := c.cachedLadder(class); ranked != nil {
+			pr, fromCache = proposals{ranked: ranked}, true
+			root.Annotate("bid cache hit (%d candidates)", len(ranked))
+		} else {
+			var assignDur time.Duration
+			if c.batches != nil {
+				pr, assignDur, err = c.batches.negotiate(queryID, sql, class, tc, deadline)
+			} else {
+				pr, assignDur, err = c.negotiateAll(sql, tc, deadline)
+			}
+			out.AssignMs += float64(assignDur) / float64(time.Millisecond)
+			if err == nil && c.bids != nil && len(pr.ranked) > 0 {
+				c.bids.put(class, pr.ranked)
+			}
+		}
 		if err != nil {
 			// Whole federation unreachable this round: transient until
 			// proven otherwise (a partition heals, a breaker re-probes).
@@ -676,18 +768,34 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 			case attemptOK:
 				if !rep.Accepted {
 					// Lost the race for the last supply unit; this round's
-					// other offers may be stale too, so renegotiate.
+					// other offers may be stale too, so renegotiate (and
+					// drop the cached ladder they came from or fed).
+					c.dropBids(class)
 					renegotiate = true
 					break ladder
 				}
 				win, winner = rep, cand
 				break ladder
 			case attemptFatal:
+				if fromCache {
+					// A fatal answer to a cache-admitted query (e.g. the
+					// node dropped the relation since it bid) impeaches the
+					// cache, not the query: renegotiate it at the market
+					// rather than failing it.
+					c.dropBids(class)
+					renegotiate = true
+					break ladder
+				}
 				terminal = err
 				break ladder
 			case attemptRefused, attemptNotSent:
 				// The query did not run on this candidate; the runner-up
-				// is safe to try immediately.
+				// is safe to try immediately. A typed refusal also says
+				// the market moved since the class's proposals were
+				// ranked, so the cached ladder (if any) is stale.
+				if kind == attemptRefused {
+					c.dropBids(class)
+				}
 				continue
 			case attemptLost:
 				if c.cfg.AtMostOnce {
@@ -714,6 +822,14 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 			return finish(nil)
 		case terminal != nil:
 			return finish(terminal)
+		}
+		if fromCache && !renegotiate {
+			// A cached ladder that produced no winner says nothing about
+			// the live market — the cache was stale, the market was never
+			// asked. Drop the entry and renegotiate immediately instead of
+			// sleeping out a market period we never saw refuse us.
+			c.dropBids(class)
+			renegotiate = true
 		}
 		// Ladder exhausted (every candidate refused or unreachable) or a
 		// renegotiation was requested: back to the market.
@@ -833,10 +949,103 @@ func remainingMs(deadline time.Time) int64 {
 	return int64(rem / time.Millisecond)
 }
 
-// negotiateAll broadcasts the call-for-proposals to the current live
-// view and ranks the offering nodes by estimated completion. It
-// returns an aggregate error naming every node's failure when none is
-// reachable; typed overload/expired refusals count as reachable.
+// negOutcome is one node's answer to a call-for-proposals for one
+// query: an offer (rep), a typed refusal, or a failure. The batched
+// path produces a grid of these (one per query per node); the unbatched
+// path one row.
+type negOutcome struct {
+	rep     negotiateReply
+	hasRep  bool
+	refusal string // CodeOverload or CodeExpired
+	err     error
+}
+
+// classifyNegotiate folds one negotiate answer — a top-level reply or a
+// batched sub-proposal, whose (neg, code, errText) triples are shaped
+// identically — into a negOutcome, driving the node's breaker exactly
+// like the pre-batching path did. Transport failures never reach here;
+// the caller records those (with a breaker failure) directly.
+func (c *Client) classifyNegotiate(ns *nodeState, neg *negotiateReply, code, errText string) negOutcome {
+	switch {
+	case code == CodeDraining:
+		// The node told us it is going away: open its circuit now
+		// instead of discovering the death one timeout at a time,
+		// and — under a dynamic view — prune its supply from the
+		// market ahead of gossip eviction.
+		ns.breaker.trip()
+		c.noteDraining(ns)
+		return negOutcome{err: errDraining}
+	case code == CodeOverload, code == CodeExpired:
+		// A market refusal from a live node: no offer this round,
+		// but emphatically not a failure — the breaker must stay
+		// closed so the node is renegotiated next period.
+		ns.breaker.success()
+		return negOutcome{refusal: code}
+	case errText != "":
+		ns.breaker.success()
+		return negOutcome{err: errors.New(errText)}
+	default:
+		ns.breaker.success()
+		out := negOutcome{hasRep: neg != nil}
+		if neg != nil {
+			out.rep = *neg
+		}
+		return out
+	}
+}
+
+// rankOffers turns one query's per-node outcomes into the ranked
+// proposal ladder (earliest estimated completion first) plus refusal
+// counts, reporting whether any node was reachable at all — typed
+// refusals count as reachable.
+func rankOffers(members []*nodeState, outs []negOutcome) (proposals, bool) {
+	var pr proposals
+	type scored struct {
+		ns     *nodeState
+		finish float64
+	}
+	var offers []scored
+	reachable := false
+	for i, o := range outs {
+		switch {
+		case o.refusal == CodeOverload:
+			reachable = true
+			pr.overloads++
+			continue
+		case o.refusal == CodeExpired:
+			reachable = true
+			pr.expireds++
+			continue
+		case o.err != nil:
+			continue
+		}
+		reachable = true
+		if !o.hasRep || !o.rep.Feasible || !o.rep.Offer {
+			continue
+		}
+		offers = append(offers, scored{members[i], o.rep.QueueMs + o.rep.EstimateMs})
+	}
+	sort.SliceStable(offers, func(i, j int) bool { return offers[i].finish < offers[j].finish })
+	for _, o := range offers {
+		pr.ranked = append(pr.ranked, o.ns)
+	}
+	return pr, reachable
+}
+
+// outcomeErrors projects the per-node errors out of one query's round.
+func outcomeErrors(outs []negOutcome) []error {
+	errs := make([]error, len(outs))
+	for i, o := range outs {
+		errs[i] = o.err
+	}
+	return errs
+}
+
+// negotiateAll broadcasts the call-for-proposals to the current probe
+// set (the live view, shard-trimmed by the query's relations) and ranks
+// the offering nodes by estimated completion. It returns an aggregate
+// error naming every node's failure when none is reachable; typed
+// overload/expired refusals count as reachable.
 func (c *Client) negotiateAll(sql string, tc *traceCtx, deadline time.Time) (proposals, time.Duration, error) {
 	start := time.Now()
 	var sp *trace.Active
@@ -845,17 +1054,15 @@ func (c *Client) negotiateAll(sql string, tc *traceCtx, deadline time.Time) (pro
 		defer sp.Finish()
 		tc = childCtx(tc, sp)
 	}
-	members := c.nodes()
+	members := c.probeSet(sql)
 	if len(members) == 0 {
 		return proposals{}, 0, errors.New("cluster: membership view is empty")
 	}
-	replies := make([]negotiateReply, len(members))
-	errs := make([]error, len(members))
-	refusals := make([]string, len(members))
+	outs := make([]negOutcome, len(members))
 	var wg sync.WaitGroup
 	for i, ns := range members {
 		if !ns.breaker.allow() {
-			errs[i] = errBreakerOpen
+			outs[i] = negOutcome{err: errBreakerOpen}
 			continue
 		}
 		wg.Add(1)
@@ -866,74 +1073,23 @@ func (c *Client) negotiateAll(sql string, tc *traceCtx, deadline time.Time) (pro
 				Op: "negotiate", SQL: sql, Mechanism: c.cfg.Mechanism, Trace: tc,
 				DeadlineMs: remainingMs(deadline),
 			}, &rep, c.cfg.Timeout)
-			switch {
-			case err != nil:
+			if err != nil {
 				ns.breaker.failure()
-				errs[i] = err
-			case rep.Code == CodeDraining:
-				// The node told us it is going away: open its circuit now
-				// instead of discovering the death one timeout at a time,
-				// and — under a dynamic view — prune its supply from the
-				// market ahead of gossip eviction.
-				ns.breaker.trip()
-				c.noteDraining(ns)
-				errs[i] = errDraining
-			case rep.Code == CodeOverload, rep.Code == CodeExpired:
-				// A market refusal from a live node: no offer this round,
-				// but emphatically not a failure — the breaker must stay
-				// closed so the node is renegotiated next period.
-				ns.breaker.success()
-				refusals[i] = rep.Code
-			case rep.Err != "":
-				ns.breaker.success()
-				errs[i] = errors.New(rep.Err)
-			default:
-				ns.breaker.success()
-				if rep.Negotiate != nil {
-					replies[i] = *rep.Negotiate
-				}
+				outs[i] = negOutcome{err: err}
+				return
 			}
+			outs[i] = c.classifyNegotiate(ns, rep.Negotiate, rep.Code, rep.Err)
 		}(i, ns)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	var pr proposals
-	type scored struct {
-		ns     *nodeState
-		finish float64
-	}
-	var offers []scored
-	reachable := false
-	for i := range replies {
-		switch {
-		case refusals[i] == CodeOverload:
-			reachable = true
-			pr.overloads++
-			continue
-		case refusals[i] == CodeExpired:
-			reachable = true
-			pr.expireds++
-			continue
-		case errs[i] != nil:
-			continue
-		}
-		reachable = true
-		r := replies[i]
-		if !r.Feasible || !r.Offer {
-			continue
-		}
-		offers = append(offers, scored{members[i], r.QueueMs + r.EstimateMs})
-	}
+	pr, reachable := rankOffers(members, outs)
 	if !reachable {
 		sp.Annotate("no node reachable")
-		return proposals{}, elapsed, aggregateNodeErrors(members, errs)
-	}
-	sort.SliceStable(offers, func(i, j int) bool { return offers[i].finish < offers[j].finish })
-	for _, o := range offers {
-		pr.ranked = append(pr.ranked, o.ns)
+		return proposals{}, elapsed, aggregateNodeErrors(members, outcomeErrors(outs))
 	}
 	if best := pr.best(); best != nil {
-		sp.Annotate("winner=%s of %d nodes (%d offers)", best.nodeID(), len(members), len(offers))
+		sp.Annotate("winner=%s of %d nodes (%d offers)", best.nodeID(), len(members), len(pr.ranked))
 	} else {
 		sp.Annotate("no offer from %d nodes (%d overloaded, %d expired)", len(members), pr.overloads, pr.expireds)
 	}
@@ -1081,6 +1237,7 @@ func freshRPC(addr string, req *request, rep *reply, timeout time.Duration) erro
 // resolving the member's stable ID from the reply's NodeID stamp.
 func (c *Client) rpcOn(ns *nodeState, req *request, rep *reply, timeout time.Duration) error {
 	start := time.Now()
+	c.countRPC(req.Op)
 	ns.mu.Lock()
 	nt, addr := ns.transport, ns.addr
 	ns.mu.Unlock()
@@ -1103,6 +1260,28 @@ func (c *Client) rpcOn(ns *nodeState, req *request, rep *reply, timeout time.Dur
 		}
 	}
 	return err
+}
+
+// countRPC tallies one RPC attempt under its op. Unlike the latency
+// histograms (successful exchanges only), the counts include failures:
+// they are the true wire cost the amortization work drives down.
+func (c *Client) countRPC(op string) {
+	c.rpcMu.Lock()
+	c.rpcCounts[op]++
+	c.rpcMu.Unlock()
+}
+
+// RPCCounts snapshots how many RPC attempts the client has made per op
+// (negotiate/execute/fetch/members/...), failures included. Load tools
+// divide by completed queries to report amortized RPCs per query.
+func (c *Client) RPCCounts() map[string]int64 {
+	c.rpcMu.Lock()
+	defer c.rpcMu.Unlock()
+	out := make(map[string]int64, len(c.rpcCounts))
+	for op, n := range c.rpcCounts {
+		out[op] = n
+	}
+	return out
 }
 
 // Latencies snapshots the client's RPC latency histograms, keyed by op

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"github.com/qamarket/qamarket/internal/catalog"
 	"github.com/qamarket/qamarket/internal/membership"
 )
 
@@ -23,6 +24,9 @@ type MemberInfo struct {
 	Epoch       uint64
 	// CatalogDigest is the member's advertised placement digest.
 	CatalogDigest string
+	// CatalogFilter is the member's advertised relation filter, hex
+	// encoded ("" when the member predates filters or hosts nothing).
+	CatalogFilter string
 	// Breaker is the client-side circuit state for the member
 	// (closed, open, half-open).
 	Breaker string
@@ -41,6 +45,7 @@ func (c *Client) Members() []MemberInfo {
 			Incarnation:   ns.incarnation,
 			Epoch:         ns.epoch,
 			CatalogDigest: ns.catalog,
+			CatalogFilter: ns.filterEnc,
 		}
 		ns.mu.Unlock()
 		info.Breaker = ns.breaker.snapshot().String()
@@ -182,4 +187,10 @@ func (c *Client) updateMember(ns *nodeState, m membership.Member) {
 	ns.incarnation = m.Incarnation
 	ns.epoch = m.Epoch
 	ns.catalog = m.CatalogDigest
+	if m.CatalogFilter != ns.filterEnc {
+		ns.filterEnc = m.CatalogFilter
+		// A malformed advertisement decodes to nil: the member is probed
+		// for everything rather than wrongly excluded.
+		ns.filter = catalog.DecodeRelationFilter(m.CatalogFilter)
+	}
 }

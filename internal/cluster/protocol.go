@@ -71,6 +71,35 @@ type request struct {
 	// outcome instead of re-running the query. Empty disables dedup
 	// (old clients), and old servers ignore the field.
 	RunID string `json:"run_id,omitempty"`
+	// Batch carries the additional queries of a batched
+	// call-for-proposals on a "negotiate" op: the request's own
+	// SQL/QueryID/DeadlineMs fields describe the first query exactly as
+	// an unbatched negotiate would, and Batch holds the rest of the
+	// coalesced window. Additive like Enc, Trace, and DeadlineMs: an
+	// old server ignores the unknown field and answers the first query
+	// alone (the client then renegotiates the remainder per query), and
+	// a single-query window omits the field entirely, making the
+	// request byte-identical to a legacy negotiate.
+	Batch []batchQuery `json:"batch,omitempty"`
+}
+
+// batchQuery is one additional query of a batched call-for-proposals.
+type batchQuery struct {
+	QueryID int64  `json:"query_id,omitempty"`
+	SQL     string `json:"sql"`
+	// DeadlineMs is the query's own remaining budget (the batch's
+	// queries may carry different deadlines).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// batchProposal answers one batchQuery: the proposal, or the typed
+// refusal code the envelope would have carried for an unbatched
+// negotiate of that query.
+type batchProposal struct {
+	QueryID   int64           `json:"query_id,omitempty"`
+	Negotiate *negotiateReply `json:"negotiate,omitempty"`
+	Err       string          `json:"error,omitempty"`
+	Code      string          `json:"code,omitempty"`
 }
 
 // traceV is the newest trace-context version this build speaks.
@@ -110,6 +139,12 @@ type wireMember struct {
 	// relation names the node hosts, so peers detect placement changes
 	// without shipping schemas.
 	Catalog string `json:"catalog,omitempty"`
+	// CatalogFilter is the hex-encoded relation-name Bloom filter
+	// behind the digest (catalog.RelationFilter): clients use it to
+	// skip CFP fan-out to nodes provably infeasible for a query's
+	// relations. Additive like Catalog — old rows omit it and stay
+	// fully probed.
+	CatalogFilter string `json:"cf,omitempty"`
 	// Epoch is the member's market age in pricer periods.
 	Epoch uint64 `json:"epoch,omitempty"`
 }
@@ -133,13 +168,14 @@ func toWireMembers(ms []membership.Member) []wireMember {
 	out := make([]wireMember, len(ms))
 	for i, m := range ms {
 		out[i] = wireMember{
-			ID:          m.ID,
-			Addr:        m.Addr,
-			Incarnation: m.Incarnation,
-			Heartbeat:   m.Heartbeat,
-			State:       m.State.String(),
-			Catalog:     m.CatalogDigest,
-			Epoch:       m.Epoch,
+			ID:            m.ID,
+			Addr:          m.Addr,
+			Incarnation:   m.Incarnation,
+			Heartbeat:     m.Heartbeat,
+			State:         m.State.String(),
+			Catalog:       m.CatalogDigest,
+			CatalogFilter: m.CatalogFilter,
+			Epoch:         m.Epoch,
 		}
 	}
 	return out
@@ -156,6 +192,7 @@ func fromWireMembers(ws []wireMember) []membership.Member {
 			Heartbeat:     w.Heartbeat,
 			State:         membership.ParseState(w.State),
 			CatalogDigest: w.Catalog,
+			CatalogFilter: w.CatalogFilter,
 			Epoch:         w.Epoch,
 		}
 	}
@@ -259,14 +296,19 @@ type reply struct {
 	// ID echoes the request's ID (zero for legacy ordered framing).
 	ID        uint64          `json:"id,omitempty"`
 	Negotiate *negotiateReply `json:"negotiate,omitempty"`
-	Execute   *executeReply   `json:"execute,omitempty"`
-	Fetch     *fetchReply     `json:"fetch,omitempty"`
-	Stats     *NodeStats      `json:"stats,omitempty"`
-	Gossip    *gossipPayload  `json:"gossip,omitempty"`
-	Members   *membersReply   `json:"members,omitempty"`
-	Spans     *spansReply     `json:"spans,omitempty"`
-	Err       string          `json:"error,omitempty"`
-	Code      string          `json:"code,omitempty"`
+	// Batch answers the request's Batch queries positionally. Only
+	// batch-aware servers populate it; its absence after a batched CFP
+	// tells the client the node is old and the remainder of the window
+	// must be negotiated per query.
+	Batch   []batchProposal `json:"batch,omitempty"`
+	Execute *executeReply   `json:"execute,omitempty"`
+	Fetch   *fetchReply     `json:"fetch,omitempty"`
+	Stats   *NodeStats      `json:"stats,omitempty"`
+	Gossip  *gossipPayload  `json:"gossip,omitempty"`
+	Members *membersReply   `json:"members,omitempty"`
+	Spans   *spansReply     `json:"spans,omitempty"`
+	Err     string          `json:"error,omitempty"`
+	Code    string          `json:"code,omitempty"`
 	// NodeID stamps every reply with the answering node's stable
 	// identity, so clients learn seed addresses' IDs passively from
 	// their first exchange (old nodes omit it and stay addressed by

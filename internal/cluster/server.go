@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/qamarket/qamarket/internal/catalog"
 	"github.com/qamarket/qamarket/internal/market"
 	"github.com/qamarket/qamarket/internal/membership"
 	"github.com/qamarket/qamarket/internal/metrics"
@@ -250,6 +251,7 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 			ID:            cfg.NodeID,
 			Addr:          ln.Addr().String(),
 			CatalogDigest: catalogDigest(cfg.DB),
+			CatalogFilter: catalogFilter(cfg.DB),
 		},
 		Fanout:       cfg.GossipFanout,
 		SuspectAfter: cfg.SuspectAfterRounds,
@@ -297,6 +299,13 @@ func catalogDigest(db *sqldb.DB) string {
 		h.Write([]byte{0})
 	}
 	return fmt.Sprintf("%d:%08x", len(names), h.Sum64())
+}
+
+// catalogFilter builds the relation-name Bloom filter advertised with
+// the member row, the per-class feasibility detail behind the digest.
+func catalogFilter(db *sqldb.DB) string {
+	names := append(db.Tables(), db.Views()...)
+	return catalog.NewRelationFilter(names).Encode()
 }
 
 // Addr returns the node's listen address.
@@ -667,11 +676,31 @@ func (n *Node) handleWork(req *request, rep *reply) {
 	case "negotiate":
 		nr, code := n.negotiate(req)
 		rep.Code = code
-		if code != "" {
+		if code == "" {
+			rep.Negotiate = &nr
+		} else {
 			rep.Err = nr.Err
-			return
 		}
-		rep.Negotiate = &nr
+		// A batched CFP's extra queries are solved in the same admission
+		// pass: one working slot, one wire exchange, per-query proposals.
+		// The loop runs even when the first query was refused — each
+		// query carries its own deadline, so one expired query must not
+		// starve its window-mates.
+		for _, bq := range req.Batch {
+			sub := request{
+				Op: "negotiate", SQL: bq.SQL, QueryID: bq.QueryID,
+				Mechanism: req.Mechanism, DeadlineMs: bq.DeadlineMs, Trace: req.Trace,
+			}
+			bnr, bcode := n.negotiate(&sub)
+			bp := batchProposal{QueryID: bq.QueryID, Code: bcode}
+			if bcode == "" {
+				cp := bnr
+				bp.Negotiate = &cp
+			} else {
+				bp.Err = bnr.Err
+			}
+			rep.Batch = append(rep.Batch, bp)
+		}
 	case "execute":
 		er, code := n.execute(req)
 		rep.Execute = &er

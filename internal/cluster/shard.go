@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"strings"
+
+	"github.com/qamarket/qamarket/internal/alloc"
+	"github.com/qamarket/qamarket/internal/metrics"
+)
+
+// This file holds the client's per-class market sharding: queries are
+// grouped into classes (the paper's Q_k, recovered from SQL shape by
+// classKey), and the call-for-proposals fan-out for a class is trimmed
+// to the members whose gossiped relation filters can actually hold the
+// query's relations — the simulator's FeasibleNodes index lifted into
+// the live federation. Everything here errs toward inclusion: a query
+// whose relations cannot be extracted, or a member without a filter,
+// falls back to the full fan-out, so sharding can only remove RPCs that
+// were provably wasted.
+
+// classKey normalizes a query to its class: numeric literals are
+// collapsed to '#' so "SELECT v FROM t03 WHERE v > 17" and "... v > 42"
+// share a class, while digits inside identifiers (t03, v12) survive —
+// they name the relations that define the class.
+func classKey(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	for i := 0; i < len(sql); {
+		c := sql[i]
+		if c >= '0' && c <= '9' && (i == 0 || !isIdentByte(sql[i-1])) {
+			j := i
+			for j < len(sql) && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.') {
+				j++
+			}
+			b.WriteByte('#')
+			i = j
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}
+
+// isIdentByte reports whether c can appear inside an identifier.
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// relationsIn extracts the relation names a query references: the
+// identifiers after FROM (comma lists included, aliases skipped) and
+// after each JOIN. It is deliberately conservative — any construct it
+// does not understand (a subquery, a parenthesized source) returns nil,
+// which callers treat as "probe everyone".
+func relationsIn(sql string) []string {
+	toks := sqlTokens(sql)
+	var rels []string
+	for i := 0; i < len(toks); i++ {
+		lower := strings.ToLower(toks[i])
+		if lower != "from" && lower != "join" {
+			continue
+		}
+		j := i + 1
+		for {
+			if j >= len(toks) || !isIdentToken(toks[j]) {
+				return nil // subquery or shape we don't parse: full fan-out
+			}
+			rels = append(rels, toks[j])
+			j++
+			// Skip one alias-shaped identifier (which may also be the next
+			// clause's keyword — either way the list ends unless a comma
+			// follows).
+			if lower == "from" && j < len(toks) && isIdentToken(toks[j]) && !isKeyword(toks[j]) {
+				j++
+			}
+			if lower != "from" || j >= len(toks) || toks[j] != "," {
+				break
+			}
+			j++
+		}
+		i = j - 1
+	}
+	return rels
+}
+
+// sqlTokens splits SQL into identifier/number runs and single-byte
+// punctuation, discarding whitespace. String literals are kept as one
+// opaque token so quoted commas cannot masquerade as list separators.
+func sqlTokens(sql string) []string {
+	var toks []string
+	for i := 0; i < len(sql); {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentByte(c):
+			j := i
+			for j < len(sql) && isIdentByte(sql[j]) {
+				j++
+			}
+			toks = append(toks, sql[i:j])
+			i = j
+		case c == '\'':
+			j := i + 1
+			for j < len(sql) && sql[j] != '\'' {
+				j++
+			}
+			if j < len(sql) {
+				j++
+			}
+			toks = append(toks, sql[i:j])
+			i = j
+		default:
+			toks = append(toks, sql[i:i+1])
+			i++
+		}
+	}
+	return toks
+}
+
+// isIdentToken reports whether tok is an identifier starting with a
+// letter or underscore.
+func isIdentToken(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	c := tok[0]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_') {
+		return false
+	}
+	for i := 1; i < len(tok); i++ {
+		if !isIdentByte(tok[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// isKeyword reports whether an identifier-shaped token is a clause
+// keyword that ends a FROM list rather than aliasing a relation.
+func isKeyword(tok string) bool {
+	switch strings.ToLower(tok) {
+	case "where", "group", "order", "limit", "having", "join", "inner",
+		"left", "right", "full", "cross", "on", "union", "as":
+		return true
+	}
+	return false
+}
+
+// probeSet returns the members the CFP for sql should fan out to. With
+// shard probing on, members whose gossiped relation filter provably
+// lacks one of the query's relations are skipped (the filter has no
+// false negatives, so exclusion is always safe); members without a
+// filter — old nodes, or static views that never refreshed — are always
+// probed. When every member would be excluded the full view is returned
+// instead: an all-excluded round smells like a parsing artifact, and
+// the market's own refusals are the authority on infeasibility.
+func (c *Client) probeSet(sql string) []*nodeState {
+	members := c.nodes()
+	if c.cfg.NoShardProbe || len(members) < 2 {
+		return members
+	}
+	rels := relationsIn(sql)
+	if len(rels) == 0 {
+		return members
+	}
+	idx := alloc.ScanFeasible(len(members), func(i int) bool {
+		ns := members[i]
+		ns.mu.Lock()
+		f := ns.filter
+		ns.mu.Unlock()
+		return f == nil || f.HoldsAll(rels)
+	})
+	if len(idx) == 0 || len(idx) == len(members) {
+		return members
+	}
+	out := make([]*nodeState, len(idx))
+	for k, i := range idx {
+		out[k] = members[i]
+	}
+	c.health.Add(metrics.ShardSkipsTotal, int64(len(members)-len(idx)))
+	return out
+}

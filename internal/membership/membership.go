@@ -94,6 +94,12 @@ type Member struct {
 	// CatalogDigest summarizes which relations the node hosts, so
 	// peers learn data placement along with liveness.
 	CatalogDigest string
+	// CatalogFilter is the hex-encoded relation-name Bloom filter
+	// (catalog.RelationFilter) behind the digest: enough placement
+	// detail for clients to test per-class feasibility without
+	// shipping schemas. Empty on old nodes; consumers must then treat
+	// the member as feasible for everything.
+	CatalogFilter string
 	// Epoch is the member's market age in pricer periods — how long
 	// its QA-NT agent has been adjusting prices.
 	Epoch uint64
@@ -423,6 +429,7 @@ func mergeEntry(e *entry, rm Member) bool {
 		e.m.Heartbeat = rm.Heartbeat
 		e.m.Addr = rm.Addr
 		e.m.CatalogDigest = rm.CatalogDigest
+		e.m.CatalogFilter = rm.CatalogFilter
 		if rm.Epoch > e.m.Epoch {
 			e.m.Epoch = rm.Epoch
 		}

@@ -60,6 +60,25 @@ const (
 	// RetryBudgetExhaustedTotal counts retries the client refused
 	// because its token-bucket retry budget ran dry.
 	RetryBudgetExhaustedTotal = "retry_budget_exhausted_total"
+	// BidCacheHitsTotal counts queries admitted straight to execute from
+	// the client's winning-bid cache, skipping the negotiate fan-out.
+	BidCacheHitsTotal = "bid_cache_hits_total"
+	// BidCacheMissesTotal counts cache-enabled negotiation rounds that
+	// found no valid cached ladder (absent, expired, or stale-stamped).
+	BidCacheMissesTotal = "bid_cache_misses_total"
+	// BidCacheInvalidationsTotal counts cached ladders dropped for any
+	// reason: epoch bump, membership change, TTL, typed refusal, supply
+	// race, or a fatal error from a cached candidate.
+	BidCacheInvalidationsTotal = "bid_cache_invalidations_total"
+	// BatchWindowsTotal counts batched call-for-proposals fan-outs (one
+	// per sealed coalescing window, however many queries rode it).
+	BatchWindowsTotal = "batch_windows_total"
+	// BatchCoalescedTotal counts queries that rode another query's
+	// window instead of paying their own negotiate fan-out.
+	BatchCoalescedTotal = "batch_coalesced_total"
+	// ShardSkipsTotal counts per-node CFPs not sent because the member's
+	// gossiped relation filter proved it infeasible for the query.
+	ShardSkipsTotal = "shard_skips_total"
 	// InflightWork is the server's current count of admitted work
 	// requests (negotiate/execute/fetch being handled).
 	InflightWork = "inflight_work"

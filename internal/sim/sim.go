@@ -142,11 +142,10 @@ func New(cfg Config, mech alloc.Mechanism) (*Federation, error) {
 	// on every allocation round.
 	f.feas = make([][]int, k)
 	for c := 0; c < k; c++ {
-		for node := 0; node < n; node++ {
-			if !math.IsInf(cost[node][c], 1) {
-				f.feas[c] = append(f.feas[c], node)
-			}
-		}
+		class := c
+		f.feas[c] = alloc.ScanFeasible(n, func(node int) bool {
+			return !math.IsInf(cost[node][class], 1)
+		})
 	}
 	f.nodes = make([]*nodeState, n)
 	for i := range f.nodes {
@@ -166,7 +165,7 @@ func (v view) Feasible(node, class int) bool {
 	return !math.IsInf(v.f.cost[node][class], 1)
 }
 func (v view) FeasibleNodes(class int) []int { return v.f.feas[class] }
-func (v view) Cost(node, class int) float64 { return v.f.cost[node][class] }
+func (v view) Cost(node, class int) float64  { return v.f.cost[node][class] }
 func (v view) Backlog(node int) float64 {
 	ns := v.f.nodes[node]
 	b := ns.pendingMs
