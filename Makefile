@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke ci
+.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke fuzzsmoke ci
 
 all: build test
 
@@ -57,6 +57,15 @@ tracesmoke:
 chaossmoke:
 	$(GO) run -race ./cmd/chaossmoke
 
+# fuzzsmoke runs the frame-decoder fuzzer briefly on every CI run: the
+# binary lane's malformed-input promise ("error, never panic, never
+# unbounded allocation") plus the committed crasher corpus as
+# regression seeds. Five seconds finds shallow decoder regressions;
+# run `go test -fuzz FuzzFrameDecode ./internal/cluster` unbounded
+# when touching frame.go.
+fuzzsmoke:
+	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime 5s
+
 # scalesmoke stands up the full 100-node gossip-joined federation with
 # every amortization layer on (batched CFPs, epoch-stamped bid cache,
 # per-class shard probing), churns two members mid-run, and asserts
@@ -64,4 +73,4 @@ chaossmoke:
 scalesmoke:
 	$(GO) run ./cmd/scalesmoke
 
-ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke
+ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke fuzzsmoke

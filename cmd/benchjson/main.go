@@ -26,6 +26,7 @@ type benchEntry struct {
 	Name        string   `json:"name"`
 	Iterations  int64    `json:"iterations"`
 	NsPerOp     float64  `json:"ns_per_op"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
@@ -47,6 +48,17 @@ type transportTiming struct {
 	FreshQPS  float64 `json:"fresh_qps"`
 	PooledQPS float64 `json:"pooled_qps"`
 	Speedup   float64 `json:"speedup"` // pooled / fresh
+}
+
+// fetchTiming is the zero-copy framing trajectory row: the 1,000-row
+// fetch round trip's steady-state allocation count and throughput on
+// the binary frame lane, next to the compact-JSON encoding it replaced
+// as the hot path (which cost ~1,120 allocs per fetch).
+type fetchTiming struct {
+	Rows               int     `json:"rows"`
+	FrameAllocsPerOp   float64 `json:"frame_allocs_per_op"`
+	FrameMBPerS        float64 `json:"frame_mb_per_s"`
+	CompactAllocsPerOp float64 `json:"compact_allocs_per_op"`
 }
 
 // membershipTiming is the gossip-convergence trajectory row: how many
@@ -90,6 +102,7 @@ type report struct {
 	Benchmarks  []benchEntry     `json:"benchmarks"`
 	Qabench     qabenchTiming    `json:"qabench"`
 	Transport   transportTiming  `json:"transport"`
+	Fetch       fetchTiming      `json:"fetch"`
 	Membership  membershipTiming `json:"membership"`
 	Federation  federationTiming `json:"federation"`
 	// Trajectory is the run history: one headline row per `make bench`,
@@ -119,6 +132,10 @@ type trajectoryEntry struct {
 	AmortizedNegotiatePerQuery float64 `json:"amortized_negotiate_per_query,omitempty"`
 	BaselineP99Ms              float64 `json:"baseline_p99_ms,omitempty"`
 	AmortizedP99Ms             float64 `json:"amortized_p99_ms,omitempty"`
+	// The binary-framing numbers (absent on rows that predate them):
+	// the 1,000-row fetch round trip on the frame lane.
+	FetchAllocsPerOp float64 `json:"fetch_allocs_per_op,omitempty"`
+	FetchMBPerS      float64 `json:"fetch_mb_per_s,omitempty"`
 }
 
 // entryOf compresses a report into its trajectory row.
@@ -137,6 +154,8 @@ func entryOf(r *report) trajectoryEntry {
 		AmortizedNegotiatePerQuery: r.Federation.AmortizedNegotiatePerQuery,
 		BaselineP99Ms:              r.Federation.BaselineP99Ms,
 		AmortizedP99Ms:             r.Federation.AmortizedP99Ms,
+		FetchAllocsPerOp:           r.Fetch.FrameAllocsPerOp,
+		FetchMBPerS:                r.Fetch.FrameMBPerS,
 	}
 }
 
@@ -156,9 +175,9 @@ func mergeTrajectory(prev []byte, cur *report) []trajectoryEntry {
 }
 
 // benchLine matches `go test -bench` output rows, with or without the
-// -benchmem columns.
+// SetBytes throughput column and the -benchmem columns.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
 
 func main() {
 	out := flag.String("out", "BENCH_qamarket.json", "output path for the benchmark report")
@@ -193,14 +212,30 @@ func main() {
 	}
 	entries = append(entries, micro...)
 	// The transport micro-benchmarks: per-RPC cost fresh vs pooled
-	// (sequential and 8-way concurrent) and the fetch-path encoding
-	// round trip with allocs/op (tagged vs compact).
+	// (sequential and 8-way concurrent) and the fetch-path result
+	// round trip with allocs/op (tagged and compact JSON, binary frames).
 	transportBenches, err := runBenchPkg("./internal/cluster",
-		`^(BenchmarkTransportRPC|BenchmarkTransportConcurrent|BenchmarkFetchEncoding)`, microTime)
+		`^(BenchmarkTransportRPC|BenchmarkTransportConcurrent|BenchmarkFetchEncoding|BenchmarkFetchFrameRoundTrip)`, microTime)
 	if err != nil {
 		fatal(err)
 	}
 	entries = append(entries, transportBenches...)
+	fetch := fetchTiming{Rows: 1000}
+	for _, e := range transportBenches {
+		switch e.Name {
+		case "BenchmarkFetchFrameRoundTrip":
+			if e.AllocsPerOp != nil {
+				fetch.FrameAllocsPerOp = *e.AllocsPerOp
+			}
+			if e.MBPerS != nil {
+				fetch.FrameMBPerS = *e.MBPerS
+			}
+		case "BenchmarkFetchEncodingCompact":
+			if e.AllocsPerOp != nil {
+				fetch.CompactAllocsPerOp = *e.AllocsPerOp
+			}
+		}
+	}
 
 	// The membership-convergence benchmark (wall clock per simulated
 	// churn cycle) plus the deterministic round counts behind it.
@@ -236,6 +271,7 @@ func main() {
 		Benchmarks:  entries,
 		Qabench:     timing,
 		Transport:   transport,
+		Fetch:       fetch,
 		Membership: membershipTiming{
 			Nodes: memberNodes, Seed: memberSeed,
 			JoinRounds: conv.JoinRounds, EvictRounds: conv.EvictRounds,
@@ -251,8 +287,9 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx, membership join/evict %d/%d rounds, %d-node negotiate/query %.1f -> %.2f, %d trajectory rows on GOMAXPROCS=%d)\n",
+	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx, frame fetch %.0f allocs/op at %.0f MB/s, membership join/evict %d/%d rounds, %d-node negotiate/query %.1f -> %.2f, %d trajectory rows on GOMAXPROCS=%d)\n",
 		*out, len(entries), r.Qabench.Speedup, r.Transport.Speedup,
+		r.Fetch.FrameAllocsPerOp, r.Fetch.FrameMBPerS,
 		r.Membership.JoinRounds, r.Membership.EvictRounds,
 		r.Federation.Nodes, r.Federation.BaselineNegotiatePerQuery,
 		r.Federation.AmortizedNegotiatePerQuery, len(r.Trajectory), r.GOMAXPROCS)
@@ -283,8 +320,12 @@ func runBenchPkg(pkg, pattern, benchtime string) ([]benchEntry, error) {
 		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
 		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
 		if m[4] != "" {
-			bpo, _ := strconv.ParseFloat(m[4], 64)
-			apo, _ := strconv.ParseFloat(m[5], 64)
+			mbps, _ := strconv.ParseFloat(m[4], 64)
+			e.MBPerS = &mbps
+		}
+		if m[5] != "" {
+			bpo, _ := strconv.ParseFloat(m[5], 64)
+			apo, _ := strconv.ParseFloat(m[6], 64)
 			e.BytesPerOp, e.AllocsPerOp = &bpo, &apo
 		}
 		entries = append(entries, e)

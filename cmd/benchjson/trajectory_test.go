@@ -78,3 +78,27 @@ func TestMergeTrajectoryFreshOnGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchLineParsesThroughputColumn pins the row format the frame
+// benchmark emits: SetBytes adds an MB/s column between ns/op and the
+// -benchmem columns, which the regex must not swallow into B/op.
+func TestBenchLineParsesThroughputColumn(t *testing.T) {
+	cases := []struct {
+		line              string
+		mbps, bpo, allocs string
+	}{
+		{"BenchmarkFetchFrameRoundTrip-8   200  63822 ns/op  497.05 MB/s  8908 B/op  14 allocs/op", "497.05", "8908", "14"},
+		{"BenchmarkFetchEncodingCompact-8  200  933079 ns/op  450978 B/op  1120 allocs/op", "", "450978", "1120"},
+		{"BenchmarkFigure1  1  1115 ns/op", "", "", ""},
+	}
+	for _, tc := range cases {
+		m := benchLine.FindStringSubmatch(tc.line)
+		if m == nil {
+			t.Fatalf("no match: %s", tc.line)
+		}
+		if m[4] != tc.mbps || m[5] != tc.bpo || m[6] != tc.allocs {
+			t.Errorf("%s: MB/s=%q B/op=%q allocs=%q, want %q %q %q",
+				tc.line, m[4], m[5], m[6], tc.mbps, tc.bpo, tc.allocs)
+		}
+	}
+}

@@ -67,6 +67,10 @@ type options struct {
 	batch       time.Duration
 	bidCache    time.Duration
 	noShard     bool
+	fetch       bool
+	enc         string
+	frame       bool
+	fetchBatch  int
 }
 
 // loadReport is qaload's result, printed as text or JSON (-json); the
@@ -107,6 +111,17 @@ type loadReport struct {
 	// (run/negotiate/execute), aggregated from the client-side tracer
 	// when -trace is on.
 	Phases map[string]metrics.HistSummary `json:"phases,omitempty"`
+	// Wire accounting, counted at the socket by the client transport:
+	// everything read from and written to the federation, framing
+	// included. BytesPerQuery divides the total by Completed — the
+	// per-encoding comparison metric (-enc/-frame sweeps read it).
+	RPCBytesIn    int64   `json:"rpc_bytes_in"`
+	RPCBytesOut   int64   `json:"rpc_bytes_out"`
+	BytesPerQuery float64 `json:"bytes_per_query,omitempty"`
+	// Fetch-mode (-fetch) extras: the negotiated result encoding and the
+	// rows actually shipped back.
+	Encoding    string `json:"encoding,omitempty"`
+	RowsFetched int64  `json:"rows_fetched,omitempty"`
 }
 
 func main() {
@@ -142,6 +157,10 @@ func main() {
 	flag.DurationVar(&o.batch, "batch", 0, "coalesce same-class negotiations arriving within this window into one batched CFP per node (0 = off)")
 	flag.DurationVar(&o.bidCache, "bidcache", 0, "winning-bid cache TTL; epoch-stamped ladders admit same-class queries without renegotiating (0 = off)")
 	flag.BoolVar(&o.noShard, "noshard", false, "disable per-class shard probing (fan CFPs to every member regardless of gossiped filters)")
+	flag.BoolVar(&o.fetch, "fetch", false, "ship results back (client.Fetch) instead of execute-only (client.Run)")
+	flag.StringVar(&o.enc, "enc", "compact", "fetch result encoding to advertise: compact | tagged (JSON downgrade path)")
+	flag.BoolVar(&o.frame, "frame", true, "negotiate binary frame streaming for fetches (false: force JSON replies)")
+	flag.IntVar(&o.fetchBatch, "fetch-batch", 0, "max rows per streamed fetch batch to request (0: server default)")
 	flag.Parse()
 
 	rep, err := run(&o)
@@ -249,21 +268,33 @@ func run(o *options) (*loadReport, error) {
 		}
 		tracer = trace.NewRecorder("client", capacity, nil)
 	}
-	client, err := cluster.NewClient(cluster.ClientConfig{
-		Addrs:        addrs,
-		Mechanism:    cluster.Mechanism(o.mechanism),
-		PeriodMs:     o.period,
-		Timeout:      30 * time.Second,
-		Transport:    cluster.Transport(o.transport),
-		PoolSize:     o.poolSize,
-		Tracer:       tracer,
-		QueryTimeout: o.deadline,
-		RetryBudget:  o.retryBudget,
-		ViewRefresh:  o.refresh,
-		BatchWindow:  o.batch,
-		BidCacheTTL:  o.bidCache,
-		NoShardProbe: o.noShard,
-	})
+	ccfg := cluster.ClientConfig{
+		Addrs:          addrs,
+		Mechanism:      cluster.Mechanism(o.mechanism),
+		PeriodMs:       o.period,
+		Timeout:        30 * time.Second,
+		Transport:      cluster.Transport(o.transport),
+		PoolSize:       o.poolSize,
+		Tracer:         tracer,
+		QueryTimeout:   o.deadline,
+		RetryBudget:    o.retryBudget,
+		ViewRefresh:    o.refresh,
+		BatchWindow:    o.batch,
+		BidCacheTTL:    o.bidCache,
+		NoShardProbe:   o.noShard,
+		FetchBatchRows: o.fetchBatch,
+	}
+	switch o.enc {
+	case "compact", "":
+	case "tagged":
+		ccfg.FetchEnc = -1
+	default:
+		return nil, fmt.Errorf("unknown -enc %q (want compact or tagged)", o.enc)
+	}
+	if !o.frame {
+		ccfg.FrameV = -1
+	}
+	client, err := cluster.NewClient(ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -281,9 +312,18 @@ func run(o *options) (*loadReport, error) {
 	assignHist := metrics.NewHistogram()
 	shedHist := metrics.NewHistogram()
 	expiredHist := metrics.NewHistogram()
-	var completed, failed, shed, expired, retries atomic.Int64
+	var completed, failed, shed, expired, retries, rowsFetched atomic.Int64
 	runOne := func(id int64, workerRng *rand.Rand) {
-		out := client.Run(id, sqls(workerRng))
+		var out cluster.Outcome
+		if o.fetch {
+			// Result-shipping mode: stream the rows back in bounded batches
+			// (or a JSON reply from -frame=false / old nodes), counting them
+			// without retaining anything.
+			out = client.FetchEach(id, sqls(workerRng), func(*cluster.ColBlock) error { return nil })
+			rowsFetched.Add(int64(out.Rows))
+		} else {
+			out = client.Run(id, sqls(workerRng))
+		}
 		retries.Add(int64(out.Retries))
 		switch {
 		case out.Err == nil:
@@ -365,6 +405,17 @@ func run(o *options) (*loadReport, error) {
 	rep.AssignMs = assignHist.Summary()
 	rep.RPC = client.OpLatencies()
 	rep.RPCCounts = client.RPCCounts()
+	rep.RPCBytesIn, rep.RPCBytesOut = client.WireBytes()
+	if rep.Completed > 0 {
+		rep.BytesPerQuery = float64(rep.RPCBytesIn+rep.RPCBytesOut) / float64(rep.Completed)
+	}
+	if o.fetch {
+		rep.Encoding = o.enc
+		if o.frame {
+			rep.Encoding = "frame"
+		}
+		rep.RowsFetched = rowsFetched.Load()
+	}
 	if rep.Completed > 0 {
 		rep.RPCPerQuery = make(map[string]float64, len(rep.RPCCounts))
 		for op, n := range rep.RPCCounts {
@@ -430,6 +481,12 @@ func printReport(r *loadReport) {
 		r.Mode, r.Transport, r.Mechanism, r.Completed, r.Failed, r.Shed, r.Expired, r.Retries, r.ElapsedMs, r.QPS)
 	fmt.Printf("  query total  %s\n", r.TotalMs)
 	fmt.Printf("  assignment   %s\n", r.AssignMs)
+	if r.RPCBytesIn > 0 || r.RPCBytesOut > 0 {
+		fmt.Printf("  wire         %d B in, %d B out (%.0f B/query)\n", r.RPCBytesIn, r.RPCBytesOut, r.BytesPerQuery)
+	}
+	if r.RowsFetched > 0 {
+		fmt.Printf("  fetched      %d rows (%s encoding)\n", r.RowsFetched, r.Encoding)
+	}
 	ops := make([]string, 0, len(r.RPC))
 	for op := range r.RPC {
 		ops = append(ops, op)

@@ -14,6 +14,7 @@ import (
 
 	"github.com/qamarket/qamarket/internal/catalog"
 	"github.com/qamarket/qamarket/internal/metrics"
+	"github.com/qamarket/qamarket/internal/sqldb"
 	"github.com/qamarket/qamarket/internal/trace"
 )
 
@@ -138,6 +139,21 @@ type ClientConfig struct {
 	// static views that never refreshed) are always probed, so the
 	// default is safe in mixed fleets.
 	NoShardProbe bool
+	// FrameV selects the binary fetch-frame version advertised on fetch
+	// requests: 0 (the default) advertises the newest this build speaks
+	// (frameV1), -1 disables frames so fetch replies stay JSON (the
+	// pre-frame wire, for rollback and benchmarks). After validation the
+	// field holds the wire value.
+	FrameV int
+	// FetchEnc selects the JSON fetch-row encoding advertised: 0 (the
+	// default) the newest (encCompact), -1 the v0 tagged encoding.
+	// Frames bypass it; it governs JSON fetch replies (old servers, or
+	// FrameV -1). After validation the field holds the wire value.
+	FetchEnc int
+	// FetchBatchRows asks servers to bound streamed fetch batches to
+	// this many rows (servers clamp to their own FetchBatchRows config).
+	// Zero accepts the server default.
+	FetchBatchRows int
 }
 
 func (c *ClientConfig) validate() error {
@@ -216,6 +232,21 @@ func (c *ClientConfig) validate() error {
 	}
 	if c.BidCacheTTL < 0 {
 		return fmt.Errorf("cluster: BidCacheTTL %v is negative", c.BidCacheTTL)
+	}
+	switch {
+	case c.FrameV == 0 || c.FrameV > frameV1:
+		c.FrameV = frameV1
+	case c.FrameV < 0:
+		c.FrameV = 0 // frames disabled: the field stays off the wire
+	}
+	switch {
+	case c.FetchEnc == 0 || c.FetchEnc > encCompact:
+		c.FetchEnc = encCompact
+	case c.FetchEnc < 0:
+		c.FetchEnc = encTagged
+	}
+	if c.FetchBatchRows < 0 {
+		return fmt.Errorf("cluster: FetchBatchRows %d is negative", c.FetchBatchRows)
 	}
 	return nil
 }
@@ -340,6 +371,11 @@ type Client struct {
 	rpcMu     sync.Mutex
 	rpcCounts map[string]int64
 
+	// wire tallies bytes on every client-owned connection (pooled and
+	// fresh), the denominator-free raw wire cost qaload's per-encoding
+	// bytes_per_query report divides down.
+	wire *wireCounter
+
 	stopRefresh chan struct{}
 	refreshWG   sync.WaitGroup
 	closeOnce   sync.Once
@@ -357,6 +393,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		view:        make(map[string]*nodeState, len(cfg.Addrs)),
 		removedInc:  make(map[string]uint64),
 		rpcCounts:   make(map[string]int64),
+		wire:        &wireCounter{},
 		stopRefresh: make(chan struct{}),
 	}
 	if cfg.RetryBudget > 0 {
@@ -393,9 +430,15 @@ func (c *Client) newNodeState(id, addr string, resolved bool) *nodeState {
 		lat:      make(map[string]*metrics.Histogram),
 	}
 	if c.cfg.Transport == TransportPooled {
-		ns.transport = newNodeTransport(addr, c.cfg.PoolSize)
+		ns.transport = newNodeTransport(addr, c.cfg.PoolSize, c.wire)
 	}
 	return ns
+}
+
+// WireBytes reports the total bytes read and written on the client's
+// connections (pooled and per-RPC fresh dials alike) since creation.
+func (c *Client) WireBytes() (in, out int64) {
+	return c.wire.in.Load(), c.wire.out.Load()
 }
 
 // Close stops the view refresher and shuts the client's pooled
@@ -716,6 +759,11 @@ func (c *Client) Run(queryID int64, sql string) Outcome {
 			}
 		}
 		if err != nil {
+			if errors.Is(err, ErrTooLarge) {
+				// The request itself exceeds the wire limit; no amount of
+				// retrying changes its size.
+				return finish(fmt.Errorf("cluster: query %d: %w", queryID, err))
+			}
 			// Whole federation unreachable this round: transient until
 			// proven otherwise (a partition heals, a breaker re-probes).
 			if attempt >= c.cfg.MaxRetries {
@@ -1074,7 +1122,9 @@ func (c *Client) negotiateAll(sql string, tc *traceCtx, deadline time.Time) (pro
 				DeadlineMs: remainingMs(deadline),
 			}, &rep, c.cfg.Timeout)
 			if err != nil {
-				ns.breaker.failure()
+				if !errors.Is(err, ErrTooLarge) {
+					ns.breaker.failure()
+				}
 				outs[i] = negOutcome{err: err}
 				return
 			}
@@ -1086,7 +1136,17 @@ func (c *Client) negotiateAll(sql string, tc *traceCtx, deadline time.Time) (pro
 	pr, reachable := rankOffers(members, outs)
 	if !reachable {
 		sp.Annotate("no node reachable")
-		return proposals{}, elapsed, aggregateNodeErrors(members, outcomeErrors(outs))
+		agg := aggregateNodeErrors(members, outcomeErrors(outs))
+		for _, o := range outs {
+			if errors.Is(o.err, ErrTooLarge) {
+				// An oversized request fails identically everywhere;
+				// typing the aggregate lets Run fail fast instead of
+				// burning its retry rounds on a hopeless resubmit.
+				agg = fmt.Errorf("%w: %v", ErrTooLarge, agg)
+				break
+			}
+		}
+		return proposals{}, elapsed, agg
 	}
 	if best := pr.best(); best != nil {
 		sp.Annotate("winner=%s of %d nodes (%d offers)", best.nodeID(), len(members), len(pr.ranked))
@@ -1165,6 +1225,12 @@ func (c *Client) executeOn(ns *nodeState, queryID int64, sql string, tc *traceCt
 		DeadlineMs: remainingMs(deadline), RunID: c.cfg.RunID,
 	}, &rep, c.cfg.execTimeout())
 	if err != nil {
+		if errors.Is(err, ErrTooLarge) {
+			// The message was refused pre-write for size; the node was
+			// never even bothered. Terminal for the query, invisible to
+			// the breaker.
+			return nil, attemptFatal, fmt.Errorf("cluster: execute on %s: %w", ns.label(), err)
+		}
 		ns.breaker.failure()
 		kind := attemptLost
 		if errors.Is(err, errNotSent) {
@@ -1183,6 +1249,10 @@ func (c *Client) executeOn(ns *nodeState, queryID int64, sql string, tc *traceCt
 	case CodeExpired:
 		ns.breaker.success()
 		return nil, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), ErrExpired)
+	case CodeTooLarge:
+		// The node answered — healthy — but this message can never fit.
+		ns.breaker.success()
+		return nil, attemptFatal, fmt.Errorf("cluster: %s: %w", ns.label(), ErrTooLarge)
 	}
 	if rep.Err != "" {
 		return nil, attemptFatal, errors.New(rep.Err)
@@ -1208,7 +1278,7 @@ func (c *Client) rpc(addr string, req *request, rep *reply, timeout time.Duratio
 	if ns := c.lookup(addr); ns != nil {
 		return c.rpcOn(ns, req, rep, timeout)
 	}
-	return freshRPC(addr, req, rep, timeout)
+	return freshRPCCounted(addr, req, rep, timeout, c.wire)
 }
 
 // freshRPC is the v0 transport: dial, one exchange, hang up. A dial
@@ -1216,11 +1286,21 @@ func (c *Client) rpc(addr string, req *request, rep *reply, timeout time.Duratio
 // which the failover ladder uses to fail over without double-execution
 // risk.
 func freshRPC(addr string, req *request, rep *reply, timeout time.Duration) error {
+	return freshRPCCounted(addr, req, rep, timeout, nil)
+}
+
+// freshRPCCounted is freshRPC with the connection's traffic tallied on
+// wc (nil disables accounting — server-side gossip exchanges are not a
+// client's wire cost).
+func freshRPCCounted(addr string, req *request, rep *reply, timeout time.Duration, wc *wireCounter) error {
 	conn, err := dial(addr, timeout)
 	if err != nil {
 		return fmt.Errorf("%w: %v", errNotSent, err)
 	}
 	defer conn.Close()
+	if wc != nil {
+		conn = &countedConn{Conn: conn, wc: wc}
+	}
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return err
 	}
@@ -1251,7 +1331,7 @@ func (c *Client) rpcOn(ns *nodeState, req *request, rep *reply, timeout time.Dur
 			err = mc.call(req, rep, timeout)
 		}
 	} else {
-		err = freshRPC(addr, req, rep, timeout)
+		err = freshRPCCounted(addr, req, rep, timeout, c.wire)
 	}
 	if err == nil {
 		ns.observe(req.Op, msSince(start))
@@ -1385,9 +1465,71 @@ func (c *Client) TraceSpans(traceID int64) []trace.Span {
 }
 
 // fetchOn dispatches a fetch (execute + result shipping) to the chosen
-// node, advertising the compact row encoding. Same attempt semantics
-// as executeOn.
+// node and accumulates the whole result. Same attempt semantics as
+// executeOn; the rows arrive as a binary frame stream when the server
+// speaks frames and as one JSON reply otherwise, and either way the
+// returned envelope carries them pre-decoded (fetchReply.rows).
 func (c *Client) fetchOn(ns *nodeState, queryID int64, sql string, tc *traceCtx, deadline time.Time) (*fetchReply, attemptKind, error) {
+	var rows []sqldb.Row
+	sink := fetchSink{
+		block: func(blk *ColBlock) error {
+			var err error
+			rows, err = blk.AppendRows(rows)
+			return err
+		},
+		rows: func(_ []string, rs []sqldb.Row) error {
+			rows = append(rows, rs...)
+			return nil
+		},
+	}
+	fr, _, kind, err := c.fetchAttempt(ns, queryID, sql, tc, deadline, 0, sink)
+	if fr != nil {
+		fr.streamed = true
+		fr.decoded = rows
+	}
+	return fr, kind, err
+}
+
+// streamRPC is rpcOn's streamed-fetch sibling: the exchange ends either
+// with frames fully consumed by onFrame (jsonReply=false) or a JSON
+// envelope in rep. A streamed success carries no NodeID stamp, so
+// passive ID learning only happens on the JSON path — harmless, since
+// fetches target nodes the client already negotiated with.
+func (c *Client) streamRPC(ns *nodeState, req *request, rep *reply, timeout time.Duration, onFrame func(typ byte, payload []byte) (bool, error)) (jsonReply bool, err error) {
+	start := time.Now()
+	c.countRPC(req.Op)
+	ns.mu.Lock()
+	nt, addr := ns.transport, ns.addr
+	ns.mu.Unlock()
+	if nt != nil {
+		var mc *mconn
+		if mc, err = nt.lane(req.Op).get(timeout); err != nil {
+			err = fmt.Errorf("%w: %v", errNotSent, err)
+		} else {
+			jsonReply, err = mc.stream(req, rep, timeout, onFrame)
+		}
+	} else {
+		jsonReply, err = freshStream(addr, req, rep, timeout, onFrame, c.wire)
+	}
+	if err == nil {
+		ns.observe(req.Op, msSince(start))
+		if jsonReply && rep.NodeID != "" {
+			c.learnID(ns, rep.NodeID)
+		}
+	}
+	return jsonReply, err
+}
+
+// fetchAttempt runs one fetch attempt against a candidate, delivering
+// the result through sink however it arrives: streamed batch frames
+// (sink.block, reusable ColBlocks) from a frame-speaking server, or a
+// JSON reply decoded whole (sink.rows) from everyone older. skip drops
+// that many leading rows before delivery — the resume path after a
+// partial stream, where the server's dedup window replays the identical
+// result. delivered counts rows handed to the sink this attempt; on
+// attemptLost it may be nonzero (the stream died mid-result) and the
+// caller decides between a same-node resume and a discard-and-restart.
+func (c *Client) fetchAttempt(ns *nodeState, queryID int64, sql string, tc *traceCtx, deadline time.Time, skip int64, sink fetchSink) (fr *fetchReply, delivered int64, kind attemptKind, err error) {
 	var sp *trace.Active
 	if tc != nil {
 		sp = c.startSpan(tc.ID, tc.Span, "fetch")
@@ -1395,44 +1537,377 @@ func (c *Client) fetchOn(ns *nodeState, queryID int64, sql string, tc *traceCtx,
 		defer sp.Finish()
 		tc = childCtx(tc, sp)
 	}
+	req := &request{
+		Op: "fetch", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism,
+		Enc: c.cfg.FetchEnc, Frame: c.cfg.FrameV, FetchBatch: c.cfg.FetchBatchRows,
+		Trace: tc, DeadlineMs: remainingMs(deadline), RunID: c.cfg.RunID,
+	}
 	var rep reply
-	err := c.rpcOn(ns, &request{
-		Op: "fetch", SQL: sql, QueryID: queryID, Mechanism: c.cfg.Mechanism, Enc: encCompact, Trace: tc,
-		DeadlineMs: remainingMs(deadline), RunID: c.cfg.RunID,
-	}, &rep, c.cfg.execTimeout())
-	if err != nil {
-		ns.breaker.failure()
-		kind := attemptLost
-		if errors.Is(err, errNotSent) {
-			kind = attemptNotSent
+	if c.cfg.FrameV >= frameV1 {
+		fs := &fetchStream{sink: sink, skip: skip}
+		jsonReply, serr := c.streamRPC(ns, req, &rep, c.cfg.execTimeout(), fs.onFrame)
+		if serr != nil {
+			switch {
+			case errors.Is(serr, ErrTooLarge):
+				return nil, fs.delivered, attemptFatal, fmt.Errorf("cluster: fetch on %s: %w", ns.label(), serr)
+			case errors.Is(serr, errStreamAbort):
+				// Our own sink refused the data; the node and transport
+				// are fine.
+				ns.breaker.success()
+				return nil, fs.delivered, attemptFatal, fmt.Errorf("cluster: fetch on %s: %w", ns.label(), serr)
+			case errors.Is(serr, errNotSent):
+				ns.breaker.failure()
+				return nil, 0, attemptNotSent, fmt.Errorf("cluster: fetch on %s: %w", ns.label(), serr)
+			default:
+				ns.breaker.failure()
+				return nil, fs.delivered, attemptLost, fmt.Errorf("cluster: fetch on %s: %w", ns.label(), serr)
+			}
 		}
-		return nil, kind, fmt.Errorf("cluster: fetch on %s: %w", ns.label(), err)
+		if !jsonReply {
+			// The stream completed through its end frame.
+			switch fs.end.errMsg {
+			case "":
+				ns.breaker.success()
+				return fs.envelope(), fs.delivered, attemptOK, nil
+			case msgNodeStopping:
+				// The stream was truncated by a shutdown: the delivered
+				// prefix is incomplete, classified exactly like a JSON
+				// node-stopping refusal.
+				ns.breaker.trip()
+				return nil, fs.delivered, attemptRefused, fmt.Errorf("cluster: %s: %s", ns.label(), msgNodeStopping)
+			default:
+				return nil, fs.delivered, attemptFatal, errors.New(fs.end.errMsg)
+			}
+		}
+		// JSON downgrade: classify the envelope below, like any non-frame
+		// exchange. The server never mixes frames and a JSON reply for
+		// one request, so nothing was delivered yet.
+	} else {
+		if err := c.rpcOn(ns, req, &rep, c.cfg.execTimeout()); err != nil {
+			if errors.Is(err, ErrTooLarge) {
+				return nil, 0, attemptFatal, fmt.Errorf("cluster: fetch on %s: %w", ns.label(), err)
+			}
+			ns.breaker.failure()
+			kind := attemptLost
+			if errors.Is(err, errNotSent) {
+				kind = attemptNotSent
+			}
+			return nil, 0, kind, fmt.Errorf("cluster: fetch on %s: %w", ns.label(), err)
+		}
 	}
 	switch rep.Code {
 	case CodeDraining:
 		ns.breaker.trip()
 		c.noteDraining(ns)
-		return nil, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), errDraining)
+		return nil, 0, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), errDraining)
 	case CodeOverload:
 		ns.breaker.success()
-		return nil, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), ErrOverloaded)
+		return nil, 0, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), ErrOverloaded)
 	case CodeExpired:
 		ns.breaker.success()
-		return nil, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), ErrExpired)
+		return nil, 0, attemptRefused, fmt.Errorf("cluster: %s: %w", ns.label(), ErrExpired)
+	case CodeTooLarge:
+		// The result only fits on the frame lane and this exchange was
+		// JSON: terminal for the query, healthy node.
+		ns.breaker.success()
+		return nil, 0, attemptFatal, fmt.Errorf("cluster: %s: %w", ns.label(), ErrTooLarge)
 	}
 	if rep.Err != "" {
-		return nil, attemptFatal, errors.New(rep.Err)
+		return nil, 0, attemptFatal, errors.New(rep.Err)
 	}
 	if rep.Fetch == nil {
-		return nil, attemptFatal, errors.New("cluster: malformed fetch reply")
+		return nil, 0, attemptFatal, errors.New("cluster: malformed fetch reply")
 	}
 	if rep.Fetch.Err == msgNodeStopping {
 		ns.breaker.trip()
-		return nil, attemptRefused, fmt.Errorf("cluster: %s: %s", ns.label(), msgNodeStopping)
+		return nil, 0, attemptRefused, fmt.Errorf("cluster: %s: %s", ns.label(), msgNodeStopping)
 	}
 	if rep.Fetch.Err != "" {
-		return nil, attemptFatal, errors.New(rep.Fetch.Err)
+		return nil, 0, attemptFatal, errors.New(rep.Fetch.Err)
 	}
 	ns.breaker.success()
-	return rep.Fetch, attemptOK, nil
+	if !rep.Fetch.Accepted {
+		// Supply race: no rows shipped; the caller renegotiates.
+		return &fetchReply{streamed: true}, 0, attemptOK, nil
+	}
+	rows, derr := rep.Fetch.rows()
+	if derr != nil {
+		return nil, 0, attemptFatal, derr
+	}
+	if skip > 0 {
+		if skip >= int64(len(rows)) {
+			rows = nil
+		} else {
+			rows = rows[skip:]
+		}
+	}
+	if len(rows) > 0 {
+		if serr := sink.rows(rep.Fetch.Columns, rows); serr != nil {
+			return nil, 0, attemptFatal, fmt.Errorf("%w: %v", errStreamAbort, serr)
+		}
+	}
+	fr = &fetchReply{
+		Accepted: true,
+		Columns:  rep.Fetch.Columns,
+		ExecMs:   rep.Fetch.ExecMs,
+		streamed: true,
+	}
+	return fr, int64(len(rows)), attemptOK, nil
+}
+
+// Fetch runs one query through the market like Run, but ships the
+// result back to the caller: negotiate with the federation, fetch from
+// the best offer through the failover ladder, and accumulate the rows
+// (streamed binary frames from new nodes, one JSON reply from old ones
+// — the caller cannot tell which). For results too large to hold in
+// memory, use FetchEach.
+func (c *Client) Fetch(queryID int64, sql string) (*sqldb.Result, Outcome) {
+	res := &sqldb.Result{}
+	sink := fetchSink{
+		block: func(blk *ColBlock) error {
+			var err error
+			res.Rows, err = blk.AppendRows(res.Rows)
+			return err
+		},
+		rows: func(_ []string, rs []sqldb.Row) error {
+			res.Rows = append(res.Rows, rs...)
+			return nil
+		},
+	}
+	// Accumulate mode owns the buffer, so a stream lost mid-result can
+	// simply be discarded and refetched anywhere.
+	reset := func() { res.Rows = res.Rows[:0] }
+	out, columns := c.fetchLoop(queryID, sql, sink, reset)
+	if out.Err != nil {
+		return nil, out
+	}
+	res.Columns = columns
+	out.Rows = len(res.Rows)
+	return res, out
+}
+
+// FetchEach runs one query through the market and streams its result to
+// fn in bounded batches: against a frame-speaking node the whole result
+// is never resident on either side — memory stays O(FetchBatchRows).
+// The ColBlock's buffers are reused between calls; fn must copy out
+// anything it retains. A non-nil error from fn aborts the fetch and
+// surfaces in the outcome.
+//
+// Delivery is exactly-once per row even across a connection lost mid-
+// stream: rows already handed to fn cannot be taken back, so the client
+// resumes only by retransmitting to the same node — whose dedup window
+// replays the identical result — and skipping the delivered prefix. If
+// that node stays unreachable the fetch fails rather than re-deliver.
+func (c *Client) FetchEach(queryID int64, sql string, fn func(*ColBlock) error) Outcome {
+	var bridge ColBlock
+	sink := fetchSink{
+		block: fn,
+		rows: func(columns []string, rs []sqldb.Row) error {
+			// JSON downgrade: the old node sent the result whole; present
+			// it through the same batch interface.
+			bridge.fillFromRows(columns, rs)
+			if bridge.Rows == 0 {
+				return nil
+			}
+			return fn(&bridge)
+		},
+	}
+	out, _ := c.fetchLoop(queryID, sql, sink, nil)
+	return out
+}
+
+// fetchLoop is the market loop under Fetch and FetchEach: negotiate,
+// walk the failover ladder, resubmit next period on refusal — Run's
+// shape, minus the bid/batch amortization layers (fetches ship results,
+// so admission staleness costs bandwidth, not just a refused execute).
+//
+// reset distinguishes the two delivery modes. Non-nil (accumulate):
+// rows delivered so far are client-owned, so a lost stream discards
+// them and renegotiates anywhere — re-pulling a read-only fragment is
+// wasteful but never incorrect. Nil (callback): delivered rows already
+// escaped to the caller, so after partial delivery only the same node's
+// dedup replay (skip=delivered) may continue the stream; resume
+// retransmits up to ExecRetries, then the fetch is terminal.
+func (c *Client) fetchLoop(queryID int64, sql string, sink fetchSink, reset func()) (Outcome, []string) {
+	start := time.Now()
+	var deadline time.Time
+	if c.cfg.QueryTimeout > 0 {
+		deadline = start.Add(c.cfg.QueryTimeout)
+	}
+	out := Outcome{QueryID: queryID, Submitted: start}
+	root := c.startSpan(queryID, "", "fetch-run")
+	tc := childCtx(&traceCtx{V: traceV, ID: queryID}, root)
+	if root == nil {
+		tc = nil
+	}
+	var columns []string
+	finish := func(err error) (Outcome, []string) {
+		out.Err = err
+		out.TotalMs = msSince(start)
+		if err != nil {
+			root.Annotate("error: %v", err)
+		} else {
+			root.Annotate("node=%s rows=%d retries=%d", out.Node, out.Rows, out.Retries)
+		}
+		root.Finish()
+		return out, columns
+	}
+	noteRetry := func() bool {
+		out.Retries++
+		c.health.Inc(metrics.RetriesTotal)
+		return c.takeRetryToken()
+	}
+	budgetErr := func() error {
+		return fmt.Errorf("cluster: query %d: %w", queryID, ErrRetryBudget)
+	}
+	// delivered counts rows handed to the sink across all attempts; it is
+	// the resume offset for callback mode and the discard size for
+	// accumulate mode.
+	var delivered int64
+	unreachableRounds := 0
+	for attempt := 0; ; attempt++ {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return finish(fmt.Errorf("cluster: query %d: %w after %d rounds", queryID, ErrExpired, attempt))
+		}
+		pr, assignDur, err := c.negotiateAll(sql, tc, deadline)
+		out.AssignMs += float64(assignDur) / float64(time.Millisecond)
+		if err != nil {
+			if errors.Is(err, ErrTooLarge) {
+				return finish(fmt.Errorf("cluster: query %d: %w", queryID, err))
+			}
+			if attempt >= c.cfg.MaxRetries {
+				return finish(fmt.Errorf("cluster: query %d after %d rounds: %w", queryID, attempt+1, err))
+			}
+			if !noteRetry() {
+				return finish(budgetErr())
+			}
+			c.sleepBackoff(unreachableRounds, deadline)
+			unreachableRounds++
+			continue
+		}
+		unreachableRounds = 0
+		if len(pr.ranked) == 0 {
+			if attempt >= c.cfg.MaxRetries {
+				if re := pr.refusalError(); re != nil {
+					return finish(fmt.Errorf("cluster: query %d refused by all nodes after %d rounds: %w", queryID, attempt, re))
+				}
+				return finish(fmt.Errorf("cluster: query %d refused by all nodes after %d rounds", queryID, attempt))
+			}
+			if !noteRetry() {
+				return finish(budgetErr())
+			}
+			c.sleepBackoff(0, deadline)
+			continue
+		}
+		var (
+			win         *fetchReply
+			winner      *nodeState
+			terminal    error
+			renegotiate bool
+		)
+	ladder:
+		for ci, cand := range pr.ranked {
+			if ci > 0 {
+				if !c.takeRetryToken() {
+					terminal = budgetErr()
+					break
+				}
+				c.health.Inc(metrics.FailoversTotal)
+			}
+			if delivered > 0 && reset == nil && cand.nodeID() != out.Node {
+				// Callback mode, partially delivered: only the node that
+				// streamed the prefix can replay and resume it. Runner-ups
+				// cannot help this query anymore.
+				continue
+			}
+			fr, n, kind, err := c.fetchAttempt(cand, queryID, sql, tc, deadline, delivered, sink)
+			delivered += n
+			if kind == attemptOK || n > 0 {
+				out.Node = cand.nodeID()
+				out.NodeAddr = cand.address()
+			}
+			switch kind {
+			case attemptOK:
+				if !fr.Accepted {
+					renegotiate = true // lost the supply race; the round is stale
+					break ladder
+				}
+				win, winner = fr, cand
+				break ladder
+			case attemptFatal:
+				terminal = err
+				break ladder
+			case attemptRefused, attemptNotSent:
+				continue
+			case attemptLost:
+				if delivered > 0 && reset == nil {
+					// Rows already escaped to the caller: retransmit to the
+					// same node, skipping the delivered prefix the dedup
+					// replay will resend.
+					fr, kind, err = c.fetchResume(cand, queryID, sql, tc, deadline, &delivered, sink, noteRetry)
+					if kind == attemptOK && fr.Accepted {
+						win, winner = fr, cand
+					} else {
+						terminal = err
+					}
+					break ladder
+				}
+				if reset != nil && delivered > 0 {
+					reset()
+					delivered = 0
+				}
+				renegotiate = true
+				break ladder
+			}
+		}
+		switch {
+		case win != nil:
+			out.Node = winner.nodeID()
+			out.NodeAddr = winner.address()
+			out.ExecMs = win.ExecMs
+			out.Rows = int(delivered)
+			columns = win.Columns
+			return finish(nil)
+		case terminal != nil:
+			return finish(terminal)
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return finish(fmt.Errorf("cluster: query %d starved after %d rounds", queryID, attempt))
+		}
+		if !noteRetry() {
+			return finish(budgetErr())
+		}
+		if !renegotiate {
+			c.sleepBackoff(0, deadline)
+		}
+	}
+}
+
+// fetchResume retransmits a partially-delivered streamed fetch to the
+// same node, resuming at *delivered via the dedup window's replay. Up
+// to ExecRetries retransmits, like execAttempt's outcome-unknown loop;
+// if none completes the stream, the fetch is terminal — failing over
+// would re-deliver rows the caller already consumed.
+func (c *Client) fetchResume(ns *nodeState, queryID int64, sql string, tc *traceCtx, deadline time.Time, delivered *int64, sink fetchSink, noteRetry func() bool) (*fetchReply, attemptKind, error) {
+	var (
+		fr   *fetchReply
+		kind attemptKind
+		err  error
+	)
+	for r := 0; r < c.cfg.ExecRetries; r++ {
+		if !noteRetry() {
+			return nil, attemptFatal, fmt.Errorf("cluster: %w resuming fetch on %s", ErrRetryBudget, ns.label())
+		}
+		var n int64
+		fr, n, kind, err = c.fetchAttempt(ns, queryID, sql, tc, deadline, *delivered, sink)
+		*delivered += n
+		switch kind {
+		case attemptOK, attemptFatal:
+			return fr, kind, err
+		case attemptRefused, attemptNotSent, attemptLost:
+			// The admission gate can refuse a retransmit before the dedup
+			// window sees it; keep trying the same node.
+		}
+	}
+	return nil, attemptFatal, fmt.Errorf("cluster: partially-streamed fetch on %s not resumable: %v", ns.label(), err)
 }

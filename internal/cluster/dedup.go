@@ -5,15 +5,22 @@ import (
 	"hash/fnv"
 	"sync"
 	"time"
+
+	"github.com/qamarket/qamarket/internal/sqldb"
 )
 
 // dedupOutcome is one cached execute/fetch result: the executeReply,
 // the fetchReply when the op shipped rows, and the envelope code the
-// original reply carried.
+// original reply carried. For fetches the raw result is cached too, so
+// a retransmit is re-encoded under its *own* request's negotiation
+// (JSON vs frames, batch size) — which also makes the frame stream a
+// replay of identical rows, letting a client resume a partial stream
+// by skipping the rows it already delivered.
 type dedupOutcome struct {
-	exec  executeReply
-	fetch *fetchReply
-	code  string
+	exec   executeReply
+	fetch  *fetchReply
+	result *sqldb.Result
+	code   string
 }
 
 // dedupEntry is one in-flight or settled outcome. done is closed when

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the full frame read path:
+// readFrame's header validation, then whichever payload decoder the
+// type byte selects, then row materialization. The invariant is
+// "error, never panic, never unbounded allocation" — the same promise
+// maxLineBytes makes on the JSON lane. Seeded with the golden frames
+// of a mixed-kind result so mutations start from valid streams.
+func FuzzFrameDecode(f *testing.F) {
+	res := frameTestResult(9)
+	f.Add(appendFetchHeader(nil, 1, res.Columns, 2.5, 4, 9))
+	f.Add(appendFetchBatch(nil, 1, res, 0, 9))
+	f.Add(appendFetchBatch(nil, 1, res, 3, 5))
+	f.Add(appendFetchEnd(nil, 1, 9, 3, ""))
+	f.Add(appendFetchEnd(nil, 1, 4, 1, msgNodeStopping))
+	// A whole stream concatenated, and some degenerate inputs.
+	stream := appendFetchHeader(nil, 7, res.Columns, 1, 2, 9)
+	for lo := 0; lo < 9; lo += 2 {
+		hi := lo + 2
+		if hi > 9 {
+			hi = 9
+		}
+		stream = appendFetchBatch(stream, 7, res, lo, hi)
+	}
+	f.Add(appendFetchEnd(stream, 7, 9, 5, ""))
+	f.Add([]byte{frameMagic})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		var (
+			h   frameHeader
+			blk ColBlock
+		)
+		for {
+			fm, err := readFrame(r)
+			if err != nil {
+				return
+			}
+			switch fm.typ {
+			case frameTypeHeader:
+				if decodeFetchHeader(fm.payload, &h) == nil && len(h.columns) > 1<<20 {
+					t.Fatalf("header decoded %d columns from %d bytes", len(h.columns), len(fm.payload))
+				}
+			case frameTypeBatch:
+				if decodeFetchBatch(fm.payload, &blk) == nil {
+					if blk.Rows*len(blk.Cols) > len(fm.payload) {
+						t.Fatalf("batch decoded %d cells from %d bytes", blk.Rows*len(blk.Cols), len(fm.payload))
+					}
+					if _, err := blk.AppendRows(nil); err != nil {
+						t.Fatalf("decoded batch failed to materialize: %v", err)
+					}
+				}
+			case frameTypeEnd:
+				decodeFetchEnd(fm.payload)
+			}
+			fm.release()
+		}
+	})
+}

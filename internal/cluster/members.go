@@ -180,7 +180,7 @@ func (c *Client) updateMember(ns *nodeState, m membership.Member) {
 		}
 		ns.addr = m.Addr
 		if c.cfg.Transport == TransportPooled {
-			ns.transport = newNodeTransport(m.Addr, c.cfg.PoolSize)
+			ns.transport = newNodeTransport(m.Addr, c.cfg.PoolSize, c.wire)
 		}
 	}
 	ns.state = m.State.String()

@@ -14,11 +14,13 @@ package cluster
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
 
 	"github.com/qamarket/qamarket/internal/membership"
+	"github.com/qamarket/qamarket/internal/sqldb"
 	"github.com/qamarket/qamarket/internal/trace"
 )
 
@@ -81,6 +83,18 @@ type request struct {
 	// a single-query window omits the field entirely, making the
 	// request byte-identical to a legacy negotiate.
 	Batch []batchQuery `json:"batch,omitempty"`
+	// Frame advertises the newest binary fetch-frame version the client
+	// decodes (see frameV1). A frame-speaking server answers an accepted
+	// fetch by streaming length-prefixed binary frames instead of one
+	// JSON reply; everything else (refusals, errors, other ops) stays
+	// JSON. Additive like Enc: old servers ignore the field and reply
+	// JSON, old clients omit it and are never sent a frame, so mixed
+	// fleets interoperate byte-identically.
+	Frame int `json:"frame,omitempty"`
+	// FetchBatch asks the server to bound streamed fetch batches to this
+	// many rows. Servers clamp it to their own FetchBatchRows config;
+	// zero accepts the server default. Meaningless without Frame.
+	FetchBatch int `json:"fetch_batch,omitempty"`
 }
 
 // batchQuery is one additional query of a batched call-for-proposals.
@@ -245,6 +259,12 @@ type fetchReply struct {
 	Cols   []wireColumn `json:"cols,omitempty"`
 	ExecMs float64      `json:"exec_ms"`
 	Err    string       `json:"error,omitempty"`
+
+	// streamed marks an envelope the client synthesized from a binary
+	// frame stream: the rows never rode JSON, they were decoded into
+	// decoded as the frames arrived. Unexported — never marshalled.
+	streamed bool
+	decoded  []sqldb.Row
 }
 
 // NodeStats reports a node's market state for observability.
@@ -277,6 +297,13 @@ const (
 	// passed while the job sat queued). Also a market refusal: the node
 	// is healthy, the query just can't make it here in time.
 	CodeExpired = "expired"
+	// CodeTooLarge marks a message refused for exceeding the wire size
+	// limit: an oversized request line, or a JSON fetch reply that only
+	// fits on the binary frame lane. The answering node is healthy and
+	// said so in a well-formed reply, so clients must NOT trip the
+	// breaker — but a retry of the same message cannot succeed either,
+	// so the error is terminal, not a resubmit.
+	CodeTooLarge = "too_large"
 )
 
 // msgNodeStopping is reported inside an execute/fetch reply when a hard
@@ -314,16 +341,29 @@ type reply struct {
 	// their first exchange (old nodes omit it and stay addressed by
 	// seed address).
 	NodeID string `json:"node_id,omitempty"`
+
+	// stream, when set by the fetch handler, tells serveConn to answer
+	// with a binary frame stream instead of marshalling this envelope.
+	// Unexported — never rides the JSON wire.
+	stream *frameStream
 }
 
 // writeMsg sends one newline-delimited JSON message. The delimiter is
 // written separately: append(b, '\n') would copy the whole marshalled
 // message whenever the buffer is exactly full, and the bufio.Writer
 // coalesces the two writes anyway.
+//
+// Messages over maxLineBytes are refused before anything is written —
+// the peer would reject the line anyway, and failing pre-write keeps
+// the connection clean so the sender can answer (or receive) a typed
+// too_large refusal instead of losing the stream mid-line.
 func writeMsg(w *bufio.Writer, v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("cluster: encoding message: %w", err)
+	}
+	if len(b)+1 > maxLineBytes {
+		return fmt.Errorf("%w: %d-byte message", ErrTooLarge, len(b)+1)
 	}
 	if _, err := w.Write(b); err != nil {
 		return err
@@ -339,10 +379,18 @@ func writeMsg(w *bufio.Writer, v any) error {
 // memory without ever triggering a parse error.
 const maxLineBytes = 1 << 20
 
-// errLineTooLong reports a message exceeding maxLineBytes. The
-// connection is unrecoverable afterwards (the stream position is mid-
-// line), so servers drop it.
-var errLineTooLong = fmt.Errorf("cluster: message exceeds %d-byte line limit", maxLineBytes)
+// ErrTooLarge reports a message over the wire size limit, in either
+// direction: an incoming line past maxLineBytes, or an outgoing message
+// refused by writeMsg's pre-write check. It classifies as terminal for
+// the offending message but says nothing bad about the peer, so the
+// circuit breaker must not trip on it.
+var ErrTooLarge = errors.New("cluster: message exceeds wire size limit")
+
+// errLineTooLong reports an incoming message exceeding maxLineBytes.
+// The connection is unrecoverable afterwards (the stream position is
+// mid-line), so after answering a typed too_large refusal the server
+// drops it.
+var errLineTooLong = fmt.Errorf("%w: line over %d bytes", ErrTooLarge, maxLineBytes)
 
 // readMsg receives one newline-delimited JSON message, refusing lines
 // over maxLineBytes.

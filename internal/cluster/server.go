@@ -82,6 +82,12 @@ type NodeConfig struct {
 	// for at-most-once retransmits (keyed by the client's run id).
 	// Default 60s.
 	DedupWindow time.Duration
+	// FetchBatchRows bounds one binary fetch-stream batch: a frame-
+	// negotiated fetch result is shipped in frames of at most this many
+	// rows, so neither side ever buffers more than one batch of a huge
+	// result. Clients may request smaller batches (request.FetchBatch);
+	// larger asks are clamped here. Default 4096.
+	FetchBatchRows int
 	// NodeID is the node's stable identity in the membership registry,
 	// constant across address changes. Empty generates a random one.
 	NodeID string
@@ -145,6 +151,9 @@ func (c *NodeConfig) validate() error {
 	if c.DedupWindow <= 0 {
 		c.DedupWindow = 60 * time.Second
 	}
+	if c.FetchBatchRows <= 0 {
+		c.FetchBatchRows = 4096
+	}
 	if c.GossipPeriodMs <= 0 {
 		c.GossipPeriodMs = 250
 	}
@@ -189,6 +198,13 @@ type Node struct {
 
 	// dedup is the at-most-once window for execute/fetch retransmits.
 	dedup *dedupWindow
+
+	// noFrames (test hook) answers every fetch in JSON even when the
+	// client negotiated frames, simulating a pre-frame node; frameSever
+	// (test hook) severs the stream's connection after that many batch
+	// frames, for partial-stream resume tests. Both zero in production.
+	noFrames   atomic.Bool
+	frameSever atomic.Int32
 
 	execCh   chan *execJob
 	stopCh   chan struct{}
@@ -597,6 +613,16 @@ func (n *Node) serveConn(conn net.Conn) {
 	for {
 		var req request
 		if err := readMsg(r, &req); err != nil {
+			if errors.Is(err, ErrTooLarge) {
+				// Answer the typed refusal before dropping: the stream
+				// position is mid-line so the connection cannot continue,
+				// but the client should learn its message was refused for
+				// size — a healthy-node condition that must not read as
+				// unreachability.
+				wmu.Lock()
+				writeMsg(w, &reply{Err: err.Error(), Code: CodeTooLarge, NodeID: n.cfg.NodeID})
+				wmu.Unlock()
+			}
 			return // client closed, oversized line, or protocol error; drop the conn
 		}
 		// Count the whole request as in flight until its reply is on the
@@ -610,9 +636,16 @@ func (n *Node) serveConn(conn net.Conn) {
 			if n.cfg.LinkLatency > 0 {
 				time.Sleep(n.cfg.LinkLatency)
 			}
-			wmu.Lock()
-			err := writeMsg(w, rep)
-			wmu.Unlock()
+			var err error
+			if rep.stream != nil {
+				// Frame-negotiated fetch: the result streams as binary
+				// frames, taking wmu per frame so other replies interleave.
+				err = n.streamFetch(conn, w, &wmu, req.ID, rep.stream)
+			} else {
+				wmu.Lock()
+				err = writeMsg(w, rep)
+				wmu.Unlock()
+			}
 			n.inflight.Add(-1)
 			if err != nil {
 				// The write path is broken; close the conn so the reader
@@ -706,10 +739,38 @@ func (n *Node) handleWork(req *request, rep *reply) {
 		rep.Execute = &er
 		rep.Code = code
 	case "fetch":
-		fr, code := n.fetch(req)
-		rep.Fetch = &fr
+		fr, res, code := n.fetch(req)
 		rep.Code = code
+		if code == "" && fr.Err == "" && fr.Accepted && req.Frame >= frameV1 && !n.noFrames.Load() {
+			// Frame-negotiated success: defer encoding to the stream
+			// writer. Refusals, errors, and old clients stay JSON.
+			n.health.Inc(metrics.FrameNegotiatedCounter(frameV1))
+			rep.stream = &frameStream{res: res, execMs: fr.ExecMs, batch: n.fetchBatchRows(req)}
+			return
+		}
+		if res != nil {
+			fr.Columns = res.Columns
+			// The client advertised the newest encoding it decodes; ship
+			// compact columns to encCompact-aware clients and the legacy
+			// tagged rows to everyone older.
+			if req.Enc >= encCompact {
+				fr.Cols = encodeCols(res)
+			} else {
+				fr.Rows = encodeRows(res)
+			}
+		}
+		rep.Fetch = &fr
 	}
+}
+
+// fetchBatchRows resolves the streamed-fetch batch bound for one
+// request: the node's configured cap, tightened by the client's ask.
+func (n *Node) fetchBatchRows(req *request) int {
+	b := n.cfg.FetchBatchRows
+	if req.FetchBatch > 0 && req.FetchBatch < b {
+		b = req.FetchBatch
+	}
+	return b
 }
 
 // handleGossip is the receiving half of a push-pull exchange: merge
@@ -926,54 +987,46 @@ func (n *Node) executeOnce(req *request) (executeReply, string) {
 }
 
 // fetch is execute plus result shipping: the distributed subquery
-// layer pulls relation fragments through it.
-func (n *Node) fetch(req *request) (fetchReply, string) {
+// layer pulls relation fragments through it. The raw result is
+// returned un-encoded (and cached un-encoded in the dedup window) so
+// the caller — handleWork — encodes per the *current* request's
+// negotiation: a retransmit from a differently-negotiated client, or a
+// frame-stream resume, re-encodes the identical rows its own way.
+func (n *Node) fetch(req *request) (fetchReply, *sqldb.Result, string) {
 	if req.RunID != "" {
 		key := dedupKey(req.RunID, "fetch", req.QueryID, req.SQL)
 		if out, hit, _ := n.dedup.claim(key, n.stopCh); hit {
 			n.health.Inc(metrics.DedupHitsTotal)
 			if out.fetch != nil {
-				return *out.fetch, out.code
+				return *out.fetch, out.result, out.code
 			}
-			return fetchReply{Err: out.exec.Err, Accepted: out.exec.Accepted}, out.code
+			return fetchReply{Err: out.exec.Err, Accepted: out.exec.Accepted}, nil, out.code
 		}
-		fr, code := n.fetchOnce(req)
+		fr, res, code := n.fetchOnce(req)
 		cacheable := cacheableOutcome(executeReply{Accepted: fr.Accepted, Err: fr.Err}, code)
-		n.dedup.settle(key, dedupOutcome{fetch: &fr, code: code}, cacheable)
-		return fr, code
+		n.dedup.settle(key, dedupOutcome{fetch: &fr, result: res, code: code}, cacheable)
+		return fr, res, code
 	}
 	return n.fetchOnce(req)
 }
 
-func (n *Node) fetchOnce(req *request) (fetchReply, string) {
+func (n *Node) fetchOnce(req *request) (fetchReply, *sqldb.Result, string) {
 	sig, estMs, _, err := n.estimate(req.SQL)
 	if err != nil {
-		return fetchReply{Err: err.Error()}, ""
+		return fetchReply{Err: err.Error()}, nil, ""
 	}
 	job, rep, code := n.admit(req, sig, estMs, true)
 	if code != "" || rep.Err != "" || job == nil {
-		return fetchReply{Accepted: rep.Accepted, Err: rep.Err}, code
+		return fetchReply{Accepted: rep.Accepted, Err: rep.Err}, nil, code
 	}
 	select {
 	case rep := <-job.reply:
 		if rep.Err != "" {
-			return fetchReply{Err: rep.Err}, expiredCode(rep)
+			return fetchReply{Err: rep.Err}, nil, expiredCode(rep)
 		}
-		fr := fetchReply{Accepted: true, ExecMs: rep.ExecMs}
-		if job.result != nil {
-			fr.Columns = job.result.Columns
-			// The client advertised the newest encoding it decodes; ship
-			// compact columns to encCompact-aware clients and the legacy
-			// tagged rows to everyone older.
-			if req.Enc >= encCompact {
-				fr.Cols = encodeCols(job.result)
-			} else {
-				fr.Rows = encodeRows(job.result)
-			}
-		}
-		return fr, ""
+		return fetchReply{Accepted: true, ExecMs: rep.ExecMs}, job.result, ""
 	case <-n.stopCh:
-		return fetchReply{Err: msgNodeStopping}, ""
+		return fetchReply{Err: msgNodeStopping}, nil, ""
 	}
 }
 

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -140,3 +142,113 @@ func benchEncodingRoundTrip(b *testing.B, enc int) {
 
 func BenchmarkFetchEncodingTagged(b *testing.B)  { benchEncodingRoundTrip(b, encTagged) }
 func BenchmarkFetchEncodingCompact(b *testing.B) { benchEncodingRoundTrip(b, encCompact) }
+
+// resetFetchStream rewinds a fetchStream for the next decode while
+// keeping its reusable header/block buffers warm.
+func resetFetchStream(fs *fetchStream) {
+	fs.gotHeader, fs.done = false, false
+	fs.recv, fs.delivered, fs.batches, fs.skip = 0, 0, 0, 0
+	fs.end = frameEnd{}
+}
+
+// benchFrameRoundTrip is one full frame-path fetch: server-side encode
+// of header + batches + end into a pooled buffer, then client-side
+// decode through fetchStream into reusable column blocks. Returns the
+// rows delivered to the sink.
+func benchFrameRoundTrip(res *sqldb.Result, fb *frameBuf, src *bytes.Reader, br *bufio.Reader, fs *fetchStream) (int64, error) {
+	const batch = 256
+	buf := appendFetchHeader(fb.b[:0], 1, res.Columns, 1, batch, len(res.Rows))
+	for lo := 0; lo < len(res.Rows); lo += batch {
+		hi := lo + batch
+		if hi > len(res.Rows) {
+			hi = len(res.Rows)
+		}
+		buf = appendFetchBatch(buf, 1, res, lo, hi)
+	}
+	buf = appendFetchEnd(buf, 1, uint64(len(res.Rows)), (len(res.Rows)+batch-1)/batch, "")
+	fb.b = buf
+	src.Reset(buf)
+	br.Reset(src)
+	resetFetchStream(fs)
+	for !fs.done {
+		fm, err := readFrame(br)
+		if err != nil {
+			return fs.delivered, err
+		}
+		_, err = fs.onFrame(fm.typ, fm.payload)
+		fm.release()
+		if err != nil {
+			return fs.delivered, err
+		}
+	}
+	return fs.delivered, nil
+}
+
+// BenchmarkFetchFrameRoundTrip is the binary lane's counterpart to the
+// JSON encoding benchmarks above: the same 1,000-row result through
+// frame encode + streamed decode. The acceptance criterion for the
+// framing tentpole is <= 16 allocs/op here (the JSON compact path
+// costs ~1,120), asserted by TestFetchFrameAllocs.
+func BenchmarkFetchFrameRoundTrip(b *testing.B) {
+	res := benchResult()
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	var (
+		src bytes.Reader
+		sum int64
+	)
+	br := bufio.NewReader(&src)
+	fs := &fetchStream{sink: fetchSink{block: func(blk *ColBlock) error {
+		for _, v := range blk.Cols[0].Ints {
+			sum += v
+		}
+		return nil
+	}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytesPerOp int
+	for i := 0; i < b.N; i++ {
+		n, err := benchFrameRoundTrip(res, fb, &src, br, fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != int64(len(res.Rows)) {
+			b.Fatalf("delivered %d rows", n)
+		}
+		bytesPerOp = len(fb.b)
+	}
+	b.SetBytes(int64(bytesPerOp))
+}
+
+// TestFetchFrameAllocs pins the framing tentpole's allocation budget:
+// a 1,000-row frame-path fetch must stay at or under 16 allocs — the
+// remaining steady-state allocations are the per-batch text blob and
+// the header's column-name strings.
+func TestFetchFrameAllocs(t *testing.T) {
+	if raceEnabled {
+		// sync.Pool deliberately bypasses itself at random under the
+		// race detector, so pooled-path allocation counts are
+		// nondeterministic there.
+		t.Skip("allocation counts are not deterministic under -race")
+	}
+	res := benchResult()
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	var src bytes.Reader
+	br := bufio.NewReader(&src)
+	var sum int64
+	fs := &fetchStream{sink: fetchSink{block: func(blk *ColBlock) error {
+		for _, v := range blk.Cols[0].Ints {
+			sum += v
+		}
+		return nil
+	}}}
+	allocs := testing.AllocsPerRun(50, func() {
+		if n, err := benchFrameRoundTrip(res, fb, &src, br, fs); err != nil || n != int64(len(res.Rows)) {
+			t.Fatalf("round trip: n=%d err=%v", n, err)
+		}
+	})
+	if allocs > 16 {
+		t.Fatalf("frame fetch round trip costs %.0f allocs/op, budget is 16", allocs)
+	}
+}
