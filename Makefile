@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke fuzzsmoke ci
+.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke fuzzsmoke execsmoke ci
 
 all: build test
 
@@ -66,6 +66,14 @@ chaossmoke:
 fuzzsmoke:
 	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime 5s
 
+# execsmoke soaks the storage-driver seam: a federation whose nodes
+# front different executors (row, vector, mock) is checked for
+# cell-level parity against a local oracle, multi-frame streaming,
+# gossip-advertised executor names, and at-most-once execution under
+# injected engine faults.
+execsmoke:
+	$(GO) run ./cmd/execsmoke
+
 # scalesmoke stands up the full 100-node gossip-joined federation with
 # every amortization layer on (batched CFPs, epoch-stamped bid cache,
 # per-class shard probing), churns two members mid-run, and asserts
@@ -73,4 +81,4 @@ fuzzsmoke:
 scalesmoke:
 	$(GO) run ./cmd/scalesmoke
 
-ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke fuzzsmoke
+ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke execsmoke fuzzsmoke

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/qamarket/qamarket/internal/cluster"
+	"github.com/qamarket/qamarket/internal/engine"
 	"github.com/qamarket/qamarket/internal/market"
 	"github.com/qamarket/qamarket/internal/metrics"
 	"github.com/qamarket/qamarket/internal/trace"
@@ -68,6 +69,7 @@ type options struct {
 	bidCache    time.Duration
 	noShard     bool
 	fetch       bool
+	driverName  string
 	enc         string
 	frame       bool
 	fetchBatch  int
@@ -122,6 +124,10 @@ type loadReport struct {
 	// rows actually shipped back.
 	Encoding    string `json:"encoding,omitempty"`
 	RowsFetched int64  `json:"rows_fetched,omitempty"`
+
+	// Executor is the storage driver self-hosted nodes ran ("" when the
+	// federation is external and qaload cannot know).
+	Executor string `json:"executor,omitempty"`
 }
 
 func main() {
@@ -161,6 +167,7 @@ func main() {
 	flag.StringVar(&o.enc, "enc", "compact", "fetch result encoding to advertise: compact | tagged (JSON downgrade path)")
 	flag.BoolVar(&o.frame, "frame", true, "negotiate binary frame streaming for fetches (false: force JSON replies)")
 	flag.IntVar(&o.fetchBatch, "fetch-batch", 0, "max rows per streamed fetch batch to request (0: server default)")
+	flag.StringVar(&o.driverName, "driver", "row", "storage executor for self-hosted nodes: row | vector | mock:row | mock:vector")
 	flag.Parse()
 
 	rep, err := run(&o)
@@ -220,8 +227,13 @@ func run(o *options) (*loadReport, error) {
 			if o.selfNodes > 1 {
 				spread = float64(i) / float64(o.selfNodes-1)
 			}
+			drv, err := engine.SelectDriver(o.driverName, ds.DBs[i])
+			if err != nil {
+				return nil, err
+			}
 			cfg := cluster.NodeConfig{
 				DB:            ds.DBs[i],
+				Driver:        drv,
 				Slowdown:      1 + 13*spread,
 				MsPerCostUnit: o.msPerCost,
 				PeriodMs:      o.period,
@@ -307,6 +319,9 @@ func run(o *options) (*loadReport, error) {
 
 	rep := &loadReport{
 		Mode: o.mode, Transport: o.transport, Mechanism: o.mechanism, Clients: o.clients,
+	}
+	if o.nodes == "" {
+		rep.Executor = o.driverName
 	}
 	totalHist := metrics.NewHistogram()
 	assignHist := metrics.NewHistogram()

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/qamarket/qamarket/internal/cluster"
+	"github.com/qamarket/qamarket/internal/engine"
 	"github.com/qamarket/qamarket/internal/market"
 	"github.com/qamarket/qamarket/internal/sqldb"
 )
@@ -53,6 +54,7 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrently handled work requests before typed overload refusals (0 = default 256)")
 		maxQueue     = flag.Int("max-queue", 0, "executor queue depth before typed overload refusals (0 = default 256)")
 		dedupWindow  = flag.Duration("dedup-window", 0, "how long execute/fetch outcomes stay replayable for at-most-once retries (0 = default 60s)")
+		driverName   = flag.String("driver", "row", "storage executor: row (legacy engine), vector (columnar), mock:row, mock:vector")
 	)
 	flag.Parse()
 
@@ -62,9 +64,14 @@ func main() {
 			die(err)
 		}
 	}
+	drv, err := engine.SelectDriver(*driverName, db)
+	if err != nil {
+		die(err)
+	}
 	mcfg := market.Config{Lambda: *lambda, InitialPrice: 1, ActivationThreshold: *threshold, Classes: 1}
 	node, err := cluster.StartNode(*addr, cluster.NodeConfig{
 		DB:                 db,
+		Driver:             drv,
 		Slowdown:           *slow,
 		IOSlowdown:         *ioSlow,
 		CPUSlowdown:        *cpuSlow,
@@ -126,8 +133,8 @@ func main() {
 		}()
 		fmt.Printf("qanode: metrics on http://%s/metrics\n", ln.Addr())
 	}
-	fmt.Printf("qanode: %s serving on %s (%d tables, %d views)\n",
-		node.ID(), node.Addr(), len(db.Tables()), len(db.Views()))
+	fmt.Printf("qanode: %s serving on %s via %s executor (%d tables, %d views)\n",
+		node.ID(), node.Addr(), drv.Name(), len(drv.Tables()), len(drv.Views()))
 	if seeds := splitSeeds(*join); len(seeds) > 0 {
 		fmt.Printf("qanode: joining federation via %v\n", seeds)
 	}

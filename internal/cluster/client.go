@@ -280,6 +280,9 @@ type nodeState struct {
 	incarnation uint64
 	epoch       uint64
 	catalog     string
+	// driver is the member's gossiped storage-executor name ("" until
+	// a view refresh carries one).
+	driver string
 	// filter is the member's parsed relation filter (nil until a view
 	// refresh carries one; nil means "probe for everything"), and
 	// filterEnc the advertised encoding it was parsed from.
@@ -1490,6 +1493,32 @@ func (c *Client) fetchOn(ns *nodeState, queryID int64, sql string, tc *traceCtx,
 	return fr, kind, err
 }
 
+// fetchBlocksOn is fetchOn's block-native sibling: one fetch attempt
+// against the chosen node that delivers the result to onBlock batch by
+// batch, never materializing rows. Streamed frames hand their decoded
+// ColBlocks straight through; a JSON downgrade is bridged through one
+// reusable block (FillFromRows), so the caller sees a single columnar
+// interface regardless of the server's generation. The block's buffers
+// are reused between calls — onBlock must copy out anything retained.
+func (c *Client) fetchBlocksOn(ns *nodeState, queryID int64, sql string, tc *traceCtx, deadline time.Time, onBlock func(*ColBlock) error) (*fetchReply, attemptKind, error) {
+	var bridge ColBlock
+	sink := fetchSink{
+		block: onBlock,
+		rows: func(columns []string, rs []sqldb.Row) error {
+			bridge.FillFromRows(columns, rs)
+			if bridge.Rows == 0 {
+				return nil
+			}
+			return onBlock(&bridge)
+		},
+	}
+	fr, _, kind, err := c.fetchAttempt(ns, queryID, sql, tc, deadline, 0, sink)
+	if fr != nil {
+		fr.streamed = true
+	}
+	return fr, kind, err
+}
+
 // streamRPC is rpcOn's streamed-fetch sibling: the exchange ends either
 // with frames fully consumed by onFrame (jsonReply=false) or a JSON
 // envelope in rep. A streamed success carries no NodeID stamp, so
@@ -1705,7 +1734,7 @@ func (c *Client) FetchEach(queryID int64, sql string, fn func(*ColBlock) error) 
 		rows: func(columns []string, rs []sqldb.Row) error {
 			// JSON downgrade: the old node sent the result whole; present
 			// it through the same batch interface.
-			bridge.fillFromRows(columns, rs)
+			bridge.FillFromRows(columns, rs)
 			if bridge.Rows == 0 {
 				return nil
 			}

@@ -5,8 +5,6 @@ import (
 	"hash/fnv"
 	"sync"
 	"time"
-
-	"github.com/qamarket/qamarket/internal/sqldb"
 )
 
 // dedupOutcome is one cached execute/fetch result: the executeReply,
@@ -19,7 +17,7 @@ import (
 type dedupOutcome struct {
 	exec   executeReply
 	fetch  *fetchReply
-	result *sqldb.Result
+	result *ColBlock
 	code   string
 }
 

@@ -3,7 +3,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/qamarket/qamarket/internal/metrics"
@@ -94,24 +96,26 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 	}
 
 	// Decompose: one subquery per FROM entry, with its single-relation
-	// conjuncts pushed down.
-	scratch := sqldb.Open()
+	// conjuncts pushed down. Fragments stream into the loader block by
+	// block — literal text is rendered straight off each batch's typed
+	// columns, so fragment rows are never materialized as value slices
+	// on this side of the wire.
+	scratch := getScratch()
+	defer putScratch(scratch)
 	pushed, residual := splitConjuncts(sel)
+	var loader fragmentLoader
 	for i, ref := range sel.From {
 		name := ref.Name()
 		sub := buildSubquery(ref, pushed[i])
-		frNode, fr, err := d.allocateFetch(queryID, sub, tc, deadline)
+		loader.reset()
+		frNode, err := d.allocateFetch(queryID, sub, tc, deadline, &loader)
 		if err != nil {
 			return DistOutcome{}, fmt.Errorf("cluster: subquery for %s: %w", name, err)
 		}
 		out.Subqueries++
 		out.PerNode[frNode.nodeID()]++
-		rows, err := fr.rows()
-		if err != nil {
-			return DistOutcome{}, err
-		}
-		out.FragmentRows += len(rows)
-		if err := loadFragment(scratch, name, fr.Columns, rows); err != nil {
+		out.FragmentRows += loader.rows
+		if err := loader.load(scratch, name); err != nil {
 			return DistOutcome{}, err
 		}
 	}
@@ -123,24 +127,26 @@ func (d *Distributor) Run(queryID int64, sql string) (DistOutcome, error) {
 	if err != nil {
 		return DistOutcome{}, fmt.Errorf("cluster: local join: %w", err)
 	}
-	out.Result = res
+	out.Result = res // result rows are fresh slices, safe past the pool
 	out.TotalMs = msSince(start)
 	return out, nil
 }
 
-// allocateFetch negotiates a subquery and fetches it from the best
-// offer, retrying through the market's periods like Client.Run. The
-// failover ladder walks the round's runner-ups when the winner refused
-// or was unreachable before the request went out; a lost reply or a
-// fatal engine error surfaces exactly like in Run.
-func (d *Distributor) allocateFetch(queryID int64, sql string, tc *traceCtx, deadline time.Time) (*nodeState, *fetchReply, error) {
+// allocateFetch negotiates a subquery and streams it from the best
+// offer into the loader, retrying through the market's periods like
+// Client.Run. The failover ladder walks the round's runner-ups when
+// the winner refused or was unreachable before the request went out; a
+// lost reply or a fatal engine error surfaces exactly like in Run.
+// Every attempt resets the loader first, so a stream lost mid-fragment
+// discards the partial text and the retry starts clean.
+func (d *Distributor) allocateFetch(queryID int64, sql string, tc *traceCtx, deadline time.Time, loader *fragmentLoader) (*nodeState, error) {
 	for attempt := 0; attempt <= d.client.cfg.MaxRetries; attempt++ {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return nil, nil, fmt.Errorf("subquery %q: %w", sql, ErrExpired)
+			return nil, fmt.Errorf("subquery %q: %w", sql, ErrExpired)
 		}
 		pr, _, err := d.client.negotiateAll(sql, tc, deadline)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if len(pr.ranked) == 0 {
 			time.Sleep(time.Duration(d.client.cfg.PeriodMs) * time.Millisecond)
@@ -150,21 +156,22 @@ func (d *Distributor) allocateFetch(queryID int64, sql string, tc *traceCtx, dea
 		for ci, node := range pr.ranked {
 			if ci > 0 {
 				if !d.client.takeRetryToken() {
-					return nil, nil, fmt.Errorf("subquery %q: %w", sql, ErrRetryBudget)
+					return nil, fmt.Errorf("subquery %q: %w", sql, ErrRetryBudget)
 				}
 				d.client.health.Inc(metrics.FailoversTotal)
 			}
 			if d.afterNegotiate != nil {
 				d.afterNegotiate(node.nodeID(), sql)
 			}
-			fr, kind, err := d.client.fetchOn(node, queryID, sql, tc, deadline)
+			loader.reset()
+			fr, kind, err := d.client.fetchBlocksOn(node, queryID, sql, tc, deadline, loader.add)
 			switch kind {
 			case attemptOK:
 				if !fr.Accepted {
 					renegotiated = true // lost the supply race; this round is stale
 				}
 			case attemptFatal:
-				return nil, nil, err
+				return nil, err
 			case attemptRefused, attemptNotSent:
 				continue // next candidate is safe: the subquery did not run here
 			case attemptLost:
@@ -176,10 +183,24 @@ func (d *Distributor) allocateFetch(queryID int64, sql string, tc *traceCtx, dea
 			if renegotiated {
 				break
 			}
-			return node, fr, nil
+			loader.ensureColumns(fr.Columns)
+			return node, nil
 		}
 	}
-	return nil, nil, fmt.Errorf("cluster: subquery %q refused by all nodes", sql)
+	return nil, fmt.Errorf("cluster: subquery %q refused by all nodes", sql)
+}
+
+// scratchPool recycles the local scratch databases distributed joins
+// assemble fragments in. A decomposed query used to pay a fresh
+// sqldb.Open per evaluation; pooling with Reset keeps the map/slice
+// backbone warm across queries on the coordinator's hot path.
+var scratchPool = sync.Pool{New: func() any { return sqldb.Open() }}
+
+func getScratch() *sqldb.DB { return scratchPool.Get().(*sqldb.DB) }
+
+func putScratch(db *sqldb.DB) {
+	db.Reset()
+	scratchPool.Put(db)
 }
 
 // splitConjuncts partitions the WHERE clause's AND-conjuncts into
@@ -279,61 +300,141 @@ func buildSubquery(ref sqldb.TableRef, pushed []sqldb.Expr) string {
 	return b.String()
 }
 
-// loadFragment materializes a fetched fragment as a local table named
-// after the FROM binding. Column types are inferred from the first
-// non-null value per column (all-null columns default to INT, which
-// can hold NULLs anyway).
-func loadFragment(db *sqldb.DB, name string, columns []string, rows []sqldb.Row) error {
-	types := make([]sqldb.Type, len(columns))
-	for j := range columns {
-		types[j] = sqldb.TInt
-		for _, row := range rows {
-			switch row[j].Kind {
-			case sqldb.KindNull:
-				continue
-			case sqldb.KindInt:
-				types[j] = sqldb.TInt
-			case sqldb.KindFloat:
-				types[j] = sqldb.TFloat
-			case sqldb.KindText:
-				types[j] = sqldb.TText
-			case sqldb.KindBool:
-				types[j] = sqldb.TBool
-			}
-			break
+// fragmentLoader turns a streamed fragment into local DDL + one bulk
+// INSERT without ever materializing rows: each arriving ColBlock is
+// rendered to SQL literal text straight off its typed arrays (one
+// cursor per array), and column types are inferred from the first
+// non-null kind byte seen per column (all-null fragments default to
+// INT, which can hold NULLs anyway). reset discards any partial
+// fragment so a failover retry starts clean.
+type fragmentLoader struct {
+	columns []string
+	types   []sqldb.Type
+	typed   []bool
+	rows    int
+	ins     strings.Builder
+}
+
+func (l *fragmentLoader) reset() {
+	l.columns = l.columns[:0]
+	l.types = l.types[:0]
+	l.typed = l.typed[:0]
+	l.rows = 0
+	l.ins.Reset()
+}
+
+// add consumes one block of the fragment stream. It is handed to
+// fetchBlocksOn, so the block's buffers are only valid for the call —
+// everything retained is copied into the loader's builder.
+func (l *fragmentLoader) add(blk *ColBlock) error {
+	if len(l.columns) == 0 {
+		l.columns = append(l.columns, blk.Columns...)
+		for range blk.Columns {
+			l.types = append(l.types, sqldb.TInt)
+			l.typed = append(l.typed, false)
 		}
 	}
+	if len(blk.Cols) != len(l.columns) {
+		return fmt.Errorf("cluster: fragment block has %d columns, header promised %d", len(blk.Cols), len(l.columns))
+	}
+	for j := range blk.Cols {
+		if l.typed[j] {
+			continue
+		}
+		for _, k := range blk.Cols[j].Kinds {
+			switch k {
+			case kindByteInt:
+				l.types[j], l.typed[j] = sqldb.TInt, true
+			case kindByteFloat:
+				l.types[j], l.typed[j] = sqldb.TFloat, true
+			case kindByteText:
+				l.types[j], l.typed[j] = sqldb.TText, true
+			case kindByteBool:
+				l.types[j], l.typed[j] = sqldb.TBool, true
+			}
+			if l.typed[j] {
+				break
+			}
+		}
+	}
+	// Render the block's rows as literal tuples. One cursor per typed
+	// array per column; the kind bytes drive which array each cell
+	// reads, mirroring the wire decode.
+	ncols := len(l.columns)
+	offs := make([]struct{ i, f, s, b int }, ncols)
+	var num [32]byte
+	for r := 0; r < blk.Rows; r++ {
+		if l.rows > 0 || r > 0 {
+			l.ins.WriteByte(',')
+		}
+		l.ins.WriteByte('(')
+		for j := 0; j < ncols; j++ {
+			if j > 0 {
+				l.ins.WriteByte(',')
+			}
+			col := &blk.Cols[j]
+			off := &offs[j]
+			switch col.Kinds[r] {
+			case kindByteInt:
+				l.ins.Write(strconv.AppendInt(num[:0], col.Ints[off.i], 10))
+				off.i++
+			case kindByteFloat:
+				l.ins.Write(strconv.AppendFloat(num[:0], col.Floats[off.f], 'g', -1, 64))
+				off.f++
+			case kindByteText:
+				l.ins.WriteByte('\'')
+				l.ins.WriteString(col.Texts[off.s])
+				l.ins.WriteByte('\'')
+				off.s++
+			case kindByteBool:
+				if col.Bools[off.b] {
+					l.ins.WriteString("TRUE")
+				} else {
+					l.ins.WriteString("FALSE")
+				}
+				off.b++
+			default:
+				l.ins.WriteString("NULL")
+			}
+		}
+		l.ins.WriteByte(')')
+	}
+	l.rows += blk.Rows
+	return nil
+}
+
+// ensureColumns seeds the column list from the fetch envelope when no
+// block carried one — a zero-row fragment still needs its table shape.
+func (l *fragmentLoader) ensureColumns(columns []string) {
+	if len(l.columns) > 0 {
+		return
+	}
+	l.columns = append(l.columns, columns...)
+	for range columns {
+		l.types = append(l.types, sqldb.TInt)
+		l.typed = append(l.typed, false)
+	}
+}
+
+// load materializes the accumulated fragment as a local table named
+// after the FROM binding.
+func (l *fragmentLoader) load(db *sqldb.DB, name string) error {
 	var ddl strings.Builder
 	fmt.Fprintf(&ddl, "CREATE TABLE %s (", name)
-	for j, c := range columns {
+	for j, c := range l.columns {
 		if j > 0 {
 			ddl.WriteString(", ")
 		}
-		fmt.Fprintf(&ddl, "%s %s", c, types[j])
+		fmt.Fprintf(&ddl, "%s %s", c, l.types[j])
 	}
 	ddl.WriteString(")")
 	if _, _, err := db.Exec(ddl.String()); err != nil {
 		return err
 	}
-	if len(rows) == 0 {
+	if l.rows == 0 {
 		return nil
 	}
-	var ins strings.Builder
-	fmt.Fprintf(&ins, "INSERT INTO %s VALUES ", name)
-	for i, row := range rows {
-		if i > 0 {
-			ins.WriteByte(',')
-		}
-		ins.WriteByte('(')
-		for j, v := range row {
-			if j > 0 {
-				ins.WriteByte(',')
-			}
-			ins.WriteString(v.String())
-		}
-		ins.WriteByte(')')
-	}
-	if _, _, err := db.Exec(ins.String()); err != nil {
+	if _, _, err := db.Exec("INSERT INTO " + name + " VALUES " + l.ins.String()); err != nil {
 		return err
 	}
 	return nil

@@ -217,8 +217,15 @@ func TestFragmentTypeInference(t *testing.T) {
 		{sqldb.Null, sqldb.NewFloat(1.5), sqldb.NewText("x"), sqldb.NewBool(true)},
 		{sqldb.NewInt(2), sqldb.Null, sqldb.Null, sqldb.Null},
 	}
-	if err := loadFragment(db, "frag", []string{"a", "b", "c", "d"}, rows); err != nil {
-		t.Fatalf("loadFragment: %v", err)
+	var blk ColBlock
+	blk.FillFromRows([]string{"a", "b", "c", "d"}, rows)
+	var loader fragmentLoader
+	loader.reset()
+	if err := loader.add(&blk); err != nil {
+		t.Fatalf("loader.add: %v", err)
+	}
+	if err := loader.load(db, "frag"); err != nil {
+		t.Fatalf("loader.load: %v", err)
 	}
 	res, err := db.Query("SELECT a, b, c, d FROM frag WHERE a IS NOT NULL")
 	if err != nil {
@@ -227,12 +234,62 @@ func TestFragmentTypeInference(t *testing.T) {
 	if len(res.Rows) != 1 || res.Rows[0][0].Int != 2 {
 		t.Errorf("fragment rows = %v", res.Rows)
 	}
-	// Empty fragments still create the table.
-	if err := loadFragment(db, "empty", []string{"a"}, nil); err != nil {
+	// Empty fragments still create the table: the columns arrive via the
+	// fetch envelope when no block carried any.
+	loader.reset()
+	loader.ensureColumns([]string{"a"})
+	if err := loader.load(db, "empty"); err != nil {
 		t.Fatal(err)
 	}
 	if !db.HasRelation("empty") {
 		t.Error("empty fragment table missing")
+	}
+	// A loader is reused across fragments; a reset must fully clear the
+	// partial text a severed stream left behind.
+	loader.reset()
+	blk.FillFromRows([]string{"a"}, []sqldb.Row{{sqldb.NewInt(7)}})
+	if err := loader.add(&blk); err != nil {
+		t.Fatal(err)
+	}
+	loader.reset()
+	blk.FillFromRows([]string{"a"}, []sqldb.Row{{sqldb.NewInt(9)}})
+	if err := loader.add(&blk); err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.load(db, "retried"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query("SELECT a FROM retried")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Int != 9 {
+		t.Fatalf("retried fragment = %v (err %v), want one row 9", res, err)
+	}
+}
+
+// TestScratchPoolReuse pins the distributed layer's scratch-database
+// pooling: a returned database comes back reset (no relation leaks into
+// the next query's join), and the steady-state get/put cycle stays
+// allocation-free instead of paying a fresh sqldb.Open per query.
+func TestScratchPoolReuse(t *testing.T) {
+	db := getScratch()
+	if _, _, err := db.Exec("CREATE TABLE leak (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	putScratch(db)
+	got := getScratch()
+	defer putScratch(got)
+	if got.HasRelation("leak") {
+		t.Fatal("scratch database returned to the pool still holds relations")
+	}
+	if raceEnabled {
+		// sync.Pool deliberately bypasses itself at random under the race
+		// detector, so pooled allocation counts are nondeterministic there.
+		return
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		putScratch(getScratch())
+	})
+	if allocs > 2 {
+		t.Fatalf("scratch get/put costs %.0f allocs/op; pooling should make it ~free", allocs)
 	}
 }
 

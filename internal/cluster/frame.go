@@ -9,6 +9,7 @@ import (
 	"math"
 	"sync"
 
+	"github.com/qamarket/qamarket/internal/driver"
 	"github.com/qamarket/qamarket/internal/sqldb"
 )
 
@@ -72,7 +73,7 @@ type frameBuf struct{ b []byte }
 
 var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
 
-func getFrameBuf() *frameBuf  { return frameBufPool.Get().(*frameBuf) }
+func getFrameBuf() *frameBuf { return frameBufPool.Get().(*frameBuf) }
 func putFrameBuf(fb *frameBuf) {
 	if fb != nil {
 		frameBufPool.Put(fb)
@@ -112,75 +113,61 @@ func appendFetchHeader(buf []byte, id uint64, columns []string, execMs float64, 
 	return endFrame(buf, hdr)
 }
 
-// appendFetchBatch appends one batch frame carrying res.Rows[lo:hi] as
+// appendFetchBatch appends one batch frame carrying res.Rows[lo:hi].
+// It is the row-input convenience over appendFetchBatchCols (tests and
+// the JSON downgrade use it); the streaming path hands the encoder a
+// driver block directly and never materializes rows.
+func appendFetchBatch(buf []byte, id uint64, res *sqldb.Result, lo, hi int) []byte {
+	var blk ColBlock
+	blk.FillFromRows(res.Columns, res.Rows[lo:hi])
+	return appendFetchBatchCols(buf, id, &blk)
+}
+
+// appendFetchBatchCols appends one batch frame carrying blk's rows as
 // typed columns: per column, one kind byte per row (the encCompact
 // alphabet), then the non-null values of each type in row order — ints
 // and floats as fixed 8-byte words, texts as a length table plus one
 // concatenated blob (so the client can decode all of a column's strings
-// with a single allocation), bools as packed bits.
-func appendFetchBatch(buf []byte, id uint64, res *sqldb.Result, lo, hi int) []byte {
+// with a single allocation), bools as packed bits. Because driver
+// blocks already hold exactly this layout, encoding is a straight copy
+// of each typed array — no per-row dispatch and no transposition.
+func appendFetchBatchCols(buf []byte, id uint64, blk *ColBlock) []byte {
 	buf, hdr := beginFrame(buf, frameTypeBatch, id)
-	rows := res.Rows[lo:hi]
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(res.Columns)))
-	for j := range res.Columns {
-		var ni, nf, ns, nb, blobLen int
-		for _, row := range rows {
-			v := row[j]
-			switch v.Kind {
-			case sqldb.KindInt:
-				buf = append(buf, kindByteInt)
-				ni++
-			case sqldb.KindFloat:
-				buf = append(buf, kindByteFloat)
-				nf++
-			case sqldb.KindText:
-				buf = append(buf, kindByteText)
-				ns++
-				blobLen += len(v.Str)
-			case sqldb.KindBool:
-				buf = append(buf, kindByteBool)
-				nb++
-			default:
-				buf = append(buf, kindByteNull)
-			}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(blk.Rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blk.Cols)))
+	for j := range blk.Cols {
+		col := &blk.Cols[j]
+		buf = append(buf, col.Kinds...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(col.Ints)))
+		for _, v := range col.Ints {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(ni))
-		for _, row := range rows {
-			if row[j].Kind == sqldb.KindInt {
-				buf = binary.LittleEndian.AppendUint64(buf, uint64(row[j].Int))
-			}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(col.Floats)))
+		for _, v := range col.Floats {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(nf))
-		for _, row := range rows {
-			if row[j].Kind == sqldb.KindFloat {
-				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(row[j].Float))
-			}
+		blobLen := 0
+		for _, t := range col.Texts {
+			blobLen += len(t)
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(ns))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(col.Texts)))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(blobLen))
-		for _, row := range rows {
-			if row[j].Kind == sqldb.KindText {
-				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(row[j].Str)))
-			}
+		for _, t := range col.Texts {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t)))
 		}
-		for _, row := range rows {
-			if row[j].Kind == sqldb.KindText {
-				buf = append(buf, row[j].Str...)
-			}
+		for _, t := range col.Texts {
+			buf = append(buf, t...)
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(nb))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(col.Bools)))
 		var bits, filled byte
-		for _, row := range rows {
-			if row[j].Kind == sqldb.KindBool {
-				if row[j].Bool {
-					bits |= 1 << filled
-				}
-				filled++
-				if filled == 8 {
-					buf = append(buf, bits)
-					bits, filled = 0, 0
-				}
+		for _, v := range col.Bools {
+			if v {
+				bits |= 1 << filled
+			}
+			filled++
+			if filled == 8 {
+				buf = append(buf, bits)
+				bits, filled = 0, 0
 			}
 		}
 		if filled > 0 {
@@ -371,27 +358,14 @@ func decodeFetchEnd(p []byte) (frameEnd, error) {
 	return frameEnd{rows: rows, batches: int(batches), errMsg: string(msg)}, nil
 }
 
-// Col is one decoded column of a batch: the per-row kind bytes plus the
-// typed values of each kind in row order, all backed by buffers the
-// owning ColBlock reuses batch to batch.
-type Col struct {
-	Kinds  []byte
-	Ints   []int64
-	Floats []float64
-	Texts  []string
-	Bools  []bool
-}
-
-// ColBlock is one streamed fetch batch decoded into reusable columnar
-// buffers. Decoding a new batch into the same block overwrites the
-// previous batch's buffers in place, so a steady-state stream allocates
-// only the per-batch text blobs (one string conversion per text column).
-// Callers that retain values across batches must copy them out.
-type ColBlock struct {
-	Columns []string
-	Rows    int
-	Cols    []Col
-}
+// Col and ColBlock are the cluster-side names for the driver package's
+// columnar batch types: the same struct flows from a storage driver's
+// Execute, through the frame encoder, across the wire, and out of the
+// client-side decoder without transposition.
+type (
+	Col      = driver.Col
+	ColBlock = driver.Block
+)
 
 // decodeFetchBatch parses a batch-frame payload into blk, reusing its
 // buffers, and validates every count against the kind bytes so a
@@ -505,127 +479,3 @@ func decodeFetchBatch(p []byte, blk *ColBlock) error {
 	}
 	return nil
 }
-
-// AppendRows materializes the block's rows onto dst, keeping one typed-
-// array cursor per column so the walk is linear in cells. It allocates
-// one backing cell array and one cursor array per call (the accumulate
-// path; the streaming path reads the columns directly and allocates
-// nothing).
-func (b *ColBlock) AppendRows(dst []sqldb.Row) ([]sqldb.Row, error) {
-	ncols := len(b.Cols)
-	if b.Rows == 0 || ncols == 0 {
-		return dst, nil
-	}
-	type colCursor struct{ ints, floats, texts, bools int }
-	curs := make([]colCursor, ncols)
-	cells := make([]sqldb.Value, b.Rows*ncols)
-	for i := 0; i < b.Rows; i++ {
-		row := cells[:ncols:ncols]
-		cells = cells[ncols:]
-		for j := 0; j < ncols; j++ {
-			col := &b.Cols[j]
-			if i >= len(col.Kinds) {
-				return dst, fmt.Errorf("%w: row %d beyond kinds", errFrameDecode, i)
-			}
-			cur := &curs[j]
-			switch col.Kinds[i] {
-			case kindByteNull:
-				row[j] = sqldb.Null
-			case kindByteInt:
-				if cur.ints >= len(col.Ints) {
-					return dst, fmt.Errorf("%w: column %d int underflow", errFrameDecode, j)
-				}
-				row[j] = sqldb.NewInt(col.Ints[cur.ints])
-				cur.ints++
-			case kindByteFloat:
-				if cur.floats >= len(col.Floats) {
-					return dst, fmt.Errorf("%w: column %d float underflow", errFrameDecode, j)
-				}
-				row[j] = sqldb.NewFloat(col.Floats[cur.floats])
-				cur.floats++
-			case kindByteText:
-				if cur.texts >= len(col.Texts) {
-					return dst, fmt.Errorf("%w: column %d text underflow", errFrameDecode, j)
-				}
-				row[j] = sqldb.NewText(col.Texts[cur.texts])
-				cur.texts++
-			case kindByteBool:
-				if cur.bools >= len(col.Bools) {
-					return dst, fmt.Errorf("%w: column %d bool underflow", errFrameDecode, j)
-				}
-				row[j] = sqldb.NewBool(col.Bools[cur.bools])
-				cur.bools++
-			default:
-				return dst, fmt.Errorf("%w: kind %q", errFrameDecode, col.Kinds[i])
-			}
-		}
-		dst = append(dst, row)
-	}
-	return dst, nil
-}
-
-// value reads one cell. It re-derives the typed-array index by scanning
-// the kind prefix, so it is for tests and small blocks; AppendRows keeps
-// per-column counters instead.
-func (b *ColBlock) value(i, j int) (sqldb.Value, error) {
-	col := &b.Cols[j]
-	if i >= len(col.Kinds) {
-		return sqldb.Null, fmt.Errorf("%w: row %d beyond kinds", errFrameDecode, i)
-	}
-	idx := 0
-	k := col.Kinds[i]
-	for r := 0; r < i; r++ {
-		if col.Kinds[r] == k {
-			idx++
-		}
-	}
-	switch k {
-	case kindByteNull:
-		return sqldb.Null, nil
-	case kindByteInt:
-		return sqldb.NewInt(col.Ints[idx]), nil
-	case kindByteFloat:
-		return sqldb.NewFloat(col.Floats[idx]), nil
-	case kindByteText:
-		return sqldb.NewText(col.Texts[idx]), nil
-	case kindByteBool:
-		return sqldb.NewBool(col.Bools[idx]), nil
-	}
-	return sqldb.Null, fmt.Errorf("%w: kind %q", errFrameDecode, k)
-}
-
-// drop discards the block's first k rows in place, trimming each typed
-// array by however many of its values the dropped kind bytes consumed.
-// The resume path uses it when a dedup replay overlaps rows a previous
-// attempt already delivered.
-func (b *ColBlock) drop(k int) {
-	if k <= 0 {
-		return
-	}
-	if k > b.Rows {
-		k = b.Rows
-	}
-	for j := range b.Cols {
-		col := &b.Cols[j]
-		var ni, nf, ns, nb int
-		for _, kb := range col.Kinds[:k] {
-			switch kb {
-			case kindByteInt:
-				ni++
-			case kindByteFloat:
-				nf++
-			case kindByteText:
-				ns++
-			case kindByteBool:
-				nb++
-			}
-		}
-		col.Kinds = col.Kinds[k:]
-		col.Ints = col.Ints[ni:]
-		col.Floats = col.Floats[nf:]
-		col.Texts = col.Texts[ns:]
-		col.Bools = col.Bools[nb:]
-	}
-	b.Rows -= k
-}
-

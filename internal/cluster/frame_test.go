@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/qamarket/qamarket/internal/driver"
 	"github.com/qamarket/qamarket/internal/metrics"
 	"github.com/qamarket/qamarket/internal/sqldb"
 )
@@ -72,7 +73,7 @@ func TestFrameBatchRoundTrip(t *testing.T) {
 		// The cell accessor must agree with the materialized rows.
 		for i := 0; i < blk.Rows; i++ {
 			for j := range blk.Cols {
-				v, err := blk.value(i, j)
+				v, err := blk.Value(i, j)
 				if err != nil {
 					t.Fatalf("value(%d,%d): %v", i, j, err)
 				}
@@ -198,7 +199,7 @@ func TestStreamedFetchBoundedMemory(t *testing.T) {
 	go func() {
 		defer srvConn.Close()
 		w := bufio.NewWriter(srvConn)
-		errCh <- srv.streamFetch(srvConn, w, &wmu, 3, &frameStream{res: res, execMs: 1, batch: batch})
+		errCh <- srv.streamFetch(srvConn, w, &wmu, 3, &frameStream{res: driver.FromResult(res), execMs: 1, batch: batch})
 	}()
 
 	var (

@@ -159,6 +159,9 @@ type wireMember struct {
 	// relations. Additive like Catalog — old rows omit it and stay
 	// fully probed.
 	CatalogFilter string `json:"cf,omitempty"`
+	// Driver names the member's storage executor ("row", "vector",
+	// "mock:row"). Additive: old rows omit it.
+	Driver string `json:"drv,omitempty"`
 	// Epoch is the member's market age in pricer periods.
 	Epoch uint64 `json:"epoch,omitempty"`
 }
@@ -189,6 +192,7 @@ func toWireMembers(ms []membership.Member) []wireMember {
 			State:         m.State.String(),
 			Catalog:       m.CatalogDigest,
 			CatalogFilter: m.CatalogFilter,
+			Driver:        m.Driver,
 			Epoch:         m.Epoch,
 		}
 	}
@@ -207,6 +211,7 @@ func fromWireMembers(ws []wireMember) []membership.Member {
 			State:         membership.ParseState(w.State),
 			CatalogDigest: w.Catalog,
 			CatalogFilter: w.CatalogFilter,
+			Driver:        w.Driver,
 			Epoch:         w.Epoch,
 		}
 	}

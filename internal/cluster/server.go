@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/qamarket/qamarket/internal/catalog"
+	"github.com/qamarket/qamarket/internal/driver"
 	"github.com/qamarket/qamarket/internal/market"
 	"github.com/qamarket/qamarket/internal/membership"
 	"github.com/qamarket/qamarket/internal/metrics"
@@ -23,8 +24,15 @@ import (
 
 // NodeConfig parameterizes one federation server.
 type NodeConfig struct {
-	// DB is the node's local database (tables, views, data).
+	// DB is the node's local database (tables, views, data). When
+	// Driver is nil it is wrapped in the row-at-a-time legacy driver;
+	// callers that set Driver directly may leave DB nil.
 	DB *sqldb.DB
+	// Driver is the node's storage executor. Every query the node
+	// plans or runs goes through it: Prepare supplies the cost hints
+	// the QA-NT estimator prices, Execute produces the columnar block
+	// the frame lane ships. Nil selects the legacy row driver over DB.
+	Driver driver.Driver
 	// Slowdown models node heterogeneity: the node's execution time is
 	// Slowdown times the baseline (the paper's slowest PC was ~14x the
 	// fastest on the same star queries). Must be >= 1.
@@ -118,8 +126,11 @@ type NodeConfig struct {
 }
 
 func (c *NodeConfig) validate() error {
-	if c.DB == nil {
-		return errors.New("cluster: NodeConfig.DB is nil")
+	if c.Driver == nil {
+		if c.DB == nil {
+			return errors.New("cluster: NodeConfig.DB is nil")
+		}
+		c.Driver = driver.NewLegacy(c.DB)
 	}
 	if c.Slowdown < 1 {
 		c.Slowdown = 1
@@ -216,11 +227,11 @@ type execJob struct {
 	sql      string
 	reply    chan executeReply
 	estMs    float64
-	withRows bool          // fetch: ship result rows back
-	result   *sqldb.Result // filled when withRows and no error
-	trace    *traceCtx     // non-nil when the query is being traced
-	queued   time.Time     // when the job entered the executor queue
-	deadline time.Time     // zero = no deadline; expired jobs are dropped at dequeue
+	withRows bool      // fetch: ship result rows back
+	result   *ColBlock // filled when withRows and no error
+	trace    *traceCtx // non-nil when the query is being traced
+	queued   time.Time // when the job entered the executor queue
+	deadline time.Time // zero = no deadline; expired jobs are dropped at dequeue
 }
 
 // historyAlpha is the EMA weight of the newest observation in the
@@ -266,8 +277,9 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 		Self: membership.Member{
 			ID:            cfg.NodeID,
 			Addr:          ln.Addr().String(),
-			CatalogDigest: catalogDigest(cfg.DB),
-			CatalogFilter: catalogFilter(cfg.DB),
+			CatalogDigest: catalogDigest(cfg.Driver),
+			CatalogFilter: catalogFilter(cfg.Driver),
+			Driver:        cfg.Driver.Name(),
 		},
 		Fanout:       cfg.GossipFanout,
 		SuspectAfter: cfg.SuspectAfterRounds,
@@ -304,10 +316,10 @@ func fallbackNodeID(addr string) string {
 
 // catalogDigest hashes the sorted relation names a node hosts into the
 // compact placement advertisement gossiped with its member row.
-func catalogDigest(db *sqldb.DB) string {
+func catalogDigest(d driver.Driver) string {
 	var names []string
-	names = append(names, db.Tables()...)
-	names = append(names, db.Views()...)
+	names = append(names, d.Tables()...)
+	names = append(names, d.Views()...)
 	sort.Strings(names)
 	h := fnv.New64a()
 	for _, name := range names {
@@ -319,8 +331,8 @@ func catalogDigest(db *sqldb.DB) string {
 
 // catalogFilter builds the relation-name Bloom filter advertised with
 // the member row, the per-class feasibility detail behind the digest.
-func catalogFilter(db *sqldb.DB) string {
-	names := append(db.Tables(), db.Views()...)
+func catalogFilter(d driver.Driver) string {
+	names := append(d.Tables(), d.Views()...)
 	return catalog.NewRelationFilter(names).Encode()
 }
 
@@ -739,24 +751,29 @@ func (n *Node) handleWork(req *request, rep *reply) {
 		rep.Execute = &er
 		rep.Code = code
 	case "fetch":
-		fr, res, code := n.fetch(req)
+		fr, blk, code := n.fetch(req)
 		rep.Code = code
 		if code == "" && fr.Err == "" && fr.Accepted && req.Frame >= frameV1 && !n.noFrames.Load() {
 			// Frame-negotiated success: defer encoding to the stream
 			// writer. Refusals, errors, and old clients stay JSON.
 			n.health.Inc(metrics.FrameNegotiatedCounter(frameV1))
-			rep.stream = &frameStream{res: res, execMs: fr.ExecMs, batch: n.fetchBatchRows(req)}
+			rep.stream = &frameStream{res: blk, execMs: fr.ExecMs, batch: n.fetchBatchRows(req)}
 			return
 		}
-		if res != nil {
-			fr.Columns = res.Columns
+		if blk != nil {
+			fr.Columns = blk.Columns
 			// The client advertised the newest encoding it decodes; ship
 			// compact columns to encCompact-aware clients and the legacy
 			// tagged rows to everyone older.
 			if req.Enc >= encCompact {
-				fr.Cols = encodeCols(res)
+				fr.Cols = encodeColsBlock(blk)
 			} else {
-				fr.Rows = encodeRows(res)
+				rows, rerr := encodeRowsBlock(blk)
+				if rerr != nil {
+					fr.Err = rerr.Error()
+				} else {
+					fr.Rows = rows
+				}
 			}
 		}
 		rep.Fetch = &fr
@@ -849,28 +866,30 @@ func (n *Node) MarketTelemetry() MarketTelemetry {
 	return tel
 }
 
-// planTargetMs is the node's true baseline execution time for a plan:
-// scan cost scaled by the node's I/O speed plus the remaining cost
-// scaled by its CPU speed.
-func (n *Node) planTargetMs(plan *sqldb.Plan) float64 {
-	return (plan.IOCost()*n.cfg.IOSlowdown + plan.CPUCost()*n.cfg.CPUSlowdown) * n.cfg.MsPerCostUnit
+// hintsTargetMs is the node's true baseline execution time for a
+// prepared statement: the driver's scan-cost hint scaled by the node's
+// I/O speed plus the remaining cost scaled by its CPU speed.
+func (n *Node) hintsTargetMs(h driver.CostHints) float64 {
+	return (h.IOCost*n.cfg.IOSlowdown + h.CPUCost*n.cfg.CPUSlowdown) * n.cfg.MsPerCostUnit
 }
 
-// estimate plans the SQL and produces the node's execution-time
-// estimate: the paper's EXPLAIN-then-history scheme.
+// estimate plans the SQL through the storage driver and produces the
+// node's execution-time estimate: the paper's EXPLAIN-then-history
+// scheme, with the driver's cost hints standing in for EXPLAIN.
 func (n *Node) estimate(sql string) (sig string, estMs float64, fromHistory bool, err error) {
-	plan, err := n.cfg.DB.Explain(sql)
+	st, err := n.cfg.Driver.Prepare(sql)
 	if err != nil {
 		return "", 0, false, err
 	}
-	sig = plan.Signature()
+	h := st.Hints()
+	sig = h.Signature
 	n.mu.Lock()
 	ema, ok := n.history[sig]
 	n.mu.Unlock()
 	if ok {
 		return sig, ema, true, nil
 	}
-	return sig, n.planTargetMs(plan), false, nil
+	return sig, n.hintsTargetMs(h), false, nil
 }
 
 func (n *Node) negotiate(req *request) (negotiateReply, string) {
@@ -992,7 +1011,7 @@ func (n *Node) executeOnce(req *request) (executeReply, string) {
 // the caller — handleWork — encodes per the *current* request's
 // negotiation: a retransmit from a differently-negotiated client, or a
 // frame-stream resume, re-encodes the identical rows its own way.
-func (n *Node) fetch(req *request) (fetchReply, *sqldb.Result, string) {
+func (n *Node) fetch(req *request) (fetchReply, *ColBlock, string) {
 	if req.RunID != "" {
 		key := dedupKey(req.RunID, "fetch", req.QueryID, req.SQL)
 		if out, hit, _ := n.dedup.claim(key, n.stopCh); hit {
@@ -1010,7 +1029,7 @@ func (n *Node) fetch(req *request) (fetchReply, *sqldb.Result, string) {
 	return n.fetchOnce(req)
 }
 
-func (n *Node) fetchOnce(req *request) (fetchReply, *sqldb.Result, string) {
+func (n *Node) fetchOnce(req *request) (fetchReply, *ColBlock, string) {
 	sig, estMs, _, err := n.estimate(req.SQL)
 	if err != nil {
 		return fetchReply{Err: err.Error()}, nil, ""
@@ -1110,14 +1129,15 @@ func (n *Node) runJob(job *execJob) {
 		n.finishJob(job, executeReply{Err: msgExpired})
 		return
 	}
-	plan, err := n.cfg.DB.Explain(job.sql)
+	st, err := n.cfg.Driver.Prepare(job.sql)
 	if err != nil {
 		n.recordJobError(job, queued, err)
 		n.finishJob(job, executeReply{Err: err.Error()})
 		return
 	}
+	hints := st.Hints()
 	start := time.Now()
-	res, err := n.cfg.DB.Query(job.sql)
+	blk, err := st.Execute()
 	if err != nil {
 		n.recordJobError(job, queued, err)
 		n.finishJob(job, executeReply{Err: err.Error()})
@@ -1126,7 +1146,7 @@ func (n *Node) runJob(job *execJob) {
 	// The real work of the embedded engine is tiny; stretch it to the
 	// node's simulated speed so heterogeneity (Slowdown) is observable,
 	// exactly like running the same star query on a slower PC.
-	targetMs := n.planTargetMs(plan)
+	targetMs := n.hintsTargetMs(hints)
 	if n.noise != nil {
 		n.mu.Lock()
 		targetMs *= 1 + n.cfg.ExecNoise*(2*n.noise.Float64()-1)
@@ -1138,9 +1158,9 @@ func (n *Node) runJob(job *execJob) {
 	}
 	execMs := float64(time.Since(start)) / float64(time.Millisecond)
 	if job.withRows {
-		job.result = res
+		job.result = blk
 	}
-	sig := plan.Signature()
+	sig := hints.Signature
 	n.mu.Lock()
 	if ema, ok := n.history[sig]; ok {
 		n.history[sig] = (1-historyAlpha)*ema + historyAlpha*execMs
@@ -1163,11 +1183,11 @@ func (n *Node) runJob(job *execJob) {
 		n.tracer.Record(job.trace.ID, job.trace.Span, "queue", qstart,
 			float64(start.Sub(qstart))/float64(time.Millisecond), "")
 		n.tracer.Record(job.trace.ID, job.trace.Span, "exec", start, execMs,
-			fmt.Sprintf("sig=%s rows=%d", sig, len(res.Rows)))
+			fmt.Sprintf("sig=%s rows=%d", sig, blk.Rows))
 	}
 	n.finishJob(job, executeReply{
 		Accepted: true,
-		Rows:     len(res.Rows),
+		Rows:     blk.Rows,
 		ExecMs:   execMs,
 		WaitMs:   float64(start.Sub(queued)) / float64(time.Millisecond),
 	})

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/qamarket/qamarket/internal/driver"
 	"github.com/qamarket/qamarket/internal/metrics"
 	"github.com/qamarket/qamarket/internal/sqldb"
 )
@@ -28,7 +29,7 @@ import (
 // frameStream carries an accepted fetch result from the handler to
 // serveConn's writer goroutine, which streams it as binary frames.
 type frameStream struct {
-	res    *sqldb.Result
+	res    *ColBlock
 	execMs float64
 	batch  int // max rows per batch frame
 }
@@ -65,9 +66,9 @@ func (n *Node) streamFetch(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex, id u
 	}()
 	res := fs.res
 	if res == nil {
-		res = &sqldb.Result{}
+		res = &ColBlock{}
 	}
-	total := len(res.Rows)
+	total := res.Rows
 	buf := appendFetchHeader(fb.b[:0], id, res.Columns, fs.execMs, fs.batch, total)
 	fb.b = buf[:0]
 	if err := writeFrame(w, wmu, buf); err != nil {
@@ -75,12 +76,18 @@ func (n *Node) streamFetch(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex, id u
 	}
 	n.health.Add(metrics.FetchBytesTotal, int64(len(buf)))
 
+	// The result is already columnar: NextBatch re-slices the driver
+	// block's typed arrays per batch and appendFetchBatchCols copies
+	// them straight onto the wire — no row materialization anywhere on
+	// the server's hot path.
 	var (
 		sent    uint64
 		batches int
 		errMsg  string
+		cur     driver.Cursor
+		batch   ColBlock
 	)
-	for lo := 0; lo < total; lo += fs.batch {
+	for res.NextBatch(&cur, fs.batch, &batch) {
 		select {
 		case <-n.stopCh:
 			errMsg = msgNodeStopping
@@ -96,16 +103,12 @@ func (n *Node) streamFetch(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex, id u
 			conn.Close()
 			return fmt.Errorf("cluster: frame stream severed by test hook")
 		}
-		hi := lo + fs.batch
-		if hi > total {
-			hi = total
-		}
-		buf = appendFetchBatch(fb.b[:0], id, res, lo, hi)
+		buf = appendFetchBatchCols(fb.b[:0], id, &batch)
 		fb.b = buf[:0]
 		if err := writeFrame(w, wmu, buf); err != nil {
 			return err
 		}
-		sent += uint64(hi - lo)
+		sent += uint64(batch.Rows)
 		batches++
 		n.health.Inc(metrics.FetchBatchesTotal)
 		n.health.Add(metrics.FetchBytesTotal, int64(len(buf)))
@@ -178,7 +181,7 @@ func (fs *fetchStream) onFrame(typ byte, payload []byte) (bool, error) {
 				fs.skip -= int64(fs.block.Rows)
 				return false, nil
 			}
-			fs.block.drop(int(fs.skip))
+			fs.block.Drop(int(fs.skip))
 			fs.skip = 0
 		}
 		if fs.block.Rows == 0 {
@@ -217,49 +220,6 @@ func (fs *fetchStream) envelope() *fetchReply {
 		ExecMs:   fs.header.execMs,
 		Err:      fs.end.errMsg,
 		streamed: true,
-	}
-}
-
-// fillFromRows loads already-decoded rows into the block — the JSON-
-// downgrade bridge for ColBlock-based consumers.
-func (b *ColBlock) fillFromRows(columns []string, rows []sqldb.Row) {
-	b.Columns = append(b.Columns[:0], columns...)
-	b.Rows = len(rows)
-	ncols := len(columns)
-	if cap(b.Cols) < ncols {
-		b.Cols = make([]Col, ncols)
-	}
-	b.Cols = b.Cols[:ncols]
-	for j := range b.Cols {
-		col := &b.Cols[j]
-		col.Kinds = col.Kinds[:0]
-		col.Ints = col.Ints[:0]
-		col.Floats = col.Floats[:0]
-		col.Texts = col.Texts[:0]
-		col.Bools = col.Bools[:0]
-		for _, row := range rows {
-			if j >= len(row) {
-				col.Kinds = append(col.Kinds, kindByteNull)
-				continue
-			}
-			v := row[j]
-			switch v.Kind {
-			case sqldb.KindInt:
-				col.Kinds = append(col.Kinds, kindByteInt)
-				col.Ints = append(col.Ints, v.Int)
-			case sqldb.KindFloat:
-				col.Kinds = append(col.Kinds, kindByteFloat)
-				col.Floats = append(col.Floats, v.Float)
-			case sqldb.KindText:
-				col.Kinds = append(col.Kinds, kindByteText)
-				col.Texts = append(col.Texts, v.Str)
-			case sqldb.KindBool:
-				col.Kinds = append(col.Kinds, kindByteBool)
-				col.Bools = append(col.Bools, v.Bool)
-			default:
-				col.Kinds = append(col.Kinds, kindByteNull)
-			}
-		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/qamarket/qamarket/internal/driver"
 	"github.com/qamarket/qamarket/internal/market"
 	"github.com/qamarket/qamarket/internal/sqldb"
 )
@@ -153,19 +154,19 @@ func resetFetchStream(fs *fetchStream) {
 
 // benchFrameRoundTrip is one full frame-path fetch: server-side encode
 // of header + batches + end into a pooled buffer, then client-side
-// decode through fetchStream into reusable column blocks. Returns the
-// rows delivered to the sink.
-func benchFrameRoundTrip(res *sqldb.Result, fb *frameBuf, src *bytes.Reader, br *bufio.Reader, fs *fetchStream) (int64, error) {
+// decode through fetchStream into reusable column blocks. The input is
+// a driver block — the same columnar shape a storage driver's Execute
+// returns — so the encode half exercises the zero-transposition path
+// the server runs in production. Returns the rows delivered to the
+// sink.
+func benchFrameRoundTrip(blk *ColBlock, fb *frameBuf, src *bytes.Reader, br *bufio.Reader, fs *fetchStream, cur *driver.Cursor, chunk *ColBlock) (int64, error) {
 	const batch = 256
-	buf := appendFetchHeader(fb.b[:0], 1, res.Columns, 1, batch, len(res.Rows))
-	for lo := 0; lo < len(res.Rows); lo += batch {
-		hi := lo + batch
-		if hi > len(res.Rows) {
-			hi = len(res.Rows)
-		}
-		buf = appendFetchBatch(buf, 1, res, lo, hi)
+	buf := appendFetchHeader(fb.b[:0], 1, blk.Columns, 1, batch, blk.Rows)
+	cur.Row = 0
+	for blk.NextBatch(cur, batch, chunk) {
+		buf = appendFetchBatchCols(buf, 1, chunk)
 	}
-	buf = appendFetchEnd(buf, 1, uint64(len(res.Rows)), (len(res.Rows)+batch-1)/batch, "")
+	buf = appendFetchEnd(buf, 1, uint64(blk.Rows), (blk.Rows+batch-1)/batch, "")
 	fb.b = buf
 	src.Reset(buf)
 	br.Reset(src)
@@ -191,6 +192,7 @@ func benchFrameRoundTrip(res *sqldb.Result, fb *frameBuf, src *bytes.Reader, br 
 // costs ~1,120), asserted by TestFetchFrameAllocs.
 func BenchmarkFetchFrameRoundTrip(b *testing.B) {
 	res := benchResult()
+	blk := driver.FromResult(res)
 	fb := getFrameBuf()
 	defer putFrameBuf(fb)
 	var (
@@ -198,6 +200,10 @@ func BenchmarkFetchFrameRoundTrip(b *testing.B) {
 		sum int64
 	)
 	br := bufio.NewReader(&src)
+	var (
+		cur   driver.Cursor
+		chunk ColBlock
+	)
 	fs := &fetchStream{sink: fetchSink{block: func(blk *ColBlock) error {
 		for _, v := range blk.Cols[0].Ints {
 			sum += v
@@ -208,11 +214,11 @@ func BenchmarkFetchFrameRoundTrip(b *testing.B) {
 	b.ResetTimer()
 	var bytesPerOp int
 	for i := 0; i < b.N; i++ {
-		n, err := benchFrameRoundTrip(res, fb, &src, br, fs)
+		n, err := benchFrameRoundTrip(blk, fb, &src, br, fs, &cur, &chunk)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if n != int64(len(res.Rows)) {
+		if n != int64(blk.Rows) {
 			b.Fatalf("delivered %d rows", n)
 		}
 		bytesPerOp = len(fb.b)
@@ -232,11 +238,16 @@ func TestFetchFrameAllocs(t *testing.T) {
 		t.Skip("allocation counts are not deterministic under -race")
 	}
 	res := benchResult()
+	blk := driver.FromResult(res)
 	fb := getFrameBuf()
 	defer putFrameBuf(fb)
 	var src bytes.Reader
 	br := bufio.NewReader(&src)
 	var sum int64
+	var (
+		cur   driver.Cursor
+		chunk ColBlock
+	)
 	fs := &fetchStream{sink: fetchSink{block: func(blk *ColBlock) error {
 		for _, v := range blk.Cols[0].Ints {
 			sum += v
@@ -244,7 +255,7 @@ func TestFetchFrameAllocs(t *testing.T) {
 		return nil
 	}}}
 	allocs := testing.AllocsPerRun(50, func() {
-		if n, err := benchFrameRoundTrip(res, fb, &src, br, fs); err != nil || n != int64(len(res.Rows)) {
+		if n, err := benchFrameRoundTrip(blk, fb, &src, br, fs, &cur, &chunk); err != nil || n != int64(blk.Rows) {
 			t.Fatalf("round trip: n=%d err=%v", n, err)
 		}
 	})

@@ -164,6 +164,45 @@ func encodeCols(res *sqldb.Result) []wireColumn {
 	return cols
 }
 
+// encodeColsBlock converts a driver block to compact columns. The
+// block already holds exactly this layout, so encoding is a per-column
+// kind-string conversion plus typed-array aliasing — no row walk.
+func encodeColsBlock(blk *ColBlock) []wireColumn {
+	if len(blk.Columns) == 0 {
+		return nil
+	}
+	cols := make([]wireColumn, len(blk.Cols))
+	for j := range cols {
+		c := &blk.Cols[j]
+		cols[j] = wireColumn{
+			Kinds:  string(c.Kinds),
+			Ints:   c.Ints,
+			Floats: c.Floats,
+			Texts:  c.Texts,
+			Bools:  c.Bools,
+		}
+	}
+	return cols
+}
+
+// encodeRowsBlock converts a driver block to legacy tagged wire rows,
+// for clients that predate encCompact.
+func encodeRowsBlock(blk *ColBlock) ([][]any, error) {
+	rows, err := blk.AppendRows(nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		wr := make([]any, len(row))
+		for j, v := range row {
+			wr[j] = toWire(v)
+		}
+		out[i] = wr
+	}
+	return out, nil
+}
+
 // decodeCols converts compact columns back to rows, validating that
 // every column agrees on the row count and that each typed array holds
 // exactly as many values as its kind string promises.

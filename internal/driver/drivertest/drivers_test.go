@@ -1,0 +1,27 @@
+package drivertest
+
+import (
+	"testing"
+
+	"github.com/qamarket/qamarket/internal/driver"
+	"github.com/qamarket/qamarket/internal/engine"
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// Every in-tree driver passes the same conformance suite.
+
+func TestLegacyDriverConformance(t *testing.T) {
+	Run(t, "row", func() driver.Driver { return driver.NewLegacy(sqldb.Open()) })
+}
+
+func TestVectorDriverConformance(t *testing.T) {
+	Run(t, "vector", func() driver.Driver { return engine.Open() })
+}
+
+func TestMockDriverConformance(t *testing.T) {
+	// A transparent mock (no fault knobs set) must be indistinguishable
+	// from its inner driver, apart from the name prefix.
+	Run(t, "mock", func() driver.Driver {
+		return driver.NewMock(driver.NewLegacy(sqldb.Open()), driver.MockConfig{})
+	})
+}

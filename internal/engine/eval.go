@@ -1,0 +1,588 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/qamarket/qamarket/internal/driver"
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// vres is the result of evaluating an expression over a selection of
+// relation rows: a constant, an aliased relation column (vec indexed
+// through sel), or an owned vector aligned with the selection (sel nil,
+// entry k is row k of vec). A nil sel on an aliased column means the
+// identity selection.
+type vres struct {
+	isConst bool
+	c       sqldb.Value
+	vec     *colVec
+	sel     []int32
+}
+
+// value boxes entry k.
+func (v *vres) value(k int) sqldb.Value {
+	if v.isConst {
+		return v.c
+	}
+	if v.sel != nil {
+		return v.vec.value(int(v.sel[k]))
+	}
+	return v.vec.value(k)
+}
+
+// numericAt reads entry k as a float64 when it is numeric. Used by the
+// comparison kernels, whose semantics are exactly the row engine's
+// Compare: every numeric comparison goes through float64.
+func (v *vres) numericAt(k int) (float64, bool) {
+	if v.isConst {
+		return v.c.AsFloat()
+	}
+	i := k
+	if v.sel != nil {
+		i = int(v.sel[k])
+	}
+	switch v.vec.kinds[i] {
+	case driver.KindByteInt:
+		return float64(v.vec.ints[v.vec.offs[i]]), true
+	case driver.KindByteFloat:
+		return v.vec.floats[v.vec.offs[i]], true
+	}
+	return 0, false
+}
+
+// numericKind classifies an operand for the comparison kernel: 'c' for
+// a numeric constant, 'i'/'f' for a NULL-free numeric column, 0
+// otherwise.
+func (v *vres) numericKind() byte {
+	if v.isConst {
+		if _, ok := v.c.AsFloat(); ok {
+			return 'c'
+		}
+		return 0
+	}
+	switch u := v.vec.uniform(); u {
+	case driver.KindByteInt, driver.KindByteFloat:
+		return u
+	}
+	return 0
+}
+
+// evalVec evaluates an expression over the rows sel of rel (nil sel =
+// all n rows, ascending). Logical AND/OR keep the row engine's lazy
+// semantics per entry — the right side is only ever evaluated for
+// entries the left side did not short-circuit — so data-dependent
+// errors surface for exactly the same set of rows as the row engine.
+// Comparisons over NULL-free numeric columns run as typed kernels; any
+// node shape without a kernel falls back to the scalar mirror row by
+// row.
+func (e *DB) evalVec(ex sqldb.Expr, rel *erel, sel []int32, n int) (vres, error) {
+	switch x := ex.(type) {
+	case *sqldb.Literal:
+		return vres{isConst: true, c: x.Val}, nil
+	case *sqldb.ColumnRef:
+		if n == 0 {
+			// The row engine's per-row loop never resolves over an empty
+			// input; do not error here either.
+			return vres{vec: &colVec{}}, nil
+		}
+		i, err := rel.resolve(x)
+		if err != nil {
+			return vres{}, err
+		}
+		return vres{vec: rel.vecs[i], sel: sel}, nil
+	case *sqldb.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR":
+			return e.evalLogical(x, rel, sel, n)
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, err := e.evalVec(x.Left, rel, sel, n)
+			if err != nil {
+				return vres{}, err
+			}
+			r, err := e.evalVec(x.Right, rel, sel, n)
+			if err != nil {
+				return vres{}, err
+			}
+			if out, ok := compareKernel(x.Op, &l, &r, n); ok {
+				return out, nil
+			}
+			return applyElementwise(x.Op, &l, &r, n)
+		default:
+			l, err := e.evalVec(x.Left, rel, sel, n)
+			if err != nil {
+				return vres{}, err
+			}
+			r, err := e.evalVec(x.Right, rel, sel, n)
+			if err != nil {
+				return vres{}, err
+			}
+			return applyElementwise(x.Op, &l, &r, n)
+		}
+	case *sqldb.UnaryExpr:
+		v, err := e.evalVec(x.X, rel, sel, n)
+		if err != nil {
+			return vres{}, err
+		}
+		if v.isConst {
+			c, err := sqldb.ApplyUnary(x.Op, v.c)
+			if err != nil {
+				return vres{}, err
+			}
+			return vres{isConst: true, c: c}, nil
+		}
+		out := &colVec{}
+		for k := 0; k < n; k++ {
+			r, err := sqldb.ApplyUnary(x.Op, v.value(k))
+			if err != nil {
+				return vres{}, err
+			}
+			out.appendVal(r)
+		}
+		return vres{vec: out}, nil
+	case *sqldb.IsNullExpr:
+		if c, ok := x.X.(*sqldb.ColumnRef); ok && n > 0 {
+			i, err := rel.resolve(c)
+			if err != nil {
+				return vres{}, err
+			}
+			vec := rel.vecs[i]
+			out := &colVec{}
+			if sel == nil {
+				for k := 0; k < n; k++ {
+					out.appendVal(sqldb.NewBool((vec.kinds[k] == driver.KindByteNull) != x.Neg))
+				}
+			} else {
+				for _, i := range sel {
+					out.appendVal(sqldb.NewBool((vec.kinds[i] == driver.KindByteNull) != x.Neg))
+				}
+			}
+			return vres{vec: out}, nil
+		}
+		return e.evalFallback(ex, rel, sel, n)
+	default:
+		return e.evalFallback(ex, rel, sel, n)
+	}
+}
+
+// evalFallback runs the scalar mirror row by row — bitwise-faithful
+// semantics for every node shape without a vectorized kernel.
+func (e *DB) evalFallback(ex sqldb.Expr, rel *erel, sel []int32, n int) (vres, error) {
+	out := &colVec{}
+	for k := 0; k < n; k++ {
+		ri := k
+		if sel != nil {
+			ri = int(sel[k])
+		}
+		v, err := e.evalScalar(ex, rel, ri)
+		if err != nil {
+			return vres{}, err
+		}
+		out.appendVal(v)
+	}
+	return vres{vec: out}, nil
+}
+
+// evalLogical is vectorized AND/OR with the row engine's short-circuit
+// rule: AND answers false immediately when the left is boolean false
+// (OR answers true when it is boolean true) and only the surviving
+// subset of rows ever evaluates the right side.
+func (e *DB) evalLogical(x *sqldb.BinaryExpr, rel *erel, sel []int32, n int) (vres, error) {
+	l, err := e.evalVec(x.Left, rel, sel, n)
+	if err != nil {
+		return vres{}, err
+	}
+	shortOn := x.Op == "OR" // left bool value that short-circuits
+	if l.isConst {
+		if l.c.Kind == sqldb.KindBool && l.c.Bool == shortOn {
+			return vres{isConst: true, c: sqldb.NewBool(shortOn)}, nil
+		}
+		r, err := e.evalVec(x.Right, rel, sel, n)
+		if err != nil {
+			return vres{}, err
+		}
+		return applyElementwise(x.Op, &l, &r, n)
+	}
+	lvals := make([]sqldb.Value, n)
+	rest := getSel()
+	defer putSel(rest)
+	restPos := getSel()
+	defer putSel(restPos)
+	for k := 0; k < n; k++ {
+		lvals[k] = l.value(k)
+		if lvals[k].Kind == sqldb.KindBool && lvals[k].Bool == shortOn {
+			continue
+		}
+		ri := k
+		if sel != nil {
+			ri = int(sel[k])
+		}
+		*rest = append(*rest, int32(ri))
+		*restPos = append(*restPos, int32(k))
+	}
+	var r vres
+	if len(*rest) > 0 {
+		r, err = e.evalVec(x.Right, rel, *rest, len(*rest))
+		if err != nil {
+			return vres{}, err
+		}
+	}
+	out := &colVec{}
+	pos := 0
+	for k := 0; k < n; k++ {
+		if pos < len(*restPos) && int((*restPos)[pos]) == k {
+			// ApplyBinary on AND/OR never errors.
+			v, _ := sqldb.ApplyBinary(x.Op, lvals[k], r.value(pos))
+			out.appendVal(v)
+			pos++
+			continue
+		}
+		out.appendVal(sqldb.NewBool(shortOn))
+	}
+	return vres{vec: out}, nil
+}
+
+// applyElementwise combines two evaluated operands entry by entry with
+// the row engine's exported operator kernel (which owns the NULL logic
+// and error text).
+func applyElementwise(op string, l, r *vres, n int) (vres, error) {
+	if l.isConst && r.isConst {
+		c, err := sqldb.ApplyBinary(op, l.c, r.c)
+		if err != nil {
+			return vres{}, err
+		}
+		return vres{isConst: true, c: c}, nil
+	}
+	out := &colVec{}
+	for k := 0; k < n; k++ {
+		v, err := sqldb.ApplyBinary(op, l.value(k), r.value(k))
+		if err != nil {
+			return vres{}, err
+		}
+		out.appendVal(v)
+	}
+	return vres{vec: out}, nil
+}
+
+// compareKernel runs =, <>, <, <=, >, >= over NULL-free numeric
+// operands as a typed float64 loop — the hot path of a filtered scan.
+// It is exactly Compare's numeric semantics (all numeric comparisons in
+// the row engine go through float64), so results are bit-identical.
+func compareKernel(op string, l, r *vres, n int) (vres, bool) {
+	lk, rk := l.numericKind(), r.numericKind()
+	if lk == 0 || rk == 0 || (lk == 'c' && rk == 'c') {
+		return vres{}, false
+	}
+	out := &colVec{
+		kinds: make([]byte, n),
+		offs:  make([]int32, n),
+		bools: make([]bool, n),
+	}
+	for i := range out.kinds {
+		out.kinds[i] = driver.KindByteBool
+		out.offs[i] = int32(i)
+	}
+	// Specialize the common shape — int column vs constant with the
+	// identity selection — into a branch-light loop; everything else
+	// numeric goes through the generic accessor.
+	if lk == 'i' && rk == 'c' && l.sel == nil {
+		bf, _ := r.c.AsFloat()
+		ints := l.vec.ints
+		switch op {
+		case "=":
+			for i, v := range ints {
+				out.bools[i] = float64(v) == bf
+			}
+		case "<>":
+			for i, v := range ints {
+				out.bools[i] = float64(v) != bf
+			}
+		case "<":
+			for i, v := range ints {
+				out.bools[i] = float64(v) < bf
+			}
+		case "<=":
+			for i, v := range ints {
+				out.bools[i] = float64(v) <= bf
+			}
+		case ">":
+			for i, v := range ints {
+				out.bools[i] = float64(v) > bf
+			}
+		default:
+			for i, v := range ints {
+				out.bools[i] = float64(v) >= bf
+			}
+		}
+		return vres{vec: out}, true
+	}
+	for k := 0; k < n; k++ {
+		af, _ := l.numericAt(k)
+		bf, _ := r.numericAt(k)
+		var b bool
+		switch op {
+		case "=":
+			b = af == bf
+		case "<>":
+			b = af != bf
+		case "<":
+			b = af < bf
+		case "<=":
+			b = af <= bf
+		case ">":
+			b = af > bf
+		default:
+			b = af >= bf
+		}
+		out.bools[k] = b
+	}
+	return vres{vec: out}, true
+}
+
+// evalScalar mirrors the row engine's evalExpr against one relation
+// row, node for node — same short-circuits, same NULL handling, same
+// error text — using the scalar kernels sqldb exports.
+func (e *DB) evalScalar(ex sqldb.Expr, rel *erel, ri int) (sqldb.Value, error) {
+	switch x := ex.(type) {
+	case *sqldb.Literal:
+		return x.Val, nil
+	case *sqldb.ColumnRef:
+		i, err := rel.resolve(x)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		return rel.vecs[i].value(ri), nil
+	case *sqldb.BinaryExpr:
+		l, err := e.evalScalar(x.Left, rel, ri)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		switch x.Op {
+		case "AND":
+			if l.Kind == sqldb.KindBool && !l.Bool {
+				return sqldb.NewBool(false), nil
+			}
+		case "OR":
+			if l.Kind == sqldb.KindBool && l.Bool {
+				return sqldb.NewBool(true), nil
+			}
+		}
+		r, err := e.evalScalar(x.Right, rel, ri)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		return sqldb.ApplyBinary(x.Op, l, r)
+	case *sqldb.UnaryExpr:
+		v, err := e.evalScalar(x.X, rel, ri)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		return sqldb.ApplyUnary(x.Op, v)
+	case *sqldb.InExpr:
+		v, err := e.evalScalar(x.X, rel, ri)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		if v.IsNull() {
+			return sqldb.Null, nil
+		}
+		found := false
+		for _, item := range x.List {
+			iv, err := e.evalScalar(item, rel, ri)
+			if err != nil {
+				return sqldb.Null, err
+			}
+			if !iv.IsNull() && sqldb.Equal(v, iv) {
+				found = true
+				break
+			}
+		}
+		return sqldb.NewBool(found != x.Neg), nil
+	case *sqldb.BetweenExpr:
+		v, err := e.evalScalar(x.X, rel, ri)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		lo, err := e.evalScalar(x.Lo, rel, ri)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		hi, err := e.evalScalar(x.Hi, rel, ri)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return sqldb.Null, nil
+		}
+		in := sqldb.Compare(v, lo) >= 0 && sqldb.Compare(v, hi) <= 0
+		return sqldb.NewBool(in != x.Neg), nil
+	case *sqldb.LikeExpr:
+		v, err := e.evalScalar(x.X, rel, ri)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		pat, err := e.evalScalar(x.Pattern, rel, ri)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		if v.IsNull() || pat.IsNull() {
+			return sqldb.Null, nil
+		}
+		if v.Kind != sqldb.KindText || pat.Kind != sqldb.KindText {
+			return sqldb.Null, fmt.Errorf("sqldb: LIKE requires text operands")
+		}
+		return sqldb.NewBool(sqldb.LikeMatch(v.Str, pat.Str) != x.Neg), nil
+	case *sqldb.IsNullExpr:
+		v, err := e.evalScalar(x.X, rel, ri)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		return sqldb.NewBool(v.IsNull() != x.Neg), nil
+	case *sqldb.AggExpr:
+		return sqldb.Null, fmt.Errorf("sqldb: aggregate %s outside GROUP BY context", x.String())
+	default:
+		return sqldb.Null, fmt.Errorf("sqldb: unhandled expression %T", ex)
+	}
+}
+
+// evalAggregateVec mirrors the row engine's grouped evaluation:
+// aggregate nodes fold the group's rows, arithmetic combines folded
+// operands, and anything else evaluates against the group's first row
+// (NULL for an empty group).
+func (e *DB) evalAggregateVec(ex sqldb.Expr, rel *erel, rows []int32) (sqldb.Value, error) {
+	switch x := ex.(type) {
+	case *sqldb.AggExpr:
+		return e.foldAggVec(x, rel, rows)
+	case *sqldb.BinaryExpr:
+		l, err := e.evalAggregateVec(x.Left, rel, rows)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		r, err := e.evalAggregateVec(x.Right, rel, rows)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		return sqldb.ApplyBinary(x.Op, l, r)
+	case *sqldb.UnaryExpr:
+		v, err := e.evalAggregateVec(x.X, rel, rows)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		return sqldb.ApplyUnary(x.Op, v)
+	default:
+		if len(rows) == 0 {
+			return sqldb.Null, nil
+		}
+		return e.evalScalar(ex, rel, int(rows[0]))
+	}
+}
+
+// foldAggVec folds one aggregate over a group. A plain column argument
+// over a NULL-free numeric column folds as a typed loop; everything
+// else replays the row engine's fold (NULL skipping, float64 sums, the
+// int-preserving SUM, first-wins ties in MIN/MAX) value by value.
+func (e *DB) foldAggVec(a *sqldb.AggExpr, rel *erel, rows []int32) (sqldb.Value, error) {
+	if a.Star {
+		return sqldb.NewInt(int64(len(rows))), nil
+	}
+	if c, ok := a.Arg.(*sqldb.ColumnRef); ok && len(rows) > 0 {
+		i, err := rel.resolve(c)
+		if err != nil {
+			return sqldb.Null, err
+		}
+		vec := rel.vecs[i]
+		switch vec.uniform() {
+		case driver.KindByteInt:
+			return foldNumeric(a.Func, len(rows), true, func(k int) float64 { return float64(vec.ints[rows[k]]) },
+				func(k int) sqldb.Value { return sqldb.NewInt(vec.ints[rows[k]]) })
+		case driver.KindByteFloat:
+			return foldNumeric(a.Func, len(rows), false, func(k int) float64 { return vec.floats[rows[k]] },
+				func(k int) sqldb.Value { return sqldb.NewFloat(vec.floats[rows[k]]) })
+		}
+	}
+	var count int64
+	var sum float64
+	allInt := true
+	var minV, maxV sqldb.Value
+	first := true
+	for _, ri := range rows {
+		v, err := e.evalScalar(a.Arg, rel, int(ri))
+		if err != nil {
+			return sqldb.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		if f, ok := v.AsFloat(); ok {
+			sum += f
+			if v.Kind != sqldb.KindInt {
+				allInt = false
+			}
+		} else if a.Func == "SUM" || a.Func == "AVG" {
+			return sqldb.Null, fmt.Errorf("sqldb: %s over non-numeric value %s", a.Func, v)
+		}
+		if first || sqldb.Compare(v, minV) < 0 {
+			minV = v
+		}
+		if first || sqldb.Compare(v, maxV) > 0 {
+			maxV = v
+		}
+		first = false
+	}
+	return finishFold(a.Func, count, sum, allInt, minV, maxV)
+}
+
+// foldNumeric is the typed fold over a NULL-free numeric column: count
+// is the group size, sums accumulate in float64 (like the row engine),
+// and MIN/MAX keep the first row achieving the extreme under strict
+// float64 comparison — exactly Compare's tie behavior.
+func foldNumeric(fn string, n int, isInt bool, at func(int) float64, box func(int) sqldb.Value) (sqldb.Value, error) {
+	var sum float64
+	minK, maxK := 0, 0
+	minF, maxF := at(0), at(0)
+	for k := 0; k < n; k++ {
+		f := at(k)
+		sum += f
+		if f < minF {
+			minF, minK = f, k
+		}
+		if f > maxF {
+			maxF, maxK = f, k
+		}
+	}
+	return finishFold(fn, int64(n), sum, isInt, box(minK), box(maxK))
+}
+
+// finishFold is the row engine's aggregate finalization, shared by both
+// fold paths.
+func finishFold(fn string, count int64, sum float64, allInt bool, minV, maxV sqldb.Value) (sqldb.Value, error) {
+	switch fn {
+	case "COUNT":
+		return sqldb.NewInt(count), nil
+	case "SUM":
+		if count == 0 {
+			return sqldb.Null, nil
+		}
+		if allInt {
+			return sqldb.NewInt(int64(sum)), nil
+		}
+		return sqldb.NewFloat(sum), nil
+	case "AVG":
+		if count == 0 {
+			return sqldb.Null, nil
+		}
+		return sqldb.NewFloat(sum / float64(count)), nil
+	case "MIN":
+		if count == 0 {
+			return sqldb.Null, nil
+		}
+		return minV, nil
+	case "MAX":
+		if count == 0 {
+			return sqldb.Null, nil
+		}
+		return maxV, nil
+	default:
+		return sqldb.Null, fmt.Errorf("sqldb: unknown aggregate %q", fn)
+	}
+}

@@ -1,0 +1,541 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/qamarket/qamarket/internal/driver"
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// ebind names one column of an intermediate relation.
+type ebind struct {
+	qual string
+	name string
+}
+
+// erel is an intermediate relation in columnar form. Vectors may alias
+// base-table storage (scans are zero-copy); every operator that drops
+// or reorders rows gathers into fresh vectors.
+type erel struct {
+	cols  []ebind
+	vecs  []*colVec
+	nrows int
+}
+
+// resolve finds the position of a column reference, enforcing the same
+// ambiguity rules (and error text) as the row engine.
+func (r *erel) resolve(c *sqldb.ColumnRef) (int, error) {
+	found := -1
+	for i, b := range r.cols {
+		if c.Column != b.name {
+			continue
+		}
+		if c.Table != "" && c.Table != b.qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sqldb: ambiguous column %q", c.String())
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sqldb: unknown column %q", c.String())
+	}
+	return found, nil
+}
+
+// selPool recycles selection vectors (row-index scratch) across
+// queries; every selection the executor builds starts here.
+var selPool = sync.Pool{New: func() any { s := make([]int32, 0, 1024); return &s }}
+
+func getSel() *[]int32 { return selPool.Get().(*[]int32) }
+
+func putSel(s *[]int32) {
+	*s = (*s)[:0]
+	selPool.Put(s)
+}
+
+// selectLocked runs the pipeline under the held read lock, mirroring
+// the row engine's selectLocked stage for stage: scan (index-served
+// when an equality conjunct pins an indexed column) → hash joins →
+// filter → projection or aggregation → DISTINCT → stable sort →
+// OFFSET/LIMIT. It returns the output column names and vectors.
+func (e *DB) selectLocked(s *sqldb.SelectStmt, depth int) ([]string, []*colVec, int, error) {
+	if depth > sqldb.MaxViewDepth {
+		return nil, nil, 0, fmt.Errorf("sqldb: view nesting exceeds %d", sqldb.MaxViewDepth)
+	}
+	rel, err := e.scanRefIndexed(s, 0, depth)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for i, join := range s.Joins {
+		right, err := e.scanRefIndexed(s, i+1, depth)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		rel, err = hashJoinVec(&rel, &right, join)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	if s.Where != nil && rel.nrows > 0 {
+		sel := getSel()
+		defer putSel(sel)
+		if err := e.filter(s.Where, &rel, sel); err != nil {
+			return nil, nil, 0, err
+		}
+		if len(*sel) < rel.nrows {
+			rel = gatherRel(&rel, *sel)
+		}
+	}
+
+	orderExprs, err := sqldb.OrderKeyExprs(s)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	var names []string
+	var vis, keys []*colVec
+	var nout int
+	if sqldb.NeedsAggregation(s) {
+		names, vis, keys, nout, err = e.executeGrouped(s, &rel, orderExprs)
+	} else {
+		names, vis, keys, nout, err = e.executeProjection(s, &rel, orderExprs)
+	}
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	// perm is the output-row permutation the remaining stages refine;
+	// nil means identity over all nout rows.
+	var perm []int32
+	if s.Distinct {
+		seen := make(map[string]bool, nout)
+		kept := make([]int32, 0, nout)
+		var kb strings.Builder
+		for r := 0; r < nout; r++ {
+			kb.Reset()
+			for _, v := range vis {
+				kb.WriteString(v.value(r).GroupKey())
+				kb.WriteByte('|')
+			}
+			k := kb.String()
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, int32(r))
+			}
+		}
+		if len(kept) < nout {
+			perm = kept
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		if perm == nil {
+			perm = identity(nout)
+		}
+		sort.SliceStable(perm, func(i, j int) bool {
+			for k, o := range s.OrderBy {
+				c := sqldb.Compare(keys[k].value(int(perm[i])), keys[k].value(int(perm[j])))
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	outLen := nout
+	if perm != nil {
+		outLen = len(perm)
+	}
+	lo := 0
+	if s.Offset > 0 {
+		if s.Offset >= outLen {
+			lo = outLen
+		} else {
+			lo = s.Offset
+		}
+	}
+	hi := outLen
+	if s.Limit >= 0 && outLen-lo > s.Limit {
+		hi = lo + s.Limit
+	}
+	if perm == nil && lo == 0 && hi == nout {
+		return names, vis, nout, nil
+	}
+	if perm == nil {
+		perm = identity(nout)
+	}
+	perm = perm[lo:hi]
+	out := make([]*colVec, len(vis))
+	for j, v := range vis {
+		out[j] = gather(v, perm)
+	}
+	return names, out, len(perm), nil
+}
+
+func identity(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}
+
+// gatherRel builds the relation containing only the selected rows.
+func gatherRel(rel *erel, sel []int32) erel {
+	vecs := make([]*colVec, len(rel.vecs))
+	for j, v := range rel.vecs {
+		vecs[j] = gather(v, sel)
+	}
+	return erel{cols: rel.cols, vecs: vecs, nrows: len(sel)}
+}
+
+// scanRefIndexed materializes one FROM entry, serving it from a hash
+// index when the WHERE clause pins an indexed column to a constant.
+func (e *DB) scanRefIndexed(s *sqldb.SelectStmt, refIdx, depth int) (erel, error) {
+	ref := s.From[refIdx]
+	if t, ok := e.tables[ref.Table]; ok {
+		if col, val, ok := sqldb.IndexableEq(s, refIdx); ok {
+			if ix := e.lookupIndex(ref.Table, col); ix != nil {
+				rel := erel{cols: make([]ebind, len(t.cols))}
+				for i, c := range t.cols {
+					rel.cols[i] = ebind{qual: ref.Name(), name: c.Name}
+				}
+				sel := ix.m[val.GroupKey()]
+				rel.vecs = make([]*colVec, len(t.vecs))
+				for j, v := range t.vecs {
+					rel.vecs[j] = gather(v, sel)
+				}
+				rel.nrows = len(sel)
+				return rel, nil
+			}
+		}
+	}
+	return e.scanRef(ref, depth)
+}
+
+// scanRef materializes one FROM entry: a base table (zero-copy — the
+// vectors alias table storage) or a view (recursive select).
+func (e *DB) scanRef(ref sqldb.TableRef, depth int) (erel, error) {
+	qual := ref.Name()
+	if t, ok := e.tables[ref.Table]; ok {
+		rel := erel{cols: make([]ebind, len(t.cols)), vecs: t.vecs, nrows: t.nrows()}
+		for i, c := range t.cols {
+			rel.cols[i] = ebind{qual: qual, name: c.Name}
+		}
+		return rel, nil
+	}
+	if v, ok := e.views[ref.Table]; ok {
+		names, vecs, n, err := e.selectLocked(v, depth+1)
+		if err != nil {
+			return erel{}, fmt.Errorf("sqldb: expanding view %q: %w", ref.Table, err)
+		}
+		rel := erel{cols: make([]ebind, len(names)), vecs: vecs, nrows: n}
+		for i, c := range names {
+			rel.cols[i] = ebind{qual: qual, name: c}
+		}
+		return rel, nil
+	}
+	return erel{}, fmt.Errorf("sqldb: unknown relation %q", ref.Table)
+}
+
+// hashJoinVec performs the equi-join columnar-style: build a hash table
+// on the smaller side's key column, probe with the larger, collect the
+// matching row-index pairs, then gather both sides' columns once. Key
+// semantics mirror the row engine exactly: NULLs never join, and keys
+// hash by value group-key (so cross-kind numerics match). When both key
+// columns are uniform ints the keys stay unboxed as float64s — the
+// group-key of every numeric is its float64 rendering, so float64
+// equality is exactly group-key equality for them.
+func hashJoinVec(left, right *erel, on sqldb.JoinOn) (erel, error) {
+	lcol, rcol, err := splitJoinColsVec(left, right, on)
+	if err != nil {
+		return erel{}, err
+	}
+	buildLeft := left.nrows <= right.nrows
+	build, probe := left, right
+	bcol, pcol := lcol, rcol
+	if !buildLeft {
+		build, probe = right, left
+		bcol, pcol = rcol, lcol
+	}
+	bvec, pvec := build.vecs[bcol], probe.vecs[pcol]
+
+	bIdx := getSel()
+	pIdx := getSel()
+	defer putSel(bIdx)
+	defer putSel(pIdx)
+
+	if bu, pu := bvec.uniform(), pvec.uniform(); bu == driver.KindByteInt && pu == driver.KindByteInt {
+		ht := make(map[float64][]int32, build.nrows)
+		for i, v := range bvec.ints {
+			k := float64(v)
+			ht[k] = append(ht[k], int32(i))
+		}
+		for p, v := range pvec.ints {
+			for _, b := range ht[float64(v)] {
+				*bIdx = append(*bIdx, b)
+				*pIdx = append(*pIdx, int32(p))
+			}
+		}
+	} else {
+		ht := make(map[string][]int32, build.nrows)
+		for i := 0; i < build.nrows; i++ {
+			v := bvec.value(i)
+			if v.IsNull() {
+				continue // NULL never joins
+			}
+			k := v.GroupKey()
+			ht[k] = append(ht[k], int32(i))
+		}
+		for p := 0; p < probe.nrows; p++ {
+			v := pvec.value(p)
+			if v.IsNull() {
+				continue
+			}
+			for _, b := range ht[v.GroupKey()] {
+				*bIdx = append(*bIdx, b)
+				*pIdx = append(*pIdx, int32(p))
+			}
+		}
+	}
+
+	leftSel, rightSel := *bIdx, *pIdx
+	if !buildLeft {
+		leftSel, rightSel = *pIdx, *bIdx
+	}
+	out := erel{
+		cols:  append(append(make([]ebind, 0, len(left.cols)+len(right.cols)), left.cols...), right.cols...),
+		vecs:  make([]*colVec, 0, len(left.vecs)+len(right.vecs)),
+		nrows: len(leftSel),
+	}
+	for _, v := range left.vecs {
+		out.vecs = append(out.vecs, gather(v, leftSel))
+	}
+	for _, v := range right.vecs {
+		out.vecs = append(out.vecs, gather(v, rightSel))
+	}
+	return out, nil
+}
+
+// splitJoinColsVec resolves the ON condition's two sides, either order.
+func splitJoinColsVec(left, right *erel, on sqldb.JoinOn) (int, int, error) {
+	l := on.Left
+	r := on.Right
+	if li, err := left.resolve(&l); err == nil {
+		ri, err := right.resolve(&r)
+		if err != nil {
+			return 0, 0, fmt.Errorf("sqldb: join condition: %w", err)
+		}
+		return li, ri, nil
+	}
+	li, err := left.resolve(&r)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sqldb: join condition %s = %s matches neither side", on.Left.String(), on.Right.String())
+	}
+	ri, err := right.resolve(&l)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sqldb: join condition: %w", err)
+	}
+	return li, ri, nil
+}
+
+// filter evaluates the WHERE predicate over the whole relation and
+// appends the indices of passing rows (predicate strictly true, like
+// the row engine: NULL filters out) to sel.
+func (e *DB) filter(where sqldb.Expr, rel *erel, sel *[]int32) error {
+	n := rel.nrows
+	v, err := e.evalVec(where, rel, nil, n)
+	if err != nil {
+		return err
+	}
+	if v.isConst {
+		if v.c.Kind == sqldb.KindBool && v.c.Bool {
+			for i := 0; i < n; i++ {
+				*sel = append(*sel, int32(i))
+			}
+		}
+		return nil
+	}
+	if v.sel == nil && v.vec.uniform() == driver.KindByteBool {
+		for i, b := range v.vec.bools {
+			if b {
+				*sel = append(*sel, int32(i))
+			}
+		}
+		return nil
+	}
+	for k := 0; k < n; k++ {
+		val := v.value(k)
+		if val.Kind == sqldb.KindBool && val.Bool {
+			*sel = append(*sel, int32(k))
+		}
+	}
+	return nil
+}
+
+// executeProjection is the non-aggregating path: each projected item
+// (and hidden ORDER BY key) becomes one output vector. Plain column
+// references alias the relation's vectors — zero copy; expressions
+// evaluate vectorized. An empty input produces empty vectors without
+// evaluating anything, mirroring the row engine's per-row loop.
+func (e *DB) executeProjection(s *sqldb.SelectStmt, rel *erel, orderExprs []sqldb.Expr) ([]string, []*colVec, []*colVec, int, error) {
+	items, names := expandItemsVec(s, rel)
+	n := rel.nrows
+	vis := make([]*colVec, len(items))
+	keys := make([]*colVec, len(orderExprs))
+	if n == 0 {
+		for i := range vis {
+			vis[i] = &colVec{}
+		}
+		for i := range keys {
+			keys[i] = &colVec{}
+		}
+		return names, vis, keys, 0, nil
+	}
+	for i, it := range items {
+		v, err := e.materializeExpr(it, rel)
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		vis[i] = v
+	}
+	for i, ex := range orderExprs {
+		v, err := e.materializeExpr(ex, rel)
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		keys[i] = v
+	}
+	return names, vis, keys, n, nil
+}
+
+// expandItemsVec flattens SELECT * into explicit column references.
+func expandItemsVec(s *sqldb.SelectStmt, rel *erel) ([]sqldb.Expr, []string) {
+	var items []sqldb.Expr
+	var names []string
+	for _, it := range s.Items {
+		if it.Star {
+			for _, b := range rel.cols {
+				items = append(items, &sqldb.ColumnRef{Table: b.qual, Column: b.name})
+				names = append(names, b.name)
+			}
+			continue
+		}
+		items = append(items, it.Expr)
+		names = append(names, sqldb.ItemName(it))
+	}
+	return items, names
+}
+
+// materializeExpr evaluates an expression over the whole relation into
+// one owned (or aliased, for plain column references) vector.
+func (e *DB) materializeExpr(ex sqldb.Expr, rel *erel) (*colVec, error) {
+	if c, ok := ex.(*sqldb.ColumnRef); ok {
+		i, err := rel.resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		return rel.vecs[i], nil
+	}
+	v, err := e.evalVec(ex, rel, nil, rel.nrows)
+	if err != nil {
+		return nil, err
+	}
+	return e.toVec(&v, rel.nrows), nil
+}
+
+// toVec materializes an evaluation result as a standalone vector.
+func (e *DB) toVec(v *vres, n int) *colVec {
+	if !v.isConst && v.sel == nil {
+		return v.vec
+	}
+	out := &colVec{}
+	if v.isConst {
+		for k := 0; k < n; k++ {
+			out.appendVal(v.c)
+		}
+		return out
+	}
+	for _, i := range v.sel {
+		out.appendFrom(v.vec, int(i))
+	}
+	return out
+}
+
+// executeGrouped is the aggregation path: hash-group on the GROUP BY
+// keys (one global group when absent, even over empty input) and fold
+// each select item per group, mirroring the row engine's grouping
+// order and key construction byte for byte.
+func (e *DB) executeGrouped(s *sqldb.SelectStmt, rel *erel, orderExprs []sqldb.Expr) ([]string, []*colVec, []*colVec, int, error) {
+	names := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		if it.Star {
+			return nil, nil, nil, 0, fmt.Errorf("sqldb: SELECT * cannot be combined with aggregation")
+		}
+		names[i] = sqldb.ItemName(it)
+	}
+	groups := make(map[string][]int32)
+	var order []string
+	if rel.nrows > 0 {
+		gvals := make([]vres, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			v, err := e.evalVec(g, rel, nil, rel.nrows)
+			if err != nil {
+				return nil, nil, nil, 0, err
+			}
+			gvals[i] = v
+		}
+		var kb strings.Builder
+		for r := 0; r < rel.nrows; r++ {
+			kb.Reset()
+			for i := range gvals {
+				kb.WriteString(gvals[i].value(r).GroupKey())
+				kb.WriteByte('|')
+			}
+			k := kb.String()
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], int32(r))
+		}
+	}
+	// A global aggregate over an empty input still yields one row.
+	if len(groups) == 0 && len(s.GroupBy) == 0 {
+		groups[""] = nil
+		order = append(order, "")
+	}
+	vis := make([]*colVec, len(s.Items))
+	for i := range vis {
+		vis[i] = &colVec{}
+	}
+	keys := make([]*colVec, len(orderExprs))
+	for i := range keys {
+		keys[i] = &colVec{}
+	}
+	for _, k := range order {
+		rows := groups[k]
+		for i, it := range s.Items {
+			v, err := e.evalAggregateVec(it.Expr, rel, rows)
+			if err != nil {
+				return nil, nil, nil, 0, err
+			}
+			vis[i].appendVal(v)
+		}
+		for i, ex := range orderExprs {
+			v, err := e.evalAggregateVec(ex, rel, rows)
+			if err != nil {
+				return nil, nil, nil, 0, err
+			}
+			keys[i].appendVal(v)
+		}
+	}
+	return names, vis, keys, len(order), nil
+}

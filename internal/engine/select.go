@@ -1,0 +1,28 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/qamarket/qamarket/internal/driver"
+	"github.com/qamarket/qamarket/internal/sqldb"
+)
+
+// SelectDriver resolves a -driver flag value to a storage driver over
+// the given database. "row" (or empty) is the legacy row-at-a-time
+// adapter, "vector" copies the data into the columnar engine, and a
+// "mock:" prefix wraps either in the fault-injecting mock. This lives
+// in the engine package — not driver — because driver cannot import
+// its own implementations without a cycle.
+func SelectDriver(name string, db *sqldb.DB) (driver.Driver, error) {
+	switch name {
+	case "", "row":
+		return driver.NewLegacy(db), nil
+	case "vector":
+		return FromDB(db), nil
+	case "mock", "mock:row":
+		return driver.NewMock(driver.NewLegacy(db), driver.MockConfig{}), nil
+	case "mock:vector":
+		return driver.NewMock(FromDB(db), driver.MockConfig{}), nil
+	}
+	return nil, fmt.Errorf("unknown driver %q (want row, vector, mock:row, or mock:vector)", name)
+}

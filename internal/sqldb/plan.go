@@ -113,28 +113,79 @@ const (
 	groupReduction    = 0.1
 )
 
+// PlanCatalog is the read-only metadata surface the planner consumes:
+// table cardinalities, view definitions, and index distinct counts.
+// Implementations back it with whatever storage they own; sqldb's own
+// tables implement it below. Costing runs through this one planner for
+// every backend, so two engines holding the same catalog produce
+// byte-identical signatures and estimates — the property the cluster's
+// pricing classes and history EMAs depend on.
+type PlanCatalog interface {
+	// TableRowCount reports a base table's cardinality (false when the
+	// name is not a base table).
+	TableRowCount(name string) (rows int, ok bool)
+	// ViewSelect reports the SELECT a view is defined as (false when the
+	// name is not a view).
+	ViewSelect(name string) (*SelectStmt, bool)
+	// IndexDistinct reports the distinct-key count of an index on
+	// (table, column), false when no such index exists.
+	IndexDistinct(table, column string) (distinct int, ok bool)
+}
+
 // PlanSelect builds the cost-annotated plan of a SELECT without
 // executing it.
 func (db *DB) PlanSelect(s *SelectStmt) (*Plan, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	root, err := db.planLocked(s, 0)
+	return PlanSelectOn(lockedCatalog{db}, s)
+}
+
+// PlanSelectOn builds the cost-annotated plan of a SELECT against any
+// catalog. The catalog is responsible for its own consistency: the
+// planner may call it several times per statement.
+func PlanSelectOn(cat PlanCatalog, s *SelectStmt) (*Plan, error) {
+	root, err := planOn(cat, s, 0)
 	if err != nil {
 		return nil, err
 	}
 	return &Plan{Root: root}, nil
 }
 
-func (db *DB) planLocked(s *SelectStmt, depth int) (*PlanNode, error) {
+// lockedCatalog adapts a *DB whose mu is already (read-)held by the
+// caller; it must not take the lock again.
+type lockedCatalog struct{ db *DB }
+
+func (c lockedCatalog) TableRowCount(name string) (int, bool) {
+	t, ok := c.db.tables[name]
+	if !ok {
+		return 0, false
+	}
+	return len(t.rows), true
+}
+
+func (c lockedCatalog) ViewSelect(name string) (*SelectStmt, bool) {
+	v, ok := c.db.views[name]
+	return v, ok
+}
+
+func (c lockedCatalog) IndexDistinct(table, column string) (int, bool) {
+	ix := c.db.lookupIndex(table, column)
+	if ix == nil {
+		return 0, false
+	}
+	return len(ix.m), true
+}
+
+func planOn(cat PlanCatalog, s *SelectStmt, depth int) (*PlanNode, error) {
 	if depth > maxViewDepth {
 		return nil, fmt.Errorf("sqldb: view nesting exceeds %d", maxViewDepth)
 	}
-	node, err := db.planRefIndexed(s, 0, depth)
+	node, err := planRefIndexedOn(cat, s, 0, depth)
 	if err != nil {
 		return nil, err
 	}
 	for i, join := range s.Joins {
-		right, err := db.planRefIndexed(s, i+1, depth)
+		right, err := planRefIndexedOn(cat, s, i+1, depth)
 		if err != nil {
 			return nil, err
 		}
@@ -207,30 +258,30 @@ func (db *DB) planLocked(s *SelectStmt, depth int) (*PlanNode, error) {
 	return node, nil
 }
 
-// planRefIndexed plans one FROM entry, choosing an index scan when an
+// planRefIndexedOn plans one FROM entry, choosing an index scan when an
 // equality conjunct pins an indexed column.
-func (db *DB) planRefIndexed(s *SelectStmt, refIdx, depth int) (*PlanNode, error) {
+func planRefIndexedOn(cat PlanCatalog, s *SelectStmt, refIdx, depth int) (*PlanNode, error) {
 	ref := s.From[refIdx]
-	if t, ok := db.tables[ref.Table]; ok {
+	if nrows, ok := cat.TableRowCount(ref.Table); ok {
 		if col, _, ok := indexableEq(s, refIdx); ok {
-			if ix := db.lookupIndex(ref.Table, col); ix != nil {
+			if d, ok := cat.IndexDistinct(ref.Table, col); ok {
 				// Estimated selectivity: rows divided by distinct keys.
-				distinct := math.Max(1, float64(len(ix.m)))
-				rows := math.Max(1, float64(len(t.rows))/distinct)
+				distinct := math.Max(1, float64(d))
+				rows := math.Max(1, float64(nrows)/distinct)
 				return &PlanNode{Op: "ixscan", Label: ref.Table + "." + col, Rows: rows, Cost: rows}, nil
 			}
 		}
 	}
-	return db.planRef(ref, depth)
+	return planRefOn(cat, ref, depth)
 }
 
-func (db *DB) planRef(ref TableRef, depth int) (*PlanNode, error) {
-	if t, ok := db.tables[ref.Table]; ok {
-		rows := float64(len(t.rows))
+func planRefOn(cat PlanCatalog, ref TableRef, depth int) (*PlanNode, error) {
+	if nrows, ok := cat.TableRowCount(ref.Table); ok {
+		rows := float64(nrows)
 		return &PlanNode{Op: "scan", Label: ref.Table, Rows: rows, Cost: math.Max(1, rows)}, nil
 	}
-	if v, ok := db.views[ref.Table]; ok {
-		inner, err := db.planLocked(v, depth+1)
+	if v, ok := cat.ViewSelect(ref.Table); ok {
+		inner, err := planOn(cat, v, depth+1)
 		if err != nil {
 			return nil, fmt.Errorf("sqldb: planning view %q: %w", ref.Table, err)
 		}
