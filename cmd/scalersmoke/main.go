@@ -1,0 +1,222 @@
+// Command scalersmoke is the end-to-end smoke for the market-driven
+// autoscaler: a seeded single-founder federation is pushed into
+// sustained rejection pressure (phase 1), the controller must recruit
+// replicas — every decision bounded by max-step and spaced by the
+// cooldown — then the load stops (phase 2) and sustained unsold supply
+// must drain the recruits gracefully. Throughout, no query may execute
+// twice or be lost: the sum of per-node executed counters must equal
+// the client's completions.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/autoscale"
+	"github.com/qamarket/qamarket/internal/cluster"
+	"github.com/qamarket/qamarket/internal/experiments"
+)
+
+const (
+	seed      = 31
+	maxNodes  = 4
+	periodMs  = 25
+	gossipMs  = 15
+	cooldown  = 2
+	maxStep   = 1
+	burstSize = 10
+)
+
+func main() {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	ds, err := cluster.GenerateDataset(cluster.DatasetParams{
+		Nodes: maxNodes, Tables: 6, Views: 10, RowsPerTable: 60,
+		MinCopies: maxNodes, MaxCopies: maxNodes,
+	}, rng)
+	if err != nil {
+		die("dataset: %v", err)
+	}
+	templates, err := ds.GenerateTemplates(4, 1, rng)
+	if err != nil {
+		die("templates: %v", err)
+	}
+
+	startNode := func(i int, id string, seeds []string) (*cluster.Node, error) {
+		return cluster.StartNode("127.0.0.1:0", cluster.NodeConfig{
+			DB:             ds.DBs[i],
+			Slowdown:       3,
+			MsPerCostUnit:  0.01,
+			PeriodMs:       periodMs,
+			NodeID:         id,
+			Seeds:          seeds,
+			GossipPeriodMs: gossipMs,
+			MembershipSeed: seed + int64(i),
+		})
+	}
+	founder, err := startNode(0, "founder", nil)
+	if err != nil {
+		die("founder: %v", err)
+	}
+	defer founder.CloseNow()
+	seeds := []string{founder.Addr()}
+
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Addrs:       seeds,
+		Mechanism:   cluster.MechQANT,
+		PeriodMs:    periodMs,
+		MaxRetries:  100,
+		Timeout:     5 * time.Second,
+		ViewRefresh: gossipMs * time.Millisecond,
+	})
+	if err != nil {
+		die("client: %v", err)
+	}
+	defer client.Close()
+
+	pool := &experiments.ReplicaPool{Start: func(seq int) (*cluster.Node, error) {
+		idx := 1 + seq
+		if idx >= maxNodes {
+			return nil, fmt.Errorf("replica slot %d beyond %d", idx, maxNodes)
+		}
+		return startNode(idx, fmt.Sprintf("r%02d", seq), seeds)
+	}}
+	defer pool.CloseAll()
+
+	ctl, err := autoscale.New(autoscale.Config{
+		Min: 1, Max: maxNodes, CapacityMs: periodMs, Alpha: 0.5,
+		Warmup: 1, Cooldown: cooldown, MaxStep: maxStep,
+	}, autoscale.ClientSource{Client: client}, pool)
+	if err != nil {
+		die("controller: %v", err)
+	}
+
+	// Phase 1 — pressure: concurrent bursts against the single slow
+	// founder drive market rejections; the controller must scale up.
+	completed := 0
+	scaledUpAt := -1
+	for round := 0; round < 60; round++ {
+		completed += burst(client, templates, rng, int64(round)*burstSize)
+		ctl.Tick()
+		if pool.Live() >= 1 {
+			scaledUpAt = round
+			break
+		}
+		time.Sleep(periodMs * time.Millisecond)
+	}
+	if scaledUpAt < 0 {
+		die("pressure phase: controller never launched a replica (decisions: %s)", lastReasons(ctl, 5))
+	}
+	fmt.Printf("scalersmoke: scale-up after %d pressure rounds, %d live recruits\n", scaledUpAt+1, pool.Live())
+
+	// A little more pressure so recruits absorb load (and possibly a
+	// second launch lands, still bounded).
+	for round := 0; round < 6; round++ {
+		completed += burst(client, templates, rng, 10_000+int64(round)*burstSize)
+		ctl.Tick()
+		time.Sleep(periodMs * time.Millisecond)
+	}
+
+	// Phase 2 — glut: the load stops; planned supply goes unsold every
+	// period and the controller must gracefully drain its recruits.
+	preDrainLive := pool.Live()
+	drainedAt := -1
+	for round := 0; round < 80; round++ {
+		ctl.Tick()
+		if _, drained := ctl.Totals(); drained >= 1 {
+			drainedAt = round
+			break
+		}
+		time.Sleep(2 * periodMs * time.Millisecond)
+	}
+	if drainedAt < 0 {
+		die("glut phase: controller never drained (recruits live: %d, decisions: %s)", preDrainLive, lastReasons(ctl, 5))
+	}
+	fmt.Printf("scalersmoke: graceful drain after %d quiet rounds\n", drainedAt+1)
+
+	// Guardrail conduct: every decision bounded by max-step, actions
+	// spaced by the cooldown, every record explainable.
+	decisions := ctl.Decisions()
+	lastAction := -1 << 30
+	actions := 0
+	for _, d := range decisions {
+		a := d.Action
+		if a < 0 {
+			a = -a
+		}
+		if a > maxStep {
+			die("decision at tick %d moved %d replicas, max-step is %d", d.Tick, a, maxStep)
+		}
+		if d.Reason == "" {
+			die("decision at tick %d has no reason", d.Tick)
+		}
+		if d.Action != 0 {
+			if d.Tick-lastAction < cooldown {
+				die("actions at ticks %d and %d violate cooldown %d", lastAction, d.Tick, cooldown)
+			}
+			lastAction = d.Tick
+			actions++
+		}
+	}
+	launched, drained := ctl.Totals()
+
+	// Executed-once: every completion executed on exactly one node —
+	// across founders, recruits, and drained recruits.
+	executed := founder.Executed()
+	for _, n := range pool.Nodes() {
+		executed += n.Executed()
+	}
+	if executed != completed {
+		die("executed-once violated: %d completions but %d node executions", completed, executed)
+	}
+
+	fmt.Printf("scalersmoke: ok in %.1fs — %d completed, %d executed (once each), %d decisions (%d actions: %d launched, %d drained), max-step<=%d and cooldown>=%d held\n",
+		time.Since(start).Seconds(), completed, executed, len(decisions), actions, launched, drained, maxStep, cooldown)
+}
+
+// burst fires one synchronous wave of concurrent queries and returns
+// how many completed.
+func burst(client *cluster.Client, templates []cluster.QueryTemplate, rng *rand.Rand, base int64) int {
+	var wg sync.WaitGroup
+	oks := make([]bool, burstSize)
+	for i := 0; i < burstSize; i++ {
+		sql := templates[rng.Intn(len(templates))].Instantiate(rng)
+		wg.Add(1)
+		go func(slot int, id int64, sql string) {
+			defer wg.Done()
+			if out := client.Run(id, sql); out.Err == nil {
+				oks[slot] = true
+			}
+		}(i, base+int64(i), sql)
+	}
+	wg.Wait()
+	n := 0
+	for _, ok := range oks {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// lastReasons summarizes the tail of the decision ring for failure
+// messages.
+func lastReasons(ctl *autoscale.Controller, n int) string {
+	ds := ctl.Decisions()
+	if len(ds) > n {
+		ds = ds[len(ds)-n:]
+	}
+	out := ""
+	for _, d := range ds {
+		out += fmt.Sprintf("[tick %d: %s] ", d.Tick, d.Reason)
+	}
+	return out
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scalersmoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

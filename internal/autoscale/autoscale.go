@@ -1,0 +1,571 @@
+// Package autoscale closes the telemetry loop: a deterministic
+// controller that reads each member's per-period market telemetry,
+// smooths the federation-wide price / rejection / unsold series, and
+// turns sustained pressure or glut into bounded replica launches and
+// graceful drains.
+//
+// The market itself is the sensor (Wellman's market-oriented
+// programming): QA-NT prices rise only on trading failures and fall
+// only on unsold supply, so a sustained high smoothed price or
+// rejection rate *is* the statement "demand exceeds this federation's
+// capacity", and a sustained unsold rate is its dual. The controller
+// deliberately never touches prices, supply vectors, or per-node
+// pricer state — it only changes the number of market participants.
+// That single-writer split is what keeps the scaler from fighting the
+// pricer: the market converges within a population, the scaler moves
+// between populations, and the guardrails (EWMA smoothing, warmup,
+// cooldown, hysteresis bands, max-step) keep the population changes
+// slower than the market's own price adjustment.
+//
+// Everything is explicit and injectable: the clock, the telemetry
+// source, the actuator. Tick is synchronous — one call polls, smooths,
+// decides, actuates, and returns the full explainable Decision record.
+package autoscale
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/qamarket/qamarket/internal/cluster"
+)
+
+// Clock supplies the decision timestamps (never the control flow —
+// pacing belongs to whoever calls Tick). Nil means time.Now.
+type Clock func() time.Time
+
+// Sample is one member's telemetry poll result.
+type Sample struct {
+	// ID is the member's stable node ID (baselines for counter deltas
+	// are keyed by it).
+	ID string
+	// Telemetry is the member's market snapshot.
+	Telemetry cluster.MarketTelemetry
+}
+
+// Source yields one telemetry sample per reachable member. Members
+// that are gone, joining, or mid-drain are simply absent — the
+// controller tolerates any subset.
+type Source interface {
+	Sample() []Sample
+}
+
+// Actuator applies scaling actions through existing machinery: Launch
+// starts n replicas that join the federation by gossip, Drain retires
+// n replicas through the graceful drain path.
+type Actuator interface {
+	Launch(n int) error
+	Drain(n int) error
+}
+
+// Config carries the controller's bands and guardrails. Zero values
+// take the documented defaults, so Config{Min: 1, Max: 8} is runnable.
+type Config struct {
+	// Min and Max cap the replica count the controller will ever
+	// target (water-filling output is clamped into [Min, Max]).
+	Min, Max int
+	// CapacityMs is one replica's supply per market period, the bin
+	// size of the water-filling. Set it to the fleet's PeriodMs
+	// (default 500, the qanode default period).
+	CapacityMs float64
+	// Alpha is the EWMA weight of the newest observation, 0 < α ≤ 1
+	// (default 0.3: ~3 periods to absorb a step change).
+	Alpha float64
+	// Warmup is the number of ticks observed before the first action
+	// may fire (default 2: a delta needs two polls to exist).
+	Warmup int
+	// Cooldown is the minimum number of ticks between actions
+	// (default 3). It must outlast join/drain latency, or the
+	// controller double-corrects against a fleet still in transition.
+	Cooldown int
+	// MaxStep bounds |replicas changed| per decision (default 1).
+	MaxStep int
+	// UpRejectRate and UpPriceIndex are the scale-up hysteresis band:
+	// pressure exists when the smoothed rejection rate or the smoothed
+	// demand-weighted price index crosses its edge (defaults 0.15 and
+	// 2× the unit initial price).
+	UpRejectRate, UpPriceIndex float64
+	// DownUnsoldRate and DownRejectRate are the scale-down band: glut
+	// requires the smoothed unsold share above DownUnsoldRate (default
+	// 0.6) while the smoothed rejection rate sits below DownRejectRate
+	// (default 0.02). The dead zone between the bands is the
+	// hysteresis that prevents launch/drain flapping.
+	DownUnsoldRate, DownRejectRate float64
+	// DryRun records every decision but never calls the actuator.
+	DryRun bool
+	// History is the decision ring capacity (default 128).
+	History int
+	// Clock stamps decisions; nil means time.Now.
+	Clock Clock
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Min < 0 || c.Max < c.Min || c.Max == 0 {
+		return fmt.Errorf("autoscale: need 0 <= Min <= Max with Max > 0 (got %d..%d)", c.Min, c.Max)
+	}
+	if c.CapacityMs <= 0 {
+		c.CapacityMs = 500
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3
+	}
+	if c.MaxStep <= 0 {
+		c.MaxStep = 1
+	}
+	if c.UpRejectRate <= 0 {
+		c.UpRejectRate = 0.15
+	}
+	if c.UpPriceIndex <= 0 {
+		c.UpPriceIndex = 2
+	}
+	if c.DownUnsoldRate <= 0 {
+		c.DownUnsoldRate = 0.6
+	}
+	if c.DownRejectRate <= 0 {
+		c.DownRejectRate = 0.02
+	}
+	if c.History <= 0 {
+		c.History = 128
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return nil
+}
+
+// Signals are one tick's federation-wide aggregates, raw and smoothed.
+type Signals struct {
+	// Members is how many members answered this poll.
+	Members int `json:"members"`
+	// Offers/Accepts/Rejects/Unsold are this tick's deltas of the
+	// members' lifetime trading counters (new members contribute from
+	// their next poll; restarted members re-baseline).
+	Offers  int `json:"offers"`
+	Accepts int `json:"accepts"`
+	Rejects int `json:"rejects"`
+	Unsold  int `json:"unsold"`
+	// RejectRate is rejects/(offers+rejects): the share of requests the
+	// federation had no supply for.
+	RejectRate float64 `json:"reject_rate"`
+	// UnsoldRate is unsold/(unsold+accepts): the share of supplied
+	// units that found no buyer.
+	UnsoldRate float64 `json:"unsold_rate"`
+	// PriceIndex is the demand-weighted mean class price.
+	PriceIndex float64 `json:"price_index"`
+	// DemandMs estimates offered work per market period in
+	// milliseconds: sold work plus the work behind rejected requests.
+	DemandMs float64 `json:"demand_ms"`
+	// Smoothed counterparts (EWMA over the configured alpha).
+	SmoothedRejectRate float64 `json:"smoothed_reject_rate"`
+	SmoothedUnsoldRate float64 `json:"smoothed_unsold_rate"`
+	SmoothedPriceIndex float64 `json:"smoothed_price_index"`
+	SmoothedDemandMs   float64 `json:"smoothed_demand_ms"`
+}
+
+// Decision is one tick's explainable record: inputs → smoothed signals
+// → water-filled target → clamped action. Every tick produces one,
+// acted on or not.
+type Decision struct {
+	At      time.Time `json:"at"`
+	Tick    int       `json:"tick"`
+	Signals Signals   `json:"signals"`
+	// Current is the observed replica count (members that answered).
+	Current int `json:"current"`
+	// RawTarget is the unclamped water-filling output; Target is
+	// RawTarget clamped into [Min, Max].
+	RawTarget int `json:"raw_target"`
+	Target    int `json:"target"`
+	// Action is the clamped step this tick: +n launched, −n drained,
+	// 0 hold. Bounded by MaxStep and gated by the guardrails.
+	Action int `json:"action"`
+	// Applied is false when the action was withheld (dry-run) or the
+	// actuator failed.
+	Applied bool `json:"applied"`
+	// Reason explains the action — or the hold.
+	Reason string `json:"reason"`
+}
+
+// ewma is one exponentially smoothed series; the first observation
+// seeds it.
+type ewma struct {
+	v    float64
+	init bool
+}
+
+func (e *ewma) observe(x, alpha float64) float64 {
+	if !e.init {
+		e.v, e.init = x, true
+	} else {
+		e.v = alpha*x + (1-alpha)*e.v
+	}
+	return e.v
+}
+
+// baseline is one member's last-seen lifetime counters.
+type baseline struct {
+	stats    cluster.MarketTelemetry
+	seenTick int
+}
+
+// baselineTTLTicks is how many ticks a member may miss polls before
+// its counter baseline is forgotten (a member that returns later
+// re-baselines, contributing nothing on its first poll back).
+const baselineTTLTicks = 10
+
+// Controller is the market-driven autoscaler. Not safe for concurrent
+// Tick calls; the accessors are safe alongside one ticking goroutine.
+type Controller struct {
+	cfg Config
+	src Source
+	act Actuator
+
+	mu         sync.Mutex
+	tick       int
+	lastAction int // tick of the last (possibly dry-run) action; -1 before any
+	base       map[string]baseline
+	sRej       ewma
+	sUnsold    ewma
+	sPrice     ewma
+	sDemand    ewma
+	decisions  []Decision
+	launched   int64 // lifetime replicas launched
+	drained    int64 // lifetime replicas drained
+}
+
+// New builds a controller over a telemetry source and an actuator.
+func New(cfg Config, src Source, act Actuator) (*Controller, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("autoscale: nil telemetry source")
+	}
+	if act == nil && !cfg.DryRun {
+		return nil, fmt.Errorf("autoscale: nil actuator outside dry-run")
+	}
+	return &Controller{cfg: cfg, src: src, act: act, lastAction: -1,
+		base: make(map[string]baseline)}, nil
+}
+
+// Tick runs one control period: poll, aggregate, smooth, decide,
+// actuate. It returns the decision record it appended to the ring.
+func (c *Controller) Tick() Decision {
+	samples := c.src.Sample()
+	// Deterministic aggregation order regardless of source iteration.
+	sort.Slice(samples, func(i, j int) bool { return samples[i].ID < samples[j].ID })
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tick := c.tick
+	c.tick++
+
+	d := Decision{At: c.cfg.Clock(), Tick: tick, Current: len(samples)}
+	d.Signals = c.aggregateLocked(tick, samples)
+	d.RawTarget = c.waterfillLocked(samples, d.Signals.SmoothedDemandMs)
+	d.Target = clamp(d.RawTarget, c.cfg.Min, c.cfg.Max)
+
+	d.Action, d.Reason = c.decideLocked(tick, d)
+	if d.Action != 0 {
+		c.lastAction = tick
+		d.Applied = c.applyLocked(&d)
+	}
+	c.decisions = append(c.decisions, d)
+	if len(c.decisions) > c.cfg.History {
+		c.decisions = c.decisions[len(c.decisions)-c.cfg.History:]
+	}
+	return d
+}
+
+// aggregateLocked deltas each answering member's lifetime counters
+// against its baseline and folds the tick's raw and smoothed signals.
+// Members absent from this poll are skipped (their baselines survive
+// baselineTTLTicks); members whose counters regressed (a restart)
+// re-baseline and contribute nothing this tick. All rates are guarded
+// against zero denominators — the signals never go NaN.
+func (c *Controller) aggregateLocked(tick int, samples []Sample) Signals {
+	var s Signals
+	s.Members = len(samples)
+	var priceWeight, priceSum float64
+	var demand float64
+	for _, sm := range samples {
+		cur := sm.Telemetry
+		prev, seen := c.base[sm.ID]
+		c.base[sm.ID] = baseline{stats: cur, seenTick: tick}
+		if !seen || regressed(prev.stats, cur) {
+			continue // first sight (or rebirth): baseline only
+		}
+		dOffers := cur.Stats.Offers - prev.stats.Stats.Offers
+		dAccepts := cur.Stats.Accepts - prev.stats.Stats.Accepts
+		dRejects := cur.Stats.Rejects - prev.stats.Stats.Rejects
+		dUnsold := cur.Stats.Unsold - prev.stats.Stats.Unsold
+		dPeriods := cur.Stats.Periods - prev.stats.Stats.Periods
+		if dPeriods < 1 {
+			dPeriods = 1
+		}
+		s.Offers += dOffers
+		s.Accepts += dAccepts
+		s.Rejects += dRejects
+		s.Unsold += dUnsold
+
+		// The member's mean class cost, weighted by what actually sold
+		// this period; a member with no sales yet averages its known
+		// class estimates.
+		var costW, costSum, costN, costTot float64
+		for _, cl := range cur.Classes {
+			costN++
+			costTot += cl.CostMs
+			if cl.Accepted > 0 {
+				costW += float64(cl.Accepted)
+				costSum += float64(cl.Accepted) * cl.CostMs
+				priceWeight += float64(cl.Accepted)
+				priceSum += float64(cl.Accepted) * cl.Price
+			}
+		}
+		meanCost := 0.0
+		switch {
+		case costW > 0:
+			meanCost = costSum / costW
+		case costN > 0:
+			meanCost = costTot / costN
+		}
+		// Demand per period: every accept or reject was one request of
+		// ~meanCost ms. Rejected requests are exactly the work a larger
+		// federation would have sold.
+		demand += float64(dAccepts+dRejects) * meanCost / float64(dPeriods)
+	}
+	if tot := s.Offers + s.Rejects; tot > 0 {
+		s.RejectRate = float64(s.Rejects) / float64(tot)
+	}
+	if tot := s.Unsold + s.Accepts; tot > 0 {
+		s.UnsoldRate = float64(s.Unsold) / float64(tot)
+	}
+	if priceWeight > 0 {
+		s.PriceIndex = priceSum / priceWeight
+	}
+	s.DemandMs = demand
+
+	// An empty poll (no members answered) freezes the smoothed series
+	// rather than decaying them toward zero on no evidence.
+	if s.Members > 0 {
+		s.SmoothedRejectRate = c.sRej.observe(s.RejectRate, c.cfg.Alpha)
+		s.SmoothedUnsoldRate = c.sUnsold.observe(s.UnsoldRate, c.cfg.Alpha)
+		s.SmoothedPriceIndex = c.sPrice.observe(s.PriceIndex, c.cfg.Alpha)
+		s.SmoothedDemandMs = c.sDemand.observe(s.DemandMs, c.cfg.Alpha)
+	} else {
+		s.SmoothedRejectRate = c.sRej.v
+		s.SmoothedUnsoldRate = c.sUnsold.v
+		s.SmoothedPriceIndex = c.sPrice.v
+		s.SmoothedDemandMs = c.sDemand.v
+	}
+	c.pruneLocked(tick)
+	return s
+}
+
+// regressed reports a lifetime counter moving backwards — the member
+// restarted (or a namesake replaced it) and deltas would go negative.
+func regressed(prev, cur cluster.MarketTelemetry) bool {
+	return cur.Stats.Offers < prev.Stats.Offers ||
+		cur.Stats.Accepts < prev.Stats.Accepts ||
+		cur.Stats.Rejects < prev.Stats.Rejects ||
+		cur.Stats.Unsold < prev.Stats.Unsold ||
+		cur.Stats.Periods < prev.Stats.Periods
+}
+
+// pruneLocked forgets baselines of members not seen for
+// baselineTTLTicks.
+func (c *Controller) pruneLocked(tick int) {
+	for id, b := range c.base {
+		if tick-b.seenTick > baselineTTLTicks {
+			delete(c.base, id)
+		}
+	}
+}
+
+// waterfillLocked pours the smoothed federation demand, split per
+// class, into replica-sized bins of CapacityMs and reports how many
+// bins the demand fills (always at least one when there is any
+// demand). Classes are poured in sorted-signature order so the fill is
+// deterministic; the split is proportional to each class's currently
+// sold work, with a single pseudo-class carrying demand the class
+// table cannot attribute yet.
+func (c *Controller) waterfillLocked(samples []Sample, demandMs float64) int {
+	if demandMs <= 0 {
+		return 0
+	}
+	// Class weights: period-to-date sold work per signature across the
+	// federation.
+	weights := make(map[string]float64)
+	var total float64
+	for _, sm := range samples {
+		for _, cl := range sm.Telemetry.Classes {
+			if cl.Accepted > 0 && cl.CostMs > 0 {
+				w := float64(cl.Accepted) * cl.CostMs
+				weights[cl.Signature] += w
+				total += w
+			}
+		}
+	}
+	type share struct {
+		sig string
+		ms  float64
+	}
+	var shares []share
+	if total <= 0 {
+		shares = []share{{sig: "*", ms: demandMs}}
+	} else {
+		sigs := make([]string, 0, len(weights))
+		for sig := range weights {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			shares = append(shares, share{sig: sig, ms: demandMs * weights[sig] / total})
+		}
+	}
+	// Pour sequentially: each replica bin holds CapacityMs; a class
+	// share spills into as many further bins as it needs.
+	bins, room := 0, 0.0
+	for _, sh := range shares {
+		ms := sh.ms
+		for ms > 1e-9 {
+			if room <= 1e-9 {
+				bins++
+				room = c.cfg.CapacityMs
+			}
+			pour := ms
+			if pour > room {
+				pour = room
+			}
+			ms -= pour
+			room -= pour
+		}
+	}
+	return bins
+}
+
+// decideLocked applies the guardrails in order — warmup, evidence,
+// cooldown, hysteresis bands, max-step — and returns the clamped
+// action with its explanation.
+func (c *Controller) decideLocked(tick int, d Decision) (int, string) {
+	s := d.Signals
+	if tick < c.cfg.Warmup {
+		return 0, fmt.Sprintf("warmup %d/%d", tick+1, c.cfg.Warmup)
+	}
+	if s.Members == 0 {
+		return 0, "no members answered the poll"
+	}
+	if c.lastAction >= 0 && tick-c.lastAction < c.cfg.Cooldown {
+		return 0, fmt.Sprintf("cooldown %d/%d ticks since last action", tick-c.lastAction, c.cfg.Cooldown)
+	}
+	if d.Current < c.cfg.Min {
+		step := min(c.cfg.MaxStep, c.cfg.Min-d.Current)
+		return step, fmt.Sprintf("below Min: %d < %d", d.Current, c.cfg.Min)
+	}
+	pressure := s.SmoothedRejectRate >= c.cfg.UpRejectRate ||
+		s.SmoothedPriceIndex >= c.cfg.UpPriceIndex
+	glut := s.SmoothedUnsoldRate >= c.cfg.DownUnsoldRate &&
+		s.SmoothedRejectRate <= c.cfg.DownRejectRate
+	switch {
+	case d.Target > d.Current && pressure:
+		step := min(c.cfg.MaxStep, d.Target-d.Current)
+		if d.Current+step > c.cfg.Max {
+			step = c.cfg.Max - d.Current
+		}
+		if step <= 0 {
+			return 0, fmt.Sprintf("pressure but already at Max %d", c.cfg.Max)
+		}
+		return step, fmt.Sprintf("pressure: reject %.3f >= %.3f or price %.2f >= %.2f, demand wants %d replicas",
+			s.SmoothedRejectRate, c.cfg.UpRejectRate, s.SmoothedPriceIndex, c.cfg.UpPriceIndex, d.Target)
+	case d.Target < d.Current && glut:
+		step := min(c.cfg.MaxStep, d.Current-d.Target)
+		if d.Current-step < c.cfg.Min {
+			step = d.Current - c.cfg.Min
+		}
+		if step <= 0 {
+			return 0, fmt.Sprintf("glut but already at Min %d", c.cfg.Min)
+		}
+		return -step, fmt.Sprintf("glut: unsold %.3f >= %.3f with reject %.3f <= %.3f, demand needs only %d replicas",
+			s.SmoothedUnsoldRate, c.cfg.DownUnsoldRate, s.SmoothedRejectRate, c.cfg.DownRejectRate, d.Target)
+	case d.Target > d.Current:
+		return 0, fmt.Sprintf("demand wants %d replicas but no pressure band crossed", d.Target)
+	case d.Target < d.Current:
+		return 0, fmt.Sprintf("demand needs %d replicas but no glut band crossed", d.Target)
+	}
+	return 0, "in band: target equals current"
+}
+
+// applyLocked performs the decided action through the actuator (or
+// withholds it in dry-run), annotating the decision's reason on
+// withhold/failure.
+func (c *Controller) applyLocked(d *Decision) bool {
+	if c.cfg.DryRun {
+		d.Reason += " [dry-run: withheld]"
+		return false
+	}
+	var err error
+	if d.Action > 0 {
+		err = c.act.Launch(d.Action)
+	} else {
+		err = c.act.Drain(-d.Action)
+	}
+	if err != nil {
+		d.Reason += fmt.Sprintf(" [actuator failed: %v]", err)
+		return false
+	}
+	if d.Action > 0 {
+		c.launched += int64(d.Action)
+	} else {
+		c.drained += int64(-d.Action)
+	}
+	return true
+}
+
+// Decisions returns a copy of the retained decision ring, oldest
+// first.
+func (c *Controller) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Decision(nil), c.decisions...)
+}
+
+// Last returns the most recent decision (ok=false before the first
+// tick).
+func (c *Controller) Last() (Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.decisions) == 0 {
+		return Decision{}, false
+	}
+	return c.decisions[len(c.decisions)-1], true
+}
+
+// Totals reports lifetime replicas launched and drained.
+func (c *Controller) Totals() (launched, drained int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.launched, c.drained
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

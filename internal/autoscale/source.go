@@ -1,0 +1,32 @@
+package autoscale
+
+import (
+	"github.com/qamarket/qamarket/internal/cluster"
+)
+
+// ClientSource polls a federation through a cluster client's dynamic
+// membership view: one stats RPC per live member, telemetry lifted off
+// the additive market field. Members that are unreachable, mid-drain
+// past their stats window, or too old to carry the field are simply
+// skipped — the controller is built to tolerate any answering subset.
+type ClientSource struct {
+	Client *cluster.Client
+}
+
+// Sample implements Source.
+func (s ClientSource) Sample() []Sample {
+	var out []Sample
+	for _, m := range s.Client.Members() {
+		switch m.State {
+		case "alive", "suspect", "seed":
+		default:
+			continue // left/dead members own no supply to count
+		}
+		st, err := s.Client.Stats(m.ID)
+		if err != nil || st.Market == nil {
+			continue
+		}
+		out = append(out, Sample{ID: m.ID, Telemetry: *st.Market})
+	}
+	return out
+}

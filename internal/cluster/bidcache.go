@@ -23,6 +23,7 @@ import (
 // error from a cached candidate — invalidate explicitly via the client.
 type bidCache struct {
 	ttl     time.Duration
+	now     func() time.Time
 	mu      sync.Mutex
 	entries map[string]*bidEntry
 }
@@ -39,8 +40,14 @@ type bidEntry struct {
 	expires time.Time
 }
 
-func newBidCache(ttl time.Duration) *bidCache {
-	return &bidCache{ttl: ttl, entries: make(map[string]*bidEntry)}
+// newBidCache builds the cache. The clock is injectable (matching the
+// trace recorder's explicit-clock pattern) so TTL expiry is testable
+// deterministically; nil means the wall clock.
+func newBidCache(ttl time.Duration, now func() time.Time) *bidCache {
+	if now == nil {
+		now = time.Now
+	}
+	return &bidCache{ttl: ttl, now: now, entries: make(map[string]*bidEntry)}
 }
 
 // put caches a fresh proposal round's ladder for the class, stamping
@@ -53,7 +60,7 @@ func (b *bidCache) put(class string, ranked []*nodeState) {
 		ns.mu.Unlock()
 	}
 	b.mu.Lock()
-	b.entries[class] = &bidEntry{bids: bids, expires: time.Now().Add(b.ttl)}
+	b.entries[class] = &bidEntry{bids: bids, expires: b.now().Add(b.ttl)}
 	b.mu.Unlock()
 }
 
@@ -68,7 +75,7 @@ func (b *bidCache) get(class string, valid func(ns *nodeState, epoch uint64) boo
 	if e == nil {
 		return nil, false
 	}
-	if time.Now().After(e.expires) {
+	if b.now().After(e.expires) {
 		return nil, b.invalidate(class)
 	}
 	ranked = make([]*nodeState, len(e.bids))

@@ -403,7 +403,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		c.retry = newTokenBucket(cfg.RetryBudget, cfg.RetryBurst)
 	}
 	if cfg.BidCacheTTL > 0 {
-		c.bids = newBidCache(cfg.BidCacheTTL)
+		c.bids = newBidCache(cfg.BidCacheTTL, nil)
 	}
 	if cfg.BatchWindow > 0 {
 		c.batches = newNegotiator(c)

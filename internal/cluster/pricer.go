@@ -29,7 +29,22 @@ type pricer struct {
 	costs   []float64      // estimated ms per class
 	agent   *market.Agent
 	carry   float64
+	// usedMs is the period-to-date work accepted by agents that were
+	// replaced mid-period. A rebuild starts the fresh agent on a new
+	// (empty) period, so its Accepted vector forgets work already
+	// performed; the fold into usedMs keeps the capacity account exact —
+	// tick charges it against carry and the rebuilt agent plans only the
+	// remaining budget.
+	usedMs float64
 }
+
+// driftFloorMs is the absolute half of the cost-drift test: estimate
+// jitter below it never triggers a rebuild, no matter how small the
+// stored cost. Without it a stored cost of 0 makes the relative
+// threshold degenerate (|Δ| > 0), rebuilding the agent on every
+// request; a quarter millisecond is far below anything the supply
+// solve is sensitive to.
+const driftFloorMs = 0.25
 
 // newPricer builds an empty pricer; classes appear via observe.
 func newPricer(cfg market.Config, periodMs float64) *pricer {
@@ -47,9 +62,11 @@ func (p *pricer) observe(signature string, costMs float64) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if idx, ok := p.classes[signature]; ok {
-		if math.Abs(p.costs[idx]-costMs) > p.costs[idx]*0.25 {
+		if d := math.Abs(p.costs[idx] - costMs); d > driftFloorMs && d > p.costs[idx]*0.25 {
 			// Cost estimate drifted (history refined it): refresh the
-			// supply set; prices stay.
+			// supply set; prices stay. Work already accepted was performed
+			// under the old estimate, so fold it before the cost changes.
+			p.foldAcceptedLocked()
 			p.costs[idx] = costMs
 			p.rebuildLocked(p.agent.Prices())
 		}
@@ -60,10 +77,26 @@ func (p *pricer) observe(signature string, costMs float64) int {
 	p.classes[signature] = idx
 	var prices vector.Prices
 	if p.agent != nil {
+		p.foldAcceptedLocked()
 		prices = append(p.agent.Prices(), p.initialPrice())
 	}
 	p.rebuildLocked(prices)
 	return idx
+}
+
+// foldAcceptedLocked banks the current agent's period-to-date accepted
+// work into usedMs, charged at the cost estimates it was accepted
+// under. Call before any rebuild: the replacement agent starts a fresh
+// period with a zero Accepted vector.
+func (p *pricer) foldAcceptedLocked() {
+	if p.agent == nil {
+		return
+	}
+	for c, cnt := range p.agent.Accepted() {
+		if cnt > 0 {
+			p.usedMs += float64(cnt) * p.costs[c]
+		}
+	}
 }
 
 func (p *pricer) initialPrice() float64 {
@@ -94,7 +127,10 @@ func (p *pricer) rebuildLocked(prices vector.Prices) {
 }
 
 func (p *pricer) supplySetLocked() economics.SupplySet {
-	budget := p.periodMs + p.carry
+	// usedMs is nonzero only between a mid-period rebuild and the next
+	// tick: the replacement agent may plan only what is left of the
+	// period, not a fresh budget on top of work already performed.
+	budget := p.periodMs + p.carry - p.usedMs
 	if budget < 0 {
 		budget = 0
 	}
@@ -133,12 +169,15 @@ func (p *pricer) tick() {
 	if p.agent == nil {
 		return
 	}
-	used := 0.0
+	// The period's spend is what mid-period-replaced agents banked plus
+	// what the current agent accepted since the last rebuild.
+	used := p.usedMs
 	for c, cnt := range p.agent.Accepted() {
 		if cnt > 0 {
 			used += float64(cnt) * p.costs[c]
 		}
 	}
+	p.usedMs = 0
 	p.carry += p.periodMs - used
 	maxCost := p.periodMs
 	for _, c := range p.costs {
@@ -296,6 +335,7 @@ func (p *pricer) restore(st PricerState) error {
 	}
 	p.costs = append([]float64(nil), st.Costs...)
 	p.carry = st.Carry
+	p.usedMs = 0 // a restore starts a fresh period
 	if len(p.costs) == 0 {
 		p.agent = nil
 		return nil

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/qamarket/qamarket/internal/market"
+)
+
+// carryOf reads the pricer's capacity-carry account.
+func carryOf(p *pricer) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.carry
+}
+
+// agentOf reads the pricer's current market agent (identity tracks
+// rebuilds: observe swaps the pointer when the class universe or a
+// cost estimate changes).
+func agentOf(p *pricer) *market.Agent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.agent
+}
+
+// TestCarrySurvivesMidPeriodRebuild is the regression test for the
+// carry-accounting bug: a mid-period agent rebuild (class discovery or
+// cost drift) used to replace the agent and call BeginPeriod, zeroing
+// Accepted — the next tick then computed used=0 and credited carry
+// with capacity that was actually spent. Carry must be identical
+// whether or not a rebuild happened mid-period.
+func TestCarrySurvivesMidPeriodRebuild(t *testing.T) {
+	const periodMs = 100
+	drive := func(rebuild func(p *pricer)) float64 {
+		p := newPricer(market.DefaultConfig(1), periodMs)
+		for i := 0; i < 3; i++ {
+			if !p.offer("classA", 20) {
+				t.Fatalf("offer %d refused with supply available", i)
+			}
+			if !p.accept("classA") {
+				t.Fatalf("accept %d failed with supply available", i)
+			}
+		}
+		if rebuild != nil {
+			rebuild(p)
+		}
+		p.tick()
+		return carryOf(p)
+	}
+	base := drive(nil) // 3×20ms accepted: carry = 100 − 60 = 40
+	cases := []struct {
+		name    string
+		rebuild func(p *pricer)
+	}{
+		{"class arrival", func(p *pricer) { p.observe("classB", 10) }},
+		// Drift refreshes the estimate, but the work already accepted was
+		// priced (and performed) under the old estimate: used must still
+		// charge 3×20ms, not 3×40ms and not zero.
+		{"cost drift", func(p *pricer) { p.observe("classA", 40) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := drive(tc.rebuild)
+			if before != base {
+				t.Fatalf("mid-period rebuild (%s) changed carry: %.1f, want %.1f",
+					tc.name, before, base)
+			}
+		})
+	}
+}
+
+// TestRebuildReplansRemainingCapacity checks the other half of the
+// carry fix: the rebuilt agent must plan only the capacity still
+// unspent this period, not a fresh full budget on top of work already
+// accepted.
+func TestRebuildReplansRemainingCapacity(t *testing.T) {
+	p := newPricer(market.DefaultConfig(1), 100)
+	for i := 0; i < 3; i++ {
+		if !p.offer("classA", 20) || !p.accept("classA") {
+			t.Fatalf("warm-up accept %d failed", i)
+		}
+	}
+	p.observe("classB", 10) // rebuild with 60ms already spent
+	p.mu.Lock()
+	planned := p.agent.PlannedSupply()
+	costs := append([]float64(nil), p.costs...)
+	p.mu.Unlock()
+	plannedMs := 0.0
+	for c, n := range planned {
+		plannedMs += float64(n) * costs[c]
+	}
+	if plannedMs > 40+1e-9 {
+		t.Fatalf("rebuilt agent planned %.1fms with only 40ms of the period left", plannedMs)
+	}
+}
+
+// TestDriftFloorZeroCostClass is the regression test for the drift
+// threshold: with a stored cost of 0 the pure relative test
+// |Δ| > cost·0.25 degenerates to |Δ| > 0, so any nonzero estimate
+// rebuilt the agent on every single request. Sub-floor jitter must not
+// rebuild; genuine drift still must.
+func TestDriftFloorZeroCostClass(t *testing.T) {
+	p := newPricer(market.DefaultConfig(1), 100)
+	p.offer("free", 0)
+	before := agentOf(p)
+	for i := 0; i < 8; i++ {
+		p.offer("free", 0.2) // estimate jitter below the absolute floor
+	}
+	if agentOf(p) != before {
+		t.Fatalf("sub-floor cost jitter on a zero-cost class rebuilt the agent")
+	}
+	p.offer("free", 50) // real drift: both floor and relative bands exceeded
+	if agentOf(p) == before {
+		t.Fatalf("genuine cost drift no longer rebuilds the agent")
+	}
+}

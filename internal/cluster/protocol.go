@@ -282,6 +282,13 @@ type NodeStats struct {
 	// (drains, drain rejects, checkpoints, checkpoint age — see the
 	// metrics package constants).
 	Health map[string]float64 `json:"health,omitempty"`
+	// Market is the node's per-period market telemetry snapshot —
+	// per-class prices/supply and lifetime trading counters, epoch
+	// stamped. Additive: nodes that predate it omit the field and old
+	// clients ignore it. The autoscaler's control signal rides here
+	// (the stats op stays answerable while draining, so a departing
+	// member keeps reporting until it is gone).
+	Market *MarketTelemetry `json:"market,omitempty"`
 }
 
 // Typed reply codes. Codes classify envelope-level errors so clients

@@ -1251,11 +1251,13 @@ func (n *Node) nodeStats() NodeStats {
 	if ts := n.lastCheckpoint.Load(); ts > 0 {
 		health[metrics.CheckpointAgeMs] = float64(time.Now().UnixMilli() - ts)
 	}
+	tel := n.MarketTelemetry()
 	return NodeStats{
 		Executed: executed,
 		Offers:   st.Offers,
 		Rejects:  st.Rejects,
 		Prices:   n.pricer.prices(),
 		Health:   health,
+		Market:   &tel,
 	}
 }

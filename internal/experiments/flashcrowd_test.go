@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestFlashCrowdScalesAndBehaves runs the elasticity experiment at test
+// scale and asserts the structural promises that hold regardless of
+// machine noise: both legs complete work, the scaled leg actually grew
+// past the static fleet during the spike, every controller action was
+// bounded by max-step, and the cooldown spacing held. The p99 ordering
+// itself is a real-time measurement and belongs to the benchmark
+// trajectory, not a unit test.
+func TestFlashCrowdScalesAndBehaves(t *testing.T) {
+	opt := DefaultFlashCrowd()
+	opt.WavesPerPhase = 5
+	res, err := FlashCrowd(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaticCompleted == 0 || res.ScaledCompleted == 0 {
+		t.Fatalf("legs completed %d/%d queries", res.StaticCompleted, res.ScaledCompleted)
+	}
+	if res.PeakReplicas <= opt.BaseNodes {
+		t.Errorf("spike never grew the federation: peak %d replicas from base %d",
+			res.PeakReplicas, opt.BaseNodes)
+	}
+	if res.Launched == 0 {
+		t.Error("controller never launched")
+	}
+	if res.MaxStepObserved > opt.MaxStep {
+		t.Errorf("a decision moved %d replicas, max step is %d", res.MaxStepObserved, opt.MaxStep)
+	}
+	if !res.CooldownRespected {
+		t.Error("actions violated the cooldown spacing")
+	}
+	if res.Decisions == 0 {
+		t.Error("no decisions retained")
+	}
+	t.Logf("peak %d replicas (%d launched, %d drained), %d decisions, p99 static %.0fms scaled %.0fms",
+		res.PeakReplicas, res.Launched, res.Drained, res.Decisions,
+		res.StaticPeakP99Ms, res.ScaledPeakP99Ms)
+}
+
+func TestFlashCrowdRejectsBadOptions(t *testing.T) {
+	if _, err := FlashCrowd(FlashCrowdOptions{}); err == nil {
+		t.Error("zero-node flash crowd accepted")
+	}
+	bad := DefaultFlashCrowd()
+	bad.MaxNodes = 0
+	if _, err := FlashCrowd(bad); err == nil {
+		t.Error("MaxNodes below BaseNodes accepted")
+	}
+}
